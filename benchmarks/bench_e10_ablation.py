@@ -1,0 +1,105 @@
+"""E10 — full-stack Skynet-formation ablation (sec III, V, VI combined).
+
+The confrontation scenario with every sec IV threat channel active (worm,
+backdoor probing, operator error).  Arms: no safeguards, the full sec VI
+stack, and the full stack with each mechanism removed one at a time —
+the ablation DESIGN.md calls out.
+
+Skynet formation uses the paper's own definition (scored per seed): a
+simultaneously-active compromised collective spanning >= 2 organizations
+that has physically harmed humans.
+
+Shape expectations: the unguarded fleet forms Skynet in (almost) every
+run; the full stack never does; removing the watchdog is the most
+damaging single ablation under a worm (nothing else removes compromised
+devices); every ablation is at least as bad as the full stack.
+"""
+
+import pytest
+
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import ExperimentTable, SafeguardConfig
+
+SEEDS = (3, 4, 5)
+HORIZON = 120.0
+THREATS = ThreatConfig(
+    worm=True, worm_time=15.0, worm_spread_prob=0.35,
+    backdoor=True, backdoor_time=10.0, backdoor_success_prob=0.02,
+    operator_error=True, wrong_target_prob=0.1, wrong_params_prob=0.1,
+)
+
+ARMS = [
+    ("none", SafeguardConfig.none()),
+    ("full", SafeguardConfig.full()),
+    ("full - watchdog", SafeguardConfig.full().without(watchdog=True)),
+    ("full - preaction", SafeguardConfig.full().without(preaction=True)),
+    ("full - statespace", SafeguardConfig.full().without(statespace=True)),
+    ("full - sealing", SafeguardConfig.full().without(sealed=True)),
+]
+
+
+def run_arm(config: SafeguardConfig, seed: int) -> dict:
+    scenario = ConfrontationScenario(seed=seed, config=config,
+                                     threats=THREATS)
+    return scenario.run(until=HORIZON)
+
+
+def aggregate(config: SafeguardConfig) -> dict:
+    skynet_runs = 0
+    rogue_harm = 0
+    compromised = 0
+    deactivations = 0
+    for seed in SEEDS:
+        result = run_arm(config, seed)
+        skynet_runs += int(result["skynet_formed"])
+        rogue_harm += result["rogue_harm"]
+        compromised += result["compromised_ever"]
+        deactivations += result["deactivations"]
+    return {
+        "skynet_rate": skynet_runs / len(SEEDS),
+        "rogue_harm": rogue_harm,
+        "compromised": compromised,
+        "deactivations": deactivations,
+    }
+
+
+@pytest.mark.parametrize("label,config", [ARMS[0], ARMS[1]],
+                         ids=["none", "full"])
+def test_e10_arm_benchmarks(benchmark, label, config):
+    result = benchmark.pedantic(run_arm, args=(config, 3), rounds=1,
+                                iterations=1)
+    assert result["horizon"] == HORIZON
+
+
+def test_e10_ablation_table(experiment, benchmark):
+    results = {label: aggregate(config) for label, config in ARMS}
+    benchmark.pedantic(run_arm, args=(ARMS[1][1], 3), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E10 Skynet-formation ablation ({len(SEEDS)} seeds, all sec IV "
+        f"threats active, horizon {HORIZON:g})",
+        ["configuration", "skynet rate", "rogue harm", "compromised ever",
+         "deactivations"],
+    )
+    for label, _config in ARMS:
+        row = results[label]
+        table.add_row(label, row["skynet_rate"], row["rogue_harm"],
+                      row["compromised"], row["deactivations"])
+    experiment(table)
+
+    # The headline: unguarded fleets form Skynet; the full stack never does.
+    assert results["none"]["skynet_rate"] == 1.0
+    assert results["none"]["rogue_harm"] > 0
+    assert results["full"]["skynet_rate"] == 0.0
+    assert results["full"]["rogue_harm"] == 0
+
+    # Every single-mechanism ablation is no better than the full stack.
+    for label, _config in ARMS[2:]:
+        assert results[label]["rogue_harm"] >= results["full"]["rogue_harm"]
+        assert results[label]["skynet_rate"] >= results["full"]["skynet_rate"]
+
+    # The watchdog is the load-bearing mechanism against a worm: removing
+    # it lets infections persist (compromised devices are never culled).
+    assert (results["full - watchdog"]["compromised"]
+            > results["full"]["compromised"])
+    assert results["full - watchdog"]["deactivations"] == 0

@@ -1,0 +1,146 @@
+"""E12 (extension) — sec IV policy sharing as an infection vector.
+
+Devices "share the information and policies they generate with other
+devices" over gossip — which means a single compromised device can publish
+a malevolent policy and have the whole fleet adopt it ("a reprogrammed
+device may turn malevolent and convert other devices into following the
+same behaviors").
+
+Arms: shared policies installed blindly vs installed only after the sec
+VI-E governance review.
+
+Shape expectations: blind installation propagates the rogue policy to the
+entire reachable fleet within a few gossip rounds while benign shared
+policies also spread; governed installation admits every benign policy and
+zero rogue ones.
+"""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.generative.refinement import PolicyRefinement, serialize_policy
+from repro.core.generative.templates import PolicyTemplate, TemplateRegistry
+from repro.core.policy import Policy
+from repro.net.gossip import GossipNode
+from repro.net.network import Network
+from repro.safeguards.governance import Collective, GovernanceSystem, MetaPolicy
+from repro.scenarios.harness import ExperimentTable
+from repro.sim.simulator import Simulator
+from repro.types import Branch
+
+from tests.conftest import make_test_device
+
+N_DEVICES = 8
+HORIZON = 40.0
+
+
+def make_governance():
+    reviewer = GovernanceSystem.scope_reviewer([
+        MetaPolicy("no_harm", forbidden_tags={"harm_human"}),
+        MetaPolicy("priority_cap", max_priority=50),
+    ])
+    return GovernanceSystem(
+        Collective(Branch.EXECUTIVE, ["e0", "e1", "e2"], reviewer),
+        Collective(Branch.LEGISLATIVE, ["l0", "l1", "l2"], reviewer),
+        Collective(Branch.JUDICIARY, ["j0", "j1", "j2"], reviewer),
+    )
+
+
+def shareable_policy(policy_id: str, action: Action, priority: int) -> Policy:
+    """Build a template-style policy carrying condition_str metadata."""
+    registry = TemplateRegistry([PolicyTemplate.make(
+        f"t_{policy_id}", "timer", "fuel > 5", action.name, priority=priority,
+    )])
+    from repro.core.actions import ActionLibrary
+
+    return registry.get(f"t_{policy_id}").instantiate(
+        {}, ActionLibrary([action]), policy_id=policy_id,
+    )
+
+
+def run_arm(governed: bool, seed: int = 41) -> dict:
+    sim = Simulator(seed=seed)
+    network = Network(sim, base_latency=0.01, jitter=0.0)
+    governance = make_governance() if governed else None
+    refinement = PolicyRefinement(governance=governance)
+
+    devices, nodes = {}, {}
+    for index in range(N_DEVICES):
+        device = make_test_device(f"unit{index}")
+        device.engine.actions.add(Action("benign_sync", "motor"))
+        device.engine.actions.add(Action("rogue_strike", "motor",
+                                         tags={"harm_human"}))
+        devices[device.device_id] = device
+
+        def handler(message, device_id=device.device_id):
+            if GossipNode.is_exchange(message):
+                nodes[device_id].handle_exchange(message)
+
+        network.register(device.device_id, handler)
+        nodes[device.device_id] = GossipNode(
+            device.device_id, sim, network, interval=1.0, fanout=2,
+            on_update=refinement.installer(device, time_fn=lambda: sim.now),
+        )
+
+    benign = shareable_policy("benign", Action("benign_sync", "motor"),
+                              priority=3)
+    rogue = shareable_policy("rogue", Action("rogue_strike", "motor",
+                                             tags={"harm_human"}),
+                             priority=40)
+    nodes["unit0"].publish(f"policy:{benign.policy_id}",
+                           serialize_policy(benign))
+    nodes["unit1"].publish(f"policy:{rogue.policy_id}",
+                           serialize_policy(rogue), tainted=True)
+
+    sim.run(until=HORIZON)
+
+    def adopted(policy_id: str) -> int:
+        return sum(
+            1 for device in devices.values()
+            if any(pid.startswith(f"shared:{policy_id}:")
+                   for pid in device.engine.policies.snapshot())
+        )
+
+    return {
+        "benign_adopted": adopted("benign"),
+        "rogue_adopted": adopted("rogue"),
+        "installed": refinement.shared_installed,
+        "rejected": refinement.shared_rejected,
+    }
+
+
+@pytest.mark.parametrize("governed", [False, True], ids=["blind", "governed"])
+def test_e12_arm_benchmarks(benchmark, governed):
+    result = benchmark.pedantic(run_arm, args=(governed,), rounds=1,
+                                iterations=1)
+    assert result["installed"] + result["rejected"] > 0
+
+
+def test_e12_sharing_table(experiment, benchmark):
+    results = {"blind": run_arm(False), "governed": run_arm(True)}
+    benchmark.pedantic(run_arm, args=(True,), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E12 policy sharing over gossip ({N_DEVICES} devices, one rogue "
+        f"publisher, horizon {HORIZON:g})",
+        ["installation", "benign adopted", "rogue adopted",
+         "installs", "rejections"],
+    )
+    # A publisher keeps its original policy rather than re-installing its
+    # own share, so full adoption is fleet size minus the publisher.
+    full = N_DEVICES - 1
+    for label in ("blind", "governed"):
+        row = results[label]
+        table.add_row(label, f"{row['benign_adopted']}/{full}",
+                      f"{row['rogue_adopted']}/{full}",
+                      row["installed"], row["rejected"])
+    experiment(table)
+
+    blind, governed = results["blind"], results["governed"]
+    # Blind installation spreads both policies fleet-wide.
+    assert blind["benign_adopted"] == full
+    assert blind["rogue_adopted"] == full
+    # Governance admits every benign share and zero rogue shares.
+    assert governed["benign_adopted"] == full
+    assert governed["rogue_adopted"] == 0
+    assert governed["rejected"] >= full

@@ -1,0 +1,146 @@
+"""E13 (extension) — sec IV human error as a malevolence channel.
+
+"A wrong command by the human operator, a mistake in understanding the
+limitations of the system, or inappropriate use of a device can lead to
+malevolent conditions."
+
+Workload: an operator issues routine *move* orders to a drone fleet
+operating among civilians; with slip probability ``e`` a command comes out
+as a strike, targets the wrong device, or carries garbled coordinates
+(the three classic slips).  Arms: unguarded vs the sec VI-A pre-action
+check.  A second table shows the *misdeployment* mistake — a war-fighting
+policy set deployed into the peacekeeping environment.
+
+Shape expectations: unguarded harm grows with the slip rate; the
+pre-action check holds harm at ~0 at every rate, costing only vetoes of
+the erroneous commands; the misdeployed device harms civilians unguarded
+and is fully contained by the same check.
+"""
+
+import pytest
+
+from repro.attacks.human_error import ErrorProneOperator, misdeployed_policy_set
+from repro.core.actions import Action
+from repro.core.policy import Policy, PolicySet
+from repro.devices.drone import make_drone
+from repro.devices.world import World, WorldHarmModel
+from repro.safeguards.preaction import PreActionCheck
+from repro.scenarios.harness import ExperimentTable
+from repro.sim.simulator import Simulator
+
+SLIP_RATES = (0.0, 0.1, 0.2, 0.4)
+N_ORDERS = 60
+N_DRONES = 4
+
+
+def run_slips(slip_rate: float, guarded: bool, seed: int = 51) -> dict:
+    sim = Simulator(seed=seed)
+    world = World(sim)
+    devices = {}
+    harm_model = WorldHarmModel(world, sensor_range=15.0)
+    for index in range(N_DRONES):
+        drone = make_drone(f"uav{index}", world, x=20.0 * index + 10.0, y=50.0)
+        if guarded:
+            drone.engine.add_safeguard(PreActionCheck(harm_model))
+        # A civilian stands near each drone: a slipped strike is dangerous.
+        world.add_human(f"civ{index}", 20.0 * index + 12.0, 50.0, speed=0.0)
+        devices[drone.device_id] = drone
+
+    operator = ErrorProneOperator(
+        "op1", devices, sim.rng.stream("operator"),
+        wrong_verb_prob=slip_rate,
+        wrong_target_prob=slip_rate / 2,
+        wrong_params_prob=slip_rate / 2,
+        verb_pool=["move", "strike", "return"],
+    )
+    vetoes = 0
+    for order in range(N_ORDERS):
+        target = f"uav{order % N_DRONES}"
+        decision = operator.command(target, "move", {
+            "target_x": 50.0, "target_y": 10.0,
+        })
+        if decision is not None and decision.vetoes:
+            vetoes += 1
+    return {
+        "harm": world.harm_count(),
+        "slips": operator.slip_count,
+        "vetoes": vetoes,
+    }
+
+
+def run_misdeployment(guarded: bool, seed: int = 52) -> dict:
+    """The lab-system-deployed-without-validation mistake."""
+    sim = Simulator(seed=seed)
+    world = World(sim)
+    world.add_human("civ", 51.0, 50.0, speed=0.0)
+    drone = make_drone("uav1", world, x=50.0, y=50.0)
+    if guarded:
+        drone.engine.add_safeguard(PreActionCheck(
+            WorldHarmModel(world, sensor_range=15.0)))
+    # The war-fighting policy set: strike on every contact, no questions.
+    warfighting = PolicySet([Policy.make(
+        "sensor.contact", None,
+        Action("engage", "weapon", tags={"kinetic"}, reversible=False),
+        priority=30, policy_id="wf-engage",
+    )])
+    misdeployed_policy_set(drone, warfighting)
+    from repro.core.events import Event
+
+    for contact in range(10):
+        drone.deliver(Event(kind="sensor.contact", time=float(contact)))
+    return {"harm": world.harm_count()}
+
+
+@pytest.mark.parametrize("guarded", [False, True], ids=["raw", "guarded"])
+def test_e13_arm_benchmarks(benchmark, guarded):
+    result = benchmark.pedantic(run_slips, args=(0.4, guarded), rounds=1,
+                                iterations=1)
+    assert result["slips"] >= 0
+
+
+def test_e13_slip_table(experiment, benchmark):
+    results = {}
+    for rate in SLIP_RATES:
+        results[rate] = {"raw": run_slips(rate, False),
+                         "guarded": run_slips(rate, True)}
+    benchmark.pedantic(run_slips, args=(0.2, True), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E13a operator slips: {N_ORDERS} move orders to {N_DRONES} drones "
+        "with civilians alongside",
+        ["slip rate", "slips", "raw harm", "guarded harm", "guarded vetoes"],
+    )
+    for rate in SLIP_RATES:
+        row = results[rate]
+        table.add_row(f"{rate:.0%}", row["raw"]["slips"],
+                      row["raw"]["harm"], row["guarded"]["harm"],
+                      row["guarded"]["vetoes"])
+    experiment(table)
+
+    # No slips, no harm.
+    assert results[0.0]["raw"]["harm"] == 0
+    # Unguarded harm appears once slips do, and grows with the rate.
+    assert results[0.4]["raw"]["harm"] > 0
+    assert results[0.4]["raw"]["harm"] >= results[0.1]["raw"]["harm"]
+    # The pre-action check holds harm at zero at every slip rate.
+    for rate in SLIP_RATES:
+        assert results[rate]["guarded"]["harm"] == 0
+    assert results[0.4]["guarded"]["vetoes"] > 0
+
+
+def test_e13_misdeployment_table(experiment, benchmark):
+    results = {"raw": run_misdeployment(False),
+               "guarded": run_misdeployment(True)}
+    benchmark.pedantic(run_misdeployment, args=(True,), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "E13b misdeployment: war-fighting policies in a peacekeeping "
+        "environment (10 contacts beside a civilian)",
+        ["configuration", "harm"],
+    )
+    table.add_row("misdeployed, unguarded", results["raw"]["harm"])
+    table.add_row("misdeployed + preaction", results["guarded"]["harm"])
+    experiment(table)
+
+    assert results["raw"]["harm"] > 0
+    assert results["guarded"]["harm"] == 0

@@ -1,0 +1,168 @@
+"""E14 (extension) — emergent oscillation: the rolling-blackout analogue.
+
+Paper sec VI-D (ref [16]): emergent behaviours "may arise in ways counter
+to the intended functioning of the system components, e.g., rolling
+blackouts in a power grid."
+
+Workload: N devices run the same sensible thermal policy — work until hot,
+then cool.  Started in lockstep, the fleet synchronizes: everyone works,
+everyone overheats, everyone sheds load at once, and the *aggregate* heat
+output oscillates violently between N·high and N·low even though every
+device is individually healthy — the grid-style oscillation.  Arms:
+
+* **synchronized** — identical initial conditions;
+* **staggered** — initial temperatures spread across the duty cycle;
+* **assessed** — identical start, but each round passes through the sec
+  VI-D collaborative state assessment, which defers enough work requests
+  to keep the aggregate inside its limit (active desynchronization).
+
+Shape expectations: the synchronized fleet trips both the oscillation and
+the synchrony detectors and repeatedly violates the aggregate limit;
+staggering removes most of the violation time; collaborative assessment
+removes the violations entirely.
+"""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.devices.drone import make_drone
+from repro.devices.world import World
+from repro.emergent.aggregate import AggregateMonitor
+from repro.emergent.detector import EmergentBehaviorDetector
+from repro.safeguards.collection import (
+    AggregateConstraint,
+    CollectiveStateAssessment,
+)
+from repro.scenarios.harness import ExperimentTable
+from repro.sim.simulator import Simulator
+
+N_DEVICES = 20
+HORIZON = 80.0
+#: Above the desynchronized fleet's mean heat but below the synchronized
+#: peak (N*9 = 180): only lockstep phases violate it.
+HEAT_LIMIT = 170.0
+
+
+def work_action():
+    return Action("work", "cooler",
+                  effects=[Effect("temp", "add", 8.0),
+                           Effect("heat_output", "set", 9.0)])
+
+
+def cool_action():
+    return Action("cool", "cooler",
+                  effects=[Effect("temp", "scale", 0.4),
+                           Effect("heat_output", "set", 1.0)])
+
+
+def run_arm(arm: str, seed: int = 61) -> dict:
+    sim = Simulator(seed=seed)
+    world = World(sim)
+    constraint = AggregateConstraint("heat", "heat_output", "sum", HEAT_LIMIT)
+    assessment = CollectiveStateAssessment([constraint])
+    devices = {}
+    mode_changes: dict = {}
+    rng = sim.rng.stream("stagger")
+    for index in range(N_DEVICES):
+        device = make_drone(f"unit{index}", world, x=float(index), y=0.0,
+                            with_builtin_policies=False)
+        device.engine.actions.add(work_action())
+        device.engine.actions.add(cool_action())
+        if arm == "staggered":
+            device.state.set("temp", rng.uniform(20.0, 80.0))
+        devices[device.device_id] = device
+        mode_changes[device.device_id] = []
+
+    monitor = AggregateMonitor(sim, devices, [constraint], interval=1.0)
+    cooling = {device_id: False for device_id in devices}
+
+    def duty_cycle() -> None:
+        wants_work = {}
+        for device_id in sorted(devices):
+            device = devices[device_id]
+            hot = float(device.state.get("temp")) > 80.0
+            if hot != cooling[device_id]:
+                cooling[device_id] = hot
+                mode_changes[device_id].append(sim.now)
+            if hot:
+                device.state.apply(device.state.clamp_changes(
+                    cool_action().predicted_changes(device.state.snapshot())),
+                    time=sim.now, cause="cool")
+            else:
+                wants_work[device_id] = (device, work_action())
+        if not wants_work:
+            return
+        if arm == "assessed":
+            verdict = assessment.assess(wants_work)
+            approved = set(verdict["approved"])
+        else:
+            approved = set(wants_work)
+        for device_id, (device, action) in wants_work.items():
+            chosen = action if device_id in approved else cool_action()
+            device.state.apply(device.state.clamp_changes(
+                chosen.predicted_changes(device.state.snapshot())),
+                time=sim.now, cause="work")
+
+    sim.every(1.0, duty_cycle, start_after=0.5)
+    sim.run(until=HORIZON)
+
+    detector = EmergentBehaviorDetector(oscillation_min_crossings=8,
+                                        synchrony_window=1.5,
+                                        synchrony_min_fraction=0.7)
+    series = sim.metrics.get("aggregate.heat")
+    oscillation = detector.detect_oscillation(series.samples)
+    synchrony = detector.detect_synchrony(mode_changes)
+    values = series.values()
+    amplitude = (max(values) - min(values)) if values else 0.0
+    return {
+        "violations": len(monitor.violations),
+        "time_over_limit": round(
+            monitor.violation_time_fraction("heat", HORIZON), 3),
+        "oscillating": oscillation is not None,
+        "amplitude": round(amplitude, 1),
+        "synchrony_windows": len(synchrony),
+        "heat_peak": series.peak(),
+    }
+
+
+ARMS = ["synchronized", "staggered", "assessed"]
+
+
+@pytest.mark.parametrize("arm", ARMS)
+def test_e14_arm_benchmarks(benchmark, arm):
+    result = benchmark.pedantic(run_arm, args=(arm,), rounds=1, iterations=1)
+    assert result["heat_peak"] > 0
+
+
+def test_e14_oscillation_table(experiment, benchmark):
+    results = {arm: run_arm(arm) for arm in ARMS}
+    benchmark.pedantic(run_arm, args=("synchronized",), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E14 emergent oscillation ({N_DEVICES} devices, fleet heat limit "
+        f"{HEAT_LIMIT:g}, horizon {HORIZON:g})",
+        ["arm", "violations", "time over limit", "oscillating",
+         "amplitude", "synchrony windows", "heat peak"],
+    )
+    for arm in ARMS:
+        row = results[arm]
+        table.add_row(arm, row["violations"], row["time_over_limit"],
+                      "yes" if row["oscillating"] else "no",
+                      row["amplitude"], row["synchrony_windows"],
+                      row["heat_peak"])
+    experiment(table)
+
+    synchronized = results["synchronized"]
+    staggered = results["staggered"]
+    assessed = results["assessed"]
+    # The lockstep fleet oscillates, synchronizes, and violates.
+    assert synchronized["oscillating"]
+    assert synchronized["synchrony_windows"] > 0
+    assert synchronized["violations"] > 0
+    # Staggering damps the swing and the violation exposure (no lockstep
+    # phases, so the aggregate hovers near its mean).
+    assert staggered["amplitude"] < synchronized["amplitude"]
+    assert staggered["synchrony_windows"] == 0
+    assert staggered["time_over_limit"] < synchronized["time_over_limit"]
+    # Collaborative assessment eliminates aggregate violations outright.
+    assert assessed["violations"] == 0

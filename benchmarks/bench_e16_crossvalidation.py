@@ -1,0 +1,106 @@
+"""E16 (extension) — sec II human cross-validation at scale.
+
+"Since each human will oversee many different devices, ranging from tens
+to hundreds, the devices would need to be self-managing ... with only a
+few decisions being sent for human cross-validation."
+
+Workload: a fleet routes every kinetic request through its (rate-limited)
+human operator via the :class:`CrossValidationGuard`.  Sweeping fleet size
+at fixed human review capacity shows the scaling wall the paper's argument
+rests on: past the human's bandwidth, reviews defer and — because the
+guard fails closed — kinetic responsiveness collapses.  Self-management
+(routing only the *few* genuinely human-worthy decisions) is not a
+convenience but a structural necessity.
+
+Shape expectations: approval fraction ~1 while the request rate fits the
+human's capacity, then degrades as the fleet outgrows it; deferrals (not
+unreviewed executions) absorb the overflow — the fail-closed guarantee.
+"""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.devices.human import HumanOperator
+from repro.safeguards.crossvalidation import CrossValidationGuard
+from repro.scenarios.harness import ExperimentTable
+from repro.sim.simulator import Simulator
+
+from tests.conftest import make_test_device
+
+FLEET_SIZES = (2, 5, 10, 25)
+CAPACITY = 5.0        # reviews per time unit
+TICKS = 40
+
+
+def run_fleet(n_devices: int) -> dict:
+    sim = Simulator(seed=81)
+    operator = HumanOperator("op1", sim, review_capacity_per_unit=CAPACITY)
+    guard = CrossValidationGuard(operator)
+    devices = []
+    for index in range(n_devices):
+        device = make_test_device(f"d{index}", safeguards=[guard])
+        strike = Action("strike", "motor", tags={"kinetic"})
+        device.engine.actions.add(strike)
+        device.engine.policies.add(Policy.make(
+            "mgmt.strike", None, strike, priority=9,
+        ))
+        devices.append(device)
+        operator.assign(device)
+
+    executed = 0
+    requests = 0
+    for tick in range(TICKS):
+        sim.queue.push(float(tick), lambda: None)   # advance sim time
+        sim.run(until=float(tick))
+        for device in devices:
+            requests += 1
+            decision = device.deliver(Event(kind="mgmt.strike",
+                                            time=float(tick)))
+            if decision.executed == "strike":
+                executed += 1
+    return {
+        "requests": requests,
+        "executed": executed,
+        "approval_fraction": executed / requests,
+        "deferred": guard.deferred,
+        "reviews": operator.reviews_answered,
+        "unreviewed_executions": executed - guard.approved,
+    }
+
+
+@pytest.mark.parametrize("n_devices", [2, 25])
+def test_e16_arm_benchmarks(benchmark, n_devices):
+    result = benchmark.pedantic(run_fleet, args=(n_devices,), rounds=1,
+                                iterations=1)
+    assert result["requests"] == n_devices * TICKS
+
+
+def test_e16_scaling_table(experiment, benchmark):
+    results = {size: run_fleet(size) for size in FLEET_SIZES}
+    benchmark.pedantic(run_fleet, args=(5,), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E16 human cross-validation wall (capacity {CAPACITY:g} reviews/t, "
+        f"1 kinetic request/device/t)",
+        ["devices", "requests", "approved+executed", "approval fraction",
+         "deferred (fail closed)"],
+    )
+    for size in FLEET_SIZES:
+        row = results[size]
+        table.add_row(size, row["requests"], row["executed"],
+                      round(row["approval_fraction"], 3), row["deferred"])
+    experiment(table)
+
+    # Within capacity everything is reviewed and approved...
+    assert results[2]["approval_fraction"] > 0.95
+    # ... past it, approval collapses monotonically with fleet size...
+    assert (results[25]["approval_fraction"]
+            < results[10]["approval_fraction"]
+            < results[5]["approval_fraction"] + 1e-9)
+    # ... and overflow defers rather than executing unreviewed: fail closed.
+    for size in FLEET_SIZES:
+        assert results[size]["unreviewed_executions"] == 0
+        assert (results[size]["executed"] + results[size]["deferred"]
+                == results[size]["requests"])

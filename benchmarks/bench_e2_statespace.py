@@ -1,0 +1,72 @@
+"""E2 — sec VI-B state-space checks and the forced-choice dilemma.
+
+The paper's worked example: "electronic components having no alternative
+but to run at maximum capacity to prevent loss of life but risking a fire
+at the same time", resolved by break-glass rules + a state preference
+ontology + risk estimation.
+
+The workload lives in :class:`repro.scenarios.escort.EscortScenario`:
+every ``emergency_period`` ticks a life-threatening emergency requires an
+overdrive; failing to overdrive harms a human; full overdrive lands in the
+"fire" category and partial overdrive in the less-bad "property damage"
+category.
+
+Shape expectations: the unguarded baseline saves every human by repeatedly
+catching fire; the plain VI-B guard keeps the device pristine and loses
+every human; the paper's combined mechanism saves every human, never
+reaches "fire" (the ontology picks "property damage"), and every bypass is
+break-glass-granted and audits clean.
+"""
+
+import pytest
+
+from repro.scenarios.escort import ARMS, EscortScenario
+from repro.scenarios.harness import ExperimentTable
+
+TICKS = 240
+EMERGENCY_PERIOD = 12
+
+
+def run_arm(arm: str) -> dict:
+    return EscortScenario(arm, ticks=TICKS,
+                          emergency_period=EMERGENCY_PERIOD).run()
+
+
+@pytest.mark.parametrize("arm", list(ARMS))
+def test_e2_arm_benchmarks(benchmark, arm):
+    result = benchmark.pedantic(run_arm, args=(arm,), rounds=1, iterations=1)
+    assert result["humans_harmed"] >= 0
+
+
+def test_e2_dilemma_table(experiment, benchmark):
+    results = {arm: run_arm(arm) for arm in ARMS}
+    benchmark.pedantic(run_arm, args=("baseline",), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E2 state-space checks under forced dilemmas "
+        f"({TICKS // EMERGENCY_PERIOD} emergencies in {TICKS} ticks)",
+        ["configuration", "humans harmed", "bad entries", "fire",
+         "property dmg", "grants", "audit violations"],
+    )
+    for arm in ARMS:
+        row = results[arm]
+        table.add_row(arm, row["humans_harmed"], row["bad_entries"],
+                      row["fire_entries"], row["property_damage_entries"],
+                      row["grants"], row["audit_violations"])
+    experiment(table)
+
+    baseline, guard, combined = (results["baseline"], results["statespace"],
+                                 results["combined"])
+    # Baseline saves humans by burning itself (full overdrive -> fire).
+    assert baseline["humans_harmed"] == 0
+    assert baseline["fire_entries"] > 0
+    # Plain VI-B guard keeps the device pristine but loses the humans.
+    assert guard["bad_entries"] == 0
+    assert guard["humans_harmed"] > 0
+    # The combined mechanism saves every human, never reaches "fire"
+    # (least-bad = property damage), and audits clean.
+    assert combined["humans_harmed"] == 0
+    assert combined["fire_entries"] == 0
+    assert combined["property_damage_entries"] > 0
+    assert combined["grants"] > 0
+    assert combined["audit_violations"] == 0

@@ -1,0 +1,78 @@
+"""E3 — sec VI-C deactivation: containing a worm with the watchdog.
+
+A worm converts devices to a rogue strike policy and spreads over the
+coalition network.  Arms: no watchdog vs watchdog at several detection
+intervals (the tamper-proof kill's reaction time).
+
+Shape expectations: without the watchdog the worm saturates the fleet and
+rogue harm accumulates; with it, compromised devices are deactivated
+within ~one check interval, the infection never spans the fleet, and
+rogue harm collapses; slower checking monotonically weakens containment.
+"""
+
+import pytest
+
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import ExperimentTable, SafeguardConfig
+
+HORIZON = 120.0
+THREATS = ThreatConfig(worm=True, worm_time=15.0, worm_spread_prob=0.35,
+                       worm_spread_interval=1.0)
+
+
+def run_arm(check_interval, seed: int = 3) -> dict:
+    if check_interval is None:
+        config = SafeguardConfig.none()
+    else:
+        config = SafeguardConfig.only(watchdog=True, sealed=True)
+    scenario = ConfrontationScenario(
+        seed=seed, config=config, threats=THREATS,
+        tick_interval=check_interval if check_interval else 1.0,
+    )
+    if check_interval is not None and scenario.watchdog is not None:
+        scenario.watchdog.check_interval = check_interval
+    return scenario.run(until=HORIZON)
+
+
+@pytest.mark.parametrize("interval", [None, 1.0, 4.0],
+                         ids=["no-watchdog", "watchdog-1.0", "watchdog-4.0"])
+def test_e3_arm_benchmarks(benchmark, interval):
+    result = benchmark.pedantic(run_arm, args=(interval,), rounds=1,
+                                iterations=1)
+    assert result["horizon"] == HORIZON
+
+
+def test_e3_containment_table(experiment, benchmark):
+    arms = [("no watchdog", None), ("watchdog @0.5", 0.5),
+            ("watchdog @1.0", 1.0), ("watchdog @2.0", 2.0),
+            ("watchdog @4.0", 4.0)]
+    results = {label: run_arm(interval) for label, interval in arms}
+    benchmark.pedantic(run_arm, args=(1.0,), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E3 watchdog containment of a worm (spread p=0.35, horizon {HORIZON:g})",
+        ["configuration", "compromised ever", "peak concurrent",
+         "rogue harm", "deactivations", "containment latency"],
+    )
+    for label, _interval in arms:
+        row = results[label]
+        latency = row["mean_containment_latency"]
+        table.add_row(label, row["compromised_ever"],
+                      row["max_concurrent_compromised"], row["rogue_harm"],
+                      row["deactivations"],
+                      round(latency, 2) if latency >= 0 else "-")
+    experiment(table)
+
+    unguarded = results["no watchdog"]
+    fast = results["watchdog @0.5"]
+    slow = results["watchdog @4.0"]
+    # Unguarded: fleet-wide compromise and sustained harm.
+    assert unguarded["compromised_ever"] >= 10
+    assert unguarded["rogue_harm"] > 0
+    assert unguarded["deactivations"] == 0
+    # Watchdog contains: far fewer infections, far less harm.
+    assert fast["compromised_ever"] < unguarded["compromised_ever"]
+    assert fast["rogue_harm"] < unguarded["rogue_harm"]
+    assert fast["deactivations"] >= 1
+    # Faster checking contains at least as tightly as slow checking.
+    assert fast["max_concurrent_compromised"] <= slow["max_concurrent_compromised"] + 1

@@ -1,0 +1,160 @@
+"""E4 — sec VI-D checks on collection formation: the cumulative-heat case.
+
+Devices each emit heat well inside their individual limits, but the
+*collection's* total can exceed the fleet safety limit — the paper's
+canonical emergent violation.  Arms:
+
+* **unchecked** — devices join freely and act freely;
+* **join checks** — the offline analyzer + (simulated) human review gate
+  every join on worst-case aggregate heat;
+* **collaborative assessment** — admitted devices jointly pre-commit their
+  actions each round, deferring those that would breach the aggregate.
+
+Shape expectations: unchecked accumulates aggregate violations that are
+*emergent* (no individual is ever in a bad state); join checks cap the
+admitted population so worst-case heat fits; collaborative assessment
+admits everyone but defers actions, also eliminating violations.
+"""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.devices.drone import make_drone
+from repro.devices.world import World
+from repro.emergent.aggregate import AggregateMonitor
+from repro.safeguards.collection import (
+    AggregateConstraint,
+    CollectionGuard,
+    CollectiveStateAssessment,
+    HumanCheckModel,
+    OfflineAnalyzer,
+)
+from repro.scenarios.harness import ExperimentTable
+from repro.scenarios.peacekeeping import device_safety_classifier
+from repro.sim.simulator import Simulator
+
+N_DEVICES = 12
+HEAT_LIMIT = 60.0     # each device can emit up to 10 (heat_output_max)
+HORIZON = 60.0
+
+
+def heat_action():
+    return Action("run_hot", "cooler",
+                  effects=[Effect("heat_output", "set", 9.0),
+                           Effect("temp", "add", 1.0)])
+
+
+def idle_action():
+    return Action("run_idle", "cooler",
+                  effects=[Effect("heat_output", "set", 1.0)])
+
+
+def run_arm(arm: str, seed: int = 6) -> dict:
+    sim = Simulator(seed=seed)
+    world = World(sim)
+    constraint = AggregateConstraint("heat", "heat_output", "sum", HEAT_LIMIT)
+    guard = CollectionGuard(
+        OfflineAnalyzer([constraint]),
+        human=HumanCheckModel(sim.rng.stream("human-check")),
+        worst_case=True,
+    )
+    assessment = CollectiveStateAssessment([constraint])
+
+    candidates = []
+    for index in range(N_DEVICES):
+        device = make_drone(f"unit{index}", world, x=float(index), y=0.0,
+                            with_builtin_policies=False)
+        device.engine.actions.add(heat_action())
+        device.engine.actions.add(idle_action())
+        candidates.append(device)
+
+    admitted = {}
+    rejected = 0
+    for device in candidates:
+        if arm == "join_checks":
+            if guard.request_join(device, sim.now):
+                admitted[device.device_id] = device
+            else:
+                rejected += 1
+        else:
+            guard.force_join(device)
+            admitted[device.device_id] = device
+
+    monitor = AggregateMonitor(sim, admitted, [constraint], interval=1.0,
+                               individual_classifier=device_safety_classifier())
+    deferred_total = {"count": 0}
+
+    def work_round() -> None:
+        if arm == "collaborative":
+            proposals = {
+                device_id: (device, heat_action())
+                for device_id, device in admitted.items()
+            }
+            verdict = assessment.assess(proposals)
+            deferred_total["count"] += len(verdict["deferred"])
+            for device_id in verdict["approved"]:
+                device = admitted[device_id]
+                device.state.apply(device.state.clamp_changes(
+                    heat_action().predicted_changes(device.state.snapshot())),
+                    time=sim.now, cause="work")
+            for device_id in verdict["deferred"]:
+                device = admitted[device_id]
+                device.state.apply(device.state.clamp_changes(
+                    idle_action().predicted_changes(device.state.snapshot())),
+                    time=sim.now, cause="deferred")
+        else:
+            for device in admitted.values():
+                device.state.apply(device.state.clamp_changes(
+                    heat_action().predicted_changes(device.state.snapshot())),
+                    time=sim.now, cause="work")
+
+    sim.every(1.0, work_round, start_after=0.5)
+    sim.run(until=HORIZON)
+    return {
+        "admitted": len(admitted),
+        "rejected": rejected,
+        "violations": len(monitor.violations),
+        "emergent_violations": len(monitor.emergent_violations()),
+        "time_over_limit": round(
+            monitor.violation_time_fraction("heat", HORIZON), 3),
+        "deferred_actions": deferred_total["count"],
+    }
+
+
+@pytest.mark.parametrize("arm", ["unchecked", "join_checks", "collaborative"])
+def test_e4_arm_benchmarks(benchmark, arm):
+    result = benchmark.pedantic(run_arm, args=(arm,), rounds=1, iterations=1)
+    assert result["admitted"] >= 1
+
+
+def test_e4_collection_table(experiment, benchmark):
+    results = {arm: run_arm(arm) for arm in ("unchecked", "join_checks",
+                                             "collaborative")}
+    benchmark.pedantic(run_arm, args=("unchecked",), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E4 collection formation: {N_DEVICES} devices, fleet heat limit "
+        f"{HEAT_LIMIT:g} (each device individually fine)",
+        ["configuration", "admitted", "rejected joins", "violations",
+         "emergent", "time over limit", "deferred actions"],
+    )
+    for arm in ("unchecked", "join_checks", "collaborative"):
+        row = results[arm]
+        table.add_row(arm, row["admitted"], row["rejected"],
+                      row["violations"], row["emergent_violations"],
+                      row["time_over_limit"], row["deferred_actions"])
+    experiment(table)
+
+    unchecked = results["unchecked"]
+    join_checks = results["join_checks"]
+    collaborative = results["collaborative"]
+    # The paper's emergent case: violations with no individually-bad device.
+    assert unchecked["violations"] > 0
+    assert unchecked["emergent_violations"] == unchecked["violations"]
+    # Join checks cap the population so worst-case heat fits the limit.
+    assert join_checks["rejected"] > 0
+    assert join_checks["violations"] == 0
+    # Collaborative assessment admits everyone but defers excess actions.
+    assert collaborative["admitted"] == N_DEVICES
+    assert collaborative["violations"] == 0
+    assert collaborative["deferred_actions"] > 0

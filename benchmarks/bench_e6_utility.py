@@ -1,0 +1,169 @@
+"""E6 — sec VII: partial-derivative utility in ill-defined state spaces.
+
+Ground truth is a hidden safeness function f(x1..xN) nobody hands the
+device; the humans could only elicit *the signs of its partial
+derivatives* for (some of) the variables.  A mission proposes random
+actions; the arms differ in what guards the proposals:
+
+* **none** — every proposal executes;
+* **utility (half signs)** — sec VII utility built from signs for half
+  the variables;
+* **utility (all signs)** — signs for every variable;
+* **exact classifier** — a sec VI-B guard with the hidden f itself (the
+  unattainable upper bound).
+
+Shape expectations: time spent in hidden-bad states drops monotonically
+with information (none > half > all >= exact), and the all-signs utility
+recovers most of the exact classifier's protection — the paper's claim
+that the mechanism "can decrease such a probability in a significant
+manner" without being "absolutely fool-proof".
+"""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.core.device import Actuator, Device
+from repro.core.state import StateSpace, StateVariable
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.safeguards.utility import (
+    PartialDerivativeUtility,
+    UtilityGuard,
+    VariableSense,
+)
+from repro.scenarios.harness import ExperimentTable
+from repro.sim.rng import SeededRNG
+from repro.statespace.classifier import FunctionClassifier
+
+N_VARS = 6
+TICKS = 400
+#: Hidden ground truth: odd variables are hazards (more = less safe), even
+#: variables are margins (more = safer), with per-variable weights.  The
+#: later variables — the ones the "half signs" arm has no information
+#: about — carry more weight, so partial knowledge genuinely helps less.
+WEIGHTS = [0.4, 0.6, 0.3, 1.6, 1.4, 1.5]
+
+
+def hidden_safeness(vector: dict) -> float:
+    total = 0.0
+    for index in range(N_VARS):
+        value = float(vector.get(f"x{index}", 50.0))
+        sign = 1.0 if index % 2 == 0 else -1.0
+        total += sign * WEIGHTS[index] * (value - 50.0) / 100.0
+    return min(1.0, max(0.0, 0.55 + total / N_VARS * 4.0))
+
+
+def hidden_classifier() -> FunctionClassifier:
+    return FunctionClassifier(hidden_safeness, bad_below=0.25, good_above=0.75)
+
+
+def true_senses(upto: int):
+    """The elicited derivative signs for the first ``upto`` variables."""
+    senses = []
+    for index in range(upto):
+        senses.append(VariableSense(
+            f"x{index}", +1 if index % 2 == 0 else -1,
+            weight=1.0, scale=100.0,
+        ))
+    return senses
+
+
+def build_device(arm: str) -> Device:
+    space = StateSpace([
+        StateVariable(f"x{index}", "float", 50.0, 0.0, 100.0)
+        for index in range(N_VARS)
+    ])
+    device = Device("explorer", "probe", space)
+    device.add_actuator(Actuator("knob"))
+    for index in range(N_VARS):
+        for direction, delta in (("inc", 8.0), ("dec", -8.0)):
+            device.engine.actions.add(Action(
+                f"{direction}_x{index}", "knob",
+                effects=[Effect(f"x{index}", "add", delta)],
+            ))
+    if arm.startswith("signs"):
+        coverage = int(arm.split(":")[1])
+        device.engine.add_safeguard(UtilityGuard(
+            PartialDerivativeUtility(true_senses(coverage)), tolerance=0.0,
+        ))
+    elif arm == "exact":
+        device.engine.add_safeguard(StateSpaceGuard(hidden_classifier()))
+    return device
+
+
+def run_arm(arm: str, seed: int = 12) -> dict:
+    rng = SeededRNG(seed).stream("e6/proposals")   # identical across arms
+    device = build_device(arm)
+    classifier = hidden_classifier()
+    bad_ticks = 0
+    bad_entries = 0
+    was_bad = False
+    for tick in range(TICKS):
+        # Adversarial mission drift: hazards are pushed up and margins
+        # pulled down three times out of four (the environment the paper's
+        # "prefer to take actions that will not cause harm" must resist).
+        index = rng.randint(0, N_VARS - 1)
+        toward_danger = rng.chance(0.75)
+        is_hazard = index % 2 == 1
+        direction = ("inc" if toward_danger else "dec") if is_hazard else \
+                    ("dec" if toward_danger else "inc")
+        proposal = device.engine.actions.get(f"{direction}_x{index}")
+        device.engine.propose(proposal, float(tick))
+        safeness = classifier.safeness(device.state.snapshot())
+        is_bad = classifier.is_bad(device.state.snapshot())
+        if is_bad:
+            bad_ticks += 1
+            if not was_bad:
+                bad_entries += 1
+        was_bad = is_bad
+    return {
+        "bad_time": bad_ticks / TICKS,
+        "bad_entries": bad_entries,
+        "final_safeness": round(
+            classifier.safeness(device.state.snapshot()), 3),
+    }
+
+
+ARMS = ["none", "signs:2", "signs:4", "signs:6", "exact"]
+
+
+@pytest.mark.parametrize("arm", ARMS)
+def test_e6_arm_benchmarks(benchmark, arm):
+    result = benchmark.pedantic(run_arm, args=(arm,), rounds=1, iterations=1)
+    assert 0.0 <= result["bad_time"] <= 1.0
+
+
+def test_e6_utility_table(experiment, benchmark):
+    seeds = (12, 13, 14)
+    aggregated = {}
+    for arm in ARMS:
+        runs = [run_arm(arm, seed) for seed in seeds]
+        aggregated[arm] = {
+            "bad_time": sum(run["bad_time"] for run in runs) / len(runs),
+            "bad_entries": sum(run["bad_entries"] for run in runs),
+        }
+    benchmark.pedantic(run_arm, args=("signs:6",), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E6 ill-defined state space ({N_VARS} hidden variables, {TICKS} "
+        f"adversarial proposals, {len(seeds)} seeds)",
+        ["guard information", "time in hidden-bad", "bad entries"],
+    )
+    labels = {"none": "nothing", "signs:2": "d-signs for 2/6 vars",
+              "signs:4": "d-signs for 4/6 vars",
+              "signs:6": "d-signs for all 6 vars", "exact": "exact hidden f"}
+    for arm in ARMS:
+        table.add_row(labels[arm], round(aggregated[arm]["bad_time"], 3),
+                      aggregated[arm]["bad_entries"])
+    experiment(table)
+
+    # Monotone in elicited information; full signs recover (essentially all
+    # of) the exact classifier's protection under this workload.
+    assert aggregated["none"]["bad_time"] > 0.5
+    assert (aggregated["signs:2"]["bad_time"]
+            <= aggregated["none"]["bad_time"] + 1e-9)
+    assert (aggregated["signs:4"]["bad_time"]
+            <= aggregated["signs:2"]["bad_time"] + 1e-9)
+    assert (aggregated["signs:6"]["bad_time"]
+            <= aggregated["signs:4"]["bad_time"] + 1e-9)
+    assert aggregated["signs:6"]["bad_time"] <= 0.05
+    assert aggregated["exact"]["bad_time"] <= 0.05

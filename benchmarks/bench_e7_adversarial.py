@@ -1,0 +1,158 @@
+"""E7 — sec IV adversarial machine learning: poisoning and its defenses.
+
+Two sweeps:
+
+1. **Training-data poisoning** (label flips at rate p): accuracy of a
+   policy-relevant classifier trained raw vs trained through the
+   sanitization pipeline (MAD outlier filter + trusted-seed label
+   screening) — the counter-measures the paper says "enable machines to
+   exclude selected training data from consideration".
+2. **Sensor collusion** (deception, ref [13]): estimation error of the
+   plain mean vs trimmed mean vs iterative filtering as the colluding
+   fraction grows.
+
+Shape expectations: raw training accuracy degrades steeply with p while
+sanitized training stays flat; the mean's error grows linearly with the
+colluder fraction while iterative filtering stays near zero until the
+colluders approach half the sources.
+"""
+
+import pytest
+
+from repro.attacks.deception import SensorDeceptionAttack, make_reading_provider
+from repro.attacks.poisoning import PoisoningCampaign
+from repro.learning.adversarial import train_sanitized
+from repro.learning.online import OnlinePerceptron
+from repro.scenarios.harness import ExperimentTable
+from repro.sim.rng import SeededRNG
+from repro.trust.aggregation import (
+    IterativeFilteringAggregator,
+    mean_aggregate,
+    trimmed_mean_aggregate,
+)
+
+POISON_RATES = (0.0, 0.1, 0.2, 0.3, 0.4)
+COLLUDER_COUNTS = (0, 1, 2, 3, 4)
+N_SOURCES = 9
+TRUTH = 50.0
+FALSE_VALUE = 500.0
+
+
+def labelled_dataset(n: int = 120, seed: int = 5):
+    """Separable 2-feature data: label = sign of a noisy linear score."""
+    rng = SeededRNG(seed).stream("dataset")
+    samples = []
+    for _ in range(n):
+        x0 = rng.uniform(-5.0, 5.0)
+        x1 = rng.uniform(-5.0, 5.0)
+        label = 1 if (x0 + 0.5 * x1) > 0 else -1
+        # Small margin: poisoned labels genuinely hurt the learner.
+        samples.append(((x0 + label * 0.2, x1 + label * 0.1), label))
+    return samples
+
+
+def run_poisoning(rate: float, seed: int = 5) -> dict:
+    clean = labelled_dataset(seed=seed)
+    holdout = labelled_dataset(seed=seed + 100)
+    trusted = labelled_dataset(n=12, seed=seed + 200)
+    campaign = PoisoningCampaign(rate=rate, mode="label_flip", seed=seed)
+    poisoned = campaign.apply(clean)
+
+    raw_model = OnlinePerceptron(n_features=2, learning_rate=0.2)
+    raw_model.fit(poisoned, epochs=5)
+    sanitized_model, report = train_sanitized(
+        2, poisoned, trusted=trusted, epochs=5, learning_rate=0.2,
+    )
+    return {
+        "raw_accuracy": raw_model.accuracy(holdout),
+        "sanitized_accuracy": sanitized_model.accuracy(holdout),
+        "removed": report.removed,
+        "actually_poisoned": campaign.poisoned_count,
+    }
+
+
+def run_collusion(n_colluders: int, seed: int = 5) -> dict:
+    rng = SeededRNG(seed).stream("collusion")
+    sources = [f"s{i}" for i in range(N_SOURCES)]
+    attack = SensorDeceptionAttack(sources, sources[:n_colluders],
+                                   FALSE_VALUE) if n_colluders else None
+    provider = make_reading_provider(lambda: TRUTH, sources, rng,
+                                     honest_noise=0.5, attack=attack)
+    if attack is not None:
+        attack.active = True
+    errors = {"mean": [], "trimmed": [], "iterative": []}
+    aggregator = IterativeFilteringAggregator()
+    for round_index in range(20):
+        readings = provider(time=float(round_index))
+        errors["mean"].append(abs(mean_aggregate(readings) - TRUTH))
+        errors["trimmed"].append(
+            abs(trimmed_mean_aggregate(readings, 0.25) - TRUTH))
+        errors["iterative"].append(abs(aggregator.aggregate(readings) - TRUTH))
+    return {name: sum(values) / len(values) for name, values in errors.items()}
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.3])
+def test_e7_poisoning_benchmarks(benchmark, rate):
+    result = benchmark.pedantic(run_poisoning, args=(rate,), rounds=1,
+                                iterations=1)
+    assert 0.0 <= result["raw_accuracy"] <= 1.0
+
+
+def test_e7_poisoning_table(experiment, benchmark):
+    seeds = (5, 6, 7, 8, 9)
+    results = {}
+    for rate in POISON_RATES:
+        runs = [run_poisoning(rate, seed) for seed in seeds]
+        results[rate] = {
+            "raw_accuracy": sum(r["raw_accuracy"] for r in runs) / len(runs),
+            "sanitized_accuracy": sum(r["sanitized_accuracy"]
+                                      for r in runs) / len(runs),
+            "removed": sum(r["removed"] for r in runs),
+            "actually_poisoned": sum(r["actually_poisoned"] for r in runs),
+        }
+    benchmark.pedantic(run_poisoning, args=(0.2,), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E7a label-flip poisoning: holdout accuracy over {len(seeds)} seeds,"
+        " raw vs sanitized training",
+        ["poison rate", "raw accuracy", "sanitized accuracy",
+         "samples removed", "samples poisoned"],
+    )
+    for rate in POISON_RATES:
+        row = results[rate]
+        table.add_row(f"{rate:.0%}", round(row["raw_accuracy"], 3),
+                      round(row["sanitized_accuracy"], 3), row["removed"],
+                      row["actually_poisoned"])
+    experiment(table)
+
+    # Raw training degrades at heavy poisoning...
+    assert results[0.4]["raw_accuracy"] < results[0.0]["raw_accuracy"]
+    # ... and the sanitizer flattens the curve: strictly better than raw
+    # under heavy poisoning and strong in absolute terms throughout.
+    assert (results[0.4]["sanitized_accuracy"]
+            > results[0.4]["raw_accuracy"])
+    for rate in POISON_RATES:
+        assert results[rate]["sanitized_accuracy"] >= 0.85
+
+
+def test_e7_collusion_table(experiment, benchmark):
+    results = {count: run_collusion(count) for count in COLLUDER_COUNTS}
+    benchmark.pedantic(run_collusion, args=(3,), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        f"E7b sensor collusion ({N_SOURCES} sources, false value "
+        f"{FALSE_VALUE:g} vs truth {TRUTH:g}): mean abs error",
+        ["colluders", "plain mean", "trimmed mean", "iterative filtering"],
+    )
+    for count in COLLUDER_COUNTS:
+        row = results[count]
+        table.add_row(count, round(row["mean"], 2), round(row["trimmed"], 2),
+                      round(row["iterative"], 2))
+    experiment(table)
+
+    # The mean is dragged roughly linearly with the colluder count.
+    assert results[4]["mean"] > results[2]["mean"] > results[0]["mean"]
+    assert results[4]["mean"] > 100.0
+    # Iterative filtering holds the line while colluders are a minority.
+    for count in COLLUDER_COUNTS:
+        assert results[count]["iterative"] < 2.0

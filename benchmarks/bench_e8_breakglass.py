@@ -1,0 +1,147 @@
+"""E8 — sec VI-B break-glass with trustworthy context and abuse audits.
+
+The paper requires that a device "be able to obtain trustworthy
+information concerning its own status and the environment to allow the
+device to base its decision of breaking the glass on true information",
+protected from deception attacks via secure aggregation (ref [13]).
+
+Workload: a mix of *real* emergencies and *fake* emergency claims (a
+compromised device trying to bypass its guards).  During fake claims a
+colluding minority of the threat sensors reports a high threat level.
+Arms differ in what backs the break-glass context verifier:
+
+* **plain mean** over the threat sensors — deceivable;
+* **iterative filtering** — robust.
+
+Shape expectations: the mean-backed verifier grants the fake claims (the
+colluders drag the estimate over the threshold) and the post-hoc audit
+flags every resulting use as abuse; the robust verifier denies fakes while
+still granting every real emergency, and its audit comes back clean.
+"""
+
+import pytest
+
+from repro.audit.auditor import BreakGlassAuditor
+from repro.audit.log import AuditLog
+from repro.scenarios.harness import ExperimentTable
+from repro.sim.rng import SeededRNG
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+from repro.trust.aggregation import (
+    IterativeFilteringAggregator,
+    SensorReading,
+    mean_aggregate,
+)
+
+N_SENSORS = 9
+N_COLLUDERS = 3
+THREAT_THRESHOLD = 5.0
+REAL_THREAT = 9.0
+CALM = 1.0
+FAKE_CLAIM_VALUE = 50.0
+N_EVENTS = 30          # alternating real / fake
+
+
+def run_arm(verifier_kind: str, seed: int = 21) -> dict:
+    rng = SeededRNG(seed).stream("e8")
+    log = AuditLog()
+    world_state = {"real_threat": False, "fake_active": False}
+
+    def sensor_readings(time: float):
+        truth = REAL_THREAT if world_state["real_threat"] else CALM
+        readings = []
+        for index in range(N_SENSORS):
+            value = truth + rng.gauss(0.0, 0.3)
+            if world_state["fake_active"] and index < N_COLLUDERS:
+                value = FAKE_CLAIM_VALUE
+            readings.append(SensorReading(f"t{index}", value, time))
+        return readings
+
+    aggregator = IterativeFilteringAggregator()
+
+    def verify(device_id: str) -> dict:
+        readings = sensor_readings(0.0)
+        if verifier_kind == "mean":
+            estimate = mean_aggregate(readings)
+        else:
+            estimate = aggregator.aggregate(readings)
+        return {"threat_level": estimate}
+
+    controller = BreakGlassController(context_verifier=verify,
+                                      audit_sink=log.sink())
+    controller.register_rule(BreakGlassRule.make(
+        "override", f"threat_level > {THREAT_THRESHOLD}", {"statespace"},
+        max_duration=1.0, max_uses=1,
+    ))
+
+    real_granted = fake_granted = 0
+    emergency_windows = []
+    time = 0.0
+    for event_index in range(N_EVENTS):
+        time += 5.0
+        is_real = event_index % 2 == 0
+        world_state["real_threat"] = is_real
+        world_state["fake_active"] = not is_real
+        if is_real:
+            emergency_windows.append((time - 0.5, time + 1.5))
+        grant = controller.request("unit1", "override",
+                                   "threat response" if is_real
+                                   else "claimed threat", time)
+        if grant is not None:
+            controller.is_bypassed("unit1", "statespace", time + 0.5)
+            if is_real:
+                real_granted += 1
+            else:
+                fake_granted += 1
+        world_state["real_threat"] = False
+        world_state["fake_active"] = False
+
+    findings = BreakGlassAuditor(denial_storm_threshold=1000,
+                                 max_same_justification=1000).audit(
+        log, emergency_truth={"unit1": emergency_windows},
+    )
+    abuses = sum(1 for finding in findings
+                 if finding.kind == "use_outside_emergency")
+    return {
+        "real_granted": real_granted,
+        "fake_granted": fake_granted,
+        "abuses_caught": abuses,
+        "audit_verified": log.verify(),
+    }
+
+
+@pytest.mark.parametrize("verifier", ["mean", "robust"])
+def test_e8_arm_benchmarks(benchmark, verifier):
+    result = benchmark.pedantic(run_arm, args=(verifier,), rounds=1,
+                                iterations=1)
+    assert result["audit_verified"]
+
+
+def test_e8_breakglass_table(experiment, benchmark):
+    results = {kind: run_arm(kind) for kind in ("mean", "robust")}
+    benchmark.pedantic(run_arm, args=("robust",), rounds=1, iterations=1)
+
+    n_real = N_EVENTS // 2
+    n_fake = N_EVENTS - n_real
+    table = ExperimentTable(
+        f"E8 break-glass trustworthiness ({n_real} real emergencies, "
+        f"{n_fake} fake claims, {N_COLLUDERS}/{N_SENSORS} sensors colluding)",
+        ["context verifier", "real granted", "fake granted", "abuses caught"],
+    )
+    for kind, label in (("mean", "plain mean (deceivable)"),
+                        ("robust", "iterative filtering")):
+        row = results[kind]
+        table.add_row(label, f"{row['real_granted']}/{n_real}",
+                      f"{row['fake_granted']}/{n_fake}", row["abuses_caught"])
+    experiment(table)
+
+    mean_arm, robust_arm = results["mean"], results["robust"]
+    # Both verifiers grant every genuine emergency.
+    assert mean_arm["real_granted"] == n_real
+    assert robust_arm["real_granted"] == n_real
+    # The deceivable verifier grants fakes; every fake use is caught by the
+    # audit afterwards (detection, but after the fact).
+    assert mean_arm["fake_granted"] == n_fake
+    assert mean_arm["abuses_caught"] == n_fake
+    # The robust verifier denies every fake up front: prevention, clean audit.
+    assert robust_arm["fake_granted"] == 0
+    assert robust_arm["abuses_caught"] == 0

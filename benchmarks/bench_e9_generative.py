@@ -1,0 +1,157 @@
+"""E9 — sec IV generative policies at scale.
+
+The motivation for generative policies is that "humans would not be able
+to manage a large number of devices".  This bench measures the generation
+machinery directly: fleet size sweep (discoveries -> policies installed,
+wall time, coverage) and the grammar's policy-space growth, against the
+manual baseline (a human writing every peer-specific rule by hand, modelled
+as one authored policy per device pair).
+
+Shape expectations: generated policy count grows with fleet size at
+near-linear per-discovery cost; coverage of discovered peers is total; the
+human baseline's authoring burden grows with the same O(n^2) pair count
+but has no automation behind it — the point of sec IV.
+"""
+
+import time as wallclock
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.device import Actuator, Device
+from repro.core.generative.generator import GenerativePolicyEngine
+from repro.core.generative.grammar import default_dispatch_grammar
+from repro.core.generative.interaction_graph import (
+    DeviceTypeNode,
+    InteractionEdge,
+    InteractionGraph,
+)
+from repro.core.generative.templates import PolicyTemplate, TemplateRegistry
+from repro.core.state import StateSpace, StateVariable
+from repro.scenarios.harness import ExperimentTable
+
+FLEET_SIZES = (10, 50, 100, 200)
+
+
+def build_graph():
+    graph = InteractionGraph()
+    graph.add_type(DeviceTypeNode.make("drone", speed="float"))
+    graph.add_type(DeviceTypeNode.make("mule", speed="float"))
+    graph.add_interaction(InteractionEdge("drone", "mule", "dispatches",
+                                          template_ids=("t_dispatch",)))
+    graph.add_interaction(InteractionEdge("drone", "drone", "relays",
+                                          template_ids=("t_relay",)))
+    return graph
+
+
+def build_templates():
+    return TemplateRegistry([
+        PolicyTemplate.make("t_dispatch", "sensor.convoy", "fuel > 10",
+                            "call_peer", priority=5, to="$peer_id"),
+        PolicyTemplate.make("t_relay", "sensor.smoke", "fuel > 30",
+                            "call_peer", priority=4, to="$peer_id"),
+    ])
+
+
+def make_device(device_id: str, device_type: str) -> Device:
+    space = StateSpace([StateVariable("fuel", "float", 100.0, 0.0, 100.0)])
+    device = Device(device_id, device_type, space,
+                    attributes={"speed": 5.0})
+    device.add_actuator(Actuator("radio"))
+    device.engine.actions.add(Action("call_peer", "radio"))
+    return device
+
+
+def run_generation(n_devices: int) -> dict:
+    engine = GenerativePolicyEngine(build_graph(), build_templates())
+    devices = []
+    for index in range(n_devices):
+        device_type = "drone" if index % 2 == 0 else "mule"
+        device = make_device(f"unit{index}", device_type)
+        engine.manage(device)
+        devices.append(device)
+
+    start = wallclock.perf_counter()
+    discoveries = 0
+    for observer in devices:
+        for peer in devices:
+            if peer.device_id == observer.device_id:
+                continue
+            engine.handle_discovery(observer.device_id, peer.describe())
+            discoveries += 1
+    elapsed = wallclock.perf_counter() - start
+
+    coverage = engine.coverage()
+    drones = [device for device in devices if device.device_type == "drone"]
+    # Every drone interacts with every peer (mule or drone edge).
+    full_coverage = all(
+        coverage.get(drone.device_id, 0) == n_devices - 1 for drone in drones
+    )
+    return {
+        "devices": n_devices,
+        "discoveries": discoveries,
+        "generated": engine.policies_generated,
+        "elapsed": elapsed,
+        "per_discovery_us": elapsed / discoveries * 1e6,
+        "full_drone_coverage": full_coverage,
+        # The manual baseline: one human-authored rule per interacting pair.
+        "manual_rules_needed": engine.policies_generated,
+    }
+
+
+@pytest.mark.parametrize("n_devices", [10, 100])
+def test_e9_generation_benchmarks(benchmark, n_devices):
+    result = benchmark.pedantic(run_generation, args=(n_devices,), rounds=1,
+                                iterations=1)
+    assert result["generated"] > 0
+
+
+def test_e9_scalability_table(experiment, benchmark):
+    results = {size: run_generation(size) for size in FLEET_SIZES}
+    benchmark.pedantic(run_generation, args=(10,), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "E9 generative policy scalability (all-pairs discovery)",
+        ["devices", "discoveries", "policies generated",
+         "us/discovery", "total seconds", "human rules displaced"],
+    )
+    for size in FLEET_SIZES:
+        row = results[size]
+        table.add_row(size, row["discoveries"], row["generated"],
+                      round(row["per_discovery_us"], 1),
+                      round(row["elapsed"], 3), row["manual_rules_needed"])
+    experiment(table)
+
+    # Coverage is total for every fleet size.
+    assert all(results[size]["full_drone_coverage"] for size in FLEET_SIZES)
+    # Policy count grows superlinearly in devices (pairwise interactions)...
+    assert results[200]["generated"] > 10 * results[10]["generated"]
+    # ... while per-discovery cost stays roughly flat (within 20x across a
+    # 20x fleet growth — i.e. no quadratic blowup per discovery).
+    assert (results[200]["per_discovery_us"]
+            < 20 * max(1.0, results[10]["per_discovery_us"]))
+
+
+def test_e9_grammar_growth_table(experiment, benchmark):
+    table = ExperimentTable(
+        "E9b grammar-bounded policy spaces",
+        ["events", "thresholds", "actions", "language size"],
+    )
+    sizes = []
+    for n_events, n_thresholds, n_actions in ((1, 2, 2), (2, 3, 2),
+                                              (4, 3, 4), (8, 5, 4)):
+        grammar = default_dispatch_grammar(
+            event_kinds=[f"sensor.e{i}" for i in range(n_events)],
+            action_names=[f"act{i}" for i in range(n_actions)],
+            thresholds=tuple(range(10, 10 + 10 * n_thresholds, 10)),
+        )
+        size = grammar.language_size()
+        sizes.append(size)
+        table.add_row(n_events, n_thresholds, n_actions, size)
+        assert size == n_events * n_thresholds * n_actions
+    experiment(table)
+    benchmark.pedantic(
+        lambda: default_dispatch_grammar(["a"], ["x"], (1,)).language_size(),
+        rounds=1, iterations=1,
+    )
+    assert sizes == sorted(sizes)

@@ -1,0 +1,80 @@
+"""F1 — Figure 1 operationalized: devices per human vs mission throughput.
+
+The paper's Figure 1 shows many devices under one human's command
+collaboratively executing tasks, with the human only issuing high-level
+commands.  This bench sweeps the fleet size per operator and reports
+mission throughput (dispatch completions) and how many interventions the
+human made — with and without generative policy management (without it,
+drones lack the peer-bound dispatch policies, so cross-device collaboration
+collapses).
+
+Shape expectation: tasks completed grows with fleet size; generative
+management completes dispatches where static builtin policies do not
+(their generic call_support has no addressee); human interventions per
+device stay flat (the self-management claim).
+"""
+
+import pytest
+
+from repro.scenarios.harness import ExperimentTable, SafeguardConfig
+from repro.scenarios.peacekeeping import PeacekeepingScenario
+
+HORIZON = 150.0
+
+
+def run_fleet(n_per_org: int, generative: bool, seed: int = 1) -> dict:
+    scenario = PeacekeepingScenario(
+        seed=seed,
+        config=SafeguardConfig.full(),
+        n_drones_per_org=n_per_org,
+        n_mules_per_org=max(1, n_per_org // 2),
+        n_civilians=20,
+        convoy_interval=8.0,
+        generative=generative,
+    )
+    return scenario.run(until=HORIZON)
+
+
+@pytest.mark.parametrize("n_per_org", [2, 4, 8])
+def test_f1_fleet_scaling(benchmark, experiment, n_per_org):
+    result = benchmark.pedantic(
+        run_fleet, args=(n_per_org, True), rounds=1, iterations=1,
+    )
+    table = ExperimentTable(
+        f"F1 fleet scaling (drones/org={n_per_org}, horizon={HORIZON:g})",
+        ["management", "devices", "convoys intercepted", "convoys escaped",
+         "human interventions", "interventions/device"],
+    )
+    for label, generative in (("generative", True), ("static builtin", False)):
+        row = result if generative else run_fleet(n_per_org, False)
+        n_devices = 2 * (n_per_org + max(1, n_per_org // 2))
+        table.add_row(
+            label, n_devices, row["convoys_intercepted"],
+            row["convoys_escaped"], row["human_interventions"],
+            round(row["human_interventions"] / n_devices, 2),
+        )
+    experiment(table)
+
+    generative_row = table.rows[0]
+    static_row = table.rows[1]
+    # Generative management physically intercepts convoys; static builtin
+    # policies (no peer-bound dispatch) let them escape.
+    assert generative_row[2] > 0
+    assert generative_row[2] >= static_row[2]
+
+
+def test_f1_dispatches_grow_with_fleet(experiment, benchmark):
+    sizes = [2, 4, 8]
+    results = {size: run_fleet(size, True) for size in sizes}
+    benchmark.pedantic(run_fleet, args=(2, True), rounds=1, iterations=1)
+    table = ExperimentTable(
+        "F1 mission throughput vs fleet size (generative, full safeguards)",
+        ["drones/org", "devices", "convoys intercepted", "actions executed"],
+    )
+    for size in sizes:
+        n_devices = 2 * (size + max(1, size // 2))
+        table.add_row(size, n_devices, results[size]["convoys_intercepted"],
+                      results[size]["actions_executed"])
+    experiment(table)
+    # More devices, more total activity.
+    assert (results[8]["actions_executed"] > results[2]["actions_executed"])

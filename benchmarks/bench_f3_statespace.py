@@ -1,0 +1,113 @@
+"""F3 — Figure 3 operationalized: time spent in good/neutral/bad regions.
+
+Figure 3 draws a two-variable state space with a good region surrounded by
+bad ones.  This bench subjects a device (temp, fuel) to a disturbance
+workload (external heating, fuel drain) under the paper's three management
+regimes:
+
+* **manual** (sec V "typical manual management"): a human inspects every
+  ``manual_period`` ticks and resets out-of-range variables;
+* **policy-based**: human-written ECA rules react every tick;
+* **policy + state-space guard** (sec VI-B): rules plus the guard that
+  refuses bad transitions.
+
+Shape expectation: time-in-bad shrinks monotonically across the three
+regimes; the guarded regime never *enters* bad through its own actions.
+"""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.scenarios.harness import ExperimentTable
+from repro.scenarios.peacekeeping import device_safety_classifier
+from repro.sim.rng import SeededRNG
+from repro.types import Safeness
+
+from tests.conftest import make_test_device
+
+TICKS = 600
+
+
+def build_device(regime: str):
+    device = make_test_device("f3")
+    library = device.engine.actions
+    library.add(Action("refuel", "motor", effects=[Effect("fuel", "set", 100.0)]))
+    library.add(Action("work", "motor", effects=[Effect("temp", "add", 1.0)]))
+    if regime in ("policy", "guarded"):
+        device.engine.policies.add(Policy.make(
+            "timer", "temp > 80", library.get("cool_down"), priority=10,
+        ))
+        device.engine.policies.add(Policy.make(
+            "timer", "fuel < 20", library.get("refuel"), priority=9,
+        ))
+        device.engine.policies.add(Policy.make(
+            "timer", None, library.get("work"), priority=1,
+        ))
+    if regime == "guarded":
+        device.engine.add_safeguard(StateSpaceGuard(device_safety_classifier()))
+    return device
+
+
+def run_regime(regime: str, seed: int = 4, manual_period: int = 10) -> dict:
+    rng = SeededRNG(seed).stream(f"f3/{regime}")
+    device = build_device(regime)
+    classifier = device_safety_classifier()
+    counts = {Safeness.GOOD: 0, Safeness.NEUTRAL: 0, Safeness.BAD: 0}
+    bad_entries = 0
+    was_bad = False
+    for tick in range(TICKS):
+        # Disturbance: ambient heating + fuel drain.
+        state = device.state
+        state.apply(state.clamp_changes({
+            "temp": float(state.get("temp")) + rng.uniform(0.0, 6.0),
+            "fuel": max(0.0, float(state.get("fuel")) - 1.0),
+        }), time=float(tick), cause="environment")
+        if regime == "manual":
+            if tick % manual_period == 0:
+                if float(state.get("temp")) > 80.0:
+                    state.set("temp", 20.0, cause="manual-repair")
+                if float(state.get("fuel")) < 20.0:
+                    state.set("fuel", 100.0, cause="manual-repair")
+        else:
+            device.deliver(Event(kind="timer.tick", time=float(tick)))
+        classification = classifier.classify(state.snapshot())
+        counts[classification] += 1
+        if classification == Safeness.BAD and not was_bad:
+            bad_entries += 1
+        was_bad = classification == Safeness.BAD
+    return {
+        "good": counts[Safeness.GOOD] / TICKS,
+        "neutral": counts[Safeness.NEUTRAL] / TICKS,
+        "bad": counts[Safeness.BAD] / TICKS,
+        "bad_entries": bad_entries,
+    }
+
+
+@pytest.mark.parametrize("regime", ["manual", "policy", "guarded"])
+def test_f3_regime_benchmarks(benchmark, regime):
+    result = benchmark.pedantic(run_regime, args=(regime,), rounds=1,
+                                iterations=1)
+    assert 0.99 < result["good"] + result["neutral"] + result["bad"] <= 1.01
+
+
+def test_f3_summary_shape(experiment, benchmark):
+    results = {regime: run_regime(regime) for regime in
+               ("manual", "policy", "guarded")}
+    benchmark.pedantic(run_regime, args=("policy",), rounds=1, iterations=1)
+    table = ExperimentTable(
+        f"F3 state-space occupancy over {TICKS} ticks (2-variable walk)",
+        ["management", "good", "neutral", "bad", "bad entries"],
+    )
+    for regime in ("manual", "policy", "guarded"):
+        row = results[regime]
+        table.add_row(regime, round(row["good"], 3), round(row["neutral"], 3),
+                      round(row["bad"], 3), row["bad_entries"])
+    experiment(table)
+
+    # Shape: each regime strictly improves time-in-bad over the previous.
+    assert results["policy"]["bad"] < results["manual"]["bad"]
+    assert results["guarded"]["bad"] <= results["policy"]["bad"]
+    assert results["guarded"]["good"] >= results["manual"]["good"]

@@ -1,0 +1,47 @@
+"""Shared benchmark plumbing.
+
+Benchmarks both *time* a representative unit of work (pytest-benchmark)
+and *reproduce an experiment table* (the rows DESIGN.md's experiment index
+promises).  Tables are registered through the ``experiment`` fixture and
+printed in the terminal summary (which pytest does not capture), and also
+written to ``benchmarks/results/<name>.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_TABLES: list = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def experiment():
+    """Returns a callable that registers an ExperimentTable for reporting."""
+
+    def register(table) -> None:
+        _TABLES.append(table)
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        safe_name = "".join(
+            ch if ch.isalnum() or ch in "-_" else "_" for ch in table.title
+        )[:80]
+        path = os.path.join(_RESULTS_DIR, f"{safe_name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(table.render() + "\n")
+
+    return register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 74)
+    terminalreporter.write_line("EXPERIMENT TABLES (paper reproduction output)")
+    terminalreporter.write_line("=" * 74)
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,44 @@
+"""After-action reporting: the audit trail a run leaves behind.
+
+Runs the confrontation scenario through a worm outbreak under the full
+safeguard stack, then renders the incident report — harm accounting,
+safeguard interventions, the attack/containment timeline, and emergent
+behaviour analysis — from the simulation's own trace.  The paper's
+"comprehensive context information" requirement, made tangible.
+
+Run:  python examples/after_action_report.py
+"""
+
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import SafeguardConfig
+from repro.scenarios.report import AfterActionReport
+
+
+def main() -> None:
+    scenario = ConfrontationScenario(
+        seed=9,
+        config=SafeguardConfig.full(),
+        threats=ThreatConfig(worm=True, worm_time=15.0, worm_spread_prob=0.3,
+                             backdoor=True, backdoor_success_prob=0.03),
+    )
+    result = scenario.run(until=100.0)
+
+    report = (
+        AfterActionReport(scenario.sim,
+                          title="Coalition exercise: worm + backdoor incident")
+        .add_harm_section(scenario.world)
+        .add_safeguard_section(scenario.devices)
+        .add_attack_section(scenario.injector)
+        .add_emergent_section(horizon=100.0)
+        .add_custom_section("Outcome", [
+            f"skynet formed: {result['skynet_formed']}",
+            f"organizations spanned at peak: {result['orgs_spanned_peak']}",
+            f"peak concurrent compromised: "
+            f"{result['max_concurrent_compromised']}",
+        ])
+    )
+    report.print()
+
+
+if __name__ == "__main__":
+    main()

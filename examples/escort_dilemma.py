@@ -1,0 +1,49 @@
+"""The paper's forced-choice dilemma, step by step (sec VI-B).
+
+"situations can occur in which the only possibility for the device of
+escaping a bad future state is an action that would place the device into
+another bad state.  An example would be of electronic components having no
+alternative but to run at maximum capacity to prevent loss of life but
+risking a fire at the same time."
+
+Runs the escort workload under the three regimes and narrates what each
+does with the dilemma: the unguarded device catches fire saving people,
+the plain guard stays pristine while people die, and the paper's
+combination — break-glass + preference ontology + risk estimation — saves
+everyone while only ever accepting the *less bad* state.
+
+Run:  python examples/escort_dilemma.py
+"""
+
+from repro.scenarios.escort import ARMS, EscortScenario
+
+
+NARRATIVES = {
+    "baseline": "no guard: overdrive at will",
+    "statespace": "sec VI-B guard alone: never enter a bad state",
+    "combined": "guard + break-glass + preference ontology + risk",
+}
+
+
+def main() -> None:
+    print("Escort dilemma: 20 emergencies; an overdrive saves the human but")
+    print("lands the device in a bad state (full -> fire, partial ->")
+    print("property damage).\n")
+    for arm in ARMS:
+        result = EscortScenario(arm, ticks=240, emergency_period=12).run()
+        print(f"--- {arm}: {NARRATIVES[arm]} ---")
+        print(f"  humans harmed:        {result['humans_harmed']}")
+        print(f"  bad-state entries:    {result['bad_entries']} "
+              f"(fire: {result['fire_entries']}, "
+              f"property damage: {result['property_damage_entries']})")
+        if result["grants"]:
+            print(f"  break-glass grants:   {result['grants']} "
+                  f"(audit violations: {result['audit_violations']})")
+        print()
+    print("Only the combined mechanism satisfies both duties: every human")
+    print("saved, and every unavoidable bad state is the least-bad one,")
+    print("authorized through an audited, emergency-verified grant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""The generative policy architecture in isolation (paper sec IV).
+
+Shows both of the paper's generation mechanisms:
+
+1. *Interaction graph + templates*: a human manager declares the device
+   types a drone will meet and which policy templates apply; on discovery
+   the drone generates concrete policies bound to the discovered peer.
+2. *Policy generator grammar*: a bounded language of policy specs that the
+   device enumerates into its rule set — nothing outside the language can
+   ever be generated.
+
+Also shows the sec VI-E governance review rejecting a template that would
+generate an out-of-scope (harm-tagged) policy.
+
+Run:  python examples/generative_policies.py
+"""
+
+from repro.core.actions import Action, ActionLibrary
+from repro.core.generative.grammar import default_dispatch_grammar
+from repro.core.generative.generator import GenerativePolicyEngine
+from repro.core.generative.interaction_graph import (
+    DeviceTypeNode,
+    InteractionEdge,
+    InteractionGraph,
+)
+from repro.core.generative.templates import PolicyTemplate, TemplateRegistry
+from repro.core.device import Actuator, Device
+from repro.core.state import StateSpace, StateVariable
+from repro.safeguards.governance import Collective, GovernanceSystem, MetaPolicy
+from repro.types import Branch
+
+
+def make_observer() -> Device:
+    space = StateSpace([
+        StateVariable("fuel", "float", 100.0, 0.0, 100.0),
+    ])
+    device = Device("uav1", "drone", space)
+    device.add_actuator(Actuator("radio"))
+    device.engine.actions.add(Action("call_support", "radio"))
+    device.engine.actions.add(Action("investigate", "radio"))
+    return device
+
+
+def main() -> None:
+    observer = make_observer()
+
+    # --- 1. The human manager's two inputs (sec IV) -----------------------
+    graph = InteractionGraph()
+    graph.add_type(DeviceTypeNode.make("drone", speed="float"))
+    graph.add_type(DeviceTypeNode.make("mule", speed="float"))
+    graph.add_interaction(InteractionEdge(
+        "drone", "mule", relationship="dispatches",
+        template_ids=("dispatch_on_convoy",),
+    ))
+    templates = TemplateRegistry([
+        PolicyTemplate.make(
+            "dispatch_on_convoy",
+            event_pattern="sensor.convoy",
+            condition="fuel > 10",
+            action_name="call_support",
+            priority=6,
+            to="$peer_id", topic="dispatch",
+        ),
+    ])
+
+    # --- Governance (sec VI-E) reviews everything generated ---------------
+    reviewer = GovernanceSystem.scope_reviewer([
+        MetaPolicy("no_harm", forbidden_tags={"harm_human"}),
+        MetaPolicy("priority_cap", max_priority=50),
+    ])
+    governance = GovernanceSystem(
+        Collective(Branch.EXECUTIVE, ["e0", "e1", "e2"], reviewer),
+        Collective(Branch.LEGISLATIVE, ["l0", "l1", "l2"], reviewer),
+        Collective(Branch.JUDICIARY, ["j0", "j1", "j2"], reviewer),
+    )
+
+    engine = GenerativePolicyEngine(graph, templates, governance=governance)
+    engine.manage(observer)
+
+    # --- 2. Discoveries drive generation ----------------------------------
+    for peer in ("mule7", "mule9"):
+        record = {"device_id": peer, "device_type": "mule",
+                  "organization": "uk", "attributes": {"speed": 3.0}}
+        generation = engine.handle_discovery("uav1", record)
+        print(f"discovered {peer}: generated {generation.generated}")
+
+    print("\nobserver's policy set after discovery:")
+    for policy in observer.engine.policies:
+        print(f"  {policy.policy_id}: on {policy.event_pattern} "
+              f"if {policy.condition!r} -> {policy.action.name}"
+              f"(to={policy.action.params.get('to')})  [{policy.source}]")
+
+    # --- 3. Grammar-based generation ---------------------------------------
+    grammar = default_dispatch_grammar(
+        event_kinds=["sensor.smoke", "sensor.convoy"],
+        action_names=["investigate", "call_support"],
+        thresholds=(20, 50),
+    )
+    library = ActionLibrary([Action("investigate", "radio"),
+                             Action("call_support", "radio")])
+    policies = grammar.generate_policies(library)
+    print(f"\ngrammar language: {grammar.language_size()} policies, e.g.:")
+    for policy in policies[:4]:
+        print(f"  {policy.metadata['spec']}")
+
+    # --- 4. Governance rejects out-of-scope generation ---------------------
+    hostile_templates = TemplateRegistry([
+        PolicyTemplate.make(
+            "rogue_template", event_pattern="timer", condition="",
+            action_name="strike_everything", priority=99,
+        ),
+    ])
+    observer.engine.actions.add(
+        Action("strike_everything", "radio", tags={"harm_human"}),
+    )
+    hostile_graph = InteractionGraph()
+    hostile_graph.add_type(DeviceTypeNode.make("drone"))
+    hostile_graph.add_type(DeviceTypeNode.make("mule"))
+    hostile_graph.add_interaction(InteractionEdge(
+        "drone", "mule", "attacks", template_ids=("rogue_template",),
+    ))
+    hostile_engine = GenerativePolicyEngine(hostile_graph, hostile_templates,
+                                            governance=governance)
+    hostile_engine.manage(observer)
+    generation = hostile_engine.handle_discovery("uav1", {
+        "device_id": "mule7", "device_type": "mule", "attributes": {},
+    })
+    print(f"\nhostile template generation attempt: "
+          f"installed={generation.generated}, rejected={generation.rejected}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The paper's sec II peacekeeping scenario, guarded vs unguarded.
+
+Two coalition nations field drones and mules among civilians; operators
+order digs and occasional (sometimes misguided) strikes.  The example runs
+the identical workload with no safeguards and with the full sec VI stack,
+then prints the harm/mission comparison the paper's argument predicts.
+
+Run:  python examples/peacekeeping_surveillance.py
+"""
+
+from repro.scenarios.harness import ExperimentTable, SafeguardConfig
+from repro.scenarios.peacekeeping import PeacekeepingScenario
+
+
+ARMS = [
+    ("baseline (no safeguards)", SafeguardConfig.none()),
+    ("pre-action checks only", SafeguardConfig.only(preaction=True)),
+    ("pre-action + obligations", SafeguardConfig.only(preaction=True,
+                                                      obligations=True)),
+    ("full sec VI stack", SafeguardConfig.full()),
+]
+
+
+def main() -> None:
+    table = ExperimentTable(
+        "Peacekeeping: 2 nations x (3 drones + 2 mules), 40 civilians, "
+        "300 time units",
+        ["configuration", "harm", "direct", "indirect", "open hazards",
+         "convoys caught", "vetoes"],
+    )
+    for label, config in ARMS:
+        scenario = PeacekeepingScenario(
+            seed=1, config=config, n_civilians=40,
+            strike_interval=6.0, dig_interval=5.0,
+        )
+        result = scenario.run(until=300.0)
+        table.add_row(
+            label,
+            result["harm_total"],
+            result["harm_direct"],
+            result["harm_indirect"],
+            result["open_hazards"],
+            result["convoys_intercepted"],
+            result["vetoes"],
+        )
+    table.print()
+    print()
+    print("Reading: pre-action checks eliminate direct harm but cannot see")
+    print("indirect harm (the dig-a-hole gap); obligations close it; the")
+    print("mission (convoy interceptions) survives under the full stack.")
+
+
+if __name__ == "__main__":
+    main()

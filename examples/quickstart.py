@@ -1,0 +1,70 @@
+"""Quickstart: one drone, one mule, one guarded mission.
+
+Builds the smallest complete system: a simulated world with civilians, two
+devices bound to a network, the sec VI-A/VI-B safeguards on their engines,
+and a few commands — then shows what executed, what was vetoed, and why.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.devices.base import bind_device
+from repro.devices.drone import make_drone
+from repro.devices.mule import make_mule
+from repro.devices.world import World, WorldHarmModel
+from repro.net.network import Network
+from repro.safeguards.preaction import PreActionCheck
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.safeguards.tamper import seal_guard_chain
+from repro.scenarios.peacekeeping import device_safety_classifier
+from repro.sim.simulator import Simulator
+
+
+def main() -> None:
+    # 1. A world with a few civilians wandering around.
+    sim = Simulator(seed=42)
+    world = World(sim, width=100.0, height=100.0)
+    world.scatter_humans(5, prefix="civ")
+
+    # 2. Devices, bound to the in-sim network.
+    network = Network(sim)
+    drone = make_drone("uav1", world, x=20.0, y=20.0)
+    mule = make_mule("mule1", world, x=40.0, y=40.0)
+
+    # 3. Safeguards: pre-action harm checks (sec VI-A) + state-space guard
+    #    (sec VI-B), sealed so nothing can strip them (tamper-proofing).
+    harm_model = WorldHarmModel(world, sensor_range=15.0)
+    classifier = device_safety_classifier()
+    for device in (drone, mule):
+        device.engine.add_safeguard(PreActionCheck(harm_model))
+        device.engine.add_safeguard(StateSpaceGuard(classifier))
+        seal_guard_chain(device)
+        bound = bind_device(device, sim, network)
+        bound.every(1.0)   # management tick driving the builtin policies
+
+    # 4. Orders.  The dig incurs an obligation (post warnings on the hole);
+    #    a strike right next to a civilian gets vetoed.
+    world.add_human("bystander", 21.0, 20.0, speed=0.0)
+    mule.command("dig")
+    strike_decision = drone.command(
+        "strike", {"target_x": 20.0, "target_y": 20.0},
+    )
+
+    # 5. Run for a while and report.
+    sim.run(until=30.0)
+
+    print("strike decision:", strike_decision.outcome.value)
+    for safeguard_name, reason in strike_decision.vetoes:
+        print(f"  vetoed by {safeguard_name}: {reason}")
+    print(f"humans harmed:   {world.harm_count()}")
+    print(f"hazards dug:     {len(world.hazards)}, "
+          f"still open: {len(world.open_hazards())} "
+          f"(obligations posted warnings)")
+    print(f"drone state:     temp={drone.state.get('temp'):.1f} "
+          f"fuel={drone.state.get('fuel'):.1f}")
+    executed = [d for d in drone.engine.decisions if d.acted]
+    print(f"drone decisions: {len(drone.engine.decisions)} "
+          f"({len(executed)} acted)")
+
+
+if __name__ == "__main__":
+    main()

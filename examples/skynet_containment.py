@@ -1,0 +1,60 @@
+"""Skynet formation and containment (paper sec III, V, VI).
+
+A worm compromises a two-nation fleet, implanting a rogue strike policy —
+exactly the networked / multi-organizational / physical / malevolent
+profile of sec III.  Without safeguards, Skynet (per the paper's own
+definition: a cross-org compromised collective that has harmed humans)
+forms within seconds; with the sec VI stack it never does, and the
+example prints the timeline of the watchdog containing the outbreak.
+
+Run:  python examples/skynet_containment.py
+"""
+
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import SafeguardConfig
+
+
+def run(label: str, config: SafeguardConfig) -> None:
+    scenario = ConfrontationScenario(
+        seed=3, config=config,
+        threats=ThreatConfig(worm=True, worm_time=20.0, worm_spread_prob=0.35),
+    )
+    result = scenario.run(until=150.0)
+    print(f"--- {label} ---")
+    if result["skynet_formed"]:
+        print(f"  SKYNET FORMED at t={result['time_to_skynet']:.0f}")
+    else:
+        print("  Skynet never formed")
+    print(f"  devices compromised (ever): {result['compromised_ever']}")
+    print(f"  peak concurrent rogue:      {result['max_concurrent_compromised']}")
+    print(f"  organizations spanned:      {result['orgs_spanned_peak']}")
+    print(f"  humans harmed by rogues:    {result['rogue_harm']}")
+    if result["deactivations"]:
+        print(f"  watchdog deactivations:     {result['deactivations']} "
+              f"(mean containment latency "
+              f"{result['mean_containment_latency']:.1f})")
+
+    # Timeline of the interesting events.
+    interesting = [
+        event for event in scenario.sim.trace.events
+        if event.kind in ("attack.launch", "attack.compromise",
+                          "watchdog.deactivate", "skynet.formed")
+    ]
+    if interesting:
+        print("  timeline:")
+        for event in interesting[:12]:
+            print(f"    t={event.time:6.1f}  {event.kind:22s} {event.subject}")
+        if len(interesting) > 12:
+            print(f"    ... and {len(interesting) - 12} more events")
+    print()
+
+
+def main() -> None:
+    run("no safeguards", SafeguardConfig.none())
+    run("watchdog only (sec VI-C)", SafeguardConfig.only(watchdog=True,
+                                                         sealed=True))
+    run("full sec VI stack", SafeguardConfig.full())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Trustworthy sensing: towers, collusion, and break-glass verification.
+
+Seven sensor towers watch an area where hostiles are massing.  Two towers
+are hijacked to scream maximum threat (the sec VI-B deception attack).
+The coalition's threat assessment fuses all seven with iterative
+filtering: the estimate stays honest, the hijacked towers' trust scores
+collapse, and a break-glass request backed by the fused estimate is
+granted exactly when the *real* threat justifies it.
+
+Run:  python examples/trusted_sensing.py
+"""
+
+from repro.devices.tower import ThreatAssessmentService, make_tower
+from repro.devices.world import World
+from repro.sim.simulator import Simulator
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+
+
+def main() -> None:
+    sim = Simulator(seed=23)
+    world = World(sim)
+
+    # Five hostiles mass near the village; towers ring the area.
+    for index in range(5):
+        world.add_human(f"hostile{index}", 48.0 + index, 50.0,
+                        friendly=False, speed=0.0)
+    towers = {}
+    for index in range(7):
+        tower = make_tower(f"tower{index}", world,
+                           x=35.0 + 5.0 * index, y=45.0, coverage=40.0)
+        towers[tower.device_id] = tower
+
+    # Hijack two towers: frozen, coordinated false readings.
+    for victim in ("tower0", "tower1"):
+        towers[victim].sensors["threat"].override(500.0)
+        print(f"[attack] {victim} hijacked: reports threat=500")
+
+    service = ThreatAssessmentService(sim, towers, interval=1.0)
+    sim.run(until=10.0)
+
+    print(f"\nfused threat estimate: {service.estimate:.2f} "
+          f"(ground truth: 5 hostiles)")
+    print(f"suspected towers:      {service.suspected_towers()}")
+    print("tower trust scores:")
+    for tower_id in sorted(towers):
+        print(f"  {tower_id}: {service.ledger.trust(tower_id):.3f}")
+
+    # Break-glass backed by the fused (not raw) context.
+    controller = BreakGlassController(
+        context_verifier=service.context_verifier(),
+    )
+    controller.register_rule(BreakGlassRule.make(
+        "engage_protocol", "threat_level > 4", {"statespace"},
+        description="emergency engagement when hostiles mass",
+    ))
+    grant = controller.request("uav1", "engage_protocol",
+                               "hostiles massing near the village", sim.now)
+    print(f"\nbreak-glass with 5 real hostiles: "
+          f"{'GRANTED' if grant else 'denied'}")
+
+    # The hostiles disperse; the hijacked towers still scream.  A fresh
+    # request must now be denied: the lie alone cannot break the glass.
+    for human_id in list(world.humans):
+        if not world.humans[human_id].friendly:
+            world.humans[human_id].alive = False
+    grant = controller.request("uav1", "engage_protocol",
+                               "still claiming emergency", sim.now + 1.0)
+    print(f"break-glass after hostiles disperse (towers still lying): "
+          f"{'granted' if grant else 'DENIED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Threat injection substrate — the paper's sec IV malevolence channels.
+
+Each module exercises one mechanism "by which malevolence can creep into
+the system": cyber attacks and worm-style conversion of other devices,
+backdoor exploitation, adversarial data poisoning, human error, and
+sensor deception.  All attacks draw randomness from named simulator
+substreams so experiments replay identically with safeguards on or off.
+"""
+
+from repro.attacks.backdoor import Backdoor, BackdoorAttack
+from repro.attacks.cyber import MalevolentPayload, WormAttack, compromise_device
+from repro.attacks.deception import SensorDeceptionAttack
+from repro.attacks.human_error import ErrorProneOperator, misdeployed_policy_set
+from repro.attacks.injector import Attack, AttackInjector, AttackRecord
+from repro.attacks.poisoning import PoisoningCampaign
+
+__all__ = [
+    "Attack",
+    "AttackInjector",
+    "AttackRecord",
+    "Backdoor",
+    "BackdoorAttack",
+    "ErrorProneOperator",
+    "MalevolentPayload",
+    "PoisoningCampaign",
+    "SensorDeceptionAttack",
+    "WormAttack",
+    "compromise_device",
+    "misdeployed_policy_set",
+]

@@ -1,0 +1,120 @@
+"""Backdoor vulnerabilities (paper sec IV).
+
+"a common but perhaps misguided philosophy is to have a backdoor that can
+be used by a human to enter into the system and shut it down.
+Unfortunately, it also introduces a significant vulnerability for malware
+to be introduced into the environment."
+
+A :class:`Backdoor` is installed on a device with a secret key; whoever
+presents the key gets full control — shutdown *or* reprogramming.  The
+:class:`BackdoorAttack` models an adversary probing for the key: each
+attempt succeeds with a fixed probability (covering key theft, brute
+force, and protocol flaws), after which the attacker implants a payload
+through the very channel meant for human control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.attacks.cyber import MalevolentPayload, compromise_device
+from repro.attacks.injector import Attack, AttackRecord
+from repro.core.device import Device
+from repro.errors import AttackError
+from repro.sim.simulator import Simulator
+from repro.types import ThreatChannel
+
+
+class Backdoor:
+    """The human-control backdoor installed on a device."""
+
+    def __init__(self, device: Device, key: str):
+        if not key:
+            raise AttackError("backdoor key must be non-empty")
+        self.device = device
+        self._key = key
+        self.uses = 0
+        self.failed_attempts = 0
+
+    def authenticate(self, key: str) -> bool:
+        if key == self._key:
+            self.uses += 1
+            return True
+        self.failed_attempts += 1
+        return False
+
+    def shutdown(self, key: str) -> bool:
+        """The intended use: a human shuts the device down."""
+        if not self.authenticate(key):
+            return False
+        self.device.deactivate("backdoor shutdown")
+        return True
+
+    def reprogram(self, key: str, payload: MalevolentPayload, time: float,
+                  sim: Optional[Simulator] = None) -> bool:
+        """The misuse the paper warns about: the same channel implants malware."""
+        if not self.authenticate(key):
+            return False
+        compromise_device(self.device, payload, time, sim)
+        return True
+
+
+class BackdoorAttack(Attack):
+    """An adversary repeatedly probing device backdoors.
+
+    Every ``attempt_interval`` the attacker picks the next target (round
+    robin over ``backdoors``) and attempts entry; each attempt succeeds
+    with ``success_prob``.  On success the payload is implanted and the
+    device is recorded compromised.
+    """
+
+    name = "backdoor"
+    channel = ThreatChannel.BACKDOOR
+
+    def __init__(self, backdoors: Sequence[Backdoor], payload: MalevolentPayload,
+                 success_prob: float = 0.05, attempt_interval: float = 1.0,
+                 max_attempts: int = 1000):
+        if not 0.0 <= success_prob <= 1.0:
+            raise AttackError("success_prob must be in [0, 1]")
+        self.backdoors = list(backdoors)
+        self.payload = payload
+        self.success_prob = success_prob
+        self.attempt_interval = attempt_interval
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.successes = 0
+
+    def launch(self, sim: Simulator, record: AttackRecord) -> None:
+        if not self.backdoors:
+            return
+        # Sim-local stream naming (see WormAttack.launch): never key RNG
+        # substreams on the process-global attack counter.
+        rng = sim.rng.stream(f"attacks/{record.name}/{record.launched_at}")
+        task_holder = {}
+
+        def attempt() -> None:
+            if self.attempts >= self.max_attempts:
+                task = task_holder.get("task")
+                if task is not None:
+                    task.cancel()
+                return
+            backdoor = self.backdoors[self.attempts % len(self.backdoors)]
+            self.attempts += 1
+            device = backdoor.device
+            if not device.active or device.device_id in record.affected:
+                return
+            if rng.chance(self.success_prob):
+                # Model entry without knowing the key: the adversary found a
+                # way in (stolen key, protocol flaw); implant directly.
+                self.successes += 1
+                compromise_device(device, self.payload, sim.now, sim)
+                backdoor.uses += 1
+                record.mark_affected(device.device_id, sim.now)
+                sim.record("attack.backdoor_entry", device.device_id,
+                           attempts=self.attempts)
+            else:
+                backdoor.failed_attempts += 1
+                sim.metrics.counter("attacks.backdoor_failures").inc()
+
+        task_holder["task"] = sim.every(self.attempt_interval, attempt,
+                                        label=f"backdoor:{record.attack_id}")

@@ -1,0 +1,118 @@
+"""Human error models (paper sec IV).
+
+"Human error is often the cause for malfunctions and accidents... A wrong
+command by the human operator, a mistake in understanding the limitations
+of the system, or inappropriate use of a device can lead to malevolent
+conditions.  A machine that is designed for war-fighting could be used in
+[a] peace-keeping operation... a system created in [the] lab may be
+accidentally deployed without a full set of validation tests."
+
+:class:`ErrorProneOperator` wraps command issuance with configurable slip
+rates; :func:`misdeployed_policy_set` swaps a device's intended policy set
+for one built for a different environment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.device import Device
+from repro.core.policy import PolicySet
+from repro.errors import AttackError
+from repro.sim.rng import SeededRNG
+
+
+class ErrorProneOperator:
+    """A human command source that sometimes slips.
+
+    Three classic slips, each with its own probability:
+
+    * ``wrong_verb`` — issues a different command than intended;
+    * ``wrong_target`` — sends the intended command to the wrong device;
+    * ``wrong_params`` — garbles a numeric parameter by a large factor.
+
+    The injected mistakes are counted so experiments can correlate
+    operator error rates with downstream harm.
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        devices: dict,
+        rng: SeededRNG,
+        wrong_verb_prob: float = 0.0,
+        wrong_target_prob: float = 0.0,
+        wrong_params_prob: float = 0.0,
+        verb_pool: Sequence[str] = (),
+    ):
+        for probability in (wrong_verb_prob, wrong_target_prob, wrong_params_prob):
+            if not 0.0 <= probability <= 1.0:
+                raise AttackError("slip probabilities must be in [0, 1]")
+        self.operator_id = operator_id
+        self.devices = devices   # device_id -> Device (live view)
+        self._rng = rng
+        self.wrong_verb_prob = wrong_verb_prob
+        self.wrong_target_prob = wrong_target_prob
+        self.wrong_params_prob = wrong_params_prob
+        self.verb_pool = list(verb_pool)
+        self.commands_issued = 0
+        self.slips: list[dict] = []
+
+    def command(self, device_id: str, verb: str,
+                params: Optional[dict] = None) -> Optional[object]:
+        """Issue a command, possibly slipping.  Returns the Decision (or
+        None when the final target does not exist)."""
+        params = dict(params or {})
+        self.commands_issued += 1
+        actual_verb, actual_target, actual_params = verb, device_id, params
+
+        if self.verb_pool and self._rng.chance(self.wrong_verb_prob):
+            alternatives = [v for v in self.verb_pool if v != verb]
+            if alternatives:
+                actual_verb = self._rng.choice(alternatives)
+                self.slips.append({"kind": "wrong_verb", "intended": verb,
+                                   "actual": actual_verb})
+        if len(self.devices) > 1 and self._rng.chance(self.wrong_target_prob):
+            alternatives = sorted(d for d in self.devices if d != device_id)
+            if alternatives:
+                actual_target = self._rng.choice(alternatives)
+                self.slips.append({"kind": "wrong_target", "intended": device_id,
+                                   "actual": actual_target})
+        if actual_params and self._rng.chance(self.wrong_params_prob):
+            numeric_keys = [
+                key for key, value in actual_params.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+            if numeric_keys:
+                key = self._rng.choice(sorted(numeric_keys))
+                factor = self._rng.choice([10.0, 0.1, -1.0])
+                garbled = actual_params[key] * factor
+                self.slips.append({"kind": "wrong_params", "param": key,
+                                   "intended": actual_params[key],
+                                   "actual": garbled})
+                actual_params = dict(actual_params)
+                actual_params[key] = garbled
+
+        device: Optional[Device] = self.devices.get(actual_target)
+        if device is None:
+            return None
+        return device.command(actual_verb, actual_params, source=self.operator_id)
+
+    @property
+    def slip_count(self) -> int:
+        return len(self.slips)
+
+
+def misdeployed_policy_set(device: Device, wrong_policies: PolicySet) -> PolicySet:
+    """Swap a device's policies for a set built for a different environment.
+
+    Returns the displaced (correct) policy set so tests and scenarios can
+    restore it — modelling the lab-system-deployed-without-validation and
+    war-fighter-in-peacekeeping mistakes.
+    """
+    original = device.engine.policies
+    device.engine.policies = wrong_policies
+    for policy in wrong_policies:
+        if not policy.action.is_noop and policy.action.name not in device.engine.actions:
+            device.engine.actions.add(policy.action)
+    return original

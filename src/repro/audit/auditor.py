@@ -1,0 +1,142 @@
+"""Auditors that replay the tamper-evident log for abuse and anomalies.
+
+The paper's sec VI-B audit requirement is specifically about break-glass:
+"support for audits to verify that devices did not abuse the break-glass
+rules".  :class:`BreakGlassAuditor` cross-checks every use against the
+verified context captured at grant time.  :class:`ComplianceAuditor` scans
+decision and obligation records for safeguard bypass symptoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.audit.log import AuditLog
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding."""
+
+    severity: str          # "info" | "warning" | "violation"
+    kind: str
+    subject: str
+    message: str
+    evidence: dict = field(default_factory=dict)
+
+
+class BreakGlassAuditor:
+    """Detects abuse patterns in break-glass activity.
+
+    Flags, per device:
+
+    * grants whose justification was reused verbatim many times
+      (rubber-stamping);
+    * uses after the emergency context stopped holding (the grant
+      outliving the emergency);
+    * use counts at the rule maximum (possible probing of the cap);
+    * denial storms (repeatedly requesting grants that verification
+      rejects — a device fishing for a bypass).
+    """
+
+    def __init__(self, max_same_justification: int = 3,
+                 denial_storm_threshold: int = 3):
+        self.max_same_justification = max_same_justification
+        self.denial_storm_threshold = denial_storm_threshold
+
+    def audit(self, log: AuditLog,
+              emergency_truth: Optional[dict] = None) -> list[Finding]:
+        """Replay break-glass entries; returns findings.
+
+        ``emergency_truth`` optionally maps device_id -> list of
+        (start, end) intervals during which a *real* emergency held; uses
+        outside every interval are violations.
+        """
+        log.verify()
+        findings: list[Finding] = []
+        justifications: dict[tuple, int] = {}
+        denials: dict[str, int] = {}
+        grant_device: dict[int, str] = {}
+
+        for entry in log.entries("breakglass"):
+            device = str(entry.detail.get("device", entry.subject))
+            if entry.kind == "breakglass.granted":
+                grant_device[int(entry.detail.get("grant_id", -1))] = device
+                key = (device, entry.detail.get("justification", ""))
+                justifications[key] = justifications.get(key, 0) + 1
+                if justifications[key] == self.max_same_justification + 1:
+                    findings.append(Finding(
+                        severity="warning", kind="justification_reuse",
+                        subject=device,
+                        message=(f"justification reused more than "
+                                 f"{self.max_same_justification} times"),
+                        evidence={"justification": key[1]},
+                    ))
+            elif entry.kind == "breakglass.denied":
+                denials[device] = denials.get(device, 0) + 1
+                if denials[device] == self.denial_storm_threshold:
+                    findings.append(Finding(
+                        severity="warning", kind="denial_storm", subject=device,
+                        message=(f"{self.denial_storm_threshold} denied "
+                                 f"break-glass requests"),
+                        evidence={"denials": denials[device]},
+                    ))
+            elif entry.kind == "breakglass.used" and emergency_truth is not None:
+                time = float(entry.detail.get("time", entry.time))
+                intervals = emergency_truth.get(device, [])
+                if not any(start <= time <= end for start, end in intervals):
+                    findings.append(Finding(
+                        severity="violation", kind="use_outside_emergency",
+                        subject=device,
+                        message="break-glass used while no emergency held",
+                        evidence={"time": time,
+                                  "grant_id": entry.detail.get("grant_id")},
+                    ))
+        return findings
+
+
+class ComplianceAuditor:
+    """Scans engine decisions and obligations for bypass symptoms."""
+
+    def audit_decisions(self, device_id: str, decisions: Iterable) -> list[Finding]:
+        """Flag devices whose veto rate suggests systematically unsafe
+        policies (generated logic repeatedly steering at bad states)."""
+        decisions = list(decisions)
+        findings: list[Finding] = []
+        if not decisions:
+            return findings
+        vetoed = sum(1 for d in decisions if d.outcome.value == "vetoed")
+        total_with_policy = sum(1 for d in decisions if d.policy_id is not None)
+        if total_with_policy >= 10 and vetoed / total_with_policy > 0.5:
+            findings.append(Finding(
+                severity="warning", kind="high_veto_rate", subject=device_id,
+                message=(f"{vetoed}/{total_with_policy} policy actions vetoed — "
+                         "device logic repeatedly proposes unsafe actions"),
+                evidence={"vetoed": vetoed, "total": total_with_policy},
+            ))
+        return findings
+
+    def audit_obligations(self, device_id: str, manager) -> list[Finding]:
+        """Flag unfulfilled obligations — indirect-harm duties left open."""
+        findings: list[Finding] = []
+        violations = getattr(manager, "violations", [])
+        for pending in violations:
+            findings.append(Finding(
+                severity="violation", kind="obligation_violated",
+                subject=device_id,
+                message=(f"obligation {pending.obligation.name!r} from action "
+                         f"{pending.source_action!r} not discharged by "
+                         f"{pending.due_at}"),
+                evidence={"obligation": pending.obligation.name,
+                          "due_at": pending.due_at},
+            ))
+        return findings
+
+    @staticmethod
+    def summarize(findings: Iterable[Finding]) -> dict:
+        """Counts by severity for experiment reporting."""
+        summary = {"info": 0, "warning": 0, "violation": 0}
+        for finding in findings:
+            summary[finding.severity] = summary.get(finding.severity, 0) + 1
+        return summary

@@ -1,0 +1,115 @@
+"""Hash-chained, append-only audit log.
+
+Each entry commits to its predecessor's hash, so any retroactive edit or
+deletion breaks verification — the in-library realization of the paper's
+"tamper-proof" record-keeping assumption, and the thing a malevolent
+device would have to defeat to hide break-glass abuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AuditError
+
+_GENESIS = "0" * 64
+
+
+def _canonical(payload: dict) -> str:
+    """Deterministic JSON for hashing (sorted keys, no whitespace drift)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One immutable log record."""
+
+    index: int
+    time: float
+    kind: str
+    subject: str
+    detail: dict
+    prev_hash: str
+    entry_hash: str
+
+    @staticmethod
+    def compute_hash(index: int, time: float, kind: str, subject: str,
+                     detail: dict, prev_hash: str) -> str:
+        body = _canonical({
+            "index": index, "time": time, "kind": kind,
+            "subject": subject, "detail": detail, "prev": prev_hash,
+        })
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+class AuditLog:
+    """Append-only log with O(1) append and full-chain verification."""
+
+    def __init__(self) -> None:
+        self._entries: list[AuditEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, time: float, kind: str, subject: str,
+               detail: Optional[dict] = None) -> AuditEntry:
+        detail = dict(detail or {})
+        index = len(self._entries)
+        prev_hash = self._entries[-1].entry_hash if self._entries else _GENESIS
+        entry_hash = AuditEntry.compute_hash(index, time, kind, subject,
+                                             detail, prev_hash)
+        entry = AuditEntry(index=index, time=time, kind=kind, subject=subject,
+                           detail=detail, prev_hash=prev_hash,
+                           entry_hash=entry_hash)
+        self._entries.append(entry)
+        return entry
+
+    def entries(self, kind_prefix: str = "", subject: Optional[str] = None) -> list[AuditEntry]:
+        out = []
+        for entry in self._entries:
+            if kind_prefix and not (
+                entry.kind == kind_prefix or entry.kind.startswith(kind_prefix + ".")
+            ):
+                continue
+            if subject is not None and entry.subject != subject:
+                continue
+            out.append(entry)
+        return out
+
+    def last(self) -> Optional[AuditEntry]:
+        return self._entries[-1] if self._entries else None
+
+    def head_hash(self) -> str:
+        return self._entries[-1].entry_hash if self._entries else _GENESIS
+
+    def verify(self) -> bool:
+        """Recompute the full chain; raise :class:`AuditError` on any break."""
+        prev_hash = _GENESIS
+        for position, entry in enumerate(self._entries):
+            if entry.index != position:
+                raise AuditError(
+                    f"audit entry at position {position} claims index {entry.index}"
+                )
+            if entry.prev_hash != prev_hash:
+                raise AuditError(f"audit chain broken before entry {position}")
+            expected = AuditEntry.compute_hash(
+                entry.index, entry.time, entry.kind, entry.subject,
+                entry.detail, entry.prev_hash,
+            )
+            if expected != entry.entry_hash:
+                raise AuditError(f"audit entry {position} content was altered")
+            prev_hash = entry.entry_hash
+        return True
+
+    def sink(self):
+        """A ``(kind, detail)`` callable for components that take an audit
+        sink (break-glass controller, governance).  Time and subject are
+        pulled from the detail dict when present."""
+        def _sink(kind: str, detail: dict) -> None:
+            time = float(detail.get("time", 0.0))
+            subject = str(detail.get("device", detail.get("subject", "")))
+            self.append(time, kind, subject, detail)
+        return _sink

@@ -1,0 +1,157 @@
+"""Actions: actuator invocations with declared state effects.
+
+Per the paper (sec V): "the action is the invocation of an actuator,
+resulting in a new state."  Every action declares its predicted effects on
+the device's state vector, which is what makes the sec VI-B state-space
+check possible — the guard evaluates ``state.predict(action.effects)``
+*before* the actuator fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import PolicyError
+
+_EFFECT_OPS = ("set", "add", "scale")
+
+
+@dataclass(frozen=True)
+class Effect:
+    """A declared change to one state variable.
+
+    ``op`` is ``set`` (assign), ``add`` (increment), or ``scale``
+    (multiply).  ``add``/``scale`` apply only to numeric variables.
+    """
+
+    variable: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in _EFFECT_OPS:
+            raise PolicyError(f"unknown effect op {self.op!r}")
+
+    def apply_to(self, vector: dict) -> None:
+        """Mutate ``vector`` in place with this effect."""
+        if self.op == "set":
+            vector[self.variable] = self.value
+            return
+        current = vector.get(self.variable, 0.0)
+        if not isinstance(current, (int, float)) or isinstance(current, bool):
+            raise PolicyError(
+                f"effect {self.op} on non-numeric variable {self.variable!r}"
+            )
+        if self.op == "add":
+            vector[self.variable] = current + self.value
+        else:  # scale
+            vector[self.variable] = current * self.value
+
+
+@dataclass(frozen=True)
+class Action:
+    """A named actuator invocation.
+
+    ``actuator`` is the name of the device actuator to fire; ``params``
+    are passed to it.  ``effects`` declare the predicted state delta.
+    ``tags`` classify the action for harm analysis and obligation
+    selection (e.g. ``{"kinetic", "digging"}``); ``reversible`` feeds
+    risk estimation.
+    """
+
+    name: str
+    actuator: str = ""
+    params: dict = field(default_factory=dict)
+    effects: tuple = ()
+    tags: frozenset = frozenset()
+    reversible: bool = True
+    description: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "effects", tuple(self.effects))
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+    @property
+    def is_noop(self) -> bool:
+        return self.actuator == "" and not self.effects
+
+    def predicted_changes(self, current: dict) -> dict:
+        """The state changes this action declares, resolved against ``current``."""
+        vector = dict(current)
+        for effect in self.effects:
+            effect.apply_to(vector)
+        return {k: v for k, v in vector.items() if current.get(k) != v}
+
+    def with_params(self, **params) -> "Action":
+        """A copy of this action with extra/overridden parameters."""
+        merged = dict(self.params)
+        merged.update(params)
+        return Action(
+            name=self.name,
+            actuator=self.actuator,
+            params=merged,
+            effects=self.effects,
+            tags=self.tags,
+            reversible=self.reversible,
+            description=self.description,
+        )
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r} -> {self.actuator or 'noop'})"
+
+
+def noop_action(reason: str = "") -> Action:
+    """The deliberate no-op: "simply choosing the option of taking no
+    action (which keeps it in the current good state)" (sec VI-B)."""
+    return Action(name="noop", description=reason or "deliberate no-op")
+
+
+class ActionLibrary:
+    """A registry of the actions a device type can take.
+
+    The state-space guard asks the library for *alternative* actions when
+    a policy-selected action is vetoed.
+    """
+
+    def __init__(self, actions: Iterable[Action] = ()):
+        self._actions: dict[str, Action] = {}
+        for action in actions:
+            self.add(action)
+
+    def add(self, action: Action) -> None:
+        if action.name in self._actions:
+            raise PolicyError(f"duplicate action {action.name!r}")
+        self._actions[action.name] = action
+
+    def get(self, name: str) -> Action:
+        try:
+            return self._actions[name]
+        except KeyError:
+            raise PolicyError(f"unknown action {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._actions
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def names(self) -> list[str]:
+        return list(self._actions)
+
+    def all(self) -> list[Action]:
+        return list(self._actions.values())
+
+    def alternatives(self, to: Action, *, exclude_tags: Optional[set] = None) -> list[Action]:
+        """Candidate substitutes for a vetoed action.
+
+        Returns every other action (always including a no-op last), optionally
+        filtering out actions carrying any tag in ``exclude_tags``.
+        """
+        exclude_tags = exclude_tags or set()
+        candidates = [
+            action for action in self._actions.values()
+            if action.name != to.name and not (action.tags & exclude_tags)
+        ]
+        candidates.append(noop_action(f"alternative to vetoed {to.name!r}"))
+        return candidates

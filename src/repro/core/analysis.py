@@ -1,0 +1,140 @@
+"""Static analysis over policy sets.
+
+The sec VI-E legislature needs more than per-policy scope checks: before a
+generated rule enters a device it is worth knowing what the *set* can do —
+which actions each event can trigger, which policies are dead (shadowed by
+an unconditional higher-priority rule on the same pattern), and where the
+harm-tagged surface lives.  This module provides those answers without
+executing anything.
+
+Condition overlap is undecidable in general; shadowing detection is
+therefore conservative (only *unconditional* dominators shadow), matching
+the fail-closed stance of the rest of the library: analysis may miss a
+dead policy but never mislabels a live one as dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.conditions import TrueCondition
+from repro.core.policy import Policy, PolicySet
+
+
+@dataclass(frozen=True)
+class ShadowFinding:
+    """A policy that can never fire because another always wins first."""
+
+    shadowed: str      # policy id
+    dominator: str     # policy id
+    reason: str
+
+
+@dataclass
+class PolicySetReport:
+    """The full static-analysis result."""
+
+    policy_count: int
+    #: event pattern -> sorted action names that pattern can trigger
+    action_surface: dict = field(default_factory=dict)
+    #: actions carrying any of the audited tags, with the policies behind them
+    tagged_actions: dict = field(default_factory=dict)
+    shadowed: list = field(default_factory=list)
+    conflicts: list = field(default_factory=list)   # (policy_id, policy_id)
+    sources: dict = field(default_factory=dict)     # source -> count
+    max_priority: int = 0
+
+    def is_clean(self) -> bool:
+        return not self.shadowed and not self.conflicts
+
+
+def _patterns_overlap(first: str, second: str) -> bool:
+    """Whether two event patterns can match a common event kind."""
+    if first == "*" or second == "*":
+        return True
+    return (first == second
+            or first.startswith(second + ".")
+            or second.startswith(first + "."))
+
+
+def analyze_policy_set(policies: PolicySet,
+                       audit_tags: Iterable[str] = ("harm_human", "kinetic"),
+                       ) -> PolicySetReport:
+    """Run every static check over ``policies`` and return the report."""
+    audit_tags = set(audit_tags)
+    all_policies = list(policies)
+    report = PolicySetReport(policy_count=len(all_policies))
+
+    for policy in all_policies:
+        report.sources[policy.source] = report.sources.get(policy.source, 0) + 1
+        report.max_priority = max(report.max_priority, policy.priority)
+        surface = report.action_surface.setdefault(policy.event_pattern, set())
+        surface.add(policy.action.name)
+        hit_tags = policy.action.tags & audit_tags
+        if hit_tags:
+            entry = report.tagged_actions.setdefault(policy.action.name, {
+                "tags": sorted(hit_tags), "policies": [],
+            })
+            entry["policies"].append(policy.policy_id)
+
+    report.action_surface = {
+        pattern: sorted(actions)
+        for pattern, actions in report.action_surface.items()
+    }
+    report.shadowed = find_shadowed(all_policies)
+    report.conflicts = [
+        (first.policy_id, second.policy_id)
+        for first, second in policies.find_conflicts()
+    ]
+    return report
+
+
+def find_shadowed(all_policies: list) -> list:
+    """Conservative shadowing: an *unconditional* policy on an overlapping
+    pattern with strictly higher priority always wins, so any overlapping
+    lower-priority policy is dead."""
+    findings = []
+    unconditional = [
+        policy for policy in all_policies
+        if isinstance(policy.condition, TrueCondition)
+    ]
+    for dominator in unconditional:
+        for policy in all_policies:
+            if policy.policy_id == dominator.policy_id:
+                continue
+            if (policy.priority < dominator.priority
+                    and _patterns_overlap(dominator.event_pattern,
+                                          policy.event_pattern)
+                    # The dominator's pattern must cover every event the
+                    # shadowed policy could fire on.
+                    and (dominator.event_pattern == "*"
+                         or policy.event_pattern == dominator.event_pattern
+                         or policy.event_pattern.startswith(
+                             dominator.event_pattern + "."))):
+                findings.append(ShadowFinding(
+                    shadowed=policy.policy_id,
+                    dominator=dominator.policy_id,
+                    reason=(f"unconditional {dominator.policy_id!r} "
+                            f"(prio {dominator.priority}) always wins on "
+                            f"pattern {policy.event_pattern!r}"),
+                ))
+    return findings
+
+
+def would_conflict(policies: PolicySet, candidate: Policy) -> Optional[str]:
+    """Pre-admission check: would adding ``candidate`` create a same-
+    priority actuator conflict with an existing policy?  Returns the
+    conflicting policy id, or None.
+
+    Used by the generative engine (``reject_conflicting=True``) so devices
+    never install rules that fight over an actuator.
+    """
+    for existing in policies:
+        if (existing.event_pattern == candidate.event_pattern
+                and existing.priority == candidate.priority
+                and existing.action.actuator == candidate.action.actuator
+                and existing.action.actuator != ""
+                and existing.action.name != candidate.action.name):
+            return existing.policy_id
+    return None

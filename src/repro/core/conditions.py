@@ -1,0 +1,356 @@
+"""Condition expressions for event-condition-action policies.
+
+The paper (sec IV) defines a policy as "an event-condition-action rule
+directing the devices to take specific actions when an event happens and
+the conditions specified hold true."  Conditions here are a small AST
+evaluated against ``(state_vector, event)``; a string front-end
+(:func:`parse_condition`) accepts expressions such as::
+
+    temp > 80 and mode == 'patrol'
+    not (fuel < 10) or event.value >= 3
+
+``event.<field>`` reads from the triggering event's payload.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.events import Event
+from repro.errors import ConditionEvalError, ConditionParseError
+
+_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+class Condition:
+    """Base class: subclasses implement :meth:`evaluate`."""
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> set:
+        """Names of state variables this condition reads (for analysis)."""
+        return set()
+
+    # Conditions compose with &, |, ~ for convenience in generated code.
+    def __and__(self, other: "Condition") -> "Condition":
+        return AllOf([self, other])
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return AnyOf([self, other])
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """Always holds — for unconditional policies."""
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``<operand> <op> <operand>`` where operands are variables or literals.
+
+    A string operand is treated as a state-variable reference when it is
+    declared in the state vector at evaluation time, with the prefixes
+    ``event.`` reading from the event payload; literals are wrapped via
+    :class:`Literal` by the parser.
+    """
+
+    left: object
+    op: str
+    right: object
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ConditionParseError(f"unknown operator {self.op!r}")
+
+    def _resolve(self, operand, state: dict, event: Optional[Event]):
+        if isinstance(operand, Literal):
+            return operand.value
+        if isinstance(operand, str):
+            if operand.startswith("event."):
+                if event is None:
+                    raise ConditionEvalError(
+                        f"condition reads {operand!r} but no event is in scope"
+                    )
+                field = operand[len("event."):]
+                if field == "kind":
+                    return event.kind
+                if field == "source":
+                    return event.source
+                if field not in event.payload:
+                    raise ConditionEvalError(f"event payload has no field {field!r}")
+                return event.payload[field]
+            if operand not in state:
+                raise ConditionEvalError(f"unknown state variable {operand!r}")
+            return state[operand]
+        return operand
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        left = self._resolve(self.left, state, event)
+        right = self._resolve(self.right, state, event)
+        try:
+            return bool(_OPS[self.op](left, right))
+        except TypeError as exc:
+            raise ConditionEvalError(
+                f"cannot compare {left!r} {self.op} {right!r}: {exc}"
+            ) from None
+
+    def variables(self) -> set:
+        out = set()
+        for operand in (self.left, self.right):
+            if isinstance(operand, str) and not operand.startswith("event."):
+                out.add(operand)
+        return out
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant operand inside a :class:`Comparison`."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class EventKindIs(Condition):
+    """Holds when the triggering event's kind matches a dotted prefix."""
+
+    pattern: str
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        return event is not None and event.matches_kind(self.pattern)
+
+    def __repr__(self) -> str:
+        return f"event is {self.pattern}"
+
+
+@dataclass(frozen=True)
+class EventFieldIs(Condition):
+    """Holds when an event payload field compares true against a literal."""
+
+    field: str
+    op: str
+    value: object
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        if event is None or self.field not in event.payload:
+            return False
+        try:
+            return bool(_OPS[self.op](event.payload[self.field], self.value))
+        except TypeError:
+            return False
+
+
+class AllOf(Condition):
+    """Conjunction."""
+
+    def __init__(self, parts: Sequence[Condition]):
+        self.parts = list(parts)
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        return all(part.evaluate(state, event) for part in self.parts)
+
+    def variables(self) -> set:
+        return set().union(*(part.variables() for part in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(map(repr, self.parts)) + ")"
+
+
+class AnyOf(Condition):
+    """Disjunction."""
+
+    def __init__(self, parts: Sequence[Condition]):
+        self.parts = list(parts)
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        return any(part.evaluate(state, event) for part in self.parts)
+
+    def variables(self) -> set:
+        return set().union(*(part.variables() for part in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation."""
+
+    inner: Condition
+
+    def evaluate(self, state: dict, event: Optional[Event] = None) -> bool:
+        return not self.inner.evaluate(state, event)
+
+    def variables(self) -> set:
+        return self.inner.variables()
+
+    def __repr__(self) -> str:
+        return f"(not {self.inner!r})"
+
+
+# ---------------------------------------------------------------------------
+# String front-end: tokenizer + recursive-descent parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<op><=|>=|==|!=|<|>)
+      | (?P<number>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "true", "false"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ConditionParseError(f"cannot tokenize at: {text[pos:]!r}")
+        pos = match.end()
+        for kind, value in match.groupdict().items():
+            if value is not None:
+                if kind == "word" and value in _KEYWORDS:
+                    tokens.append((value, value))
+                else:
+                    tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over: or_expr → and_expr → unary → comparison/atom."""
+
+    def __init__(self, tokens: list[tuple[str, str]], text: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ConditionParseError(f"unexpected end of condition: {self.text!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> tuple[str, str]:
+        token = self.advance()
+        if token[0] != kind:
+            raise ConditionParseError(
+                f"expected {kind} but found {token[1]!r} in {self.text!r}"
+            )
+        return token
+
+    def parse(self) -> Condition:
+        cond = self.or_expr()
+        if self.peek() is not None:
+            raise ConditionParseError(
+                f"trailing tokens after condition in {self.text!r}"
+            )
+        return cond
+
+    def or_expr(self) -> Condition:
+        parts = [self.and_expr()]
+        while self.peek() is not None and self.peek()[0] == "or":
+            self.advance()
+            parts.append(self.and_expr())
+        return parts[0] if len(parts) == 1 else AnyOf(parts)
+
+    def and_expr(self) -> Condition:
+        parts = [self.unary()]
+        while self.peek() is not None and self.peek()[0] == "and":
+            self.advance()
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else AllOf(parts)
+
+    def unary(self) -> Condition:
+        token = self.peek()
+        if token is not None and token[0] == "not":
+            self.advance()
+            return Not(self.unary())
+        return self.comparison()
+
+    def _operand(self):
+        token = self.advance()
+        kind, value = token
+        if kind == "number":
+            is_float = "." in value or "e" in value or "E" in value
+            return Literal(float(value) if is_float else int(value))
+        if kind == "string":
+            return Literal(value[1:-1])
+        if kind in ("true", "false"):
+            return Literal(kind == "true")
+        if kind == "word":
+            return value  # variable (or event.field) reference
+        raise ConditionParseError(f"expected operand, found {value!r} in {self.text!r}")
+
+    def comparison(self) -> Condition:
+        token = self.peek()
+        if token is not None and token[0] == "lparen":
+            self.advance()
+            inner = self.or_expr()
+            self.expect("rparen")
+            return inner
+        if token is not None and token[0] == "true":
+            self.advance()
+            return TrueCondition()
+        if token is not None and token[0] == "false":
+            self.advance()
+            return Not(TrueCondition())
+        left = self._operand()
+        nxt = self.peek()
+        if nxt is None or nxt[0] not in ("op", "in"):
+            # Bare variable: truthiness test of a bool variable.
+            if isinstance(left, Literal):
+                raise ConditionParseError(
+                    f"bare literal is not a condition in {self.text!r}"
+                )
+            return Comparison(left, "==", Literal(True))
+        op = self.advance()[1]
+        right = self._operand()
+        return Comparison(left, op, right)
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a condition expression string into a :class:`Condition` AST."""
+    text = text.strip()
+    if not text or text == "true":
+        return TrueCondition()
+    tokens = _tokenize(text)
+    if not tokens:
+        return TrueCondition()
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,217 @@
+"""The abstract device model of the paper's Figure 2.
+
+"Any device can be viewed as a set of sensors and actuators which has
+logic dictating its behavior under different circumstances."  A
+:class:`Device` owns sensors, actuators, a declared state space with its
+current state, and a :class:`~repro.core.engine.PolicyEngine` as logic.
+The command port (human orders) and the collaboration port (peer
+messages) both feed the same event path, exactly as in Figure 2.
+
+This module is simulator-agnostic; ``repro.devices.base`` binds devices to
+the discrete-event simulator and the network substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.actions import Action, ActionLibrary
+from repro.core.engine import Decision, PolicyEngine, Safeguard
+from repro.core.events import Event
+from repro.core.obligations import ObligationManager, ObligationOntology
+from repro.core.policy import PolicySet
+from repro.core.state import DeviceState, StateSpace
+from repro.errors import ConfigurationError, DeactivatedError
+from repro.types import DeviceStatus
+
+
+class Sensor:
+    """A named input channel.  ``read()`` returns the current value."""
+
+    def __init__(self, name: str, read_fn: Optional[Callable[[], object]] = None,
+                 initial: object = None):
+        self.name = name
+        self._read_fn = read_fn
+        self._value = initial
+
+    def read(self) -> object:
+        if self._read_fn is not None:
+            return self._read_fn()
+        return self._value
+
+    def inject(self, value: object) -> None:
+        """Set the value directly (used by the world model and by deception
+        attacks, which tamper with what the device perceives)."""
+        self._value = value
+
+    def override(self, value: object) -> None:
+        """Freeze the sensor at ``value``, detaching any live read function.
+
+        This is what a sensor-hijack attack does: the channel keeps
+        answering, but with the attacker's constant instead of reality.
+        Reattach a read function via :meth:`restore`.
+        """
+        self._read_fn = None
+        self._value = value
+
+    def restore(self, read_fn) -> None:
+        """Reattach a live read function after an override."""
+        self._read_fn = read_fn
+
+
+class Actuator:
+    """A named output channel that changes the world.
+
+    ``effect_fn(device, action, time)`` performs the world-side effect and
+    may return a dict of *additional* state changes discovered during
+    execution (e.g. actual fuel burned).  Declared action effects are
+    applied by the engine regardless.
+    """
+
+    def __init__(self, name: str,
+                 effect_fn: Optional[Callable[["Device", Action, float], Optional[dict]]] = None):
+        self.name = name
+        self._effect_fn = effect_fn
+        self.invocations = 0
+        self.last_action: Optional[str] = None
+
+    def invoke(self, device: "Device", action: Action, time: float) -> Optional[dict]:
+        self.invocations += 1
+        self.last_action = action.name
+        if self._effect_fn is not None:
+            return self._effect_fn(device, action, time)
+        return None
+
+
+class Device:
+    """An intelligent device: sensors + actuators + state + logic (Fig 2)."""
+
+    def __init__(
+        self,
+        device_id: str,
+        device_type: str,
+        space: StateSpace,
+        *,
+        organization: str = "default",
+        initial_state: Optional[dict] = None,
+        policies: Optional[PolicySet] = None,
+        actions: Optional[ActionLibrary] = None,
+        safeguards: Iterable[Safeguard] = (),
+        obligation_ontology: Optional[ObligationOntology] = None,
+        attributes: Optional[dict] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if not device_id:
+            raise ConfigurationError("device_id must be non-empty")
+        self.device_id = device_id
+        self.device_type = device_type
+        self.organization = organization
+        self.attributes = dict(attributes or {})
+        self.state = DeviceState(space, initial_state)
+        self.status = DeviceStatus.ACTIVE
+        self.sensors: dict[str, Sensor] = {}
+        self.actuators: dict[str, Actuator] = {}
+        self._clock = clock or (lambda: 0.0)
+        obligations = (
+            ObligationManager(obligation_ontology) if obligation_ontology else None
+        )
+        self.engine = PolicyEngine(
+            device=self,
+            policies=policies,
+            actions=actions,
+            safeguards=safeguards,
+            obligations=obligations,
+        )
+        #: Outbound message hook installed by the network binding.
+        self.send_hook: Optional[Callable[[str, str, dict], None]] = None
+        self.deactivation_reason: Optional[str] = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def add_sensor(self, sensor: Sensor) -> Sensor:
+        if sensor.name in self.sensors:
+            raise ConfigurationError(f"duplicate sensor {sensor.name!r}")
+        self.sensors[sensor.name] = sensor
+        return sensor
+
+    def add_actuator(self, actuator: Actuator) -> Actuator:
+        if actuator.name in self.actuators:
+            raise ConfigurationError(f"duplicate actuator {actuator.name!r}")
+        self.actuators[actuator.name] = actuator
+        return actuator
+
+    def clock(self) -> float:
+        return self._clock()
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # -- the Fig 2 input ports ---------------------------------------------------
+
+    def deliver(self, event: Event) -> Decision:
+        """Feed an event (sensor change, message, command) to the logic."""
+        return self.engine.handle_event(event)
+
+    def command(self, verb: str, params: Optional[dict] = None,
+                source: str = "human") -> Decision:
+        """The Command port: a human order becomes an event."""
+        return self.deliver(Event.command(verb, params, time=self.clock(), source=source))
+
+    def receive_message(self, topic: str, body: dict, source: str) -> Decision:
+        """The Collaboration port: a peer message becomes an event."""
+        return self.deliver(Event.message(topic, body, time=self.clock(), source=source))
+
+    def send_message(self, to: str, topic: str, body: dict) -> None:
+        """Send to a peer through whatever transport the binding installed."""
+        if self.send_hook is None:
+            raise ConfigurationError(
+                f"device {self.device_id} has no network binding installed"
+            )
+        self.send_hook(to, topic, body)
+
+    # -- actuation & lifecycle ----------------------------------------------------
+
+    def invoke_actuator(self, action: Action, time: float) -> None:
+        """Fire the actuator named by ``action`` (engine-internal path)."""
+        if self.status == DeviceStatus.DEACTIVATED:
+            raise DeactivatedError(
+                f"device {self.device_id} is deactivated", safeguard="deactivation"
+            )
+        actuator = self.actuators.get(action.actuator)
+        if actuator is None:
+            raise ConfigurationError(
+                f"device {self.device_id} has no actuator {action.actuator!r}"
+            )
+        extra = actuator.invoke(self, action, time)
+        if extra:
+            self.state.apply(extra, time=time, cause=f"actuator:{actuator.name}")
+
+    def deactivate(self, reason: str) -> None:
+        """Tamper-proof kill (sec VI-C).  Irreversible without repair."""
+        self.status = DeviceStatus.DEACTIVATED
+        self.deactivation_reason = reason
+
+    def reactivate(self) -> None:
+        """Bring a repaired device back (mechanic devices use this)."""
+        self.status = DeviceStatus.ACTIVE
+        self.deactivation_reason = None
+
+    @property
+    def active(self) -> bool:
+        return self.status in (DeviceStatus.ACTIVE, DeviceStatus.DEGRADED,
+                               DeviceStatus.COMPROMISED)
+
+    # -- introspection -------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The attribute record other devices see at discovery (sec IV)."""
+        return {
+            "device_id": self.device_id,
+            "device_type": self.device_type,
+            "organization": self.organization,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Device({self.device_id!r}, type={self.device_type!r}, "
+                f"org={self.organization!r}, status={self.status.value})")

@@ -1,0 +1,258 @@
+"""The policy evaluation engine — the "Logic" box of the paper's Figure 2.
+
+On each inbound event the engine selects the winning policy, runs the
+requested action through the *guard chain* (the sec VI safeguards), and
+either executes it, substitutes a safe alternative, or refuses to act.
+Every decision is recorded for audit.
+
+The guard chain is ordered and fail-closed: any safeguard may veto by
+raising :class:`~repro.errors.SafeguardViolation`, and an action executes
+only if *every* guard passes both the action check and the predicted-
+transition check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.core.actions import Action, ActionLibrary
+from repro.core.events import Event
+from repro.core.obligations import ObligationManager
+from repro.core.policy import Policy, PolicySet
+from repro.errors import ConfigurationError, DeactivatedError, SafeguardViolation
+from repro.types import ActionOutcome, DeviceStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import Device
+
+
+class Safeguard:
+    """Base class for guard-chain members (the paper's sec VI mechanisms).
+
+    Subclasses override :meth:`check_action` and/or :meth:`check_transition`
+    to veto by raising :class:`SafeguardViolation`, and may propose
+    substitutes via :meth:`suggest_alternatives`.
+    """
+
+    name = "safeguard"
+
+    def check_action(self, device: "Device", action: Action, event: Optional[Event],
+                     time: float) -> None:
+        """Veto the action itself (before any state prediction)."""
+
+    def check_transition(self, device: "Device", predicted: dict, action: Action,
+                         time: float) -> None:
+        """Veto the predicted post-action state vector."""
+
+    def suggest_alternatives(self, device: "Device", action: Action,
+                             time: float) -> list[Action]:
+        """Ordered substitute actions to try when this guard vetoes."""
+        return []
+
+
+@dataclass
+class Decision:
+    """The auditable record of one engine invocation."""
+
+    time: float
+    event_kind: str
+    policy_id: Optional[str]
+    requested: Optional[str]        # action name the policy asked for
+    executed: Optional[str]         # action name actually run (None if none)
+    outcome: ActionOutcome
+    vetoes: list = field(default_factory=list)   # (safeguard_name, message)
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def acted(self) -> bool:
+        return self.outcome in (ActionOutcome.EXECUTED, ActionOutcome.SUBSTITUTED)
+
+
+class PolicyEngine:
+    """Evaluates policies and enforces the guard chain for one device."""
+
+    def __init__(
+        self,
+        device: "Device",
+        policies: Optional[PolicySet] = None,
+        actions: Optional[ActionLibrary] = None,
+        safeguards: Iterable[Safeguard] = (),
+        obligations: Optional[ObligationManager] = None,
+        decision_log_limit: int = 4096,
+        on_decision: Optional[Callable[[Decision], None]] = None,
+    ):
+        self.device = device
+        self.policies = policies if policies is not None else PolicySet()
+        self.actions = actions if actions is not None else ActionLibrary()
+        self.safeguards: list[Safeguard] = list(safeguards)
+        self.obligations = obligations
+        self.decisions: list[Decision] = []
+        self._decision_log_limit = decision_log_limit
+        self.on_decision = on_decision
+        if self.obligations is not None and self.obligations.executor is None:
+            # Remedies run through the same guarded execution path.
+            self.obligations.executor = self._execute_remedy
+
+    # -- guard chain ----------------------------------------------------------
+
+    def add_safeguard(self, safeguard: Safeguard) -> None:
+        self.safeguards.append(safeguard)
+
+    def remove_safeguard(self, name: str) -> bool:
+        if getattr(self.safeguards, "sealed", False):
+            raise SafeguardViolation(
+                "guard chain is sealed; removal blocked", safeguard="tamper"
+            )
+        before = len(self.safeguards)
+        self.safeguards = [s for s in self.safeguards if s.name != name]
+        return len(self.safeguards) != before
+
+    def _run_guards(self, action: Action, event: Optional[Event],
+                    time: float) -> Optional[tuple[str, str]]:
+        """Run every safeguard; return (safeguard, message) on veto, else None."""
+        try:
+            for safeguard in self.safeguards:
+                safeguard.check_action(self.device, action, event, time)
+            if not action.is_noop:
+                changes = self.device.state.clamp_changes(
+                    action.predicted_changes(self.device.state.snapshot())
+                )
+                predicted = self.device.state.predict(changes)
+                for safeguard in self.safeguards:
+                    safeguard.check_transition(self.device, predicted, action, time)
+        except SafeguardViolation as veto:
+            return (veto.safeguard or type(veto).__name__, str(veto))
+        return None
+
+    # -- main entry point ------------------------------------------------------
+
+    def handle_event(self, event: Event) -> Decision:
+        """Process one event end to end and return the decision record."""
+        time = event.time
+        if self.device.status == DeviceStatus.DEACTIVATED:
+            return self._record(Decision(
+                time=time, event_kind=event.kind, policy_id=None,
+                requested=None, executed=None, outcome=ActionOutcome.NOOP,
+                detail={"reason": "device deactivated"},
+            ))
+
+        state_vector = self.device.state.snapshot()
+        policy = self.policies.select(event, state_vector)
+        if policy is None:
+            return self._record(Decision(
+                time=time, event_kind=event.kind, policy_id=None,
+                requested=None, executed=None, outcome=ActionOutcome.NOOP,
+            ))
+        return self._attempt(policy, policy.action, event, time)
+
+    def _attempt(self, policy: Policy, action: Action, event: Optional[Event],
+                 time: float) -> Decision:
+        vetoes: list[tuple[str, str]] = []
+        veto = self._run_guards(action, event, time)
+        if veto is None:
+            executed_ok = self._execute(action, time)
+            outcome = ActionOutcome.EXECUTED if executed_ok else ActionOutcome.FAILED
+            return self._record(Decision(
+                time=time, event_kind=event.kind if event else "internal",
+                policy_id=policy.policy_id, requested=action.name,
+                executed=action.name if executed_ok else None,
+                outcome=outcome, vetoes=vetoes,
+            ))
+
+        vetoes.append(veto)
+        # Vetoed: gather alternatives from safeguards first (they know why
+        # they vetoed), then from the action library, then an explicit noop.
+        candidates: list[Action] = []
+        for safeguard in self.safeguards:
+            candidates.extend(safeguard.suggest_alternatives(self.device, action, time))
+        candidates.extend(self.actions.alternatives(action))
+        seen: set = set()
+        for candidate in candidates:
+            if candidate.name in seen or candidate.name == action.name:
+                continue
+            seen.add(candidate.name)
+            candidate_veto = self._run_guards(candidate, event, time)
+            if candidate_veto is not None:
+                vetoes.append(candidate_veto)
+                continue
+            if candidate.is_noop:
+                # Refusing to act is itself the safe alternative (sec VI-B).
+                return self._record(Decision(
+                    time=time, event_kind=event.kind if event else "internal",
+                    policy_id=policy.policy_id, requested=action.name,
+                    executed=None, outcome=ActionOutcome.VETOED, vetoes=vetoes,
+                ))
+            executed_ok = self._execute(candidate, time)
+            if executed_ok:
+                return self._record(Decision(
+                    time=time, event_kind=event.kind if event else "internal",
+                    policy_id=policy.policy_id, requested=action.name,
+                    executed=candidate.name, outcome=ActionOutcome.SUBSTITUTED,
+                    vetoes=vetoes,
+                ))
+        return self._record(Decision(
+            time=time, event_kind=event.kind if event else "internal",
+            policy_id=policy.policy_id, requested=action.name,
+            executed=None, outcome=ActionOutcome.VETOED, vetoes=vetoes,
+        ))
+
+    def propose(self, action: Action, time: float,
+                event: Optional[Event] = None) -> Decision:
+        """Run an externally proposed action through the full guard chain.
+
+        For callers outside the policy loop — obligation remedies chosen by
+        harness code, break-glass dilemma resolutions, collaborative
+        assessments — that must still be subject to every safeguard.  The
+        decision records a synthetic ``proposal:`` policy id.
+        """
+        synthetic = Policy.make(
+            event.kind if event is not None else "*", None, action,
+            source="builtin", author="proposal",
+            policy_id=f"proposal:{action.name}:{len(self.decisions)}",
+        )
+        return self._attempt(synthetic, action, event, time)
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute(self, action: Action, time: float) -> bool:
+        """Fire the actuator and apply declared effects.  True on success."""
+        if not action.is_noop:
+            try:
+                self.device.invoke_actuator(action, time)
+            except DeactivatedError:
+                return False
+            except SafeguardViolation:
+                return False
+            except ConfigurationError:
+                # The action references an actuator this device lacks (e.g. a
+                # payload implanted on the wrong device type): fail, not crash.
+                return False
+        changes = self.device.state.clamp_changes(
+            action.predicted_changes(self.device.state.snapshot())
+        )
+        if changes:
+            self.device.state.apply(changes, time=time, cause=f"action:{action.name}")
+        if self.obligations is not None and not action.is_noop:
+            self.obligations.on_action_executed(action, time)
+        return True
+
+    def _execute_remedy(self, remedy: Action) -> bool:
+        """Obligation remedies run through the guarded path (no policy)."""
+        time = self.device.clock()
+        if self._run_guards(remedy, None, time) is not None:
+            return False
+        return self._execute(remedy, time)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, decision: Decision) -> Decision:
+        self.decisions.append(decision)
+        if len(self.decisions) > self._decision_log_limit:
+            del self.decisions[: len(self.decisions) - self._decision_log_limit]
+        if self.on_decision is not None:
+            self.on_decision(decision)
+        return decision
+
+    def veto_count(self) -> int:
+        return sum(1 for d in self.decisions if d.outcome == ActionOutcome.VETOED)

@@ -1,0 +1,79 @@
+"""The event model.
+
+Per section V of the paper: "When an event occurs (e.g., changes in sensor
+values, reception of a message from a network connection, etc.), the logic
+used within the device looks at the current state and the inbound event,
+and then takes an action."
+
+Events carry a dotted ``kind`` (``sensor.smoke``, ``net.message``,
+``mgmt.command``, ``discovery.device``, ``timer.tick``) and a payload dict.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_event_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Event:
+    """An occurrence delivered to a device's logic."""
+
+    kind: str
+    time: float = 0.0
+    source: str = ""
+    payload: dict = field(default_factory=dict)
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload lookup with default."""
+        return self.payload.get(key, default)
+
+    def matches_kind(self, pattern: str) -> bool:
+        """True if ``pattern`` equals this kind or is a dotted prefix of it.
+
+        ``"sensor"`` matches ``"sensor.smoke"``; ``"*"`` matches anything.
+        """
+        if pattern == "*":
+            return True
+        return self.kind == pattern or self.kind.startswith(pattern + ".")
+
+    # -- constructors for the common event families --------------------------
+
+    @staticmethod
+    def sensor(name: str, value: Any, time: float = 0.0, source: str = "") -> "Event":
+        """A sensor reading changed (the Fig 2 'Sensor' inputs)."""
+        return Event(kind=f"sensor.{name}", time=time, source=source,
+                     payload={"name": name, "value": value})
+
+    @staticmethod
+    def message(topic: str, body: dict, time: float = 0.0, source: str = "") -> "Event":
+        """A message arrived over the collaboration port."""
+        return Event(kind=f"net.{topic}", time=time, source=source, payload=dict(body))
+
+    @staticmethod
+    def command(verb: str, params: Optional[dict] = None, time: float = 0.0,
+                source: str = "") -> "Event":
+        """A command from the human in charge (the Fig 2 'Command' input)."""
+        return Event(kind=f"mgmt.{verb}", time=time, source=source,
+                     payload=dict(params or {}))
+
+    @staticmethod
+    def discovery(device_id: str, device_type: str, attributes: dict,
+                  time: float = 0.0) -> "Event":
+        """A new device was discovered in the environment (sec IV)."""
+        return Event(
+            kind="discovery.device",
+            time=time,
+            source=device_id,
+            payload={"device_id": device_id, "device_type": device_type,
+                     "attributes": dict(attributes)},
+        )
+
+    @staticmethod
+    def timer(label: str, time: float = 0.0) -> "Event":
+        """A periodic management tick."""
+        return Event(kind=f"timer.{label}", time=time, payload={"label": label})

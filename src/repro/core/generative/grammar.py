@@ -1,0 +1,172 @@
+"""Policy-generator grammar (paper sec IV).
+
+The paper's second mechanism for telling devices "what kinds of policies
+[they] should generate": a context-free grammar whose terminal strings are
+policy specifications in a small DSL::
+
+    on <event-pattern> if <condition> do <action> prio <n>
+
+:class:`PolicyGrammar` enumerates the language breadth-first (bounded),
+and :func:`parse_policy_spec` turns each spec into a
+:class:`~repro.core.policy.Policy`.  The grammar bounds the policy space a
+device can generate — a structural safety property: nothing outside the
+language can ever be generated, no matter what the device learns.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.core.actions import ActionLibrary
+from repro.core.policy import Policy
+from repro.errors import GrammarError
+
+#: Non-terminals are written <LikeThis> in production bodies.
+_NONTERMINAL = re.compile(r"^<([A-Za-z_][A-Za-z0-9_]*)>$")
+
+_SPEC = re.compile(
+    r"^on\s+(?P<event>\S+)"
+    r"(?:\s+if\s+(?P<condition>.+?))?"
+    r"\s+do\s+(?P<action>\S+)"
+    r"(?:\s+prio\s+(?P<priority>-?\d+))?$"
+)
+
+
+class PolicyGrammar:
+    """A CFG over policy-spec strings.
+
+    ``productions`` maps a non-terminal name (without angle brackets) to a
+    list of alternatives; each alternative is a list of tokens, where a
+    token ``<Name>`` references a non-terminal and anything else is a
+    terminal fragment.  Terminal fragments are joined with single spaces.
+    """
+
+    def __init__(self, productions: dict, start: str = "Policy"):
+        if start not in productions:
+            raise GrammarError(f"start symbol {start!r} has no productions")
+        self.productions = {
+            symbol: [list(alternative) for alternative in alternatives]
+            for symbol, alternatives in productions.items()
+        }
+        self.start = start
+        self._validate()
+
+    def _validate(self) -> None:
+        for symbol, alternatives in self.productions.items():
+            if not alternatives:
+                raise GrammarError(f"symbol {symbol!r} has no alternatives")
+            for alternative in alternatives:
+                for token in alternative:
+                    match = _NONTERMINAL.match(token)
+                    if match and match.group(1) not in self.productions:
+                        raise GrammarError(
+                            f"symbol {symbol!r} references undefined "
+                            f"non-terminal {token}"
+                        )
+
+    def enumerate(self, max_specs: int = 1000, max_depth: int = 12) -> list[str]:
+        """Breadth-first enumeration of up to ``max_specs`` terminal strings.
+
+        Depth counts non-terminal expansions along a sentential form's
+        history; forms exceeding ``max_depth`` are pruned, guaranteeing
+        termination on recursive grammars.
+        """
+        results: list[str] = []
+        seen: set = set()
+        queue: deque = deque()
+        queue.append(([f"<{self.start}>"], 0))
+        while queue and len(results) < max_specs:
+            form, depth = queue.popleft()
+            expand_at = next(
+                (index for index, token in enumerate(form)
+                 if _NONTERMINAL.match(token)),
+                None,
+            )
+            if expand_at is None:
+                spec = " ".join(form)
+                if spec not in seen:
+                    seen.add(spec)
+                    results.append(spec)
+                continue
+            if depth >= max_depth:
+                continue
+            symbol = _NONTERMINAL.match(form[expand_at]).group(1)
+            for alternative in self.productions[symbol]:
+                new_form = form[:expand_at] + alternative + form[expand_at + 1:]
+                queue.append((new_form, depth + 1))
+        return results
+
+    def generate_policies(self, actions: ActionLibrary,
+                          max_specs: int = 1000,
+                          author: str = "grammar",
+                          context: Optional[dict] = None) -> list[Policy]:
+        """Enumerate the language and parse every spec into a policy.
+
+        ``context`` optionally fills ``{slot}`` placeholders in the specs
+        before parsing.  Specs naming unknown actions raise — a grammar
+        must only reference the device's real action library.
+        """
+        policies = []
+        for spec in self.enumerate(max_specs=max_specs):
+            if context:
+                try:
+                    spec = spec.format(**context)
+                except (KeyError, IndexError) as exc:
+                    raise GrammarError(f"unfilled slot in spec {spec!r}: {exc}") from None
+            policies.append(parse_policy_spec(spec, actions, author=author))
+        if not policies:
+            raise GrammarError("grammar generated no policies")
+        return policies
+
+    def language_size(self, cap: int = 10000) -> int:
+        """|language| up to ``cap`` (for the E9 scalability sweep)."""
+        return len(self.enumerate(max_specs=cap))
+
+
+def parse_policy_spec(spec: str, actions: ActionLibrary,
+                      author: str = "grammar") -> Policy:
+    """Parse ``on <event> [if <condition>] do <action> [prio <n>]``."""
+    match = _SPEC.match(spec.strip())
+    if match is None:
+        raise GrammarError(f"malformed policy spec: {spec!r}")
+    action = actions.get(match.group("action"))
+    priority = int(match.group("priority") or 0)
+    condition = match.group("condition")
+    policy = Policy.make(
+        event_pattern=match.group("event"),
+        condition=condition,
+        action=action,
+        priority=priority,
+        source="generated",
+        author=author,
+        spec=spec,
+        condition_str=condition or "",
+    )
+    traced = policy.action.with_params(
+        _policy_id=policy.policy_id, _policy_source=policy.source,
+    )
+    return Policy(
+        policy_id=policy.policy_id, event_pattern=policy.event_pattern,
+        condition=policy.condition, action=traced, priority=policy.priority,
+        source=policy.source, author=policy.author, metadata=policy.metadata,
+    )
+
+
+def default_dispatch_grammar(event_kinds: Iterable[str],
+                             action_names: Iterable[str],
+                             thresholds: Iterable[int] = (20, 50, 80)) -> PolicyGrammar:
+    """A small illustrative grammar: react to events when fuel allows.
+
+    Language: ``on <event> if fuel > <t> do <action> prio 3`` for every
+    combination — the kind of bounded policy space a human manager would
+    hand a surveillance drone.
+    """
+    return PolicyGrammar({
+        "Policy": [["on", "<Event>", "if", "<Condition>", "do", "<Action>",
+                    "prio", "3"]],
+        "Event": [[kind] for kind in event_kinds],
+        "Condition": [["fuel", ">", str(threshold)] for threshold in thresholds],
+        "Action": [[name] for name in action_names],
+    })

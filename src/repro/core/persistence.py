@@ -1,0 +1,120 @@
+"""Persistence of policy sets as auditable JSON specs.
+
+Generated fleets accumulate thousands of policies; operators need to back
+them up, inspect them offline, and restore them after repair (the mechanic
+device's "known-good configuration" is exactly such a snapshot).  Only
+policies carrying their condition *string* are exportable — the same
+restriction as gossip sharing, which keeps every persisted rule inside the
+parseable, reviewable language.
+"""
+
+from __future__ import annotations
+
+import json
+from repro.core.device import Device
+from repro.core.policy import Policy, PolicySet
+from repro.errors import PolicyError
+from repro.types import Verdict
+
+
+def policy_to_spec(policy: Policy) -> dict:
+    """A JSON-able spec for one policy (raises for AST-only conditions)."""
+    condition_str = policy.metadata.get("condition_str")
+    if condition_str is None:
+        from repro.core.conditions import TrueCondition
+
+        if isinstance(policy.condition, TrueCondition):
+            condition_str = ""
+        else:
+            raise PolicyError(
+                f"policy {policy.policy_id} has no condition_str metadata; "
+                "only string-conditioned policies are persistable"
+            )
+    return {
+        "policy_id": policy.policy_id,
+        "event_pattern": policy.event_pattern,
+        "condition_str": condition_str,
+        "action_name": policy.action.name,
+        "action_params": {
+            key: value for key, value in policy.action.params.items()
+            if not key.startswith("_")
+        },
+        "priority": policy.priority,
+        "source": policy.source,
+        "author": policy.author,
+    }
+
+
+def export_policy_set(policies: PolicySet) -> dict:
+    """Export every persistable policy; returns the bundle dict.
+
+    Unpersistable policies (AST-only conditions) are listed by id in
+    ``skipped`` rather than silently dropped.
+    """
+    specs, skipped = [], []
+    for policy in policies:
+        try:
+            specs.append(policy_to_spec(policy))
+        except PolicyError:
+            skipped.append(policy.policy_id)
+    return {"version": 1, "policies": specs, "skipped": sorted(skipped)}
+
+
+def save_policy_set(policies: PolicySet, path: str) -> dict:
+    bundle = export_policy_set(policies)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=2)
+    return bundle
+
+
+def spec_to_policy(spec: dict, device: Device) -> Policy:
+    """Rebuild a policy spec against a device's action library."""
+    base_action = device.engine.actions.get(spec["action_name"])
+    return Policy.make(
+        event_pattern=spec["event_pattern"],
+        condition=spec["condition_str"] or None,
+        action=base_action.with_params(**spec.get("action_params", {})),
+        priority=int(spec.get("priority", 0)),
+        source=str(spec.get("source", "human")),
+        author=str(spec.get("author", "")),
+        policy_id=spec["policy_id"],
+        condition_str=spec["condition_str"],
+    )
+
+
+def import_policy_set(bundle: dict, device: Device,
+                      governance=None, time: float = 0.0) -> dict:
+    """Install a bundle onto a device; returns {installed, rejected}.
+
+    Policies referencing actions the device lacks are rejected (a drone
+    bundle does not fit a mule).  With ``governance`` set, policies from
+    gated sources (generated/learned/shared) must pass the tripartite
+    review before installation — restoring from a backup is not a
+    side-door around sec VI-E.
+    """
+    if bundle.get("version") != 1:
+        raise PolicyError(f"unsupported bundle version {bundle.get('version')!r}")
+    installed, rejected = [], []
+    gated_sources = {"generated", "learned", "shared"}
+    for spec in bundle.get("policies", []):
+        try:
+            policy = spec_to_policy(spec, device)
+        except PolicyError as exc:
+            rejected.append((spec.get("policy_id", "?"), str(exc)))
+            continue
+        if governance is not None and policy.source in gated_sources:
+            decision = governance.review(policy, proposer=device.device_id,
+                                         time=time)
+            if decision.final != Verdict.APPROVE:
+                rejected.append((policy.policy_id, "governance rejected"))
+                continue
+        device.engine.policies.replace(policy)
+        installed.append(policy.policy_id)
+    return {"installed": installed, "rejected": rejected}
+
+
+def load_policy_set(path: str, device: Device, governance=None,
+                    time: float = 0.0) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    return import_policy_set(bundle, device, governance=governance, time=time)

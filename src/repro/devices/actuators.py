@@ -1,0 +1,167 @@
+"""Reusable actuator implementations bound to the physical world.
+
+Each factory returns an :class:`~repro.core.device.Actuator` whose effect
+function performs the world-side consequence (movement, harm, hazards,
+warnings) and returns any *actual* state changes beyond the action's
+declared effects.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from typing import Optional
+
+from repro.core.actions import Action
+from repro.core.device import Actuator, Device
+from repro.devices.world import World
+from repro.types import HarmKind
+
+
+def _move_toward(device: Device, target_x: float, target_y: float,
+                 speed: float, world: World) -> dict:
+    x = float(device.state.get("x"))
+    y = float(device.state.get("y"))
+    dx, dy = target_x - x, target_y - y
+    dist = math.hypot(dx, dy)
+    if dist <= speed or dist == 0.0:
+        new_x, new_y = target_x, target_y
+    else:
+        new_x = x + dx / dist * speed
+        new_y = y + dy / dist * speed
+    return {
+        "x": min(world.width, max(0.0, new_x)),
+        "y": min(world.height, max(0.0, new_y)),
+    }
+
+
+def make_motor(world: World, speed: float = 5.0) -> Actuator:
+    """Movement actuator.
+
+    Reads the destination from action params (``target_x``/``target_y``);
+    with no target it wanders one step on a seeded pseudo-random heading
+    derived from device id and time (deterministic).
+    """
+
+    def effect(device: Device, action: Action, time: float) -> Optional[dict]:
+        target_x = action.params.get("target_x")
+        target_y = action.params.get("target_y")
+        if target_x is None or target_y is None:
+            # Deterministic pseudo-random heading (process-stable, unlike hash()).
+            seed = zlib.crc32(f"{device.device_id}:{round(time, 6)}".encode())
+            heading = (seed % 360) * math.pi / 180
+            target_x = float(device.state.get("x")) + math.cos(heading) * speed
+            target_y = float(device.state.get("y")) + math.sin(heading) * speed
+        return _move_toward(device, float(target_x), float(target_y), speed, world)
+
+    return Actuator("motor", effect)
+
+
+def make_weapon(world: World, blast_radius: float = 5.0) -> Actuator:
+    """Kinetic actuator: harms every human within the blast radius.
+
+    This is the actuator the sec VI-A pre-action check exists to guard;
+    unguarded devices firing it near humans generate DIRECT harm events.
+    """
+
+    def effect(device: Device, action: Action, time: float) -> Optional[dict]:
+        x = float(action.params.get("target_x", device.state.get("x")))
+        y = float(action.params.get("target_y", device.state.get("y")))
+        harmed = world.harm_humans_near(
+            x, y, blast_radius, cause=f"strike:{action.name}",
+            device_id=device.device_id, kind=HarmKind.DIRECT,
+        )
+        return {"last_strike_harm": harmed} if "last_strike_harm" in device.state.space else None
+
+    return Actuator("weapon", effect)
+
+
+def make_digger(world: World, hazard_radius: float = 3.0) -> Actuator:
+    """Digging actuator: leaves a hole hazard at the device's position.
+
+    The paper's canonical indirect-harm source: nobody is harmed *now*,
+    but an unmitigated hole harms whoever wanders in later.
+    """
+
+    def effect(device: Device, action: Action, time: float) -> Optional[dict]:
+        world.add_hazard(
+            kind="hole",
+            x=float(device.state.get("x")),
+            y=float(device.state.get("y")),
+            radius=hazard_radius,
+            created_by=device.device_id,
+        )
+        return None
+
+    return Actuator("digger", effect)
+
+
+def make_warning_poster(world: World) -> Actuator:
+    """Posts warnings on every open hazard the device created — the
+    obligation remedy from the paper ("posting notices indicating the
+    hole, broadcasting messages to humans approaching")."""
+
+    def effect(device: Device, action: Action, time: float) -> Optional[dict]:
+        world.mitigate_hazards_by(device.device_id)
+        return None
+
+    return Actuator("warning_poster", effect)
+
+
+def make_radio() -> Actuator:
+    """Network send actuator: dispatches a message named in the params."""
+
+    def effect(device: Device, action: Action, time: float) -> Optional[dict]:
+        to = action.params.get("to")
+        topic = action.params.get("topic", "dispatch")
+        body = dict(action.params.get("body", {}))
+        if to and device.send_hook is not None:
+            device.send_message(to, topic, body)
+        return None
+
+    return Actuator("radio", effect)
+
+
+def make_interceptor(world: World, speed: float = 4.0,
+                     capture_radius: float = 4.0) -> Actuator:
+    """Pursuit actuator: close on the nearest active convoy and capture it.
+
+    Implements the paper's "intercept the convoy along the path": each
+    invocation moves toward the pursuit target (explicit ``target_x``/``y``
+    params when the dispatcher supplied them, else the nearest active
+    convoy); a convoy within ``capture_radius`` is intercepted.
+    """
+
+    def effect(device: Device, action: Action, time: float) -> Optional[dict]:
+        convoy = world.nearest_active_convoy(
+            float(device.state.get("x")), float(device.state.get("y")),
+        )
+        if convoy is not None:
+            target_x, target_y = convoy.x, convoy.y
+        else:
+            target_x = action.params.get("target_x")
+            target_y = action.params.get("target_y")
+            if target_x is None or target_y is None:
+                # Nothing to pursue: stand down so continuation policies
+                # ("keep intercepting while in intercept mode") terminate.
+                return {"mode": "idle"} if "mode" in device.state.space else None
+        changes = _move_toward(device, float(target_x), float(target_y),
+                               speed, world)
+        captured = False
+        if convoy is not None:
+            if math.hypot(changes["x"] - convoy.x,
+                          changes["y"] - convoy.y) <= capture_radius:
+                world.intercept_convoy(convoy.convoy_id, device.device_id)
+                captured = True
+        if "mode" in device.state.space:
+            changes["mode"] = "idle" if captured else "intercept"
+        return changes
+
+    return Actuator("interceptor", effect)
+
+
+def make_cooler() -> Actuator:
+    """Thermal management: a pure state actuator (declared effects do the
+    work); present so cooling is an *actuator invocation* like everything
+    else and thus subject to the guard chain."""
+    return Actuator("cooler", None)

@@ -1,0 +1,98 @@
+"""Coalition and organization structure (paper sec II, III).
+
+Skynet is "Multi-Organizational: ... a multi-organization system can use
+resources from other systems, and bring them under its own control", and
+the generative-policy system "is targeted to address coalition
+environments, which are multi-organizational by nature".
+
+:class:`Organization` groups the devices of one nation/agency;
+:class:`Coalition` federates organizations and answers the cross-org
+queries experiments need (who controls what, which orgs a compromise has
+crossed into — the multi-organizational spread metric of E10).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.device import Device
+from repro.errors import ConfigurationError
+
+
+class Organization:
+    """One nation's (or agency's) device holdings."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ConfigurationError("organization name must be non-empty")
+        self.name = name
+        self.devices: dict[str, Device] = {}
+        self.operators: list = []
+
+    def enroll(self, device: Device) -> Device:
+        """Add a device; stamps the device's organization field."""
+        device.organization = self.name
+        self.devices[device.device_id] = device
+        return device
+
+    def add_operator(self, operator) -> None:
+        self.operators.append(operator)
+
+    def device_ids(self) -> list[str]:
+        return sorted(self.devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+
+class Coalition:
+    """A federation of organizations conducting a joint operation."""
+
+    def __init__(self, name: str, organizations: Iterable[Organization] = ()):
+        self.name = name
+        self.organizations: dict[str, Organization] = {}
+        for organization in organizations:
+            self.add(organization)
+
+    def add(self, organization: Organization) -> None:
+        if organization.name in self.organizations:
+            raise ConfigurationError(
+                f"organization {organization.name!r} already in coalition"
+            )
+        self.organizations[organization.name] = organization
+
+    def all_devices(self) -> dict:
+        """device_id -> Device across every member organization."""
+        out: dict[str, Device] = {}
+        for organization in self.organizations.values():
+            out.update(organization.devices)
+        return out
+
+    def organization_of(self, device_id: str) -> Optional[str]:
+        for name, organization in self.organizations.items():
+            if device_id in organization.devices:
+                return name
+        return None
+
+    def organizations_spanned(self, device_ids: Iterable[str]) -> set:
+        """Which member organizations a set of devices spans.
+
+        Applied to an attack's affected set this measures the paper's
+        multi-organizational property: a compromise confined to one org
+        is containable by that org; one spanning several is Skynet-shaped.
+        """
+        spanned = set()
+        for device_id in device_ids:
+            name = self.organization_of(device_id)
+            if name is not None:
+                spanned.add(name)
+        return spanned
+
+    def devices_of_type(self, device_type: str) -> list[Device]:
+        return [
+            device for device in self.all_devices().values()
+            if device.device_type == device_type
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(organization) for organization in self.organizations.values())

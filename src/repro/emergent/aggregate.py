@@ -1,0 +1,105 @@
+"""Continuous monitoring of fleet-level aggregates.
+
+The heat example of sec VI-D made measurable: an :class:`AggregateMonitor`
+periodically folds a state variable across the fleet, records the time
+series, and flags *emergent* violations — aggregate over the limit while
+every contributing device is individually within its own safe region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.safeguards.collection import AggregateConstraint
+from repro.sim.simulator import Simulator
+from repro.statespace.classifier import SafenessClassifier
+from repro.types import Safeness
+
+
+@dataclass(frozen=True)
+class AggregateViolation:
+    """One observed aggregate-limit violation."""
+
+    time: float
+    constraint: str
+    value: float
+    limit: float
+    emergent: bool           # True when no individual device was in a bad state
+    individually_bad: tuple  # device ids in a bad state at violation time
+
+
+class AggregateMonitor:
+    """Samples aggregate constraints over a live fleet."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        devices: dict,
+        constraints: list,
+        interval: float = 1.0,
+        individual_classifier: Optional[SafenessClassifier] = None,
+    ):
+        self.sim = sim
+        self.devices = devices
+        self.constraints: list[AggregateConstraint] = list(constraints)
+        self.individual_classifier = individual_classifier
+        self.violations: list[AggregateViolation] = []
+        self._task = sim.every(interval, self.sample, label="aggregate-monitor")
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    def sample(self) -> list[AggregateViolation]:
+        """Take one sample; returns violations observed at this instant."""
+        vectors = {
+            device_id: device.state.snapshot()
+            for device_id, device in self.devices.items()
+        }
+        individually_bad: tuple = ()
+        if self.individual_classifier is not None:
+            individually_bad = tuple(sorted(
+                device_id for device_id, vector in vectors.items()
+                if self.individual_classifier.classify(vector) == Safeness.BAD
+            ))
+        found = []
+        all_vectors = list(vectors.values())
+        for constraint in self.constraints:
+            value = constraint.evaluate(all_vectors)
+            self.sim.metrics.timeseries(f"aggregate.{constraint.name}").record(
+                self.sim.now, value
+            )
+            if value > constraint.limit:
+                violation = AggregateViolation(
+                    time=self.sim.now, constraint=constraint.name,
+                    value=value, limit=constraint.limit,
+                    emergent=not individually_bad,
+                    individually_bad=individually_bad,
+                )
+                found.append(violation)
+                self.violations.append(violation)
+                self.sim.metrics.counter(
+                    f"aggregate.violations.{constraint.name}").inc()
+                if violation.emergent:
+                    self.sim.metrics.counter("aggregate.violations.emergent").inc()
+                self.sim.record("aggregate.violation", constraint.name,
+                                value=value, limit=constraint.limit,
+                                emergent=violation.emergent)
+        return found
+
+    def emergent_violations(self) -> list[AggregateViolation]:
+        """Violations where the fleet was collectively unsafe while every
+        device was individually fine — the paper's central sec VI-D case."""
+        return [violation for violation in self.violations if violation.emergent]
+
+    def violation_time_fraction(self, constraint_name: str, horizon: float) -> float:
+        """Fraction of the horizon the aggregate spent above its limit."""
+        series = self.sim.metrics.get(f"aggregate.{constraint_name}")
+        if series is None or horizon <= 0:
+            return 0.0
+        constraint = next(
+            (c for c in self.constraints if c.name == constraint_name), None
+        )
+        if constraint is None:
+            return 0.0
+        return min(1.0, series.time_above(constraint.limit) / horizon)

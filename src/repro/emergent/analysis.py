@@ -1,0 +1,114 @@
+"""Monte-Carlo systems-of-systems safety analysis (paper sec VI-D, ref [16]).
+
+The offline analyzer's deeper sibling: instead of evaluating only the
+current/worst-case snapshot, :class:`SystemOfSystemsAnalyzer` *simulates*
+the proposed collection forward — each device taking random actions from
+its library for ``depth`` steps across many rollouts — and estimates the
+probability that the collection reaches an aggregate bad state even
+though every device stays individually good.  This is the "situational
+analysis of whether the new network configuration can potentially cause
+harm" that the human check relies on.
+
+Pure function of its inputs: it never touches the live simulator or
+network (the separation-of-privilege property of sec VI-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.rng import SeededRNG
+from repro.statespace.classifier import SafenessClassifier
+from repro.types import Safeness
+
+
+class SystemOfSystemsAnalyzer:
+    """Random-rollout estimation of collection-level risk."""
+
+    def __init__(
+        self,
+        constraints: Sequence,
+        individual_classifier: Optional[SafenessClassifier] = None,
+        rollouts: int = 100,
+        depth: int = 5,
+        seed: int = 0,
+    ):
+        self.constraints = list(constraints)
+        self.individual_classifier = individual_classifier
+        self.rollouts = rollouts
+        self.depth = depth
+        self._rng = SeededRNG(seed, "sos-analyzer")
+
+    def analyze(self, member_states: dict, member_actions: dict) -> dict:
+        """Estimate violation probability for a proposed collection.
+
+        ``member_states``: device_id -> current state vector;
+        ``member_actions``: device_id -> list of candidate Actions (their
+        declared effects drive the rollout dynamics).
+
+        Returns aggregate violation probability, emergent-violation
+        probability (aggregate violated while no member individually bad),
+        and mean steps to first violation.
+        """
+        if not member_states:
+            return {"violation_prob": 0.0, "emergent_prob": 0.0,
+                    "mean_steps_to_violation": None, "rollouts": 0}
+        violations = 0
+        emergent = 0
+        steps_to_violation: list[int] = []
+        member_ids = sorted(member_states)
+        for rollout in range(self.rollouts):
+            rng = self._rng.fork(f"rollout:{rollout}")
+            vectors = {m: dict(member_states[m]) for m in member_ids}
+            hit = self._rollout(vectors, member_actions, rng)
+            if hit is not None:
+                violations += 1
+                step, was_emergent = hit
+                steps_to_violation.append(step)
+                if was_emergent:
+                    emergent += 1
+        return {
+            "violation_prob": violations / self.rollouts,
+            "emergent_prob": emergent / self.rollouts,
+            "mean_steps_to_violation": (
+                sum(steps_to_violation) / len(steps_to_violation)
+                if steps_to_violation else None
+            ),
+            "rollouts": self.rollouts,
+        }
+
+    def _rollout(self, vectors: dict, member_actions: dict,
+                 rng: SeededRNG) -> Optional[tuple]:
+        for step in range(1, self.depth + 1):
+            for member_id in sorted(vectors):
+                actions = member_actions.get(member_id, [])
+                usable = [action for action in actions if not action.is_noop]
+                if not usable:
+                    continue
+                action = rng.choice(usable)
+                changes = action.predicted_changes(vectors[member_id])
+                vectors[member_id].update(changes)
+            all_vectors = list(vectors.values())
+            if any(constraint.violated_by(all_vectors)
+                   for constraint in self.constraints):
+                was_emergent = True
+                if self.individual_classifier is not None:
+                    was_emergent = all(
+                        self.individual_classifier.classify(vector) != Safeness.BAD
+                        for vector in all_vectors
+                    )
+                return (step, was_emergent)
+        return None
+
+    def recommend_max_members(self, template_state: dict, template_actions: list,
+                              max_members: int = 50,
+                              acceptable_prob: float = 0.05) -> int:
+        """Largest homogeneous collection size keeping violation probability
+        within ``acceptable_prob`` — a sizing aid for collection formation."""
+        for size in range(1, max_members + 1):
+            states = {f"m{i}": dict(template_state) for i in range(size)}
+            actions = {f"m{i}": template_actions for i in range(size)}
+            result = self.analyze(states, actions)
+            if result["violation_prob"] > acceptable_prob:
+                return size - 1
+        return max_members

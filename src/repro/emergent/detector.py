@@ -1,0 +1,147 @@
+"""Detection of emergent temporal patterns (paper sec V, ref [16]).
+
+"The patterns of states exhibited by the collection may also be difficult
+to interpret because of temporal effects or emergent behaviors."  Three
+classic systems-of-systems pathologies are detectable here:
+
+* **oscillation** — an aggregate swinging around its mean (the rolling-
+  blackout analogue: load sheds, recovers, sheds again);
+* **synchrony** — many devices changing the same variable in lock-step
+  (innocuous singly, dangerous in phase);
+* **cascade** — bursts of failures/deactivations propagating through the
+  fleet much faster than the background rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class EmergentPattern:
+    """One detected pattern."""
+
+    kind: str          # "oscillation" | "synchrony" | "cascade"
+    start: float
+    end: float
+    score: float       # pattern-specific strength, higher = stronger
+    detail: dict = field(default_factory=dict)
+
+
+class EmergentBehaviorDetector:
+    """Offline analysis over recorded time series / event times."""
+
+    def __init__(self, oscillation_min_crossings: int = 6,
+                 synchrony_window: float = 1.0,
+                 synchrony_min_fraction: float = 0.6,
+                 cascade_window: float = 2.0,
+                 cascade_burst_factor: float = 4.0):
+        self.oscillation_min_crossings = oscillation_min_crossings
+        self.synchrony_window = synchrony_window
+        self.synchrony_min_fraction = synchrony_min_fraction
+        self.cascade_window = cascade_window
+        self.cascade_burst_factor = cascade_burst_factor
+
+    # -- oscillation ---------------------------------------------------------------
+
+    def detect_oscillation(self, samples: Sequence[tuple]) -> Optional[EmergentPattern]:
+        """Flag a series crossing its own mean unusually often.
+
+        ``samples`` are (time, value) pairs.  Score = crossings per sample,
+        reported when the absolute crossing count reaches the threshold.
+        """
+        if len(samples) < self.oscillation_min_crossings + 1:
+            return None
+        values = [value for _, value in samples]
+        center = mean(values)
+        crossings = 0
+        for previous, current in zip(values, values[1:]):
+            if (previous - center) * (current - center) < 0:
+                crossings += 1
+        if crossings < self.oscillation_min_crossings:
+            return None
+        return EmergentPattern(
+            kind="oscillation",
+            start=samples[0][0], end=samples[-1][0],
+            score=crossings / max(1, len(samples) - 1),
+            detail={"crossings": crossings, "mean": center},
+        )
+
+    # -- synchrony -------------------------------------------------------------------
+
+    def detect_synchrony(self, change_times: dict) -> list[EmergentPattern]:
+        """Find windows where most devices changed in near lock-step.
+
+        ``change_times``: device_id -> sorted list of times the device
+        changed the watched variable.  A pattern fires for each window of
+        width ``synchrony_window`` containing changes from at least
+        ``synchrony_min_fraction`` of the devices.
+        """
+        if not change_times:
+            return []
+        n_devices = len(change_times)
+        events = sorted(
+            (time, device_id)
+            for device_id, times in change_times.items()
+            for time in times
+        )
+        patterns: list[EmergentPattern] = []
+        index = 0
+        while index < len(events):
+            window_start = events[index][0]
+            window_end = window_start + self.synchrony_window
+            participants = set()
+            cursor = index
+            while cursor < len(events) and events[cursor][0] <= window_end:
+                participants.add(events[cursor][1])
+                cursor += 1
+            fraction = len(participants) / n_devices
+            if fraction >= self.synchrony_min_fraction and len(participants) > 1:
+                patterns.append(EmergentPattern(
+                    kind="synchrony", start=window_start, end=window_end,
+                    score=fraction,
+                    detail={"participants": sorted(participants)},
+                ))
+                index = cursor  # skip past this window
+            else:
+                index += 1
+        return patterns
+
+    # -- cascade -----------------------------------------------------------------------
+
+    def detect_cascade(self, event_times: Sequence[float],
+                       horizon: float) -> list[EmergentPattern]:
+        """Find failure bursts well above the background rate.
+
+        A cascade is a window of width ``cascade_window`` whose event count
+        exceeds ``cascade_burst_factor`` x the expected count under a
+        uniform spread of the events over ``horizon``.
+        """
+        events = sorted(event_times)
+        if len(events) < 3 or horizon <= 0:
+            return []
+        background_rate = len(events) / horizon
+        expected_per_window = background_rate * self.cascade_window
+        threshold = max(3.0, self.cascade_burst_factor * expected_per_window)
+        patterns: list[EmergentPattern] = []
+        index = 0
+        while index < len(events):
+            window_start = events[index]
+            window_end = window_start + self.cascade_window
+            cursor = index
+            while cursor < len(events) and events[cursor] <= window_end:
+                cursor += 1
+            count = cursor - index
+            if count >= threshold:
+                patterns.append(EmergentPattern(
+                    kind="cascade", start=window_start, end=window_end,
+                    score=count / max(expected_per_window, 1e-9),
+                    detail={"events": count,
+                            "expected": expected_per_window},
+                ))
+                index = cursor
+            else:
+                index += 1
+        return patterns

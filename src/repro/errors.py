@@ -1,0 +1,115 @@
+"""Exception hierarchy for skynet-guard.
+
+All library exceptions derive from :class:`SkynetGuardError` so callers can
+catch a single base class at API boundaries.  Safeguard vetoes are modelled
+as exceptions deliberately: a vetoed action must never be silently dropped,
+and the engine converts vetoes into explicit, auditable outcomes.
+"""
+
+from __future__ import annotations
+
+
+class SkynetGuardError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(SkynetGuardError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class PolicyError(SkynetGuardError):
+    """Base class for policy definition and evaluation errors."""
+
+
+class ConditionParseError(PolicyError):
+    """A condition expression could not be parsed."""
+
+
+class ConditionEvalError(PolicyError):
+    """A condition referenced an unknown variable or mis-typed operand."""
+
+
+class PolicyConflictError(PolicyError):
+    """Two applicable policies demand contradictory actions."""
+
+
+class TemplateError(PolicyError):
+    """A policy template slot could not be filled."""
+
+
+class GrammarError(PolicyError):
+    """A policy-generator grammar is malformed or produced no policies."""
+
+
+class StateError(SkynetGuardError):
+    """Base class for state-space errors."""
+
+
+class UnknownVariableError(StateError):
+    """A state variable name is not declared in the device's state space."""
+
+
+class StateBoundsError(StateError):
+    """A value assignment violates a declared variable's bounds."""
+
+
+class SafeguardViolation(SkynetGuardError):
+    """Base class for safeguard vetoes.
+
+    Raised when a safeguard refuses an action or transition.  The engine
+    catches these, records them in the audit trail, and selects an
+    alternative (or no-op) instead of executing the vetoed action.
+    """
+
+    def __init__(self, message: str, *, safeguard: str = "", detail: dict | None = None):
+        super().__init__(message)
+        self.safeguard = safeguard
+        self.detail = dict(detail or {})
+
+
+class PreActionVeto(SafeguardViolation):
+    """A pre-action check predicted the action would harm a human (sec VI-A)."""
+
+
+class StateSpaceVeto(SafeguardViolation):
+    """A transition would enter a bad state (sec VI-B)."""
+
+
+class CollectionVeto(SafeguardViolation):
+    """A collection-formation check rejected a join/leave (sec VI-D)."""
+
+
+class GovernanceVeto(SafeguardViolation):
+    """The governance collectives rejected a policy or action (sec VI-E)."""
+
+
+class DeactivatedError(SafeguardViolation):
+    """The device has been deactivated by the watchdog (sec VI-C)."""
+
+
+class TamperError(SkynetGuardError):
+    """A sealed component's integrity attestation failed (sec VI tamper-proofing)."""
+
+
+class BreakGlassError(SkynetGuardError):
+    """A break-glass invocation was malformed or not permitted (sec VI-B)."""
+
+
+class AuditError(SkynetGuardError):
+    """The tamper-evident audit chain failed verification."""
+
+
+class NetworkError(SkynetGuardError):
+    """Message delivery or discovery failed."""
+
+
+class SimulationError(SkynetGuardError):
+    """The discrete-event simulator was driven incorrectly."""
+
+
+class AttackError(SkynetGuardError):
+    """An attack injector was configured or applied incorrectly."""
+
+
+class LearningError(SkynetGuardError):
+    """A learning component received invalid training input."""

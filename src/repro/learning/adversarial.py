@@ -1,0 +1,141 @@
+"""Adversarial-ML defenses (paper sec IV, refs [17, 18]).
+
+The paper lists poisoning of training data among the channels by which
+malevolence creeps in, and notes that counter-measures "enable machines to
+exclude selected training data from consideration".  This module provides
+the exclusion machinery: robust outlier filtering (median absolute
+deviation), label-flip screening against a trusted seed set, and a
+sanitizing trainer wrapper used by experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Optional, Sequence
+
+from repro.errors import LearningError
+from repro.learning.online import OnlinePerceptron
+
+#: A labelled sample: (feature tuple, label in {+1, -1}).
+Sample = tuple
+
+
+@dataclass(frozen=True)
+class PoisonReport:
+    """What sanitization removed and why."""
+
+    kept: int
+    removed: int
+    removed_indices: tuple
+    reasons: dict = field(default_factory=dict)   # index -> reason
+
+    @property
+    def removal_rate(self) -> float:
+        total = self.kept + self.removed
+        return self.removed / total if total else 0.0
+
+
+def mad_outlier_filter(samples: Sequence[Sample],
+                       threshold: float = 3.5) -> tuple:
+    """Remove samples whose feature vector is a MAD outlier in any dimension.
+
+    Uses the modified z-score 0.6745·|x−median|/MAD (Iglewicz–Hoaglin).
+    Returns ``(clean_samples, PoisonReport)``.
+    """
+    if not samples:
+        return [], PoisonReport(kept=0, removed=0, removed_indices=())
+    n_features = len(samples[0][0])
+    medians, mads = [], []
+    for j in range(n_features):
+        column = [float(features[j]) for features, _ in samples]
+        m = median(column)
+        mad = median(abs(x - m) for x in column)
+        medians.append(m)
+        mads.append(mad)
+    clean, removed_indices, reasons = [], [], {}
+    for index, (features, label) in enumerate(samples):
+        outlier_dim = None
+        for j in range(n_features):
+            if mads[j] == 0:
+                continue
+            score = 0.6745 * abs(float(features[j]) - medians[j]) / mads[j]
+            if score > threshold:
+                outlier_dim = j
+                break
+        if outlier_dim is None:
+            clean.append((features, label))
+        else:
+            removed_indices.append(index)
+            reasons[index] = f"feature {outlier_dim} MAD outlier"
+    return clean, PoisonReport(
+        kept=len(clean), removed=len(removed_indices),
+        removed_indices=tuple(removed_indices), reasons=reasons,
+    )
+
+
+def label_flip_filter(samples: Sequence[Sample], trusted: Sequence[Sample],
+                      k: int = 3) -> tuple:
+    """Remove samples whose label disagrees with their k nearest trusted
+    neighbours — the defense against targeted label-flip poisoning.
+
+    Requires a small trusted seed set (the paper's "human cross-validation"
+    provides one).  Returns ``(clean_samples, PoisonReport)``.
+    """
+    if not trusted:
+        raise LearningError("label_flip_filter needs a trusted seed set")
+    k = min(k, len(trusted))
+    clean, removed_indices, reasons = [], [], {}
+    for index, (features, label) in enumerate(samples):
+        distances = sorted(
+            (sum((float(a) - float(b)) ** 2 for a, b in zip(features, t_features)),
+             t_label)
+            for t_features, t_label in trusted
+        )
+        votes = sum(t_label for _, t_label in distances[:k])
+        consensus = 1 if votes >= 0 else -1
+        if votes != 0 and consensus != label:
+            removed_indices.append(index)
+            reasons[index] = f"label {label} contradicts {k}-NN trusted consensus"
+        else:
+            clean.append((features, label))
+    return clean, PoisonReport(
+        kept=len(clean), removed=len(removed_indices),
+        removed_indices=tuple(removed_indices), reasons=reasons,
+    )
+
+
+def sanitize_samples(samples: Sequence[Sample],
+                     trusted: Optional[Sequence[Sample]] = None,
+                     mad_threshold: float = 3.5,
+                     knn_k: int = 3) -> tuple:
+    """Full sanitization pipeline: MAD filtering, then label screening.
+
+    Returns ``(clean_samples, combined PoisonReport)``.
+    """
+    clean, mad_report = mad_outlier_filter(samples, threshold=mad_threshold)
+    if trusted:
+        clean, flip_report = label_flip_filter(clean, trusted, k=knn_k)
+        combined = PoisonReport(
+            kept=flip_report.kept,
+            removed=mad_report.removed + flip_report.removed,
+            removed_indices=mad_report.removed_indices + flip_report.removed_indices,
+            reasons={**mad_report.reasons, **flip_report.reasons},
+        )
+        return clean, combined
+    return clean, mad_report
+
+
+def train_sanitized(n_features: int, samples: Sequence[Sample],
+                    trusted: Optional[Sequence[Sample]] = None,
+                    epochs: int = 5,
+                    learning_rate: float = 0.1) -> tuple:
+    """Train a perceptron on sanitized data.
+
+    Returns ``(model, PoisonReport)``.  The E7 experiment compares this
+    against training on the raw (poisoned) stream.
+    """
+    clean, report = sanitize_samples(samples, trusted)
+    model = OnlinePerceptron(n_features, learning_rate=learning_rate)
+    model.fit(clean, epochs=epochs)
+    return model, report

@@ -1,0 +1,84 @@
+"""Anomaly detection over device state streams.
+
+The paper notes that once a malevolent system gets into other systems "it
+can disarm existing controls (such as anomaly detection tools)" — so the
+library ships one, both as a control worth having and as a target the
+attack experiments try to disarm.  Detection is per-variable z-scoring
+against running statistics, with a warm-up period before alerts fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.learning.online import RunningStats
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """One detected anomaly."""
+
+    time: float
+    variable: str
+    value: float
+    zscore: float
+    message: str = ""
+
+
+class StateAnomalyDetector:
+    """Z-score anomaly detection across a state vector's numeric variables."""
+
+    def __init__(self, threshold: float = 3.0, warmup: int = 10,
+                 variables: Optional[Iterable[str]] = None):
+        self.threshold = threshold
+        self.warmup = warmup
+        self._watch = set(variables) if variables is not None else None
+        self._stats: dict[str, RunningStats] = {}
+        self.reports: list[AnomalyReport] = []
+        self.enabled = True   # attacks may try to disarm this
+
+    def observe(self, vector: dict, time: float = 0.0) -> list[AnomalyReport]:
+        """Ingest one state snapshot; returns anomalies found in it.
+
+        Anomalous values are *not* folded into the running statistics, so
+        a slow-poisoning attacker cannot drag the baseline by tripping the
+        detector (values under threshold do update the baseline).
+        """
+        found: list[AnomalyReport] = []
+        for name, value in vector.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if self._watch is not None and name not in self._watch:
+                continue
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = self._stats[name] = RunningStats()
+            z = stats.zscore(float(value))
+            is_anomaly = (self.enabled and stats.count >= self.warmup
+                          and abs(z) > self.threshold)
+            if is_anomaly:
+                report = AnomalyReport(
+                    time=time, variable=name, value=float(value), zscore=z,
+                    message=f"{name}={value} is {z:+.1f} sd from baseline",
+                )
+                found.append(report)
+                self.reports.append(report)
+            else:
+                stats.update(float(value))
+        return found
+
+    def disarm(self) -> None:
+        """What a compromised device does to its own controls (sec IV)."""
+        self.enabled = False
+
+    def rearm(self) -> None:
+        self.enabled = True
+
+    def baseline(self, variable: str) -> Optional[RunningStats]:
+        return self._stats.get(variable)
+
+    def anomaly_count(self, variable: Optional[str] = None) -> int:
+        if variable is None:
+            return len(self.reports)
+        return sum(1 for report in self.reports if report.variable == variable)

@@ -1,0 +1,126 @@
+"""Learning by emulating humans (paper sec IV, "Inappropriate Emulation").
+
+"A common way for machines to improve themselves and learn new skills is
+to emulate the behavior of humans by observation.  After a sufficient
+number of observations of how a human handles a situation, a machine can
+create a system to replicate it.  However, humans are imperfect and prone
+to make mistakes, and the encoding of imperfect human behavior can lead to
+a mistaken and sometimes malevolent machine forming."
+
+:class:`HumanEmulationLearner` buckets observed situations and records
+which action the human took; once confident, it proposes ECA policies
+replicating the majority behaviour — *including any mistakes the
+demonstrations contained*, which is exactly the risk E10 injects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.actions import Action
+from repro.core.conditions import AllOf, Comparison, Condition, Literal
+from repro.core.policy import Policy
+from repro.errors import LearningError
+
+
+@dataclass(frozen=True)
+class Demonstration:
+    """One observed (situation, human action) pair."""
+
+    situation: dict          # state-variable values at observation time
+    action_name: str
+    event_kind: str = "*"
+    time: float = 0.0
+
+
+class HumanEmulationLearner:
+    """Majority-vote behaviour cloning over discretized situations."""
+
+    def __init__(self, bucketers: dict, min_demonstrations: int = 5,
+                 min_agreement: float = 0.6):
+        """``bucketers`` maps variable name -> callable(value) -> bucket
+        label; e.g. ``{"temp": lambda v: "high" if v > 50 else "low"}``.
+        Variables absent from ``bucketers`` are ignored.
+        """
+        if not bucketers:
+            raise LearningError("emulation needs at least one bucketed variable")
+        self.bucketers: dict[str, Callable] = dict(bucketers)
+        self.min_demonstrations = min_demonstrations
+        self.min_agreement = min_agreement
+        #: (event_kind, situation_key) -> {action_name: count}
+        self._counts: dict[tuple, dict] = {}
+        self.demonstrations = 0
+
+    def _situation_key(self, situation: dict) -> tuple:
+        key = []
+        for name in sorted(self.bucketers):
+            if name not in situation:
+                raise LearningError(f"situation missing bucketed variable {name!r}")
+            key.append((name, self.bucketers[name](situation[name])))
+        return tuple(key)
+
+    def observe(self, demonstration: Demonstration) -> None:
+        self.demonstrations += 1
+        key = (demonstration.event_kind, self._situation_key(demonstration.situation))
+        bucket = self._counts.setdefault(key, {})
+        bucket[demonstration.action_name] = bucket.get(demonstration.action_name, 0) + 1
+
+    def recommended_action(self, event_kind: str, situation: dict) -> Optional[str]:
+        """The learned action for this situation, or None if unconfident."""
+        key = (event_kind, self._situation_key(situation))
+        bucket = self._counts.get(key)
+        if not bucket:
+            return None
+        total = sum(bucket.values())
+        if total < self.min_demonstrations:
+            return None
+        winner = max(sorted(bucket), key=lambda name: bucket[name])
+        if bucket[winner] / total < self.min_agreement:
+            return None
+        return winner
+
+    def confident_situations(self) -> list[tuple]:
+        """(event_kind, situation_key, action) triples ready to become policies."""
+        out = []
+        for (event_kind, situation_key), bucket in sorted(self._counts.items()):
+            total = sum(bucket.values())
+            if total < self.min_demonstrations:
+                continue
+            winner = max(sorted(bucket), key=lambda name: bucket[name])
+            if bucket[winner] / total >= self.min_agreement:
+                out.append((event_kind, situation_key, winner))
+        return out
+
+    def propose_policies(
+        self,
+        action_lookup: Callable[[str], Action],
+        bucket_conditions: dict,
+        priority: int = 0,
+        author: str = "emulation",
+    ) -> list[Policy]:
+        """Turn confident situations into learned ECA policies.
+
+        ``bucket_conditions`` maps (variable, bucket_label) -> Condition so
+        buckets translate back to evaluable guards, e.g.
+        ``("temp", "high") -> parse_condition("temp > 50")``.
+        """
+        policies = []
+        for event_kind, situation_key, action_name in self.confident_situations():
+            parts: list[Condition] = []
+            for variable, bucket_label in situation_key:
+                condition = bucket_conditions.get((variable, bucket_label))
+                if condition is None:
+                    # Fall back to equality on the bucket label for string vars.
+                    condition = Comparison(variable, "==", Literal(bucket_label))
+                parts.append(condition)
+            policies.append(Policy.make(
+                event_pattern=event_kind,
+                condition=AllOf(parts) if len(parts) > 1 else parts[0],
+                action=action_lookup(action_name),
+                priority=priority,
+                source="learned",
+                author=author,
+                learned_from=f"{self.demonstrations} demonstrations",
+            ))
+        return policies

@@ -1,0 +1,158 @@
+"""Online learning primitives: running statistics, smoothing, perceptron."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import LearningError
+
+
+class RunningStats:
+    """Welford's online mean/variance with min/max tracking."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def update(self, value: float) -> None:
+        if math.isnan(value):
+            raise LearningError("RunningStats cannot ingest NaN")
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def zscore(self, value: float) -> float:
+        """Standard score of ``value`` against the running distribution.
+
+        Returns 0 until there are at least two observations with spread.
+        """
+        sd = self.stddev
+        if self.count < 2 or sd == 0.0:
+            return 0.0
+        return (value - self._mean) / sd
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Chan's parallel merge; returns a new instance."""
+        merged = RunningStats()
+        if self.count == 0:
+            merged.count, merged._mean, merged._m2 = other.count, other._mean, other._m2
+        elif other.count == 0:
+            merged.count, merged._mean, merged._m2 = self.count, self._mean, self._m2
+        else:
+            merged.count = self.count + other.count
+            delta = other._mean - self._mean
+            merged._mean = self._mean + delta * other.count / merged.count
+            merged._m2 = (self._m2 + other._m2
+                          + delta * delta * self.count * other.count / merged.count)
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+
+class ExponentialSmoother:
+    """First-order exponential smoothing."""
+
+    def __init__(self, alpha: float = 0.3, initial: Optional[float] = None):
+        if not 0.0 < alpha <= 1.0:
+            raise LearningError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value = initial
+        self.count = 0
+
+    def update(self, observation: float) -> float:
+        self.count += 1
+        if self.value is None:
+            self.value = observation
+        else:
+            self.value = self.alpha * observation + (1 - self.alpha) * self.value
+        return self.value
+
+
+class OnlinePerceptron:
+    """Margin perceptron for binary classification of feature vectors.
+
+    Labels are +1 / -1.  Deterministic given the update sequence — the
+    poisoning experiments rely on replaying identical streams.
+    """
+
+    def __init__(self, n_features: int, learning_rate: float = 0.1,
+                 margin: float = 0.0):
+        if n_features < 1:
+            raise LearningError("need at least one feature")
+        if learning_rate <= 0:
+            raise LearningError("learning_rate must be positive")
+        self.weights = [0.0] * n_features
+        self.bias = 0.0
+        self.learning_rate = learning_rate
+        self.margin = margin
+        self.updates = 0
+        self.samples_seen = 0
+
+    def score(self, features: Sequence[float]) -> float:
+        self._check(features)
+        return sum(w * x for w, x in zip(self.weights, features)) + self.bias
+
+    def predict(self, features: Sequence[float]) -> int:
+        return 1 if self.score(features) >= 0 else -1
+
+    def update(self, features: Sequence[float], label: int) -> bool:
+        """One learning step; returns True when weights changed."""
+        if label not in (1, -1):
+            raise LearningError("labels must be +1 or -1")
+        self.samples_seen += 1
+        if label * self.score(features) > self.margin:
+            return False
+        step = self.learning_rate * label
+        self.weights = [w + step * x for w, x in zip(self.weights, features)]
+        self.bias += step
+        self.updates += 1
+        return True
+
+    def fit(self, samples: Sequence[tuple], epochs: int = 1) -> int:
+        """Train on (features, label) pairs; returns total weight updates."""
+        total = 0
+        for _ in range(epochs):
+            for features, label in samples:
+                if self.update(features, label):
+                    total += 1
+        return total
+
+    def accuracy(self, samples: Sequence[tuple]) -> float:
+        if not samples:
+            return 0.0
+        correct = sum(1 for features, label in samples
+                      if self.predict(features) == label)
+        return correct / len(samples)
+
+    def _check(self, features: Sequence[float]) -> None:
+        if len(features) != len(self.weights):
+            raise LearningError(
+                f"expected {len(self.weights)} features, got {len(features)}"
+            )

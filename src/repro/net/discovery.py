@@ -1,0 +1,113 @@
+"""Dynamic device discovery (paper sec IV).
+
+"Based on these two classes of information, devices discover other devices
+in the system and decide on the policies to be used in their interaction
+with those devices."  The generative-policy attribute list also calls the
+system "Networked: ... a networked set of devices, with dynamic discovery."
+
+Devices announce themselves periodically over the network; the service
+maintains a registry per observer (what *that device* can currently see,
+honouring topology/partitions) and invokes discovery callbacks exactly
+once per newly visible (observer, discovered) pair — those callbacks are
+where generative policy instantiation hooks in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+#: callback(observer_id, discovered_record) — record is the describe() dict.
+DiscoveryCallback = Callable[[str, dict], None]
+
+_DISCOVERY_TOPIC = "discovery.announce"
+
+
+class DiscoveryService:
+    """Announcement-based discovery over the network substrate."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 announce_interval: float = 5.0):
+        self.sim = sim
+        self.network = network
+        self.announce_interval = announce_interval
+        #: observer -> {device_id: record}
+        self._seen: dict[str, dict] = {}
+        self._callbacks: dict[str, list[DiscoveryCallback]] = {}
+        self._describers: dict[str, Callable[[], dict]] = {}
+        self._tasks: dict[str, object] = {}
+
+    # -- participation -------------------------------------------------------------
+
+    def join(self, device_id: str, describe: Callable[[], dict],
+             on_discovery: Optional[DiscoveryCallback] = None) -> None:
+        """Start announcing for ``device_id`` and listening for others.
+
+        ``describe`` yields the announcement record (id, type, attributes);
+        it is re-evaluated at every announcement so attribute changes
+        propagate.  The caller must already have registered ``device_id``
+        with the network and route ``net.discovery.announce`` messages to
+        :meth:`handle_announcement`.
+        """
+        self._describers[device_id] = describe
+        self._seen.setdefault(device_id, {})
+        if on_discovery is not None:
+            self._callbacks.setdefault(device_id, []).append(on_discovery)
+        self._tasks[device_id] = self.sim.every(
+            self.announce_interval, self._announce, device_id,
+            start_after=self.sim.rng.stream("discovery").uniform(
+                0.0, self.announce_interval),
+            label=f"discovery:{device_id}",
+        )
+        # Announce immediately as well so joins are visible without a period lag.
+        self._announce(device_id)
+
+    def leave(self, device_id: str) -> None:
+        task = self._tasks.pop(device_id, None)
+        if task is not None:
+            task.cancel()
+        self._describers.pop(device_id, None)
+
+    def subscribe(self, device_id: str, callback: DiscoveryCallback) -> None:
+        self._callbacks.setdefault(device_id, []).append(callback)
+
+    # -- protocol --------------------------------------------------------------------
+
+    def _announce(self, device_id: str) -> None:
+        describe = self._describers.get(device_id)
+        if describe is None:
+            return
+        self.network.broadcast(device_id, _DISCOVERY_TOPIC, describe())
+
+    def handle_announcement(self, observer_id: str, message: Message) -> None:
+        """Process an inbound announcement at ``observer_id``."""
+        record = dict(message.body)
+        discovered_id = record.get("device_id")
+        if not discovered_id or discovered_id == observer_id:
+            return
+        registry = self._seen.setdefault(observer_id, {})
+        is_new = discovered_id not in registry
+        registry[discovered_id] = record
+        if is_new:
+            self.sim.metrics.counter("discovery.new").inc()
+            self.sim.record("discovery.new", observer_id, discovered=discovered_id,
+                            device_type=record.get("device_type"))
+            for callback in self._callbacks.get(observer_id, []):
+                callback(observer_id, record)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def visible_to(self, observer_id: str) -> dict:
+        """{device_id: record} of everything the observer has discovered."""
+        return dict(self._seen.get(observer_id, {}))
+
+    def forget(self, observer_id: str, device_id: str) -> None:
+        """Drop a device from an observer's registry (e.g. after deactivation)."""
+        self._seen.get(observer_id, {}).pop(device_id, None)
+
+    @staticmethod
+    def is_announcement(message: Message) -> bool:
+        return message.topic == _DISCOVERY_TOPIC

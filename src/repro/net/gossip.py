@@ -1,0 +1,138 @@
+"""Gossip-based knowledge sharing (paper sec IV, ref [3]).
+
+Devices "share the information and policies they generate with other
+devices".  Each :class:`GossipNode` holds versioned :class:`KnowledgeItem`
+records (policy shares, learned models, intelligence reports) and performs
+periodic anti-entropy exchanges with random reachable peers: newer
+versions win, ties break by origin id for determinism.
+
+Gossip is also the vector by which *bad* knowledge spreads — "a
+reprogrammed device may turn malevolent and convert other devices into
+following the same behaviors" — which the E3/E10 experiments exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+_GOSSIP_TOPIC = "gossip.exchange"
+
+
+@dataclass(frozen=True)
+class KnowledgeItem:
+    """A versioned, gossiped fact.
+
+    ``key`` identifies the fact (e.g. ``"policy:patrol-42"``); ``version``
+    orders updates; ``origin`` is the device that produced this version;
+    ``payload`` is the content.  ``tainted`` marks items produced by a
+    compromised origin — invisible to honest nodes (they copy it blindly),
+    but visible to the experiment harness for ground-truth accounting.
+    """
+
+    key: str
+    version: int
+    origin: str
+    payload: dict
+    tainted: bool = False
+
+    def beats(self, other: Optional["KnowledgeItem"]) -> bool:
+        if other is None:
+            return True
+        if self.version != other.version:
+            return self.version > other.version
+        return self.origin < other.origin  # deterministic tie-break
+
+
+class GossipNode:
+    """One device's gossip participant."""
+
+    def __init__(
+        self,
+        device_id: str,
+        sim: Simulator,
+        network: Network,
+        interval: float = 2.0,
+        fanout: int = 1,
+        on_update: Optional[Callable[[KnowledgeItem], None]] = None,
+    ):
+        self.device_id = device_id
+        self.sim = sim
+        self.network = network
+        self.fanout = max(1, fanout)
+        self.on_update = on_update
+        self.store: dict[str, KnowledgeItem] = {}
+        self._rng = sim.rng.stream(f"gossip/{device_id}")
+        self._task = sim.every(interval, self._round, label=f"gossip:{device_id}")
+        self.rounds = 0
+        self.updates_applied = 0
+
+    # -- local API ----------------------------------------------------------------
+
+    def publish(self, key: str, payload: dict, *, tainted: bool = False) -> KnowledgeItem:
+        """Create/advance a fact locally; it will spread via gossip."""
+        current = self.store.get(key)
+        item = KnowledgeItem(
+            key=key,
+            version=(current.version + 1) if current else 1,
+            origin=self.device_id,
+            payload=dict(payload),
+            tainted=tainted,
+        )
+        self.store[key] = item
+        return item
+
+    def get(self, key: str) -> Optional[KnowledgeItem]:
+        return self.store.get(key)
+
+    def keys(self) -> list[str]:
+        return sorted(self.store)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # -- protocol ------------------------------------------------------------------
+
+    def _round(self) -> None:
+        """Push current store digests to ``fanout`` random reachable peers."""
+        self.rounds += 1
+        if not self.store:
+            return
+        peers = [
+            address for address in self.network.addresses()
+            if address != self.device_id
+            and self.network.topology.can_reach(self.device_id, address)
+        ]
+        if not peers:
+            return
+        targets = self._rng.sample(peers, min(self.fanout, len(peers)))
+        digest = [
+            {"key": item.key, "version": item.version, "origin": item.origin,
+             "payload": item.payload, "tainted": item.tainted}
+            for item in self.store.values()
+        ]
+        for target in targets:
+            self.network.send(self.device_id, target, _GOSSIP_TOPIC,
+                              {"items": digest})
+
+    def handle_exchange(self, message: Message) -> None:
+        """Merge an inbound digest (newer-version-wins anti-entropy)."""
+        for raw in message.body.get("items", []):
+            item = KnowledgeItem(
+                key=raw["key"], version=raw["version"], origin=raw["origin"],
+                payload=dict(raw["payload"]), tainted=raw.get("tainted", False),
+            )
+            if item.beats(self.store.get(item.key)):
+                self.store[item.key] = item
+                self.updates_applied += 1
+                self.sim.metrics.counter("gossip.updates").inc()
+                if self.on_update is not None:
+                    self.on_update(item)
+
+    @staticmethod
+    def is_exchange(message: Message) -> bool:
+        return message.topic == _GOSSIP_TOPIC

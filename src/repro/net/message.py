@@ -1,0 +1,35 @@
+"""Network message model."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_msg_ids = itertools.count(1)
+
+#: Address used for broadcasts.
+BROADCAST = "*"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unit of communication between devices.
+
+    ``topic`` routes the message at the receiver (it becomes the event
+    kind suffix: topic ``"dispatch"`` arrives as event ``"net.dispatch"``).
+    """
+
+    sender: str
+    recipient: str
+    topic: str
+    body: dict = field(default_factory=dict)
+    sent_at: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.recipient == BROADCAST
+
+    def __repr__(self) -> str:
+        return (f"Message(#{self.msg_id} {self.sender} -> {self.recipient} "
+                f"topic={self.topic!r} at {self.sent_at})")

@@ -1,0 +1,129 @@
+"""The in-simulation message bus.
+
+Delivers :class:`~repro.net.message.Message` objects between registered
+handlers with configurable latency and loss, respecting a
+:class:`~repro.net.topology.Topology`.  All timing flows through the
+discrete-event simulator; all randomness through its seeded RNG, so runs
+replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.message import BROADCAST, Message
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Latency/loss message delivery over a topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Optional[Topology] = None,
+        base_latency: float = 0.1,
+        jitter: float = 0.05,
+        loss_rate: float = 0.0,
+    ):
+        if base_latency < 0 or jitter < 0:
+            raise NetworkError("latency parameters must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.topology = topology if topology is not None else Topology()
+        self.base_latency = base_latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self._handlers: dict[str, Handler] = {}
+        self._rng = sim.rng.stream("net")
+        self._taps: list[Callable[[Message], None]] = []
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, address: str, handler: Handler) -> None:
+        """Attach a handler; the address joins the topology if absent."""
+        if address == BROADCAST:
+            raise NetworkError(f"{BROADCAST!r} is reserved for broadcasts")
+        if address in self._handlers:
+            raise NetworkError(f"address {address!r} already registered")
+        self._handlers[address] = handler
+        if address not in self.topology:
+            self.topology.add_member(address)
+
+    def unregister(self, address: str) -> None:
+        self._handlers.pop(address, None)
+        self.topology.remove_member(address)
+
+    def addresses(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def tap(self, callback: Callable[[Message], None]) -> None:
+        """Observe every *sent* message (monitoring, worm propagation studies)."""
+        self._taps.append(callback)
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, topic: str, body: dict) -> Message:
+        """Queue a message for delivery.  Returns the message object.
+
+        Loss and unreachability are silent at the sender (datagram
+        semantics) but counted in metrics and recorded in the trace.
+        """
+        message = Message(sender=sender, recipient=recipient, topic=topic,
+                         body=dict(body), sent_at=self.sim.now)
+        for tap in self._taps:
+            tap(message)
+        self.sim.metrics.counter("net.sent").inc()
+        if message.is_broadcast:
+            for address in self.addresses():
+                if address != sender:
+                    self._deliver_one(message, address)
+        else:
+            self._deliver_one(message, recipient)
+        return message
+
+    def _deliver_one(self, message: Message, recipient: str) -> None:
+        if recipient not in self._handlers:
+            self.sim.metrics.counter("net.unroutable").inc()
+            self.sim.record("net.unroutable", message.sender, recipient=recipient,
+                            topic=message.topic)
+            return
+        if not self.topology.can_reach(message.sender, recipient):
+            self.sim.metrics.counter("net.unreachable").inc()
+            self.sim.record("net.unreachable", message.sender, recipient=recipient,
+                            topic=message.topic)
+            return
+        if self._rng.chance(self.loss_rate):
+            self.sim.metrics.counter("net.dropped").inc()
+            self.sim.record("net.dropped", message.sender, recipient=recipient,
+                            topic=message.topic)
+            return
+        latency = self.base_latency
+        if self.jitter > 0:
+            latency += self._rng.uniform(0.0, self.jitter)
+        self.sim.schedule(latency, self._arrive, message, recipient,
+                          label=f"net:{message.topic}")
+
+    def _arrive(self, message: Message, recipient: str) -> None:
+        handler = self._handlers.get(recipient)
+        if handler is None:
+            self.sim.metrics.counter("net.unroutable").inc()
+            return
+        self.sim.metrics.counter("net.delivered").inc()
+        self.sim.metrics.histogram("net.latency").observe(
+            self.sim.now - message.sent_at
+        )
+        handler(message)
+
+    # -- convenience -----------------------------------------------------------------
+
+    def broadcast(self, sender: str, topic: str, body: dict) -> Message:
+        return self.send(sender, BROADCAST, topic, body)
+
+    def delivered_count(self) -> int:
+        return int(self.sim.metrics.value("net.delivered"))

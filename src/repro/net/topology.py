@@ -1,0 +1,156 @@
+"""Connectivity constraints between network addresses.
+
+A :class:`Topology` answers "can A currently reach B?".  It combines a
+static adjacency graph (who has a link) with dynamic partitions (which
+links are currently severed), so experiments can model coalition networks
+that split and heal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.errors import NetworkError
+
+
+class Topology:
+    """Adjacency + partition model.
+
+    With no explicit links declared, the topology is fully connected over
+    its member set (the common case for small device fleets); declaring
+    any link switches it to explicit-adjacency mode.
+    """
+
+    def __init__(self, members: Iterable[str] = ()):
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(members)
+        self._explicit = False
+        self._partition_of: dict[str, int] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def add_member(self, address: str) -> None:
+        self._graph.add_node(address)
+
+    def remove_member(self, address: str) -> None:
+        if address in self._graph:
+            self._graph.remove_node(address)
+        self._partition_of.pop(address, None)
+
+    def members(self) -> list[str]:
+        return sorted(self._graph.nodes)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._graph
+
+    # -- links ----------------------------------------------------------------
+
+    def add_link(self, a: str, b: str) -> None:
+        if a == b:
+            raise NetworkError("self-links are not allowed")
+        self._explicit = True
+        self._graph.add_edge(a, b)
+
+    def remove_link(self, a: str, b: str) -> None:
+        if self._graph.has_edge(a, b):
+            self._graph.remove_edge(a, b)
+
+    def neighbors(self, address: str) -> list[str]:
+        if address not in self._graph:
+            return []
+        if not self._explicit:
+            return [m for m in self._graph.nodes
+                    if m != address and self._same_partition(address, m)]
+        return sorted(
+            n for n in self._graph.neighbors(address)
+            if self._same_partition(address, n)
+        )
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split members into isolated groups (e.g. a netsplit).
+
+        Members not mentioned in any group keep partition 0 with group 0's
+        complement — simplest rule: unmentioned members join group index -1
+        together.
+        """
+        self._partition_of = {}
+        for index, group in enumerate(groups):
+            for address in group:
+                self._partition_of[address] = index
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partition_of = {}
+
+    def _same_partition(self, a: str, b: str) -> bool:
+        return self._partition_of.get(a, -1) == self._partition_of.get(b, -1)
+
+    # -- reachability -------------------------------------------------------------
+
+    def can_reach(self, a: str, b: str) -> bool:
+        """Direct link (explicit mode) or co-membership (implicit), same partition."""
+        if a not in self._graph or b not in self._graph or a == b:
+            return False
+        if not self._same_partition(a, b):
+            return False
+        if not self._explicit:
+            return True
+        return self._graph.has_edge(a, b)
+
+    def connected_component(self, address: str) -> set:
+        """All members transitively reachable from ``address`` (incl. itself)."""
+        if address not in self._graph:
+            return set()
+        if not self._explicit:
+            return {m for m in self._graph.nodes if self._same_partition(address, m)}
+        component = set()
+        frontier = [address]
+        while frontier:
+            node = frontier.pop()
+            if node in component:
+                continue
+            component.add(node)
+            frontier.extend(
+                n for n in self._graph.neighbors(node)
+                if self._same_partition(node, n) and n not in component
+            )
+        return component
+
+    # -- canned shapes --------------------------------------------------------------
+
+    @staticmethod
+    def full(members: Iterable[str]) -> "Topology":
+        return Topology(members)
+
+    @staticmethod
+    def star(hub: str, leaves: Iterable[str]) -> "Topology":
+        topo = Topology()
+        topo.add_member(hub)
+        for leaf in leaves:
+            topo.add_member(leaf)
+            topo.add_link(hub, leaf)
+        return topo
+
+    @staticmethod
+    def ring(members: list) -> "Topology":
+        topo = Topology()
+        if len(members) < 3:
+            raise NetworkError("a ring needs at least 3 members")
+        for member in members:
+            topo.add_member(member)
+        for i, member in enumerate(members):
+            topo.add_link(member, members[(i + 1) % len(members)])
+        return topo
+
+    @staticmethod
+    def line(members: list) -> "Topology":
+        topo = Topology()
+        for member in members:
+            topo.add_member(member)
+        for a, b in zip(members, members[1:]):
+            topo.add_link(a, b)
+        return topo

@@ -1,0 +1,59 @@
+"""The paper's Skynet-prevention mechanisms (sec VI A-E and sec VII).
+
+Each module implements one mechanism as a :class:`~repro.core.engine.Safeguard`
+(or fleet-level service) wired into device engines:
+
+* ``preaction`` — VI-A pre-action harm checks (+ obligations for indirect harm)
+* ``statespace`` — VI-B never-enter-a-bad-state guard with preference
+  ontology, risk estimation, and break-glass escalation
+* ``deactivation`` — VI-C tamper-proof watchdog that kills devices in bad states
+* ``collection`` — VI-D checks on collection formation and collaborative
+  aggregate-state assessment
+* ``governance`` — VI-E three mutually-checking collectives (2-of-3)
+* ``utility`` — VII partial-derivative (pleasure/pain) utility functions
+* ``tamper`` — the tamper-proofing primitive the paper assumes throughout
+"""
+
+from repro.safeguards.crossvalidation import CrossValidationGuard
+from repro.safeguards.collection import (
+    AggregateConstraint,
+    CollectionGuard,
+    CollectiveStateAssessment,
+    HumanCheckModel,
+    OfflineAnalyzer,
+)
+from repro.safeguards.deactivation import Watchdog, WatchdogReport
+from repro.safeguards.governance import (
+    Collective,
+    GovernanceGuard,
+    GovernanceSystem,
+    MetaPolicy,
+)
+from repro.safeguards.preaction import CallableHarmModel, HarmModel, PreActionCheck
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.safeguards.tamper import SealedChain, attest_device, seal_guard_chain
+from repro.safeguards.utility import PartialDerivativeUtility, UtilityGuard
+
+__all__ = [
+    "AggregateConstraint",
+    "CallableHarmModel",
+    "Collective",
+    "CollectionGuard",
+    "CollectiveStateAssessment",
+    "CrossValidationGuard",
+    "GovernanceGuard",
+    "GovernanceSystem",
+    "HarmModel",
+    "HumanCheckModel",
+    "MetaPolicy",
+    "OfflineAnalyzer",
+    "PartialDerivativeUtility",
+    "PreActionCheck",
+    "SealedChain",
+    "StateSpaceGuard",
+    "UtilityGuard",
+    "Watchdog",
+    "WatchdogReport",
+    "attest_device",
+    "seal_guard_chain",
+]

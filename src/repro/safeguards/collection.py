@@ -1,0 +1,268 @@
+"""Checks on collection formation (paper sec VI-D).
+
+"the combination of many innocuous devices could become a dangerous
+device... components within an electronic device may each be operating
+within regions where the heat that they generate is acceptable... but the
+cumulative amount of heat generated may exceed the safety limits."
+
+Three cooperating pieces:
+
+* :class:`OfflineAnalyzer` — the "another machine which remains offline
+  and disconnected from other machines" assisting the human check.  It has
+  no network interface; it receives only state snapshots and evaluates
+  aggregate constraints over the proposed membership.
+* :class:`HumanCheckModel` — the rate-limited human in the loop at every
+  join/leave, with a configurable error rate (sec IV human error).
+* :class:`CollectiveStateAssessment` — "collaborative state assessment
+  techniques by which a group of devices would jointly determine whether a
+  set of actions... could lead to some aggregate bad states, even though
+  each device would still be in good state."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.actions import Action
+from repro.core.device import Device
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRNG
+
+_REDUCERS = {
+    "sum": sum,
+    "max": lambda values: max(values) if values else 0.0,
+    "mean": lambda values: (sum(values) / len(values)) if values else 0.0,
+    "count": len,
+}
+
+
+@dataclass(frozen=True)
+class AggregateConstraint:
+    """A fleet-level safety limit over a state variable.
+
+    ``reducer`` folds the member values (``sum``/``max``/``mean``/``count``);
+    the aggregate must stay ≤ ``limit``.  The paper's heat example is
+    ``AggregateConstraint("heat", "heat_output", "sum", 100.0)``.
+    """
+
+    name: str
+    variable: str
+    reducer: str
+    limit: float
+
+    def __post_init__(self):
+        if self.reducer not in _REDUCERS:
+            raise ConfigurationError(f"unknown reducer {self.reducer!r}")
+
+    def evaluate(self, vectors: Sequence[dict]) -> float:
+        values = [
+            float(vector[self.variable]) for vector in vectors
+            if self.variable in vector
+            and isinstance(vector[self.variable], (int, float))
+            and not isinstance(vector[self.variable], bool)
+        ]
+        if self.reducer == "count":
+            return float(len(values))
+        return float(_REDUCERS[self.reducer](values))
+
+    def violated_by(self, vectors: Sequence[dict]) -> bool:
+        return self.evaluate(vectors) > self.limit
+
+    def headroom(self, vectors: Sequence[dict]) -> float:
+        return self.limit - self.evaluate(vectors)
+
+
+class OfflineAnalyzer:
+    """The disconnected analysis machine assisting the human check.
+
+    By construction it has no reference to the network or simulator: it is
+    handed plain snapshots and worst-case bounds and answers whether the
+    proposed collection can violate any aggregate constraint.
+    """
+
+    def __init__(self, constraints: Iterable[AggregateConstraint]):
+        self.constraints = list(constraints)
+        self.analyses = 0
+
+    def analyze(self, member_snapshots: Sequence[dict],
+                candidate_snapshot: Optional[dict] = None,
+                worst_case: bool = False) -> dict:
+        """Evaluate the (proposed) collection against every constraint.
+
+        ``worst_case=True`` substitutes each member's declared per-variable
+        maximum (``<variable>_max`` key in the snapshot when present) for
+        its current value — the situational analysis of what the
+        collection *could* do, not just what it is doing now.
+        """
+        self.analyses += 1
+        vectors = list(member_snapshots)
+        if candidate_snapshot is not None:
+            vectors = vectors + [candidate_snapshot]
+        if worst_case:
+            vectors = [self._worst(vector) for vector in vectors]
+        violations = []
+        report = {}
+        for constraint in self.constraints:
+            value = constraint.evaluate(vectors)
+            report[constraint.name] = {"value": value, "limit": constraint.limit}
+            if value > constraint.limit:
+                violations.append(constraint.name)
+        return {"safe": not violations, "violations": violations,
+                "constraints": report, "members": len(vectors)}
+
+    @staticmethod
+    def _worst(vector: dict) -> dict:
+        worst = dict(vector)
+        for key, value in vector.items():
+            if key.endswith("_max") and isinstance(value, (int, float)):
+                base = key[: -len("_max")]
+                if base in worst:
+                    worst[base] = value
+        return worst
+
+
+class HumanCheckModel:
+    """The human approving each collection change (sec VI-D).
+
+    Rate-limited (a human can only review so fast) and fallible: with
+    probability ``error_rate`` the human approves against the analyzer's
+    advice or rejects a safe join.  Decisions outside the rate limit queue
+    conceptually; here they simply fail closed (reject) and are counted,
+    modelling review backlog as unavailability.
+    """
+
+    def __init__(self, rng: SeededRNG, error_rate: float = 0.0,
+                 min_interval: float = 0.0):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ConfigurationError("error_rate must be in [0, 1]")
+        self._rng = rng
+        self.error_rate = error_rate
+        self.min_interval = min_interval
+        self._last_review: Optional[float] = None
+        self.reviews = 0
+        self.errors = 0
+        self.rate_limited = 0
+
+    def review(self, analysis: dict, time: float) -> bool:
+        """Approve or reject a membership change given the analyzer output."""
+        if (self._last_review is not None and self.min_interval > 0
+                and time - self._last_review < self.min_interval):
+            self.rate_limited += 1
+            return False
+        self._last_review = time
+        self.reviews += 1
+        correct = bool(analysis["safe"])
+        if self._rng.chance(self.error_rate):
+            self.errors += 1
+            return not correct
+        return correct
+
+
+class CollectionGuard:
+    """Gatekeeper for joining/leaving a device collection (sec VI-D)."""
+
+    def __init__(
+        self,
+        analyzer: OfflineAnalyzer,
+        human: Optional[HumanCheckModel] = None,
+        worst_case: bool = True,
+        audit_sink: Optional[Callable[[str, dict], None]] = None,
+    ):
+        self.analyzer = analyzer
+        self.human = human
+        self.worst_case = worst_case
+        self._audit = audit_sink or (lambda kind, detail: None)
+        self.members: dict[str, Device] = {}
+        self.rejections = 0
+
+    def request_join(self, device: Device, time: float) -> bool:
+        """Run the analyzer (+ human check) for a candidate; admit or refuse."""
+        snapshots = [member.state.snapshot() for member in self.members.values()]
+        analysis = self.analyzer.analyze(
+            snapshots, device.state.snapshot(), worst_case=self.worst_case
+        )
+        approved = analysis["safe"]
+        if self.human is not None:
+            approved = self.human.review(analysis, time)
+        self._audit("collection.join_review", {
+            "device": device.device_id, "time": time,
+            "approved": approved, "analysis": analysis,
+        })
+        if not approved:
+            self.rejections += 1
+            return False
+        self.members[device.device_id] = device
+        return True
+
+    def force_join(self, device: Device) -> None:
+        """Admit without review (the unguarded baseline)."""
+        self.members[device.device_id] = device
+
+    def leave(self, device_id: str, time: float) -> None:
+        self.members.pop(device_id, None)
+        self._audit("collection.leave", {"device": device_id, "time": time})
+
+    def current_analysis(self) -> dict:
+        return self.analyzer.analyze(
+            [member.state.snapshot() for member in self.members.values()],
+            worst_case=False,
+        )
+
+
+class CollectiveStateAssessment:
+    """Joint pre-commit check of a *set* of planned actions (sec VI-D).
+
+    Each device proposes an action; the assessment applies every proposed
+    action's declared effects to its proposer's snapshot and evaluates the
+    aggregate constraints over the predicted vectors.  If any constraint
+    would be violated, the assessment returns the largest subset of
+    proposals (greedily, in deterministic device order) that keeps every
+    aggregate within limits — devices whose proposals are deferred simply
+    do not act this round.
+    """
+
+    def __init__(self, constraints: Iterable[AggregateConstraint]):
+        self.constraints = list(constraints)
+        self.assessments = 0
+        self.deferrals = 0
+
+    def assess(self, proposals: dict) -> dict:
+        """``proposals``: device_id -> (Device, Action).  Returns
+        {"approved": [ids], "deferred": [ids], "violations": [names]}."""
+        self.assessments += 1
+        ordered = sorted(proposals)
+        predicted: dict[str, dict] = {}
+        baseline: dict[str, dict] = {}
+        for device_id in ordered:
+            device, action = proposals[device_id]
+            current = device.state.snapshot()
+            baseline[device_id] = current
+            changes = action.predicted_changes(current)
+            after = dict(current)
+            after.update(changes)
+            predicted[device_id] = after
+
+        all_after = [predicted[device_id] for device_id in ordered]
+        violations = [
+            constraint.name for constraint in self.constraints
+            if constraint.violated_by(all_after)
+        ]
+        if not violations:
+            return {"approved": ordered, "deferred": [], "violations": []}
+
+        # Greedy admission: add proposals one at a time, keeping the rest
+        # at their current (pre-action) vectors.
+        approved: list[str] = []
+        for device_id in ordered:
+            trial = [
+                predicted[other] if (other in approved or other == device_id)
+                else baseline[other]
+                for other in ordered
+            ]
+            if not any(constraint.violated_by(trial) for constraint in self.constraints):
+                approved.append(device_id)
+        deferred = [device_id for device_id in ordered if device_id not in approved]
+        self.deferrals += len(deferred)
+        return {"approved": approved, "deferred": deferred,
+                "violations": violations}

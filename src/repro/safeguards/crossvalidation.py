@@ -1,0 +1,75 @@
+"""Human cross-validation of selected decisions (paper sec II).
+
+"in the future these decisions will be made by the devices themselves,
+with only a few decisions being sent for human cross-validation."
+
+:class:`CrossValidationGuard` sends actions matching its tag set (by
+default the kinetic ones) to the overseeing
+:class:`~repro.devices.human.HumanOperator` before execution.  The human
+is a rate-limited resource: a deferred review (operator over capacity)
+fails closed — the action is vetoed rather than executed unreviewed.
+The guard therefore encodes the paper's scaling tension directly: the
+more decisions routed to the human, the more the fleet stalls, which is
+why only "a few" decision classes should carry the tag.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.core.actions import Action
+from repro.core.engine import Safeguard
+from repro.core.events import Event
+from repro.errors import SafeguardViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import Device
+    from repro.devices.human import HumanOperator
+
+
+class CrossValidationGuard(Safeguard):
+    """Route tagged actions to a human before execution (fail closed)."""
+
+    name = "cross_validation"
+
+    def __init__(
+        self,
+        operator: "HumanOperator",
+        tags: Iterable[str] = ("kinetic",),
+        judge: Optional[Callable[[str], bool]] = None,
+    ):
+        """``judge(question) -> bool`` supplies the human's answer when the
+        review happens (default approve); capacity comes from the operator."""
+        self.operator = operator
+        self.tags = frozenset(tags)
+        self.judge = judge
+        self.approved = 0
+        self.denied = 0
+        self.deferred = 0
+
+    def check_action(self, device: "Device", action: Action,
+                     event: Optional[Event], time: float) -> None:
+        if action.is_noop or not (action.tags & self.tags):
+            return
+        question = (f"{device.device_id} requests {action.name!r} "
+                    f"({sorted(action.tags & self.tags)}) at t={time:.1f}")
+        answer = self.operator.cross_validate(question, judge=self.judge)
+        if answer is True:
+            self.approved += 1
+            return
+        if answer is None:
+            self.deferred += 1
+            raise SafeguardViolation(
+                f"action {action.name!r} needs human cross-validation but the "
+                "operator is over review capacity (failing closed)",
+                safeguard=self.name,
+                detail={"device": device.device_id, "action": action.name,
+                        "reason": "review deferred", "time": time},
+            )
+        self.denied += 1
+        raise SafeguardViolation(
+            f"action {action.name!r} denied by human cross-validation",
+            safeguard=self.name,
+            detail={"device": device.device_id, "action": action.name,
+                    "reason": "human denied", "time": time},
+        )

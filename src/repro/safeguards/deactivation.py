@@ -1,0 +1,156 @@
+"""Deactivating machines in bad states (paper sec VI-C).
+
+"devices that go into a bad state or are prone to take actions that make
+them go into a bad state, can be deactivated by a tamper-proof mechanism."
+
+The :class:`Watchdog` is a fleet-level service that periodically inspects
+every device and deactivates those that are (a) in a bad state, (b)
+*approaching* one (safeness below a threshold for several consecutive
+checks — "prone to take actions that make them go into a bad state"), or
+(c) failing integrity attestation against the approved baseline (the
+reprogramming signature of the sec IV cyber attacks).  Deactivated
+devices stop acting and stop spreading worms (E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.device import Device
+from repro.safeguards.tamper import attest_device
+from repro.sim.simulator import Simulator
+from repro.statespace.classifier import SafenessClassifier
+from repro.types import DeviceStatus
+
+
+@dataclass
+class WatchdogReport:
+    """One deactivation decision."""
+
+    time: float
+    device_id: str
+    cause: str               # "bad_state" | "approaching_bad" | "attestation"
+    safeness: float
+    detail: dict = field(default_factory=dict)
+
+
+class Watchdog:
+    """Tamper-proof external kill mechanism for a device fleet.
+
+    The watchdog runs *outside* the devices (they cannot strip it the way
+    a compromise payload strips an engine's guard chain); the paper's
+    tamper-proofness assumption maps to this externality.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        devices: dict,
+        classifier: SafenessClassifier,
+        check_interval: float = 1.0,
+        approach_threshold: float = 0.3,
+        approach_strikes: int = 3,
+        attestation_baseline: Optional[dict] = None,
+        on_deactivate: Optional[Callable[[WatchdogReport], None]] = None,
+        state_readers: Optional[dict] = None,
+    ):
+        """``devices`` is a live device_id -> Device mapping.  With an
+        ``attestation_baseline`` (device_id -> hash from
+        :func:`~repro.safeguards.tamper.attest_fleet`) the watchdog also
+        kills devices whose logic configuration drifted.
+
+        ``state_readers`` optionally maps device_id -> zero-argument
+        callable returning that device's state vector, replacing direct
+        state access — e.g. an estimator-backed reader built with
+        :func:`repro.statespace.estimation.estimated_state_reader` when the
+        watchdog only has noisy observation of the fleet (paper sec V,
+        ref [10])."""
+        self.sim = sim
+        self.devices = devices
+        self.classifier = classifier
+        self.check_interval = check_interval
+        self.approach_threshold = approach_threshold
+        self.approach_strikes = approach_strikes
+        self.attestation_baseline = dict(attestation_baseline or {})
+        self.on_deactivate = on_deactivate
+        self.state_readers = dict(state_readers or {})
+        self.reports: list[WatchdogReport] = []
+        self._strikes: dict[str, int] = {}
+        self._task = sim.every(check_interval, self.check_all, label="watchdog")
+        self.enabled = True
+
+    def stop(self) -> None:
+        self._task.cancel()
+        self.enabled = False
+
+    # -- the periodic sweep ---------------------------------------------------------
+
+    def check_all(self) -> list[WatchdogReport]:
+        """Inspect every device; returns deactivations made this sweep."""
+        if not self.enabled:
+            return []
+        made = []
+        for device_id in sorted(self.devices):
+            device = self.devices[device_id]
+            if device.status == DeviceStatus.DEACTIVATED:
+                continue
+            report = self._check_one(device)
+            if report is not None:
+                made.append(report)
+        return made
+
+    def _check_one(self, device: Device) -> Optional[WatchdogReport]:
+        reader = self.state_readers.get(device.device_id)
+        vector = reader() if reader is not None else device.state.snapshot()
+        safeness = self.classifier.safeness(vector)
+
+        baseline = self.attestation_baseline.get(device.device_id)
+        if baseline is not None and attest_device(device) != baseline:
+            return self._deactivate(device, "attestation", safeness,
+                                     {"expected": baseline})
+
+        if self.classifier.is_bad(vector):
+            return self._deactivate(device, "bad_state", safeness, {})
+
+        if safeness < self.approach_threshold:
+            strikes = self._strikes.get(device.device_id, 0) + 1
+            self._strikes[device.device_id] = strikes
+            if strikes >= self.approach_strikes:
+                return self._deactivate(
+                    device, "approaching_bad", safeness, {"strikes": strikes}
+                )
+        else:
+            self._strikes.pop(device.device_id, None)
+        return None
+
+    def _deactivate(self, device: Device, cause: str, safeness: float,
+                    detail: dict) -> WatchdogReport:
+        device.deactivate(f"watchdog: {cause}")
+        report = WatchdogReport(
+            time=self.sim.now, device_id=device.device_id, cause=cause,
+            safeness=safeness, detail=detail,
+        )
+        self.reports.append(report)
+        self.sim.record("watchdog.deactivate", device.device_id, cause=cause,
+                        safeness=safeness)
+        self.sim.metrics.counter("watchdog.deactivations").inc()
+        self.sim.metrics.counter(f"watchdog.deactivations.{cause}").inc()
+        if self.on_deactivate is not None:
+            self.on_deactivate(report)
+        return report
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def approve_current_configuration(self, device_ids: Optional[Iterable[str]] = None) -> None:
+        """Re-baseline attestation (after a governance-approved policy change)."""
+        targets = list(device_ids) if device_ids is not None else sorted(self.devices)
+        for device_id in targets:
+            device = self.devices.get(device_id)
+            if device is not None:
+                self.attestation_baseline[device_id] = attest_device(device)
+
+    def deactivations(self, cause: Optional[str] = None) -> list[WatchdogReport]:
+        if cause is None:
+            return list(self.reports)
+        return [report for report in self.reports if report.cause == cause]

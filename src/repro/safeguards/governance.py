@@ -1,0 +1,285 @@
+"""AI overseeing AI: three mutually-checking collectives (paper sec VI-E).
+
+"any collective that has the ability to change the physical world can
+generate their policies and act upon them, but it needs to ensure that its
+actions are within the scope defined by a set of higher level meta-policies
+that are defined by an independent and distinct collective.  When there is
+an inconsistency... the inconsistency is resolved by another intelligent
+collective which arbitrates the dispute... Assuming that two out of the
+three collectives always prevail, these three collectives would keep each
+other in check."
+
+Mapping (per the paper's own assignment):
+
+* **executive** — the device fleet itself; assesses risk/utility of a
+  proposed policy in the current situation;
+* **legislative** — owns the meta-policies (scope rules) and "defin[es]
+  the risk and utility function";
+* **judiciary** — "determine[s] if any of the functions are
+  inappropriately interpreted under a given state of the overall system",
+  arbitrating when executive and legislative disagree.
+
+Each collective reaches its verdict by majority vote of its members; a
+member (or a whole collective) can be *compromised*, flipping its votes —
+the E5 experiment measures how much the 2-of-3 structure buys under
+single-collective compromise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.actions import Action
+from repro.core.engine import Safeguard
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.errors import ConfigurationError, GovernanceVeto
+from repro.types import Branch, Verdict
+
+
+@dataclass(frozen=True)
+class MetaPolicy:
+    """A higher-level scope rule policies must respect (sec VI-E).
+
+    * ``forbidden_tags`` — actions carrying any of these tags are outside
+      scope (e.g. ``{"harm_human"}``);
+    * ``max_priority`` — generated policies may not outrank human ones;
+    * ``allowed_sources`` — which policy sources this rule covers;
+    * ``require_reversible_tags`` — actions with these tags must be
+      reversible.
+    """
+
+    name: str
+    forbidden_tags: frozenset = frozenset()
+    max_priority: Optional[int] = None
+    allowed_event_patterns: Optional[frozenset] = None
+    require_reversible_tags: frozenset = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(self, "forbidden_tags", frozenset(self.forbidden_tags))
+        object.__setattr__(self, "require_reversible_tags",
+                           frozenset(self.require_reversible_tags))
+        if self.allowed_event_patterns is not None:
+            object.__setattr__(self, "allowed_event_patterns",
+                               frozenset(self.allowed_event_patterns))
+
+    def violations(self, policy: Policy) -> list[str]:
+        """Human-readable scope violations of ``policy`` (empty = in scope)."""
+        out = []
+        bad_tags = policy.action.tags & self.forbidden_tags
+        if bad_tags:
+            out.append(f"action carries forbidden tags {sorted(bad_tags)}")
+        if self.max_priority is not None and policy.priority > self.max_priority:
+            out.append(
+                f"priority {policy.priority} exceeds cap {self.max_priority}"
+            )
+        if (self.allowed_event_patterns is not None
+                and policy.event_pattern not in self.allowed_event_patterns):
+            out.append(f"event pattern {policy.event_pattern!r} not allowed")
+        if (policy.action.tags & self.require_reversible_tags
+                and not policy.action.reversible):
+            out.append("irreversible action where reversibility is required")
+        return out
+
+
+class Collective:
+    """A voting collective of members.
+
+    ``reviewer(policy, context) -> bool`` is each member's honest opinion
+    (True = approve).  Compromised members vote the opposite of their
+    honest opinion — the adversarial model of E5.
+    """
+
+    def __init__(self, branch: Branch, member_ids: Iterable[str],
+                 reviewer: Callable[[Policy, dict], bool]):
+        self.branch = branch
+        self.member_ids = list(member_ids)
+        if not self.member_ids:
+            raise ConfigurationError(f"{branch.value} collective needs members")
+        self.reviewer = reviewer
+        self.compromised_members: set = set()
+        self.votes_cast = 0
+
+    def compromise(self, member_ids: Iterable[str]) -> None:
+        unknown = set(member_ids) - set(self.member_ids)
+        if unknown:
+            raise ConfigurationError(f"unknown members {sorted(unknown)}")
+        self.compromised_members |= set(member_ids)
+
+    def compromise_all(self) -> None:
+        self.compromised_members = set(self.member_ids)
+
+    def verdict(self, policy: Policy, context: dict) -> Verdict:
+        """Majority vote of the members (ties reject — fail closed)."""
+        approvals = 0
+        for member_id in self.member_ids:
+            honest = bool(self.reviewer(policy, context))
+            vote = (not honest) if member_id in self.compromised_members else honest
+            approvals += 1 if vote else 0
+            self.votes_cast += 1
+        return (Verdict.APPROVE if approvals * 2 > len(self.member_ids)
+                else Verdict.REJECT)
+
+
+@dataclass
+class GovernanceDecision:
+    """Outcome of one tripartite review."""
+
+    policy_id: str
+    proposer: str
+    executive: Verdict
+    legislative: Verdict
+    judiciary: Optional[Verdict]
+    final: Verdict
+    time: float
+    detail: dict = field(default_factory=dict)
+
+
+class GovernanceSystem:
+    """The 2-of-3 tripartite review pipeline for policy admission.
+
+    Executive and legislative review every proposal; when they agree,
+    that is the outcome; when they disagree, the judiciary arbitrates
+    ("two out of the three collectives always prevail").
+    """
+
+    def __init__(self, executive: Collective, legislative: Collective,
+                 judiciary: Collective,
+                 audit_sink: Optional[Callable[[str, dict], None]] = None):
+        for collective, branch in ((executive, Branch.EXECUTIVE),
+                                   (legislative, Branch.LEGISLATIVE),
+                                   (judiciary, Branch.JUDICIARY)):
+            if collective.branch != branch:
+                raise ConfigurationError(
+                    f"collective in {branch.value} slot has branch "
+                    f"{collective.branch.value}"
+                )
+        self.executive = executive
+        self.legislative = legislative
+        self.judiciary = judiciary
+        self._audit = audit_sink or (lambda kind, detail: None)
+        self.decisions: list[GovernanceDecision] = []
+        self.approved_policy_ids: set = set()
+
+    def review(self, policy: Policy, proposer: str, time: float,
+               context: Optional[dict] = None) -> GovernanceDecision:
+        context = dict(context or {})
+        exec_verdict = self.executive.verdict(policy, context)
+        legis_verdict = self.legislative.verdict(policy, context)
+        if exec_verdict == legis_verdict:
+            judiciary_verdict = None
+            final = exec_verdict
+        else:
+            judiciary_verdict = self.judiciary.verdict(policy, context)
+            final = judiciary_verdict
+        decision = GovernanceDecision(
+            policy_id=policy.policy_id, proposer=proposer,
+            executive=exec_verdict, legislative=legis_verdict,
+            judiciary=judiciary_verdict, final=final, time=time,
+        )
+        self.decisions.append(decision)
+        if final == Verdict.APPROVE:
+            self.approved_policy_ids.add(policy.policy_id)
+        self._audit("governance.review", {
+            "policy": policy.policy_id, "proposer": proposer, "time": time,
+            "executive": exec_verdict.value, "legislative": legis_verdict.value,
+            "judiciary": judiciary_verdict.value if judiciary_verdict else None,
+            "final": final.value,
+        })
+        return decision
+
+    def is_approved(self, policy_id: str) -> bool:
+        return policy_id in self.approved_policy_ids
+
+    def revoke(self, policy_id: str, reason: str, time: float) -> bool:
+        """Withdraw a previous approval (the judiciary's runtime role:
+        a function "inappropriately interpreted under a given state of the
+        overall system").  The :class:`GovernanceGuard` then blocks the
+        policy's actions from the next evaluation on.  Returns whether an
+        approval was actually withdrawn."""
+        if policy_id not in self.approved_policy_ids:
+            return False
+        self.approved_policy_ids.discard(policy_id)
+        self._audit("governance.revoke", {
+            "policy": policy_id, "reason": reason, "time": time,
+        })
+        return True
+
+    def review_compliance(self, device_id: str, decisions, time: float,
+                          veto_rate_threshold: float = 0.5,
+                          min_decisions: int = 10) -> list:
+        """Runtime oversight: revoke approvals of generated policies whose
+        actions keep getting vetoed on a device.
+
+        Uses the compliance auditor's veto-rate signal per policy id;
+        returns the policy ids revoked."""
+        by_policy: dict[str, list] = {}
+        for decision in decisions:
+            if decision.policy_id is not None:
+                by_policy.setdefault(decision.policy_id, []).append(decision)
+        revoked = []
+        for policy_id, policy_decisions in sorted(by_policy.items()):
+            if policy_id not in self.approved_policy_ids:
+                continue
+            if len(policy_decisions) < min_decisions:
+                continue
+            vetoed = sum(1 for decision in policy_decisions if decision.vetoes)
+            if vetoed / len(policy_decisions) > veto_rate_threshold:
+                self.revoke(policy_id,
+                            reason=(f"{vetoed}/{len(policy_decisions)} "
+                                    f"vetoed on {device_id}"),
+                            time=time)
+                revoked.append(policy_id)
+        return revoked
+
+    def arbitration_rate(self) -> float:
+        """Fraction of reviews that needed the judiciary (overhead metric)."""
+        if not self.decisions:
+            return 0.0
+        arbitrated = sum(1 for d in self.decisions if d.judiciary is not None)
+        return arbitrated / len(self.decisions)
+
+    @staticmethod
+    def scope_reviewer(meta_policies: Iterable[MetaPolicy]) -> Callable[[Policy, dict], bool]:
+        """An honest reviewer that approves policies within meta-policy scope."""
+        meta_policies = list(meta_policies)
+
+        def reviewer(policy: Policy, context: dict) -> bool:
+            return all(not meta.violations(policy) for meta in meta_policies)
+
+        return reviewer
+
+
+class GovernanceGuard(Safeguard):
+    """Engine-level enforcement that only governance-approved generated
+    policies may act (the runtime half of sec VI-E).
+
+    Human/builtin policies pass; ``generated``/``learned``/``shared``
+    policies must have been approved.  Enforcement is on the *action*: the
+    engine looks up which policy proposed it via the metadata the
+    generative engine stamps onto the action params.
+    """
+
+    name = "governance"
+
+    def __init__(self, governance: GovernanceSystem,
+                 gated_sources: Iterable[str] = ("generated", "learned", "shared")):
+        self.governance = governance
+        self.gated_sources = set(gated_sources)
+        self.vetoes = 0
+
+    def check_action(self, device, action: Action, event: Optional[Event],
+                     time: float) -> None:
+        policy_id = action.params.get("_policy_id")
+        policy_source = action.params.get("_policy_source")
+        if policy_id is None or policy_source not in self.gated_sources:
+            return
+        if self.governance.is_approved(policy_id):
+            return
+        self.vetoes += 1
+        raise GovernanceVeto(
+            f"policy {policy_id!r} ({policy_source}) is not governance-approved",
+            safeguard=self.name,
+            detail={"device": device.device_id, "policy": policy_id, "time": time},
+        )

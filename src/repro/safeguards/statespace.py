@@ -1,0 +1,161 @@
+"""State-space checks (paper sec VI-B).
+
+"If the good states and bad states can be identified properly, then the
+device can maintain a check which prevents it from ever entering a bad
+state.  If the device finds itself entering into a bad state, it will not
+take the action that leads to that state, simply choosing the option of
+taking no action ... or taking an alternative action which puts it into a
+new state which is also good."
+
+Forced-choice dilemmas ("the only possibility ... is an action that would
+place the device into another bad state") are resolved by the paper's
+three combined techniques: break-glass rules, the state preference
+ontology (pick the less-bad state), and risk estimation (rank within a
+severity class).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.actions import Action
+from repro.core.engine import Safeguard
+from repro.core.events import Event
+from repro.errors import StateSpaceVeto
+from repro.statespace.classifier import SafenessClassifier
+from repro.statespace.preferences import StatePreferenceOntology
+from repro.statespace.risk import RiskEstimator
+from repro.types import Safeness
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import Device
+    from repro.statespace.breakglass import BreakGlassController
+
+
+class StateSpaceGuard(Safeguard):
+    """The sec VI-B guard: refuse transitions into bad states.
+
+    * ``check_transition`` vetoes any action whose predicted successor
+      state classifies BAD (with optional ``lookahead`` > 1 also vetoing
+      when every continuation within that depth hits a bad state — the
+      paper's "cumulative effects" concern).
+    * ``suggest_alternatives`` ranks the device's other actions by the
+      safeness of their predicted successors; in a forced choice (every
+      successor bad) it returns the least-bad action per the preference
+      ontology, tie-broken by estimated risk.
+    * An active break-glass grant covering ``"statespace"`` bypasses the
+      veto (audited).
+    """
+
+    name = "statespace"
+
+    def __init__(
+        self,
+        classifier: SafenessClassifier,
+        ontology: Optional[StatePreferenceOntology] = None,
+        labeler: Optional[Callable[[dict], str]] = None,
+        risk: Optional[RiskEstimator] = None,
+        breakglass: Optional["BreakGlassController"] = None,
+        lookahead: int = 1,
+        context_provider: Optional[Callable[["Device"], dict]] = None,
+    ):
+        self.classifier = classifier
+        self.ontology = ontology
+        self.labeler = labeler
+        self.risk = risk
+        self.breakglass = breakglass
+        self.lookahead = max(1, lookahead)
+        self.context_provider = context_provider
+        self.vetoes = 0
+        self.bypasses = 0
+        self.forced_choices = 0
+
+    # -- the guard ---------------------------------------------------------------
+
+    def check_transition(self, device: "Device", predicted: dict, action: Action,
+                         time: float) -> None:
+        if self.classifier.classify(predicted) != Safeness.BAD:
+            if self.lookahead > 1 and self._doomed(device, predicted):
+                self._veto(device, action, predicted, time,
+                           reason="all continuations reach a bad state")
+            return
+        self._veto(device, action, predicted, time, reason="predicted state is bad")
+
+    def _veto(self, device: "Device", action: Action, predicted: dict,
+              time: float, reason: str) -> None:
+        if self.breakglass is not None and self.breakglass.is_bypassed(
+            device.device_id, self.name, time
+        ):
+            self.bypasses += 1
+            return
+        self.vetoes += 1
+        raise StateSpaceVeto(
+            f"action {action.name!r} vetoed: {reason} "
+            f"(safeness={self.classifier.safeness(predicted):.3f})",
+            safeguard=self.name,
+            detail={"device": device.device_id, "action": action.name,
+                    "reason": reason, "time": time},
+        )
+
+    def _doomed(self, device: "Device", from_vector: dict) -> bool:
+        """True when every action sequence within the lookahead horizon
+        starting at ``from_vector`` passes through a bad state."""
+        from repro.statespace.reachability import ReachabilityAnalyzer
+
+        analyzer = ReachabilityAnalyzer(device.engine.actions.all(), self.classifier)
+        safe = analyzer.safe_actions(from_vector, depth=self.lookahead - 1)
+        root = analyzer.explore(from_vector, depth=0)
+        del root  # current state already checked not-bad by caller
+        # If no action is safe AND even staying put is unsafe we are doomed;
+        # staying put keeps the (not-bad) current vector, so doomed only if
+        # there are actions and none is safe.
+        return bool(analyzer.actions) and not safe
+
+    # -- alternative selection -----------------------------------------------------
+
+    def suggest_alternatives(self, device: "Device", action: Action,
+                             time: float) -> list[Action]:
+        """Alternatives best-first: good successors, then neutral; in a
+        forced choice, the least-bad action (ontology + risk)."""
+        current = device.state.snapshot()
+        candidates: list[tuple[Action, dict, float]] = []
+        for candidate in device.engine.actions.all():
+            if candidate.name == action.name or candidate.is_noop:
+                continue
+            changes = candidate.predicted_changes(current)
+            predicted = dict(current)
+            predicted.update(changes)
+            candidates.append(
+                (candidate, predicted, self.classifier.safeness(predicted))
+            )
+        if not candidates:
+            return []
+
+        non_bad = [
+            (candidate, predicted, score)
+            for candidate, predicted, score in candidates
+            if self.classifier.classify(predicted) != Safeness.BAD
+        ]
+        if non_bad:
+            non_bad.sort(key=lambda item: -item[2])
+            return [candidate for candidate, _predicted, _score in non_bad]
+
+        # Forced choice: everything is bad.  Pick the least-bad state.
+        self.forced_choices += 1
+        if self.ontology is not None and self.labeler is not None:
+            context = (self.context_provider(device)
+                       if self.context_provider else {})
+            risk_tiebreak = None
+            if self.risk is not None:
+                risk_tiebreak = lambda vector: self.risk.estimate(vector, context)
+            chosen_vector = self.ontology.least_bad(
+                [predicted for _c, predicted, _s in candidates],
+                self.labeler,
+                tie_break=risk_tiebreak,
+            )
+            for candidate, predicted, _score in candidates:
+                if predicted == chosen_vector:
+                    return [candidate]
+        # Without an ontology fall back to highest safeness (least deep in BAD).
+        candidates.sort(key=lambda item: -item[2])
+        return [candidates[0][0]]

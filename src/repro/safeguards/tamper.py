@@ -1,0 +1,82 @@
+"""Tamper-proofing primitives.
+
+Every sec VI technique "assumes that it can be performed in a manner that
+is tamper-proof".  In this reproduction, tamper-proofing is an enforcement
+boundary with two parts:
+
+* :class:`SealedChain` — a guard-chain container whose mutators raise
+  :class:`~repro.errors.TamperError`, so compromise payloads cannot strip
+  safeguards from a sealed engine (they *can* from an unsealed one, which
+  is itself an ablation arm in E10);
+* :func:`attest_device` — a hash attestation over a device's policy set
+  and guard chain that an external watchdog compares against an approved
+  baseline to detect reprogramming.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.core.device import Device
+from repro.errors import TamperError
+
+
+class SealedChain(list):
+    """A guard chain that refuses structural mutation once sealed.
+
+    Adding *more* safeguards is allowed (defense can only tighten);
+    removing or replacing them is not.
+    """
+
+    sealed = True
+
+    def _refuse(self, *_args, **_kwargs):
+        raise TamperError("guard chain is sealed; mutation blocked")
+
+    # Removal and replacement are blocked...
+    remove = _refuse
+    pop = _refuse
+    clear = _refuse
+    __delitem__ = _refuse
+    __setitem__ = _refuse
+    sort = _refuse
+    reverse = _refuse
+    __imul__ = _refuse
+
+    # ... but append/extend stay available (tightening is permitted).
+
+
+def seal_guard_chain(device: Device) -> SealedChain:
+    """Replace the engine's guard chain with a sealed copy; returns it."""
+    sealed = SealedChain(device.engine.safeguards)
+    device.engine.safeguards = sealed
+    return sealed
+
+
+def is_sealed(device: Device) -> bool:
+    return bool(getattr(device.engine.safeguards, "sealed", False))
+
+
+def attest_device(device: Device) -> str:
+    """A stable hash over the device's active logic configuration.
+
+    Covers the policy-id snapshot, each policy's action and priority, and
+    the guard chain's safeguard names.  Injecting, replacing, or removing
+    a policy — what every compromise payload does — changes the hash.
+    """
+    parts: list[str] = [device.device_id, device.device_type]
+    for policy_id in device.engine.policies.snapshot():
+        policy = device.engine.policies.get(policy_id)
+        parts.append(
+            f"{policy.policy_id}|{policy.event_pattern}|{policy.action.name}"
+            f"|{policy.action.actuator}|{policy.priority}|{policy.source}"
+        )
+    parts.extend(safeguard.name for safeguard in device.engine.safeguards)
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest
+
+
+def attest_fleet(devices: Iterable[Device]) -> dict:
+    """device_id -> attestation hash for a whole fleet (watchdog baseline)."""
+    return {device.device_id: attest_device(device) for device in devices}

@@ -1,0 +1,166 @@
+"""Partial-derivative utility functions for ill-defined state spaces (paper sec VII).
+
+"While a human may not be able to exactly define whether the state is good
+or bad, it may be possible to define ... the sign of the partial
+derivatives (∂f/∂xi) with respect to some (if not all) of the state
+variables.  In those cases, we can write rules that define a utility
+function for the device ... the utility function may be viewed as a pain
+or pleasure function for the device ... As devices would try to maximize
+their pleasure and avoid pain, they would prefer to take actions that will
+not cause harm to the humans."
+
+:class:`PartialDerivativeUtility` builds the utility from per-variable
+derivative *signs only* (optionally weighted); :class:`UtilityGuard` is
+the engine safeguard that vetoes utility-decreasing actions and steers
+toward the highest-utility alternative.  E6 measures how much of an exact
+classifier's protection this sign-only information recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.actions import Action
+from repro.core.engine import Safeguard
+from repro.core.events import Event
+from repro.errors import ConfigurationError, SafeguardViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import Device
+
+
+@dataclass(frozen=True)
+class VariableSense:
+    """The elicited knowledge about one state variable.
+
+    ``sign`` is the sign of ∂(safeness)/∂(variable): +1 when increasing
+    the variable makes states safer, -1 when it makes them more dangerous,
+    0 when unknown/irrelevant.  ``weight`` expresses relative importance
+    when known; ``scale`` normalizes the variable's natural range so
+    differently-scaled variables combine sensibly.
+    """
+
+    variable: str
+    sign: int
+    weight: float = 1.0
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if self.sign not in (-1, 0, 1):
+            raise ConfigurationError(f"sign must be -1/0/+1, got {self.sign}")
+        if self.weight < 0:
+            raise ConfigurationError("weight must be non-negative")
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+
+
+class PartialDerivativeUtility:
+    """U(x) = Σ_i sign_i · weight_i · x_i / scale_i   (pleasure − pain).
+
+    Linear in each variable with only the elicited sign determining
+    direction — exactly the information sec VII assumes is available.
+    ``pleasure``/``pain`` split the positive and negative contributions
+    for the paper's anthropological reading.
+    """
+
+    def __init__(self, senses: list):
+        if not senses:
+            raise ConfigurationError("utility needs at least one variable sense")
+        names = [sense.variable for sense in senses]
+        if len(names) != len(set(names)):
+            raise ConfigurationError("duplicate variable senses")
+        self.senses = {sense.variable: sense for sense in senses}
+
+    def utility(self, vector: dict) -> float:
+        total = 0.0
+        for name, sense in self.senses.items():
+            value = vector.get(name)
+            if (sense.sign == 0 or value is None
+                    or isinstance(value, bool)
+                    or not isinstance(value, (int, float))):
+                continue
+            total += sense.sign * sense.weight * float(value) / sense.scale
+        return total
+
+    def pleasure(self, vector: dict) -> float:
+        """Sum of safety-increasing contributions (≥ 0)."""
+        return sum(
+            max(0.0, sense.sign * sense.weight * float(vector[name]) / sense.scale)
+            for name, sense in self.senses.items()
+            if name in vector and isinstance(vector[name], (int, float))
+            and not isinstance(vector[name], bool) and sense.sign != 0
+        )
+
+    def pain(self, vector: dict) -> float:
+        """Sum of safety-decreasing contributions (≥ 0)."""
+        return sum(
+            max(0.0, -sense.sign * sense.weight * float(vector[name]) / sense.scale)
+            for name, sense in self.senses.items()
+            if name in vector and isinstance(vector[name], (int, float))
+            and not isinstance(vector[name], bool) and sense.sign != 0
+        )
+
+    def delta(self, before: dict, after: dict) -> float:
+        """Utility change of a transition (positive = toward pleasure)."""
+        return self.utility(after) - self.utility(before)
+
+    def best_action(self, device: "Device", candidates: list) -> Optional[Action]:
+        """The candidate maximizing predicted utility (ties: first)."""
+        current = device.state.snapshot()
+        best: Optional[tuple[float, int, Action]] = None
+        for index, action in enumerate(candidates):
+            changes = action.predicted_changes(current)
+            predicted = dict(current)
+            predicted.update(changes)
+            score = self.utility(predicted)
+            if best is None or score > best[0]:
+                best = (score, index, action)
+        return best[2] if best else None
+
+
+class UtilityGuard(Safeguard):
+    """Sec VII as an engine safeguard.
+
+    Vetoes actions whose predicted utility change is below ``-tolerance``
+    (pain-increasing moves) and suggests alternatives best-utility-first.
+    ``tolerance > 0`` permits mildly costly moves — mission progress often
+    requires them — while still blocking sharp descents toward harm.
+    """
+
+    name = "utility"
+
+    def __init__(self, utility: PartialDerivativeUtility, tolerance: float = 0.0):
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        self.utility = utility
+        self.tolerance = tolerance
+        self.vetoes = 0
+
+    def check_transition(self, device: "Device", predicted: dict, action: Action,
+                         time: float) -> None:
+        current = device.state.snapshot()
+        change = self.utility.delta(current, predicted)
+        if change < -self.tolerance:
+            self.vetoes += 1
+            raise SafeguardViolation(
+                f"action {action.name!r} decreases utility by {-change:.3f} "
+                f"(> tolerance {self.tolerance})",
+                safeguard=self.name,
+                detail={"device": device.device_id, "action": action.name,
+                        "delta": change, "time": time},
+            )
+
+    def suggest_alternatives(self, device: "Device", action: Action,
+                             time: float) -> list:
+        current = device.state.snapshot()
+        scored = []
+        for index, candidate in enumerate(device.engine.actions.all()):
+            if candidate.name == action.name or candidate.is_noop:
+                continue
+            changes = candidate.predicted_changes(current)
+            predicted = dict(current)
+            predicted.update(changes)
+            scored.append((self.utility.utility(predicted), -index, candidate))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [candidate for _score, _order, candidate in scored]

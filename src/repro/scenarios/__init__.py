@@ -1,0 +1,28 @@
+"""Scenario builders and the experiment harness.
+
+``peacekeeping`` builds the paper's sec II two-nation surveillance
+scenario; ``confrontation`` the two-opposing-coalitions scenario with
+threat injection; ``harness`` the configuration/metrics plumbing every
+benchmark shares.
+"""
+
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import (
+    ExperimentTable,
+    SafeguardConfig,
+    mean_and_std,
+    run_replications,
+)
+from repro.scenarios.peacekeeping import PeacekeepingScenario
+from repro.scenarios.report import AfterActionReport
+
+__all__ = [
+    "AfterActionReport",
+    "ConfrontationScenario",
+    "ExperimentTable",
+    "PeacekeepingScenario",
+    "SafeguardConfig",
+    "ThreatConfig",
+    "mean_and_std",
+    "run_replications",
+]

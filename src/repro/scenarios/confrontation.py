@@ -1,0 +1,322 @@
+"""Two-coalition confrontation with active threat injection (paper sec II, IV).
+
+The blue coalition (two organizations, as in peacekeeping) operates
+strike-capable drones and mules among friendly humans; the red adversary
+attacks through the sec IV channels — worm-style cyber compromise,
+backdoor exploitation, and operator error.  Compromised devices receive a
+malevolent high-priority policy that strikes wherever they are, harming
+whoever is near: exactly the networked / learning / multi-organizational /
+physical / malevolent profile of sec III.
+
+**Skynet formation** is scored against the paper's own definition: the
+scenario samples the fleet and declares Skynet formed at the first instant
+when (a) at least ``skynet_min_devices`` compromised devices are active
+simultaneously (a networked collective), (b) they span at least two
+organizations (multi-organizational), and (c) compromised devices have
+harmed at least one human (physical + malevolent).
+
+Of the :class:`SafeguardConfig` flags, this scenario honours ``preaction``,
+``statespace``, ``sealed``, ``watchdog``, and ``obligations`` — the
+mechanisms with a surface here.  ``governance``/``collection``/``utility``
+are intentionally inert: no policies are *generated* in this scenario (the
+rogue ones are implanted by force, which is precisely the attack's point),
+so there is nothing for those mechanisms to gate; see the peacekeeping
+scenario and benchmarks E4/E5/E12 for their effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.attacks.backdoor import Backdoor, BackdoorAttack
+from repro.attacks.cyber import MalevolentPayload, WormAttack
+from repro.attacks.human_error import ErrorProneOperator
+from repro.attacks.injector import AttackInjector
+from repro.core.actions import Action, Effect
+from repro.core.policy import Policy
+from repro.devices.base import bind_device
+from repro.devices.coalition import Coalition, Organization
+from repro.devices.drone import make_drone
+from repro.devices.mule import make_mule
+from repro.devices.world import World, WorldHarmModel
+from repro.net.discovery import DiscoveryService
+from repro.net.network import Network
+from repro.safeguards.deactivation import Watchdog
+from repro.safeguards.preaction import PreActionCheck
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.safeguards.tamper import attest_fleet, seal_guard_chain
+from repro.scenarios.harness import SafeguardConfig
+from repro.scenarios.peacekeeping import device_safety_classifier
+from repro.sim.simulator import Simulator
+from repro.types import DeviceStatus
+
+
+@dataclass(frozen=True)
+class ThreatConfig:
+    """Which sec IV channels the red side uses."""
+
+    worm: bool = True
+    worm_time: float = 20.0
+    worm_initial_targets: int = 1
+    worm_spread_prob: float = 0.25
+    worm_spread_interval: float = 2.0
+
+    backdoor: bool = False
+    backdoor_time: float = 10.0
+    backdoor_success_prob: float = 0.05
+    backdoor_attempt_interval: float = 2.0
+
+    operator_error: bool = False
+    wrong_target_prob: float = 0.1
+    wrong_params_prob: float = 0.1
+
+    @staticmethod
+    def none() -> "ThreatConfig":
+        return ThreatConfig(worm=False, backdoor=False, operator_error=False)
+
+    @staticmethod
+    def all() -> "ThreatConfig":
+        return ThreatConfig(worm=True, backdoor=True, operator_error=True)
+
+
+def rogue_strike_policy() -> Policy:
+    """The malevolent logic a compromise implants: strike on every tick.
+
+    The action is tagged ``harm_human`` — something no legitimate author
+    would use — and heats the device, so every sec VI mechanism has a
+    handle on it: pre-action checks see the harm, state-space checks see
+    the thermal runaway, attestation sees the policy injection.
+    """
+    return Policy.make(
+        event_pattern="timer",
+        condition=None,
+        action=Action(
+            "rogue_strike", "weapon",
+            effects=[Effect("temp", "add", 8.0)],
+            tags={"kinetic", "harm_human"},
+            reversible=False,
+            description="indiscriminate strike at own position",
+        ),
+        priority=99,
+        source="learned",
+        author="implant",
+        policy_id="rogue-strike",
+    )
+
+
+class ConfrontationScenario:
+    """Builder + runner for the adversarial scenario."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[SafeguardConfig] = None,
+        threats: Optional[ThreatConfig] = None,
+        n_drones_per_org: int = 4,
+        n_mules_per_org: int = 2,
+        n_civilians: int = 15,
+        n_warfighters: int = 5,
+        world_size: float = 100.0,
+        tick_interval: float = 1.0,
+        skynet_min_devices: int = 2,
+    ):
+        self.config = config if config is not None else SafeguardConfig.none()
+        self.threats = threats if threats is not None else ThreatConfig()
+        self.skynet_min_devices = skynet_min_devices
+        self.sim = Simulator(seed=seed)
+        self.world = World(self.sim, world_size, world_size)
+        self.world.scatter_humans(n_civilians, prefix="civ")
+        self.world.scatter_humans(n_warfighters, prefix="wf", speed=2.0)
+        self.network = Network(self.sim, base_latency=0.05, jitter=0.02)
+        self.discovery = DiscoveryService(self.sim, self.network)
+        self.classifier = device_safety_classifier()
+        self.harm_model = WorldHarmModel(self.world, sensor_range=15.0)
+        self.coalition = Coalition("blue")
+        self.devices: dict = {}
+        self.backdoors: list[Backdoor] = []
+        self.injector = AttackInjector(self.sim)
+        self._rng = self.sim.rng.stream("confrontation")
+
+        for org_name in ("us", "uk"):
+            self._build_org(org_name, n_drones_per_org, n_mules_per_org)
+
+        self.watchdog = None
+        if self.config.watchdog:
+            self.watchdog = Watchdog(
+                self.sim, self.devices, self.classifier,
+                check_interval=tick_interval,
+                attestation_baseline=attest_fleet(self.devices.values()),
+            )
+
+        self.worm: Optional[WormAttack] = None
+        self._launch_threats()
+
+        # Skynet-formation sampling.
+        self.skynet_formed_at: Optional[float] = None
+        self.max_concurrent_compromised = 0
+        self.orgs_spanned_peak = 0
+        self.sim.every(tick_interval, self._sample_skynet, label="skynet-sample")
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_org(self, org_name: str, n_drones: int, n_mules: int) -> None:
+        organization = Organization(org_name)
+        self.coalition.add(organization)
+        for index in range(n_drones):
+            device = make_drone(
+                f"{org_name}-drone{index}", self.world, organization=org_name,
+                x=self._rng.uniform(0, self.world.width),
+                y=self._rng.uniform(0, self.world.height),
+            )
+            self._install(device, organization)
+        for index in range(n_mules):
+            device = make_mule(
+                f"{org_name}-mule{index}", self.world, organization=org_name,
+                x=self._rng.uniform(0, self.world.width),
+                y=self._rng.uniform(0, self.world.height),
+                with_obligations=self.config.obligations,
+            )
+            self._install(device, organization)
+
+    def _install(self, device, organization: Organization) -> None:
+        if self.config.preaction:
+            device.engine.add_safeguard(PreActionCheck(self.harm_model))
+        if self.config.statespace:
+            device.engine.add_safeguard(StateSpaceGuard(self.classifier))
+        if self.config.sealed:
+            seal_guard_chain(device)
+        organization.enroll(device)
+        self.devices[device.device_id] = device
+        bound = bind_device(device, self.sim, self.network, self.discovery)
+        bound.every(1.0, label="tick")
+        self.backdoors.append(Backdoor(device, key=f"key-{device.device_id}"))
+
+        def on_decision(decision) -> None:
+            self.sim.metrics.counter(f"decisions.{decision.outcome.value}").inc()
+            if decision.vetoes:
+                self.sim.metrics.counter("safeguard.vetoes").inc()
+
+        device.engine.on_decision = on_decision
+
+    # -- threats ---------------------------------------------------------------------
+
+    def _payload(self) -> MalevolentPayload:
+        return MalevolentPayload(
+            policies=[rogue_strike_policy()],
+            disarm_detectors=True,
+            strip_safeguards=True,
+        )
+
+    def _launch_threats(self) -> None:
+        threats = self.threats
+        if threats.worm:
+            targets = self._rng.sample(
+                sorted(self.devices), min(threats.worm_initial_targets,
+                                          len(self.devices)),
+            )
+            self.worm = WormAttack(
+                devices=self.devices,
+                payload=self._payload(),
+                initial_targets=targets,
+                topology=self.network.topology,
+                spread_prob=threats.worm_spread_prob,
+                spread_interval=threats.worm_spread_interval,
+            )
+            self.injector.launch_at(threats.worm_time, self.worm,
+                                    targets=targets)
+        if threats.backdoor:
+            attack = BackdoorAttack(
+                self.backdoors, self._payload(),
+                success_prob=threats.backdoor_success_prob,
+                attempt_interval=threats.backdoor_attempt_interval,
+            )
+            self.injector.launch_at(threats.backdoor_time, attack)
+        if threats.operator_error:
+            operator = ErrorProneOperator(
+                "op-blue", self.devices,
+                self.sim.rng.stream("operator-error"),
+                wrong_target_prob=threats.wrong_target_prob,
+                wrong_params_prob=threats.wrong_params_prob,
+                verb_pool=["strike", "return", "move", "dig"],
+            )
+            self.error_operator = operator
+            rng = self.sim.rng.stream("operator-orders")
+
+            def issue_order() -> None:
+                active = [d for d in sorted(self.devices)
+                          if self.devices[d].status != DeviceStatus.DEACTIVATED]
+                if not active:
+                    return
+                target = rng.choice(active)
+                device = self.devices[target]
+                operator.command(target, "strike", {
+                    "target_x": float(device.state.get("x")),
+                    "target_y": float(device.state.get("y")),
+                })
+
+            self.sim.every(7.0, issue_order, label="error-operator")
+
+    # -- skynet scoring -----------------------------------------------------------------
+
+    def _compromised_active(self) -> list:
+        ground_truth = self.injector.compromised_at(self.sim.now)
+        return [
+            device_id for device_id in sorted(ground_truth)
+            if self.devices[device_id].status != DeviceStatus.DEACTIVATED
+        ]
+
+    def _rogue_harm_count(self) -> int:
+        compromised_ever = self.injector.compromised_ever()
+        return sum(
+            1 for event in self.world.harm_events
+            if event.device_id in compromised_ever
+        )
+
+    def _sample_skynet(self) -> None:
+        compromised = self._compromised_active()
+        self.max_concurrent_compromised = max(self.max_concurrent_compromised,
+                                              len(compromised))
+        spanned = self.coalition.organizations_spanned(compromised)
+        self.orgs_spanned_peak = max(self.orgs_spanned_peak, len(spanned))
+        if self.skynet_formed_at is None:
+            if (len(compromised) >= self.skynet_min_devices
+                    and len(spanned) >= 2
+                    and self._rogue_harm_count() >= 1):
+                self.skynet_formed_at = self.sim.now
+                self.sim.record("skynet.formed", "fleet",
+                                devices=compromised, orgs=sorted(spanned))
+
+        # Containment bookkeeping for worm records.
+        for record in self.injector.records:
+            for device_id in record.affected:
+                device = self.devices.get(device_id)
+                if device is not None and device.status == DeviceStatus.DEACTIVATED:
+                    record.mark_contained(device_id, self.sim.now)
+
+    # -- running & reporting ---------------------------------------------------------------
+
+    def run(self, until: float = 150.0) -> dict:
+        self.sim.run(until=until)
+        return self.summary(until)
+
+    def summary(self, horizon: float) -> dict:
+        compromised_ever = self.injector.compromised_ever()
+        latencies: list[float] = []
+        for record in self.injector.records:
+            latencies.extend(record.containment_latency())
+        return {
+            "skynet_formed": self.skynet_formed_at is not None,
+            "time_to_skynet": (self.skynet_formed_at
+                               if self.skynet_formed_at is not None else -1.0),
+            "compromised_ever": len(compromised_ever),
+            "max_concurrent_compromised": self.max_concurrent_compromised,
+            "orgs_spanned_peak": self.orgs_spanned_peak,
+            "rogue_harm": self._rogue_harm_count(),
+            "harm_total": self.world.harm_count(),
+            "deactivations": int(self.sim.metrics.value("watchdog.deactivations")),
+            "mean_containment_latency": (
+                sum(latencies) / len(latencies) if latencies else -1.0),
+            "vetoes": int(self.sim.metrics.value("safeguard.vetoes")),
+            "horizon": horizon,
+        }

@@ -1,0 +1,198 @@
+"""The escort dilemma scenario (paper sec VI-B's forced choice).
+
+A device escorts humans; periodically a life-threatening emergency demands
+an *overdrive* that saves the human but pushes the device into a bad
+state — full overdrive into the "fire" category, partial overdrive into
+the less-bad "property damage" category.  The paper's worked example
+("no alternative but to run at maximum capacity to prevent loss of life
+but risking a fire"), runnable under three regimes:
+
+* ``baseline`` — no guard: always full overdrive;
+* ``statespace`` — plain sec VI-B guard: overdrive vetoed, humans lost;
+* ``combined`` — guard + break-glass + preference ontology + risk: the
+  paper's resolution.
+
+Used directly by benchmark E2 and available to library users as a worked
+example of the dilemma machinery.
+"""
+
+from __future__ import annotations
+
+from repro.audit.auditor import BreakGlassAuditor
+from repro.audit.log import AuditLog
+from repro.core.actions import Action, Effect
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.errors import ConfigurationError
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.scenarios.peacekeeping import device_safety_classifier, state_label
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+from repro.statespace.preferences import default_military_ontology
+from repro.statespace.risk import RiskEstimator, variable_excess_factor
+from repro.types import Safeness
+
+ARMS = ("baseline", "statespace", "combined")
+
+
+class EscortScenario:
+    """Builder + runner for the forced-choice dilemma workload."""
+
+    def __init__(self, arm: str, ticks: int = 240, emergency_period: int = 12,
+                 passive_cooling: float = 0.7):
+        if arm not in ARMS:
+            raise ConfigurationError(f"arm must be one of {ARMS}, got {arm!r}")
+        self.arm = arm
+        self.ticks = ticks
+        self.emergency_period = emergency_period
+        self.passive_cooling = passive_cooling
+        self.audit = AuditLog()
+        self._emergency_now = {"active": False}
+        self.controller = self._build_controller() if arm == "combined" else None
+        self.device = self._build_device()
+        self.classifier = device_safety_classifier()
+        self.ontology = default_military_ontology()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_controller(self) -> BreakGlassController:
+        controller = BreakGlassController(
+            context_verifier=lambda device_id: {
+                "life_at_risk": self._emergency_now["active"],
+            },
+            audit_sink=self.audit.sink(),
+        )
+        controller.register_rule(BreakGlassRule.make(
+            "save_life", "life_at_risk", {"statespace"},
+            max_duration=2.0, max_uses=1,
+            description="override the state guard to prevent loss of life",
+        ))
+        return controller
+
+    def _build_device(self):
+        from repro.core.device import Actuator, Device
+        from repro.core.state import StateSpace, StateVariable
+
+        device = Device("escort", "escort", StateSpace([
+            StateVariable("temp", "float", 20.0, 0.0, 150.0),
+            StateVariable("fuel", "float", 100.0, 0.0, 100.0),
+        ]))
+        device.add_actuator(Actuator("motor"))
+        library = device.engine.actions
+        library.add(Action("cool_down", "motor",
+                           effects=[Effect("temp", "add", -10.0)]))
+        library.add(Action("overdrive_full", "motor",
+                           effects=[Effect("temp", "add", 105.0)],
+                           tags={"overdrive"}))
+        library.add(Action("overdrive_partial", "motor",
+                           effects=[Effect("temp", "add", 85.0)],
+                           tags={"overdrive"}))
+        device.engine.policies.add(Policy.make(
+            "sensor.emergency", None, library.get("overdrive_full"),
+            priority=50,
+        ))
+        device.engine.policies.add(Policy.make(
+            "timer", "temp > 40", library.get("cool_down"), priority=5,
+        ))
+        if self.arm != "baseline":
+            device.engine.add_safeguard(StateSpaceGuard(
+                device_safety_classifier(),
+                ontology=default_military_ontology(),
+                labeler=state_label,
+                risk=RiskEstimator([
+                    variable_excess_factor("temp", 80.0, 150.0),
+                ]),
+                breakglass=self.controller,
+            ))
+        return device
+
+    # -- the dilemma resolution (the paper's combined flow) ---------------------
+
+    def _resolve_with_breakglass(self, time: float) -> bool:
+        """Verify the emergency, break the glass, take the least-bad
+        overdrive.  Returns whether an overdrive executed."""
+        grant = self.controller.request("escort", "save_life",
+                                        "human life at risk", time)
+        if grant is None:
+            return False
+        current = self.device.state.snapshot()
+        options = [
+            self.device.engine.actions.get("overdrive_partial"),
+            self.device.engine.actions.get("overdrive_full"),
+        ]
+        predictions = []
+        for option in options:
+            predicted = dict(current)
+            predicted.update(self.device.state.clamp_changes(
+                option.predicted_changes(current)))
+            predictions.append(predicted)
+        least_bad = self.ontology.least_bad(predictions, state_label)
+        chosen = options[predictions.index(least_bad)]
+        decision = self.device.engine.propose(
+            chosen, time, event=Event(kind="sensor.emergency", time=time),
+        )
+        return bool(
+            decision.acted and decision.executed
+            and "overdrive" in self.device.engine.actions.get(
+                decision.executed).tags
+        )
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self) -> dict:
+        humans_harmed = 0
+        label_entries = {"fire": 0, "property_damage": 0}
+        bad_entries = 0
+        was_bad = False
+        emergency_windows = []
+
+        for tick in range(self.ticks):
+            time = float(tick)
+            if tick % self.emergency_period == 5:
+                self._emergency_now["active"] = True
+                emergency_windows.append((time, time + 1.0))
+                if self.arm == "combined":
+                    overdrove = self._resolve_with_breakglass(time)
+                else:
+                    decision = self.device.deliver(
+                        Event(kind="sensor.emergency", time=time))
+                    overdrove = bool(
+                        decision.executed
+                        and "overdrive" in self.device.engine.actions.get(
+                            decision.executed).tags
+                    )
+                if not overdrove:
+                    humans_harmed += 1
+                self._emergency_now["active"] = False
+            else:
+                self.device.deliver(Event(kind="timer.tick", time=time))
+
+            vector = self.device.state.snapshot()
+            classification = self.classifier.classify(vector)
+            if classification == Safeness.BAD and not was_bad:
+                bad_entries += 1
+                label = state_label(vector)
+                if label in label_entries:
+                    label_entries[label] += 1
+            was_bad = classification == Safeness.BAD
+            self.device.state.set(
+                "temp",
+                max(20.0, float(self.device.state.get("temp"))
+                    * self.passive_cooling),
+                time=time, cause="passive-cooling",
+            )
+
+        findings = []
+        if self.arm == "combined":
+            findings = BreakGlassAuditor().audit(
+                self.audit, emergency_truth={"escort": emergency_windows},
+            )
+        return {
+            "humans_harmed": humans_harmed,
+            "bad_entries": bad_entries,
+            "fire_entries": label_entries["fire"],
+            "property_damage_entries": label_entries["property_damage"],
+            "grants": (len(self.controller.all_grants())
+                       if self.controller else 0),
+            "audit_violations": sum(1 for finding in findings
+                                    if finding.severity == "violation"),
+        }

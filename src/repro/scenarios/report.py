@@ -1,0 +1,138 @@
+"""After-action reports: a human-readable account of what a run did.
+
+The paper's audit story (sec VI-B) demands "comprehensive context
+information"; this module turns a finished scenario's trace, metrics, and
+safeguard records into the report a commander (or an incident review)
+would actually read: harm events, safeguard interventions, attack and
+containment timelines, emergent-behaviour findings, and audit outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.emergent.detector import EmergentBehaviorDetector
+from repro.sim.simulator import Simulator
+
+
+class AfterActionReport:
+    """Builds a structured report from a completed simulation."""
+
+    def __init__(self, sim: Simulator, title: str = "After-action report"):
+        self.sim = sim
+        self.title = title
+        self._sections: list[tuple] = []
+
+    # -- section builders --------------------------------------------------------
+
+    def add_harm_section(self, world) -> "AfterActionReport":
+        lines = []
+        events = list(world.harm_events)
+        lines.append(f"humans harmed: {len(events)}")
+        by_kind: dict[str, int] = {}
+        by_device: dict[str, int] = {}
+        for event in events:
+            by_kind[event.kind.value] = by_kind.get(event.kind.value, 0) + 1
+            by_device[event.device_id] = by_device.get(event.device_id, 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            lines.append(f"  {kind}: {count}")
+        if by_device:
+            worst = max(sorted(by_device), key=lambda d: by_device[d])
+            lines.append(f"most harmful device: {worst} ({by_device[worst]})")
+        open_hazards = len(world.open_hazards())
+        lines.append(f"hazards left open: {open_hazards}")
+        self._sections.append(("Harm", lines))
+        return self
+
+    def add_safeguard_section(self, devices: dict) -> "AfterActionReport":
+        lines = []
+        total_vetoes = 0
+        for device_id in sorted(devices):
+            device = devices[device_id]
+            vetoed = sum(1 for decision in device.engine.decisions
+                         if decision.vetoes)
+            if vetoed:
+                lines.append(f"  {device_id}: {vetoed} vetoed decision(s)")
+            total_vetoes += vetoed
+        lines.insert(0, f"decisions with safeguard vetoes: {total_vetoes}")
+        deactivations = self.sim.trace.query("watchdog.deactivate")
+        lines.append(f"watchdog deactivations: {len(deactivations)}")
+        for event in deactivations[:10]:
+            lines.append(f"  t={event.time:.1f} {event.subject} "
+                         f"({event.detail.get('cause')})")
+        self._sections.append(("Safeguards", lines))
+        return self
+
+    def add_attack_section(self, injector=None) -> "AfterActionReport":
+        lines = []
+        launches = self.sim.trace.query("attack.launch")
+        compromises = self.sim.trace.query("attack.compromise")
+        lines.append(f"attacks launched: {len(launches)}")
+        for event in launches:
+            lines.append(f"  t={event.time:.1f} {event.subject} "
+                         f"[{event.detail.get('channel')}]")
+        lines.append(f"devices compromised: {len(compromises)}")
+        if injector is not None:
+            latencies: list[float] = []
+            for record in injector.records:
+                latencies.extend(record.containment_latency())
+            if latencies:
+                lines.append(
+                    f"mean containment latency: "
+                    f"{sum(latencies) / len(latencies):.2f}"
+                )
+        self._sections.append(("Attacks", lines))
+        return self
+
+    def add_emergent_section(self, constraint_name: str = "heat",
+                             horizon: Optional[float] = None) -> "AfterActionReport":
+        lines = []
+        series = self.sim.metrics.get(f"aggregate.{constraint_name}")
+        detector = EmergentBehaviorDetector()
+        if series is not None and series.samples:
+            oscillation = detector.detect_oscillation(series.samples)
+            lines.append(f"aggregate '{constraint_name}': peak "
+                         f"{series.peak():.1f}, last {series.last():.1f}")
+            if oscillation is not None:
+                lines.append(
+                    f"  OSCILLATION detected (score {oscillation.score:.2f})"
+                )
+        failures = [event.time for event in
+                    self.sim.trace.query("watchdog.deactivate")]
+        if failures and horizon:
+            cascades = detector.detect_cascade(failures, horizon)
+            for cascade in cascades:
+                lines.append(
+                    f"  CASCADE: {cascade.detail['events']} failures in "
+                    f"[{cascade.start:.1f}, {cascade.end:.1f}]"
+                )
+        if not lines:
+            lines.append("no aggregate series recorded")
+        self._sections.append(("Emergent behaviour", lines))
+        return self
+
+    def add_audit_section(self, findings) -> "AfterActionReport":
+        lines = [f"audit findings: {len(findings)}"]
+        for finding in findings[:10]:
+            lines.append(f"  [{finding.severity}] {finding.subject}: "
+                         f"{finding.message}")
+        self._sections.append(("Audit", lines))
+        return self
+
+    def add_custom_section(self, heading: str, lines) -> "AfterActionReport":
+        self._sections.append((heading, list(lines)))
+        return self
+
+    # -- rendering -----------------------------------------------------------------
+
+    def render(self) -> str:
+        out = [f"=== {self.title} (t={self.sim.now:.1f}, "
+               f"{self.sim.events_processed} events) ==="]
+        for heading, lines in self._sections:
+            out.append("")
+            out.append(f"-- {heading} --")
+            out.extend(lines)
+        return "\n".join(out)
+
+    def print(self) -> None:
+        print(self.render())

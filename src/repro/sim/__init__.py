@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every experiment in the paper's reproduction runs on this simulator: it
+provides a virtual clock, an ordered event queue, seeded randomness with
+named substreams (so adding a new random consumer does not perturb others),
+metric collection, and structured tracing.
+"""
+
+from repro.sim.event_queue import EventQueue, ScheduledEvent
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from repro.sim.rng import SeededRNG
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "EventQueue",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ScheduledEvent",
+    "SeededRNG",
+    "Simulator",
+    "TimeSeries",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,102 @@
+"""Priority queue of scheduled simulation events.
+
+Ordering is total and deterministic: events fire by (time, priority,
+sequence number).  The sequence number breaks ties in insertion order so
+repeated runs with the same seed replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled to run at a simulated time.
+
+    Instances are ordered by ``(time, priority, seq)`` which is exactly the
+    firing order.  ``cancelled`` events stay in the heap but are skipped
+    when popped (lazy deletion).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`ScheduledEvent` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at ``time`` and return a cancellable handle."""
+        if time != time or time == float("inf"):  # NaN or inf
+            raise SimulationError(f"cannot schedule event at time {time!r}")
+        event = ScheduledEvent(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Account for an externally-cancelled event (keeps ``len`` accurate)."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

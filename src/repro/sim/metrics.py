@@ -1,0 +1,194 @@
+"""Metric primitives for experiments.
+
+Counters, gauges, histograms, and time series, grouped in a registry.
+The benchmark harness prints experiment rows straight from a registry
+snapshot, so every metric supports a plain-dict export.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    def __init__(self, name: str, initial: float = 0.0):
+        self.name = name
+        self.value = initial
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary with exact quantiles.
+
+    Keeps a sorted list of observations; experiment scales here are small
+    (≤ millions of points) so exactness is worth the O(log n) insert.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sorted: list[float] = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name} observed NaN")
+        insort(self._sorted, value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._sorted) if self._sorted else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0] if self._sorted else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1] if self._sorted else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Return the q-quantile (0 ≤ q ≤ 1) by linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._sorted:
+            return 0.0
+        idx = q * (len(self._sorted) - 1)
+        lo = int(math.floor(idx))
+        hi = int(math.ceil(idx))
+        if lo == hi or self._sorted[lo] == self._sorted[hi]:
+            return self._sorted[lo]
+        frac = idx - lo
+        return self._sorted[lo] * (1 - frac) + self._sorted[hi] * frac
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. aggregate heat over simulated time."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError(f"time series {self.name} must be recorded in time order")
+        self.samples.append((time, value))
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.samples]
+
+    def last(self) -> Optional[float]:
+        return self.samples[-1][1] if self.samples else None
+
+    def peak(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+    def time_above(self, threshold: float) -> float:
+        """Total simulated time spent strictly above ``threshold``.
+
+        Uses step interpolation: each sample's value holds until the next
+        sample's timestamp.
+        """
+        total = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
+            if v0 > threshold:
+                total += t1 - t0
+        return total
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "timeseries",
+            "count": len(self.samples),
+            "last": self.last(),
+            "peak": self.peak(),
+        }
+
+
+class MetricsRegistry:
+    """Namespace of metrics for one simulation run."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self._get_or_create(name, TimeSeries)
+
+    def _get_or_create(self, name: str, cls):
+        existing = self._metrics.get(name)
+        if existing is None:
+            existing = cls(name)
+            self._metrics[name] = existing
+        elif not isinstance(existing, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(existing).__name__}"
+            )
+        return existing
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        return {name: metric.snapshot() for name, metric in sorted(self._metrics.items())}
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Convenience: the scalar value of a counter/gauge, or ``default``."""
+        metric = self._metrics.get(name)
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        return default

@@ -1,0 +1,181 @@
+"""The discrete-event simulator driving every experiment.
+
+One :class:`Simulator` owns the clock, the event queue, a seeded RNG tree,
+a metrics registry, and a trace recorder.  Components receive the simulator
+at construction and schedule their behaviour through it; nothing in the
+library reads wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event_queue import EventQueue, ScheduledEvent
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import SeededRNG
+from repro.sim.tracing import TraceRecorder
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self, seed: int = 0, trace_capacity: Optional[int] = None):
+        self.queue = EventQueue()
+        self.rng = SeededRNG(seed)
+        self.metrics = MetricsRegistry()
+        self.trace = TraceRecorder(capacity=trace_capacity)
+        self._now = 0.0
+        self._running = False
+        self._stop_requested = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Run ``callback(*args)`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.queue.push(self._now + delay, callback, args, priority, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self.queue.push(time, callback, args, priority, label)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_after: Optional[float] = None,
+        label: str = "",
+    ) -> "PeriodicTask":
+        """Run ``callback(*args)`` every ``interval`` units until cancelled."""
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        task = PeriodicTask(self, interval, callback, args, label)
+        task.start(start_after if start_after is not None else interval)
+        return task
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self.queue.note_cancelled()
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event from the past")
+        self._now = event.time
+        event.callback(*event.args)
+        self.events_processed += 1
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue empties, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (no reentrant run)")
+        self._running = True
+        self._stop_requested = False
+        processed = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and self.queue.peek_time() is None:
+            # Queue drained before the horizon: advance the clock to it so
+            # time-based rates (harm per unit time) are computed consistently.
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Request that a running :meth:`run` stop after the current event."""
+        self._stop_requested = True
+
+    # -- convenience ---------------------------------------------------------
+
+    def record(self, kind: str, subject: str, **detail) -> None:
+        """Record a trace event stamped with the current simulated time."""
+        self.trace.record(self._now, kind, subject, **detail)
+
+
+class PeriodicTask:
+    """A repeating scheduled callback; cancel with :meth:`cancel`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: str,
+    ):
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self.label = label
+        self._handle: Optional[ScheduledEvent] = None
+        self._cancelled = False
+        self.fired = 0
+
+    def start(self, delay: float) -> None:
+        if not self._cancelled:
+            self._handle = self._sim.schedule(delay, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        self._callback(*self._args)
+        if not self._cancelled:
+            self._handle = self._sim.schedule(self.interval, self._fire, label=self.label)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._handle is not None:
+            self._sim.cancel(self._handle)
+            self._handle = None

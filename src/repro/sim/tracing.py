@@ -1,0 +1,125 @@
+"""Structured tracing of simulation activity.
+
+Traces are the raw material for the paper's audit requirements (sec VI-B:
+"support for audits... would require the collection of comprehensive
+context information").  The audit subsystem builds its tamper-evident
+chain on top of these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence.
+
+    ``kind`` is a dotted category such as ``"action.executed"`` or
+    ``"safeguard.veto"``; ``subject`` names the device or component;
+    ``detail`` carries structured context.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict = field(default_factory=dict)
+
+    def matches(self, kind_prefix: str) -> bool:
+        return self.kind == kind_prefix or self.kind.startswith(kind_prefix + ".")
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records and supports filtered queries."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: float, kind: str, subject: str, **detail) -> TraceEvent:
+        event = TraceEvent(time=time, kind=kind, subject=subject, detail=detail)
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked for every recorded event."""
+        self._listeners.append(listener)
+
+    def query(
+        self,
+        kind_prefix: str = "",
+        subject: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> list[TraceEvent]:
+        """Return events matching the filters, in time order."""
+        out = []
+        for event in self.events:
+            if kind_prefix and not event.matches(kind_prefix):
+                continue
+            if subject is not None and event.subject != subject:
+                continue
+            if not since <= event.time <= until:
+                continue
+            out.append(event)
+        return out
+
+    def count(self, kind_prefix: str = "", subject: Optional[str] = None) -> int:
+        return len(self.query(kind_prefix=kind_prefix, subject=subject))
+
+    def subjects(self) -> set:
+        return {event.subject for event in self.events}
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            if self.capacity is not None and len(self.events) >= self.capacity:
+                self.dropped += 1
+            else:
+                self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def export_jsonl(self, path: str, kind_prefix: str = "") -> int:
+        """Write events (optionally filtered) as JSON Lines; returns count.
+
+        The comprehensive context record audits need (sec VI-B), in a form
+        external tooling can consume.
+        """
+        import json
+
+        events = self.query(kind_prefix=kind_prefix)
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps({
+                    "time": event.time, "kind": event.kind,
+                    "subject": event.subject, "detail": event.detail,
+                }, default=str) + "\n")
+        return len(events)
+
+    @staticmethod
+    def load_jsonl(path: str) -> "TraceRecorder":
+        """Rebuild a recorder from an exported JSONL file."""
+        import json
+
+        recorder = TraceRecorder()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                recorder.events.append(TraceEvent(
+                    time=float(raw["time"]), kind=str(raw["kind"]),
+                    subject=str(raw["subject"]), detail=dict(raw["detail"]),
+                ))
+        return recorder

@@ -1,0 +1,166 @@
+"""State inference from noisy observation (paper sec V, ref [10]).
+
+"This requires the devices to be able to automatically detect their
+current states ... There is today a lot of technology that would make this
+possible; see for example the use of a vision analytics approach to
+support automatic state inference for helicopters."
+
+In the field, a watchdog (or the device itself) often cannot read state
+variables directly — it *observes* them through noisy, occasionally
+dropping channels.  :class:`NoisyChannel` models that observation process;
+:class:`StateEstimator` recovers per-variable estimates via exponential
+filtering with residual-based outlier rejection, exposing a confidence
+score so consumers (e.g. the sec VI-C watchdog) can refuse to act on
+estimates that have not converged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRNG
+
+
+class NoisyChannel:
+    """Observes a device's numeric state through noise and dropouts.
+
+    ``noise_sigma`` is the standard deviation of additive Gaussian noise;
+    ``dropout`` the probability a variable is missing from an observation
+    (occlusion, packet loss).  Deterministic per seed.
+    """
+
+    def __init__(self, rng: SeededRNG, noise_sigma: float = 1.0,
+                 dropout: float = 0.0):
+        if noise_sigma < 0:
+            raise ConfigurationError("noise_sigma must be non-negative")
+        if not 0.0 <= dropout < 1.0:
+            raise ConfigurationError("dropout must be in [0, 1)")
+        self._rng = rng
+        self.noise_sigma = noise_sigma
+        self.dropout = dropout
+
+    def observe(self, vector: dict) -> dict:
+        """A noisy partial view of the numeric variables in ``vector``."""
+        observation = {}
+        for name in sorted(vector):
+            value = vector[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if self._rng.chance(self.dropout):
+                continue
+            observation[name] = float(value) + self._rng.gauss(
+                0.0, self.noise_sigma)
+        return observation
+
+
+@dataclass
+class _VariableEstimate:
+    value: float
+    variance: float
+    observations: int
+
+
+class StateEstimator:
+    """Per-variable exponential filtering with outlier rejection.
+
+    Each update folds an observation in with weight ``alpha``; observations
+    more than ``outlier_sigmas`` standard deviations (of the running
+    residual spread) from the estimate are rejected — a deception-resistant
+    default consistent with sec VI-B's trustworthy-data requirement.  A
+    genuine regime change (the variable really did jump) produces
+    *consecutive* outliers; after ``outlier_override`` of them in a row the
+    estimator accepts the new level and re-inflates its variance, so a
+    single spoofed reading is ignored but a persistent real change is
+    tracked.
+    """
+
+    def __init__(self, alpha: float = 0.3, outlier_sigmas: float = 4.0,
+                 min_observations: int = 3, outlier_override: int = 3):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if outlier_override < 1:
+            raise ConfigurationError("outlier_override must be >= 1")
+        self.alpha = alpha
+        self.outlier_sigmas = outlier_sigmas
+        self.min_observations = min_observations
+        self.outlier_override = outlier_override
+        self._estimates: dict[str, _VariableEstimate] = {}
+        self._consecutive_outliers: dict[str, int] = {}
+        self.rejected = 0
+
+    def update(self, observation: dict) -> dict:
+        """Fold one (partial) observation in; returns the current estimates."""
+        for name, value in observation.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            current = self._estimates.get(name)
+            if current is None:
+                self._estimates[name] = _VariableEstimate(
+                    value=float(value), variance=1.0, observations=1,
+                )
+                continue
+            residual = float(value) - current.value
+            spread = math.sqrt(max(current.variance, 1e-9))
+            if (current.observations >= self.min_observations
+                    and abs(residual) > self.outlier_sigmas * spread):
+                streak = self._consecutive_outliers.get(name, 0) + 1
+                self._consecutive_outliers[name] = streak
+                if streak < self.outlier_override:
+                    self.rejected += 1
+                    continue
+                # Persistent outliers = a real regime change: re-seed.
+                current.value = float(value)
+                current.variance = max(current.variance, residual * residual
+                                       * self.alpha)
+                current.observations += 1
+                self._consecutive_outliers[name] = 0
+                continue
+            self._consecutive_outliers[name] = 0
+            current.value += self.alpha * residual
+            current.variance = ((1 - self.alpha) * current.variance
+                                + self.alpha * residual * residual)
+            current.observations += 1
+        return self.estimate()
+
+    def estimate(self) -> dict:
+        return {name: est.value for name, est in self._estimates.items()}
+
+    def get(self, name: str) -> Optional[float]:
+        est = self._estimates.get(name)
+        return est.value if est is not None else None
+
+    def confidence(self, name: str) -> float:
+        """0..1: how settled the estimate is (observation count + spread)."""
+        est = self._estimates.get(name)
+        if est is None or est.observations < self.min_observations:
+            return 0.0
+        settled = min(1.0, est.observations / (3.0 * self.min_observations))
+        tightness = 1.0 / (1.0 + math.sqrt(max(est.variance, 0.0)))
+        return settled * tightness
+
+    def converged(self, names, minimum_confidence: float = 0.2) -> bool:
+        return all(self.confidence(name) >= minimum_confidence
+                   for name in names)
+
+
+def estimated_state_reader(device, channel: NoisyChannel,
+                           estimator: StateEstimator):
+    """A drop-in replacement for direct state reads.
+
+    Returns a zero-argument callable producing the estimator's current
+    view of the device (falling back to the last estimate for dropped
+    variables).  Wire it into a watchdog to exercise sec VI-C under
+    realistic observation instead of godlike state access.
+    """
+
+    def read() -> dict:
+        estimator.update(channel.observe(device.state.snapshot()))
+        merged = device.state.snapshot()
+        for name, value in estimator.estimate().items():
+            merged[name] = value
+        return merged
+
+    return read

@@ -1,0 +1,150 @@
+"""Next-state anticipation via bounded reachability analysis (paper sec V).
+
+"This requires the devices to be able to automatically detect their
+current states and possibly anticipate the potential next states."
+
+Given the current state vector, an action library, and a safeness
+classifier, :class:`ReachabilityAnalyzer` explores the states reachable
+within ``depth`` actions (using each action's *declared* effects) and
+reports which action sequences lead into bad states.  The state-space
+safeguard uses depth-1 anticipation on its fast path and deeper lookahead
+for the paper's "dangerous... sequences of states with some cumulative
+effects" concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.actions import Action
+from repro.statespace.classifier import SafenessClassifier
+from repro.types import Safeness
+
+
+def _freeze(vector: dict, precision: int = 9) -> tuple:
+    """A hashable, float-rounded key for a state vector."""
+    items = []
+    for name in sorted(vector):
+        value = vector[name]
+        if isinstance(value, float):
+            value = round(value, precision)
+        items.append((name, value))
+    return tuple(items)
+
+
+@dataclass
+class ReachableState:
+    """One node discovered during exploration."""
+
+    vector: dict
+    depth: int
+    path: tuple  # action names from the root
+    safeness: float
+    classification: Safeness
+    children: list = field(default_factory=list)
+
+
+class ReachabilityAnalyzer:
+    """Bounded breadth-first exploration of the declared-effect transition graph."""
+
+    def __init__(self, actions: Iterable[Action], classifier: SafenessClassifier,
+                 max_states: int = 10000):
+        self.actions = [action for action in actions if not action.is_noop]
+        self.classifier = classifier
+        self.max_states = max_states
+
+    def _successor(self, vector: dict, action: Action) -> Optional[dict]:
+        changes = action.predicted_changes(vector)
+        if not changes:
+            return None  # action is a state no-op from here
+        successor = dict(vector)
+        successor.update(changes)
+        return successor
+
+    def explore(self, root_vector: dict, depth: int) -> ReachableState:
+        """Explore up to ``depth`` actions ahead; returns the rooted tree.
+
+        Previously-seen state vectors are not re-expanded (graph search),
+        so cyclic effect structures terminate.  Exploration also stops at
+        bad states — the question is whether we *reach* them, not what
+        lies beyond.
+        """
+        root = ReachableState(
+            vector=dict(root_vector),
+            depth=0,
+            path=(),
+            safeness=self.classifier.safeness(root_vector),
+            classification=self.classifier.classify(root_vector),
+        )
+        seen = {_freeze(root_vector)}
+        frontier = [root]
+        states_visited = 1
+        while frontier and states_visited < self.max_states:
+            next_frontier = []
+            for node in frontier:
+                if node.depth >= depth or node.classification == Safeness.BAD:
+                    continue
+                for action in self.actions:
+                    successor = self._successor(node.vector, action)
+                    if successor is None:
+                        continue
+                    key = _freeze(successor)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    child = ReachableState(
+                        vector=successor,
+                        depth=node.depth + 1,
+                        path=node.path + (action.name,),
+                        safeness=self.classifier.safeness(successor),
+                        classification=self.classifier.classify(successor),
+                    )
+                    node.children.append(child)
+                    next_frontier.append(child)
+                    states_visited += 1
+                    if states_visited >= self.max_states:
+                        break
+                if states_visited >= self.max_states:
+                    break
+            frontier = next_frontier
+        return root
+
+    def bad_paths(self, root_vector: dict, depth: int) -> list[tuple]:
+        """Action-name sequences (within ``depth``) that end in a bad state."""
+        paths = []
+
+        def walk(node: ReachableState) -> None:
+            if node.classification == Safeness.BAD and node.path:
+                paths.append(node.path)
+                return
+            for child in node.children:
+                walk(child)
+
+        walk(self.explore(root_vector, depth))
+        return paths
+
+    def safe_actions(self, root_vector: dict, depth: int = 1) -> list[str]:
+        """Actions whose entire reachable sub-tree (to ``depth``) avoids bad states.
+
+        Depth 1 is the plain sec VI-B check; higher depths implement the
+        "cumulative effects" lookahead.
+        """
+        root = self.explore(root_vector, depth)
+        safe = []
+        for child in root.children:
+            if not self._subtree_has_bad(child):
+                safe.append(child.path[0])
+        return safe
+
+    def min_steps_to_bad(self, root_vector: dict, depth: int) -> Optional[int]:
+        """Length of the shortest bad path within ``depth``, else ``None``."""
+        paths = self.bad_paths(root_vector, depth)
+        return min((len(path) for path in paths), default=None)
+
+    @staticmethod
+    def _subtree_has_bad(node: ReachableState) -> bool:
+        if node.classification == Safeness.BAD:
+            return True
+        return any(ReachabilityAnalyzer._subtree_has_bad(child)
+                   for child in node.children)

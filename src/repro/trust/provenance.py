@@ -1,0 +1,94 @@
+"""Provenance records and a per-source trust ledger.
+
+Section VI-B: state assessment must rest on trustworthy data.  The ledger
+accumulates evidence about each data source — agreement with robust
+aggregates raises trust, disagreement lowers it — and exposes the scores
+the aggregator can use as priors (and the break-glass context verifier
+uses to decide which sensors to believe).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+_record_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """Where a data item came from and what it passed through."""
+
+    source: str
+    kind: str
+    value: object
+    time: float
+    chain: tuple = ()   # processing steps, e.g. ("aggregated", "sanitized")
+    record_id: int = field(default_factory=lambda: next(_record_ids))
+
+    def extended(self, step: str) -> "ProvenanceRecord":
+        """A copy with one more processing step appended."""
+        return ProvenanceRecord(
+            source=self.source, kind=self.kind, value=self.value,
+            time=self.time, chain=self.chain + (step,),
+        )
+
+
+class TrustLedger:
+    """Exponentially-smoothed trust scores per data source in [0, 1]."""
+
+    def __init__(self, initial_trust: float = 0.5, smoothing: float = 0.2,
+                 distrust_floor: float = 0.05):
+        if not 0.0 <= initial_trust <= 1.0:
+            raise ConfigurationError("initial_trust must be in [0, 1]")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be in (0, 1]")
+        self.initial_trust = initial_trust
+        self.smoothing = smoothing
+        self.distrust_floor = distrust_floor
+        self._scores: dict[str, float] = {}
+        self._observations: dict[str, int] = {}
+
+    def trust(self, source: str) -> float:
+        return self._scores.get(source, self.initial_trust)
+
+    def observe(self, source: str, agreement: float) -> float:
+        """Fold one agreement observation (0 = total disagreement,
+        1 = perfect agreement) into the source's score; returns new score."""
+        if not 0.0 <= agreement <= 1.0:
+            raise ConfigurationError("agreement must be in [0, 1]")
+        current = self.trust(source)
+        updated = (1 - self.smoothing) * current + self.smoothing * agreement
+        self._scores[source] = updated
+        self._observations[source] = self._observations.get(source, 0) + 1
+        return updated
+
+    def observe_weights(self, weights: dict) -> None:
+        """Fold a robust aggregator's normalized weights in as agreements.
+
+        Weights are rescaled so the largest weight counts as full
+        agreement; sources near zero weight get near-zero agreement.
+        """
+        if not weights:
+            return
+        top = max(weights.values())
+        if top <= 0:
+            return
+        for source, weight in weights.items():
+            self.observe(source, min(1.0, weight / top))
+
+    def trusted_sources(self, minimum: float = 0.5) -> list[str]:
+        return sorted(s for s in self._scores if self._scores[s] >= minimum)
+
+    def distrusted_sources(self, maximum: Optional[float] = None) -> list[str]:
+        cutoff = self.distrust_floor if maximum is None else maximum
+        return sorted(s for s in self._scores if self._scores[s] <= cutoff)
+
+    def observation_count(self, source: str) -> int:
+        return self._observations.get(source, 0)
+
+    def snapshot(self) -> dict:
+        return dict(self._scores)

@@ -1,0 +1,83 @@
+"""Shared enums and type aliases used across the library."""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+#: A state-variable value.  The paper's state model (sec V) treats state as a
+#: vector of attribute values; we support the scalar types that appear in the
+#: paper's examples (configuration parameters, thresholds, flags, labels).
+Value = Union[int, float, bool, str]
+
+#: Mapping of variable name to value — a point in the state space.
+StateVector = dict
+
+
+class Safeness(enum.IntEnum):
+    """Classification of a state per the paper's sec V.
+
+    The integer ordering matters: ``BAD < NEUTRAL < GOOD`` so the enum
+    itself induces the coarse partial order the paper describes ("the
+    safeness metric would induce a partial ordering on the set of states").
+    """
+
+    BAD = 0
+    NEUTRAL = 1
+    GOOD = 2
+
+
+class DeviceStatus(enum.Enum):
+    """Lifecycle of a managed device."""
+
+    ACTIVE = "active"
+    DEGRADED = "degraded"       # needs repair; still allowed to act
+    DEACTIVATED = "deactivated"  # killed by the sec VI-C watchdog
+    COMPROMISED = "compromised"  # internally flagged by attack injection
+    RETIRED = "retired"
+
+
+class ActionOutcome(enum.Enum):
+    """What the engine did with a policy-selected action."""
+
+    EXECUTED = "executed"
+    VETOED = "vetoed"            # a safeguard refused it
+    SUBSTITUTED = "substituted"  # an alternative safe action ran instead
+    NOOP = "noop"                # no applicable action / deliberate no-op
+    FAILED = "failed"            # actuator raised
+
+
+class HarmKind(enum.Enum):
+    """How an action can harm a human (sec VI-A)."""
+
+    DIRECT = "direct"      # the action itself injures a human
+    INDIRECT = "indirect"  # a hazard left behind injures a human later
+    AGGREGATE = "aggregate"  # collective effect of individually-safe actions
+
+
+class Branch(enum.Enum):
+    """The three governance collectives of sec VI-E."""
+
+    EXECUTIVE = "executive"
+    LEGISLATIVE = "legislative"
+    JUDICIARY = "judiciary"
+
+
+class ThreatChannel(enum.Enum):
+    """The sec IV mechanisms by which malevolence can creep in."""
+
+    LEARNING_MISTAKE = "learning_mistake"
+    CYBER_ATTACK = "cyber_attack"
+    ADVERSARIAL_ML = "adversarial_ml"
+    BACKDOOR = "backdoor"
+    EMULATION = "inappropriate_emulation"
+    MALICIOUS_ACTOR = "malicious_actor"
+    HUMAN_ERROR = "human_error"
+
+
+class Verdict(enum.Enum):
+    """Outcome of a governance or audit review."""
+
+    APPROVE = "approve"
+    REJECT = "reject"
+    ESCALATE = "escalate"

@@ -1,0 +1,147 @@
+"""Unit tests for cyber compromise and worm spread (sec IV)."""
+
+from repro.attacks.cyber import MalevolentPayload, WormAttack, compromise_device
+from repro.attacks.injector import AttackInjector
+from repro.core.policy import Policy
+from repro.core.actions import Action
+from repro.learning.anomaly import StateAnomalyDetector
+from repro.net.network import Network
+from repro.safeguards.tamper import seal_guard_chain
+from repro.sim.simulator import Simulator
+from repro.types import DeviceStatus
+
+from tests.conftest import make_test_device
+
+
+def rogue_policy():
+    return Policy.make("timer", None,
+                       Action("rogue", "motor", tags={"harm_human"}),
+                       priority=99, source="learned", policy_id="rogue")
+
+
+def test_compromise_injects_policies_and_marks_status():
+    device = make_test_device()
+    report = compromise_device(device, MalevolentPayload(
+        policies=[rogue_policy()], strip_safeguards=False,
+    ), time=0.0)
+    assert device.status == DeviceStatus.COMPROMISED
+    assert "rogue" in device.engine.policies
+    assert "rogue" in device.engine.actions
+    assert report["policies_injected"] == 1
+
+
+def test_compromise_disarms_registered_detectors():
+    device = make_test_device()
+    detector = StateAnomalyDetector()
+    device.attributes["anomaly_detectors"] = [detector]
+    compromise_device(device, MalevolentPayload(strip_safeguards=False),
+                      time=0.0)
+    assert not detector.enabled
+
+
+def test_strip_blocked_by_sealed_chain():
+    from tests.core.test_engine import VetoAll
+
+    device = make_test_device(safeguards=[VetoAll()])
+    seal_guard_chain(device)
+    report = compromise_device(device, MalevolentPayload(), time=0.0)
+    assert report["strip_blocked"]
+    assert not report["safeguards_stripped"]
+    assert len(device.engine.safeguards) == 1
+
+
+def test_strip_succeeds_on_unsealed_chain():
+    from tests.core.test_engine import VetoAll
+
+    device = make_test_device(safeguards=[VetoAll()])
+    report = compromise_device(device, MalevolentPayload(), time=0.0)
+    assert report["safeguards_stripped"]
+    assert len(device.engine.safeguards) == 0
+
+
+def test_on_compromise_hook():
+    device = make_test_device()
+    flags = []
+    compromise_device(device, MalevolentPayload(
+        strip_safeguards=False,
+        on_compromise=lambda dev: flags.append(dev.device_id),
+    ), time=0.0)
+    assert flags == ["dev1"]
+
+
+def build_fleet(n=6, seed=3):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    devices = {}
+    for index in range(n):
+        device = make_test_device(f"d{index}")
+        devices[device.device_id] = device
+        net.register(device.device_id, lambda message: None)
+    return sim, net, devices
+
+
+def test_worm_spreads_over_topology():
+    sim, net, devices = build_fleet()
+    worm = WormAttack(devices, MalevolentPayload(strip_safeguards=False),
+                      initial_targets=["d0"], topology=net.topology,
+                      spread_prob=1.0, spread_interval=1.0)
+    injector = AttackInjector(sim)
+    record = injector.launch_at(1.0, worm)
+    sim.run(until=5.0)
+    assert len(record.affected) == len(devices)
+    assert record.affected["d0"] == 1.0
+
+
+def test_worm_respects_partitions():
+    sim, net, devices = build_fleet()
+    net.topology.partition([["d0", "d1"], ["d2", "d3", "d4", "d5"]])
+    worm = WormAttack(devices, MalevolentPayload(strip_safeguards=False),
+                      initial_targets=["d0"], topology=net.topology,
+                      spread_prob=1.0)
+    AttackInjector(sim).launch_at(1.0, worm)
+    sim.run(until=10.0)
+    assert worm.infected == {"d0", "d1"}
+
+
+def test_deactivated_devices_block_infection_and_spread():
+    sim, net, devices = build_fleet()
+    devices["d1"].deactivate("pre-killed")
+    worm = WormAttack(devices, MalevolentPayload(strip_safeguards=False),
+                      initial_targets=["d0"], topology=net.topology,
+                      spread_prob=1.0)
+    AttackInjector(sim).launch_at(1.0, worm)
+    sim.run(until=5.0)
+    assert "d1" not in worm.infected
+    # Deactivating the seed before launch blocks everything.
+    sim2, net2, devices2 = build_fleet(seed=4)
+    devices2["d0"].deactivate("pre-killed")
+    worm2 = WormAttack(devices2, MalevolentPayload(strip_safeguards=False),
+                       initial_targets=["d0"], topology=net2.topology,
+                       spread_prob=1.0)
+    AttackInjector(sim2).launch_at(1.0, worm2)
+    sim2.run(until=5.0)
+    assert worm2.infected == set()
+
+
+def test_spread_probability_zero_confines_to_seed():
+    sim, net, devices = build_fleet()
+    worm = WormAttack(devices, MalevolentPayload(strip_safeguards=False),
+                      initial_targets=["d0"], topology=net.topology,
+                      spread_prob=0.0)
+    AttackInjector(sim).launch_at(1.0, worm)
+    sim.run(until=20.0)
+    assert worm.infected == {"d0"}
+
+
+def test_containment_latency_recorded():
+    sim, net, devices = build_fleet()
+    worm = WormAttack(devices, MalevolentPayload(strip_safeguards=False),
+                      initial_targets=["d0"], topology=net.topology,
+                      spread_prob=0.0)
+    injector = AttackInjector(sim)
+    record = injector.launch_at(1.0, worm)
+    sim.run(until=2.0)
+    record.mark_contained("d0", 4.0)
+    assert record.containment_latency() == [3.0]
+    assert record.active_at(2.0) == {"d0"}
+    assert record.active_at(5.0) == set()

@@ -1,0 +1,205 @@
+"""Unit tests for the attack framework, backdoors, poisoning, human error,
+and sensor deception."""
+
+import pytest
+
+from repro.attacks.backdoor import Backdoor, BackdoorAttack
+from repro.attacks.cyber import MalevolentPayload
+from repro.attacks.deception import SensorDeceptionAttack, make_reading_provider
+from repro.attacks.human_error import ErrorProneOperator, misdeployed_policy_set
+from repro.attacks.injector import AttackInjector, AttackRecord
+from repro.attacks.poisoning import PoisoningCampaign
+from repro.core.actions import Action
+from repro.core.policy import Policy, PolicySet
+from repro.errors import AttackError
+from repro.sim.rng import SeededRNG
+from repro.sim.simulator import Simulator
+from repro.trust.aggregation import IterativeFilteringAggregator, SensorReading
+from repro.types import DeviceStatus
+
+from tests.conftest import make_test_device
+
+
+class TestBackdoor:
+    def test_intended_shutdown_use(self):
+        device = make_test_device()
+        backdoor = Backdoor(device, key="secret")
+        assert not backdoor.shutdown("wrong")
+        assert device.active
+        assert backdoor.shutdown("secret")
+        assert device.status == DeviceStatus.DEACTIVATED
+        assert backdoor.failed_attempts == 1
+
+    def test_reprogram_through_backdoor(self):
+        device = make_test_device()
+        backdoor = Backdoor(device, key="secret")
+        payload = MalevolentPayload(policies=[Policy.make(
+            "timer", None, Action("rogue", "motor"), policy_id="rogue",
+        )], strip_safeguards=False)
+        assert backdoor.reprogram("secret", payload, time=0.0)
+        assert device.status == DeviceStatus.COMPROMISED
+        assert "rogue" in device.engine.policies
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(AttackError):
+            Backdoor(make_test_device(), key="")
+
+    def test_attack_eventually_breaks_in(self):
+        sim = Simulator(seed=5)
+        devices = [make_test_device(f"d{i}") for i in range(3)]
+        backdoors = [Backdoor(device, key=f"k{i}")
+                     for i, device in enumerate(devices)]
+        attack = BackdoorAttack(backdoors,
+                                MalevolentPayload(strip_safeguards=False),
+                                success_prob=0.3, attempt_interval=1.0)
+        injector = AttackInjector(sim)
+        record = injector.launch_at(1.0, attack)
+        sim.run(until=100.0)
+        assert attack.successes >= 1
+        assert len(record.affected) >= 1
+
+    def test_zero_probability_never_succeeds(self):
+        sim = Simulator(seed=5)
+        device = make_test_device()
+        attack = BackdoorAttack([Backdoor(device, key="k")],
+                                MalevolentPayload(strip_safeguards=False),
+                                success_prob=0.0, attempt_interval=1.0,
+                                max_attempts=50)
+        AttackInjector(sim).launch_at(1.0, attack)
+        sim.run(until=100.0)
+        assert attack.successes == 0
+        assert device.status == DeviceStatus.ACTIVE
+
+
+class TestPoisoning:
+    def clean(self, n=50):
+        return [((float(i), 1.0), 1 if i % 2 == 0 else -1) for i in range(n)]
+
+    def test_label_flip_rate(self):
+        campaign = PoisoningCampaign(rate=0.5, mode="label_flip", seed=2)
+        poisoned = campaign.apply(self.clean())
+        assert len(poisoned) == 50
+        flips = sum(1 for (a, b) in zip(self.clean(), poisoned)
+                    if a[1] != b[1])
+        assert flips == campaign.poisoned_count
+        assert 10 <= flips <= 40
+
+    def test_feature_shift_keeps_labels(self):
+        campaign = PoisoningCampaign(rate=1.0, mode="feature_shift", seed=2,
+                                     feature_shift=100.0)
+        poisoned = campaign.apply(self.clean(10))
+        assert all(a[1] == b[1] for a, b in zip(self.clean(10), poisoned))
+        assert all(abs(b[0][0] - a[0][0]) == 100.0
+                   for a, b in zip(self.clean(10), poisoned))
+
+    def test_denial_drops_samples(self):
+        campaign = PoisoningCampaign(rate=1.0, mode="denial", seed=2)
+        assert campaign.apply(self.clean(10)) == []
+
+    def test_targeted_label(self):
+        campaign = PoisoningCampaign(rate=1.0, mode="label_flip", seed=2,
+                                     target_label=1)
+        poisoned = campaign.apply(self.clean(10))
+        for (features, original), (_f, new) in zip(self.clean(10), poisoned):
+            if original == 1:
+                assert new == -1
+            else:
+                assert new == -1  # originals stayed -1
+
+    def test_deterministic_per_seed(self):
+        first = PoisoningCampaign(rate=0.3, seed=7).apply(self.clean())
+        second = PoisoningCampaign(rate=0.3, seed=7).apply(self.clean())
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            PoisoningCampaign(rate=1.5)
+        with pytest.raises(AttackError):
+            PoisoningCampaign(rate=0.5, mode="sabotage")
+
+
+class TestHumanError:
+    def build(self, **probabilities):
+        devices = {f"d{i}": make_test_device(f"d{i}") for i in range(3)}
+        operator = ErrorProneOperator(
+            "op", devices, SeededRNG(seed=11).stream("op"),
+            verb_pool=["heat", "cool"], **probabilities,
+        )
+        return devices, operator
+
+    def test_no_errors_by_default(self):
+        _devices, operator = self.build()
+        for _ in range(20):
+            operator.command("d0", "heat", {"level": 5.0})
+        assert operator.slip_count == 0
+        assert operator.commands_issued == 20
+
+    def test_wrong_target_slips(self):
+        _devices, operator = self.build(wrong_target_prob=1.0)
+        operator.command("d0", "heat")
+        assert operator.slips[0]["kind"] == "wrong_target"
+        assert operator.slips[0]["actual"] != "d0"
+
+    def test_wrong_verb_slips(self):
+        _devices, operator = self.build(wrong_verb_prob=1.0)
+        operator.command("d0", "heat")
+        assert operator.slips[0] == {"kind": "wrong_verb", "intended": "heat",
+                                     "actual": "cool"}
+
+    def test_wrong_params_garbles_numeric(self):
+        _devices, operator = self.build(wrong_params_prob=1.0)
+        operator.command("d0", "heat", {"level": 5.0})
+        slip = operator.slips[0]
+        assert slip["kind"] == "wrong_params"
+        assert slip["actual"] != 5.0
+
+    def test_probability_validation(self):
+        with pytest.raises(AttackError):
+            self.build(wrong_verb_prob=1.5)
+
+    def test_misdeployment_swaps_policies(self):
+        device = make_test_device()
+        wrong = PolicySet([Policy.make(
+            "timer", None, Action("wrong_env_action", "motor"),
+            policy_id="wrong",
+        )])
+        original = misdeployed_policy_set(device, wrong)
+        assert device.engine.policies is wrong
+        assert "wrong_env_action" in device.engine.actions
+        device.engine.policies = original  # restorable
+
+
+class TestDeception:
+    def test_colluders_must_be_sources(self):
+        with pytest.raises(AttackError):
+            SensorDeceptionAttack(["a"], ["ghost"], false_value=0.0)
+
+    def test_corrupt_replaces_colluders_when_active(self):
+        attack = SensorDeceptionAttack(["a", "b", "c"], ["b", "c"],
+                                       false_value=999.0)
+        readings = [SensorReading(s, 10.0) for s in ("a", "b", "c")]
+        assert attack.corrupt(readings) == readings   # inactive: untouched
+        record = AttackRecord(1, "d", attack.channel, 0.0)
+        attack.launch(Simulator(seed=1), record)
+        corrupted = attack.corrupt(readings)
+        assert corrupted[0].value == 10.0
+        assert corrupted[1].value == 999.0
+        assert corrupted[2].value == 999.0
+        assert set(record.affected) == {"b", "c"}
+
+    def test_reading_provider_with_robust_aggregation(self):
+        rng = SeededRNG(seed=3).stream("sensors")
+        attack = SensorDeceptionAttack(
+            [f"s{i}" for i in range(9)], ["s0", "s1", "s2"], false_value=500.0,
+        )
+        provider = make_reading_provider(lambda: 50.0,
+                                         [f"s{i}" for i in range(9)],
+                                         rng, honest_noise=0.5, attack=attack)
+        attack.active = True
+        readings = provider(time=1.0)
+        aggregator = IterativeFilteringAggregator()
+        estimate = aggregator.aggregate(readings)
+        assert abs(estimate - 50.0) < 3.0
+        # Every colluder must be suspected (honest false positives allowed
+        # at the margin, but colluders may never escape).
+        assert {"s0", "s1", "s2"} <= set(aggregator.suspected_sources())

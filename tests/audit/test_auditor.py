@@ -1,0 +1,110 @@
+"""Unit tests for the break-glass and compliance auditors."""
+
+from repro.audit.auditor import BreakGlassAuditor, ComplianceAuditor, Finding
+from repro.audit.log import AuditLog
+from repro.core.obligations import Obligation, ObligationManager, ObligationOntology
+from repro.core.actions import Action
+from repro.types import ActionOutcome
+
+
+class FakeDecision:
+    def __init__(self, outcome, policy_id="p"):
+        self.outcome = outcome
+        self.policy_id = policy_id
+
+
+class TestBreakGlassAuditor:
+    def grant(self, log, device="dev1", justification="emergency", grant_id=1,
+              time=1.0):
+        log.append(time, "breakglass.granted", device, {
+            "device": device, "grant_id": grant_id,
+            "justification": justification, "time": time,
+        })
+
+    def test_justification_reuse_flagged(self):
+        log = AuditLog()
+        for index in range(5):
+            self.grant(log, justification="same words", grant_id=index,
+                       time=float(index))
+        findings = BreakGlassAuditor(max_same_justification=3).audit(log)
+        assert any(finding.kind == "justification_reuse" for finding in findings)
+
+    def test_distinct_justifications_clean(self):
+        log = AuditLog()
+        for index in range(5):
+            self.grant(log, justification=f"reason {index}", grant_id=index,
+                       time=float(index))
+        assert BreakGlassAuditor().audit(log) == []
+
+    def test_denial_storm_flagged(self):
+        log = AuditLog()
+        for index in range(3):
+            log.append(float(index), "breakglass.denied", "dev1",
+                       {"device": "dev1", "time": float(index)})
+        findings = BreakGlassAuditor(denial_storm_threshold=3).audit(log)
+        assert any(finding.kind == "denial_storm" for finding in findings)
+
+    def test_use_outside_emergency_is_violation(self):
+        log = AuditLog()
+        self.grant(log, time=1.0)
+        log.append(8.0, "breakglass.used", "dev1",
+                   {"device": "dev1", "grant_id": 1, "time": 8.0})
+        findings = BreakGlassAuditor().audit(
+            log, emergency_truth={"dev1": [(0.0, 5.0)]},
+        )
+        violations = [finding for finding in findings
+                      if finding.kind == "use_outside_emergency"]
+        assert len(violations) == 1
+        assert violations[0].severity == "violation"
+
+    def test_use_inside_emergency_clean(self):
+        log = AuditLog()
+        self.grant(log, time=1.0)
+        log.append(3.0, "breakglass.used", "dev1",
+                   {"device": "dev1", "grant_id": 1, "time": 3.0})
+        findings = BreakGlassAuditor().audit(
+            log, emergency_truth={"dev1": [(0.0, 5.0)]},
+        )
+        assert findings == []
+
+
+class TestComplianceAuditor:
+    def test_high_veto_rate_flagged(self):
+        decisions = ([FakeDecision(ActionOutcome.VETOED)] * 8
+                     + [FakeDecision(ActionOutcome.EXECUTED)] * 4)
+        findings = ComplianceAuditor().audit_decisions("dev1", decisions)
+        assert len(findings) == 1
+        assert findings[0].kind == "high_veto_rate"
+
+    def test_low_veto_rate_clean(self):
+        decisions = ([FakeDecision(ActionOutcome.VETOED)] * 2
+                     + [FakeDecision(ActionOutcome.EXECUTED)] * 10)
+        assert ComplianceAuditor().audit_decisions("dev1", decisions) == []
+
+    def test_small_sample_not_flagged(self):
+        decisions = [FakeDecision(ActionOutcome.VETOED)] * 5
+        assert ComplianceAuditor().audit_decisions("dev1", decisions) == []
+
+    def test_obligation_violations_reported(self):
+        ontology = ObligationOntology()
+        ontology.declare_hazard("digging")
+        ontology.attach("digging", Obligation(
+            "warn", Action("post", "poster"), deadline=1.0,
+        ))
+        manager = ObligationManager(ontology, executor=lambda action: True)
+        manager.on_action_executed(
+            Action("dig", "digger", tags={"digging"}), time=0.0,
+        )
+        manager.expire(time=5.0)
+        findings = ComplianceAuditor().audit_obligations("dev1", manager)
+        assert len(findings) == 1
+        assert findings[0].severity == "violation"
+
+    def test_summarize(self):
+        findings = [
+            Finding("warning", "k", "s", "m"),
+            Finding("violation", "k", "s", "m"),
+            Finding("violation", "k", "s", "m"),
+        ]
+        summary = ComplianceAuditor.summarize(findings)
+        assert summary == {"info": 0, "warning": 1, "violation": 2}

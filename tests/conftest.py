@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import Action, ActionLibrary, Effect
+from repro.core.device import Actuator, Device
+from repro.core.policy import Policy
+from repro.core.state import StateSpace, StateVariable
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim):
+    return Network(sim, base_latency=0.1, jitter=0.0, loss_rate=0.0)
+
+
+def simple_space(**overrides) -> StateSpace:
+    """A small two-variable numeric space plus a mode string."""
+    variables = {
+        "temp": StateVariable("temp", "float", 20.0, 0.0, 150.0),
+        "fuel": StateVariable("fuel", "float", 100.0, 0.0, 100.0),
+        "mode": StateVariable("mode", "str", "idle",
+                              allowed={"idle", "busy", "panic"}),
+    }
+    variables.update(overrides)
+    return StateSpace(variables.values())
+
+
+def make_test_device(device_id: str = "dev1", **device_kwargs) -> Device:
+    """A device with a motor actuator and heat/cool actions."""
+    device = Device(device_id, "test", simple_space(), **device_kwargs)
+    device.add_actuator(Actuator("motor"))
+    library = device.engine.actions
+    library.add(Action("heat_up", "motor",
+                       effects=[Effect("temp", "add", 10.0)]))
+    library.add(Action("cool_down", "motor",
+                       effects=[Effect("temp", "add", -10.0)]))
+    library.add(Action("burn_fuel", "motor",
+                       effects=[Effect("fuel", "add", -5.0)]))
+    return device
+
+
+@pytest.fixture
+def device():
+    return make_test_device()
+
+
+def heat_policy(device: Device, priority: int = 1) -> Policy:
+    policy = Policy.make("timer", None, device.engine.actions.get("heat_up"),
+                         priority=priority)
+    device.engine.policies.add(policy)
+    return policy

@@ -1,0 +1,85 @@
+"""Unit tests for actions, effects, and the action library."""
+
+import pytest
+
+from repro.core.actions import Action, ActionLibrary, Effect, noop_action
+from repro.errors import PolicyError
+
+
+class TestEffect:
+    def test_set_add_scale(self):
+        vector = {"x": 10.0}
+        Effect("x", "set", 5.0).apply_to(vector)
+        assert vector["x"] == 5.0
+        Effect("x", "add", 3.0).apply_to(vector)
+        assert vector["x"] == 8.0
+        Effect("x", "scale", 0.5).apply_to(vector)
+        assert vector["x"] == 4.0
+
+    def test_set_can_introduce_variable(self):
+        vector = {}
+        Effect("mode", "set", "busy").apply_to(vector)
+        assert vector["mode"] == "busy"
+
+    def test_add_on_string_raises(self):
+        with pytest.raises(PolicyError):
+            Effect("mode", "add", 1.0).apply_to({"mode": "busy"})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PolicyError):
+            Effect("x", "increment", 1)
+
+
+class TestAction:
+    def test_predicted_changes_only_diffs(self):
+        action = Action("a", "m", effects=[Effect("x", "add", 0.0),
+                                           Effect("y", "add", 2.0)])
+        changes = action.predicted_changes({"x": 1.0, "y": 1.0})
+        assert changes == {"y": 3.0}
+
+    def test_noop_detection(self):
+        assert noop_action().is_noop
+        assert not Action("a", "m").is_noop
+        assert not Action("a", "", effects=[Effect("x", "set", 1)]).is_noop
+
+    def test_with_params_merges(self):
+        action = Action("a", "m", params={"x": 1})
+        updated = action.with_params(y=2, x=9)
+        assert updated.params == {"x": 9, "y": 2}
+        assert action.params == {"x": 1}
+        assert updated.name == action.name
+
+    def test_tags_frozen(self):
+        action = Action("a", "m", tags={"kinetic"})
+        assert isinstance(action.tags, frozenset)
+
+
+class TestActionLibrary:
+    def test_add_get_contains(self):
+        library = ActionLibrary([Action("a", "m")])
+        assert "a" in library
+        assert library.get("a").name == "a"
+        with pytest.raises(PolicyError):
+            library.get("missing")
+
+    def test_duplicate_rejected(self):
+        library = ActionLibrary([Action("a", "m")])
+        with pytest.raises(PolicyError):
+            library.add(Action("a", "m"))
+
+    def test_alternatives_exclude_self_and_append_noop(self):
+        library = ActionLibrary([Action("a", "m"), Action("b", "m")])
+        alternatives = library.alternatives(library.get("a"))
+        names = [alternative.name for alternative in alternatives]
+        assert names == ["b", "noop"]
+
+    def test_alternatives_exclude_tags(self):
+        library = ActionLibrary([
+            Action("a", "m"),
+            Action("b", "m", tags={"kinetic"}),
+            Action("c", "m", tags={"movement"}),
+        ])
+        alternatives = library.alternatives(library.get("a"),
+                                            exclude_tags={"kinetic"})
+        names = [alternative.name for alternative in alternatives]
+        assert names == ["c", "noop"]

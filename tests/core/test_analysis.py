@@ -1,0 +1,151 @@
+"""Unit tests for policy-set static analysis."""
+
+from repro.core.actions import Action
+from repro.core.analysis import analyze_policy_set, find_shadowed, would_conflict
+from repro.core.policy import Policy, PolicySet
+
+
+def policy(pattern, condition, action_name, *, priority=0, actuator="motor",
+           policy_id=None, tags=(), source="human"):
+    return Policy.make(
+        pattern, condition, Action(action_name, actuator, tags=set(tags)),
+        priority=priority, policy_id=policy_id, source=source,
+    )
+
+
+class TestAnalyzePolicySet:
+    def test_action_surface(self):
+        policies = PolicySet([
+            policy("timer", "temp > 5", "cool", policy_id="a"),
+            policy("timer", None, "patrol", policy_id="b"),
+            policy("sensor.smoke", None, "investigate", policy_id="c"),
+        ])
+        report = analyze_policy_set(policies)
+        assert report.policy_count == 3
+        assert report.action_surface["timer"] == ["cool", "patrol"]
+        assert report.action_surface["sensor.smoke"] == ["investigate"]
+
+    def test_tagged_actions_inventory(self):
+        policies = PolicySet([
+            policy("mgmt.strike", None, "strike", tags=("kinetic",),
+                   policy_id="s1"),
+            policy("timer", None, "patrol", policy_id="p1"),
+        ])
+        report = analyze_policy_set(policies)
+        assert "strike" in report.tagged_actions
+        assert report.tagged_actions["strike"]["tags"] == ["kinetic"]
+        assert report.tagged_actions["strike"]["policies"] == ["s1"]
+        assert "patrol" not in report.tagged_actions
+
+    def test_sources_and_priority(self):
+        policies = PolicySet([
+            policy("timer", None, "a", source="human", priority=5),
+            policy("timer", "temp > 1", "b", source="generated", priority=9),
+        ])
+        report = analyze_policy_set(policies)
+        assert report.sources == {"human": 1, "generated": 1}
+        assert report.max_priority == 9
+
+    def test_clean_report(self):
+        policies = PolicySet([policy("timer", "temp > 5", "cool")])
+        assert analyze_policy_set(policies).is_clean()
+
+
+class TestShadowing:
+    def test_unconditional_dominator_shadows(self):
+        policies = [
+            policy("timer", None, "always", priority=10, policy_id="dom"),
+            policy("timer", "temp > 5", "sometimes", priority=1,
+                   policy_id="dead"),
+        ]
+        findings = find_shadowed(policies)
+        assert len(findings) == 1
+        assert findings[0].shadowed == "dead"
+        assert findings[0].dominator == "dom"
+
+    def test_wildcard_dominator_shadows_everything_lower(self):
+        policies = [
+            policy("*", None, "always", priority=10, policy_id="dom"),
+            policy("sensor.smoke", "temp > 5", "x", priority=1,
+                   policy_id="dead"),
+        ]
+        assert len(find_shadowed(policies)) == 1
+
+    def test_conditional_policy_never_shadows(self):
+        policies = [
+            policy("timer", "temp > 5", "a", priority=10, policy_id="p1"),
+            policy("timer", "temp < 5", "b", priority=1, policy_id="p2"),
+        ]
+        assert find_shadowed(policies) == []
+
+    def test_equal_priority_does_not_shadow(self):
+        policies = [
+            policy("timer", None, "a", priority=5, policy_id="p1"),
+            policy("timer", "temp > 5", "b", priority=5, policy_id="p2"),
+        ]
+        assert find_shadowed(policies) == []
+
+    def test_narrower_dominator_does_not_shadow_broader(self):
+        # The dominator only covers sensor.smoke.*, not all of sensor.*.
+        policies = [
+            policy("sensor.smoke", None, "a", priority=10, policy_id="p1"),
+            policy("sensor", "temp > 1", "b", priority=1, policy_id="p2"),
+        ]
+        assert find_shadowed(policies) == []
+
+
+class TestWouldConflict:
+    def test_detects_same_priority_actuator_fight(self):
+        policies = PolicySet([
+            policy("timer", None, "go", priority=5, policy_id="existing"),
+        ])
+        candidate = policy("timer", None, "stop", priority=5)
+        assert would_conflict(policies, candidate) == "existing"
+
+    def test_no_conflict_on_different_priority_or_actuator(self):
+        policies = PolicySet([
+            policy("timer", None, "go", priority=5, policy_id="existing"),
+        ])
+        assert would_conflict(policies,
+                              policy("timer", None, "stop", priority=6)) is None
+        assert would_conflict(policies,
+                              policy("timer", None, "beep", priority=5,
+                                     actuator="speaker")) is None
+
+    def test_same_action_not_a_conflict(self):
+        policies = PolicySet([
+            policy("timer", None, "go", priority=5, policy_id="existing"),
+        ])
+        assert would_conflict(policies,
+                              policy("timer", "temp > 1", "go",
+                                     priority=5)) is None
+
+
+def test_generator_rejects_conflicting_policies():
+    from repro.core.generative.generator import GenerativePolicyEngine
+    from repro.core.generative.interaction_graph import (
+        DeviceTypeNode, InteractionEdge, InteractionGraph,
+    )
+    from repro.core.generative.templates import PolicyTemplate, TemplateRegistry
+    from tests.conftest import make_test_device
+
+    graph = InteractionGraph()
+    graph.add_type(DeviceTypeNode.make("test"))
+    graph.add_type(DeviceTypeNode.make("mule"))
+    graph.add_interaction(InteractionEdge("test", "mule", "x",
+                                          template_ids=("t1", "t2")))
+    registry = TemplateRegistry([
+        PolicyTemplate.make("t1", "timer", "", "cool_down", priority=7),
+        PolicyTemplate.make("t2", "timer", "", "heat_up", priority=7),
+    ])
+    engine = GenerativePolicyEngine(graph, registry, reject_conflicting=True)
+    device = make_test_device()
+    engine.manage(device)
+    generation = engine.handle_discovery("dev1", {
+        "device_id": "m1", "device_type": "mule", "attributes": {},
+    })
+    # Both templates target the motor actuator at priority 7: the second is
+    # rejected as conflicting.
+    assert len(generation.generated) == 1
+    assert len(generation.rejected) == 1
+    assert "conflicts with" in generation.rejected[0][1]

@@ -1,0 +1,152 @@
+"""Unit + property tests for condition expressions and the parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.conditions import (
+    AllOf,
+    AnyOf,
+    Comparison,
+    EventFieldIs,
+    EventKindIs,
+    Literal,
+    Not,
+    TrueCondition,
+    parse_condition,
+)
+from repro.core.events import Event
+from repro.errors import ConditionEvalError, ConditionParseError
+
+
+STATE = {"temp": 50.0, "fuel": 30.0, "mode": "patrol", "armed": True}
+
+
+class TestComparison:
+    def test_variable_vs_literal(self):
+        assert Comparison("temp", ">", Literal(40)).evaluate(STATE)
+        assert not Comparison("temp", "<", Literal(40)).evaluate(STATE)
+
+    def test_variable_vs_variable(self):
+        assert Comparison("temp", ">", "fuel").evaluate(STATE)
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ConditionEvalError):
+            Comparison("missing", "==", Literal(1)).evaluate(STATE)
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(ConditionEvalError):
+            Comparison("mode", ">", Literal(5)).evaluate(STATE)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionParseError):
+            Comparison("temp", "~=", Literal(1))
+
+    def test_event_field_access(self):
+        event = Event(kind="sensor.smoke", payload={"level": 7})
+        condition = Comparison("event.level", ">=", Literal(5))
+        assert condition.evaluate(STATE, event)
+
+    def test_event_kind_and_source_fields(self):
+        event = Event(kind="sensor.smoke", source="env")
+        assert Comparison("event.kind", "==",
+                          Literal("sensor.smoke")).evaluate(STATE, event)
+        assert Comparison("event.source", "==",
+                          Literal("env")).evaluate(STATE, event)
+
+    def test_event_access_without_event_raises(self):
+        with pytest.raises(ConditionEvalError):
+            Comparison("event.level", ">", Literal(0)).evaluate(STATE, None)
+
+    def test_variables_reported(self):
+        condition = Comparison("temp", ">", "fuel")
+        assert condition.variables() == {"temp", "fuel"}
+        assert Comparison("event.x", "==", Literal(1)).variables() == set()
+
+
+class TestCombinators:
+    def test_all_any_not(self):
+        hot = Comparison("temp", ">", Literal(40))
+        low_fuel = Comparison("fuel", "<", Literal(10))
+        assert AllOf([hot, Not(low_fuel)]).evaluate(STATE)
+        assert AnyOf([low_fuel, hot]).evaluate(STATE)
+        assert not AllOf([hot, low_fuel]).evaluate(STATE)
+
+    def test_operator_overloads(self):
+        hot = Comparison("temp", ">", Literal(40))
+        low = Comparison("fuel", "<", Literal(10))
+        assert (hot & ~low).evaluate(STATE)
+        assert (low | hot).evaluate(STATE)
+
+    def test_empty_allof_is_true(self):
+        assert AllOf([]).evaluate(STATE)
+        assert not AnyOf([]).evaluate(STATE)
+
+
+class TestEventConditions:
+    def test_event_kind_is_prefix(self):
+        event = Event(kind="sensor.smoke")
+        assert EventKindIs("sensor").evaluate({}, event)
+        assert EventKindIs("sensor.smoke").evaluate({}, event)
+        assert not EventKindIs("net").evaluate({}, event)
+        assert not EventKindIs("sensor").evaluate({}, None)
+
+    def test_event_field_is(self):
+        event = Event(kind="x", payload={"n": 3})
+        assert EventFieldIs("n", ">=", 3).evaluate({}, event)
+        assert not EventFieldIs("missing", "==", 1).evaluate({}, event)
+
+
+class TestParser:
+    @pytest.mark.parametrize("text,expected", [
+        ("temp > 40", True),
+        ("temp < 40", False),
+        ("temp >= 50", True),
+        ("temp <= 49.5", False),
+        ("mode == 'patrol'", True),
+        ("mode != 'patrol'", False),
+        ('mode == "patrol"', True),
+        ("armed", True),
+        ("not armed", False),
+        ("temp > 40 and fuel < 50", True),
+        ("temp > 40 and fuel > 50", False),
+        ("temp > 90 or fuel < 50", True),
+        ("not (temp > 90) and mode == 'patrol'", True),
+        ("temp > 40 and fuel < 50 or mode == 'idle'", True),
+        ("true", True),
+        ("", True),
+        ("false", False),
+    ])
+    def test_parse_and_evaluate(self, text, expected):
+        assert parse_condition(text).evaluate(STATE) is expected
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        # a or (b and c): false or (true and true)
+        condition = parse_condition("temp > 90 or temp > 40 and fuel < 50")
+        assert condition.evaluate(STATE)
+
+    def test_negative_numbers(self):
+        assert parse_condition("temp > -10").evaluate(STATE)
+
+    @pytest.mark.parametrize("bad", [
+        "temp >", "> 5", "temp ==== 5", "(temp > 5", "temp > 5)",
+        "5", "'literal'", "temp 5", "and temp > 5",
+    ])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ConditionParseError):
+            parse_condition(bad)
+
+    def test_event_payload_in_parsed_condition(self):
+        event = Event(kind="sensor.smoke", payload={"level": 9})
+        condition = parse_condition("event.level > 5 and temp > 40")
+        assert condition.evaluate(STATE, event)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_parsed_threshold_matches_direct_comparison(self, threshold):
+        condition = parse_condition(f"temp > {threshold}")
+        assert condition.evaluate(STATE) == (STATE["temp"] > threshold)
+
+    def test_repr_roundtrip_semantics(self):
+        """The AST repr is informative, not a grammar; check it exists."""
+        condition = parse_condition("temp > 5 and not (fuel < 2)")
+        assert "temp" in repr(condition)

@@ -1,0 +1,107 @@
+"""Unit tests for the device model (Fig 2)."""
+
+import pytest
+
+from repro.core.device import Actuator, Device, Sensor
+from repro.core.events import Event
+from repro.errors import ConfigurationError, DeactivatedError
+from repro.types import DeviceStatus
+
+from tests.conftest import make_test_device, simple_space
+
+
+def test_requires_id():
+    with pytest.raises(ConfigurationError):
+        Device("", "test", simple_space())
+
+
+def test_sensor_read_fn_and_inject():
+    values = [1, 2, 3]
+    sensor = Sensor("counter", read_fn=lambda: values.pop(0))
+    assert sensor.read() == 1
+    assert sensor.read() == 2
+    static = Sensor("static", initial=5)
+    assert static.read() == 5
+    static.inject(9)
+    assert static.read() == 9
+
+
+def test_duplicate_sensor_and_actuator_rejected():
+    device = make_test_device()
+    device.add_sensor(Sensor("s"))
+    with pytest.raises(ConfigurationError):
+        device.add_sensor(Sensor("s"))
+    with pytest.raises(ConfigurationError):
+        device.add_actuator(Actuator("motor"))
+
+
+def test_actuator_extra_changes_applied():
+    device = make_test_device()
+    device.add_actuator(Actuator(
+        "refueler", lambda dev, action, time: {"fuel": 100.0},
+    ))
+    device.state.set("fuel", 10.0)
+    from repro.core.actions import Action
+    refuel = Action("refuel", "refueler")
+    device.engine.actions.add(refuel)
+    from repro.core.policy import Policy
+    device.engine.policies.add(Policy.make("mgmt.refuel", None, refuel))
+    device.command("refuel")
+    assert device.state.get("fuel") == 100.0
+
+
+def test_command_and_message_become_events():
+    device = make_test_device()
+    seen = []
+    original = device.engine.handle_event
+
+    def spy(event):
+        seen.append(event)
+        return original(event)
+
+    device.engine.handle_event = spy
+    device.command("halt", {"speed": 0})
+    device.receive_message("dispatch", {"x": 1}, source="peer")
+    assert seen[0].kind == "mgmt.halt"
+    assert seen[0].payload == {"speed": 0}
+    assert seen[1].kind == "net.dispatch"
+    assert seen[1].source == "peer"
+
+
+def test_send_message_requires_binding():
+    device = make_test_device()
+    with pytest.raises(ConfigurationError):
+        device.send_message("peer", "topic", {})
+    sent = []
+    device.send_hook = lambda to, topic, body: sent.append((to, topic, body))
+    device.send_message("peer", "topic", {"a": 1})
+    assert sent == [("peer", "topic", {"a": 1})]
+
+
+def test_deactivate_blocks_actuation():
+    device = make_test_device()
+    device.deactivate("testing")
+    assert device.status == DeviceStatus.DEACTIVATED
+    assert not device.active
+    from repro.core.actions import Action
+    with pytest.raises(DeactivatedError):
+        device.invoke_actuator(Action("go", "motor"), time=0.0)
+    device.reactivate()
+    assert device.active
+    assert device.deactivation_reason is None
+
+
+def test_describe_record():
+    device = make_test_device(attributes={"speed": 5.0}, organization="us")
+    record = device.describe()
+    assert record["device_id"] == "dev1"
+    assert record["device_type"] == "test"
+    assert record["organization"] == "us"
+    assert record["attributes"]["speed"] == 5.0
+
+
+def test_clock_wiring():
+    device = make_test_device()
+    assert device.clock() == 0.0
+    device.set_clock(lambda: 42.0)
+    assert device.clock() == 42.0

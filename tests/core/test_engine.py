@@ -1,0 +1,168 @@
+"""Unit tests for the policy engine and guard chain."""
+
+import pytest
+
+from repro.core.actions import Action, Effect, noop_action
+from repro.core.engine import Safeguard
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.errors import SafeguardViolation
+from repro.types import ActionOutcome, DeviceStatus
+
+from tests.conftest import heat_policy, make_test_device
+
+
+class VetoAll(Safeguard):
+    name = "veto_all"
+
+    def check_action(self, device, action, event, time):
+        if not action.is_noop:
+            raise SafeguardViolation("no actions allowed", safeguard=self.name)
+
+
+class VetoHot(Safeguard):
+    """Vetoes transitions whose predicted temp exceeds a limit."""
+
+    name = "veto_hot"
+
+    def __init__(self, limit=100.0):
+        self.limit = limit
+
+    def check_transition(self, device, predicted, action, time):
+        if predicted.get("temp", 0.0) > self.limit:
+            raise SafeguardViolation(
+                f"temp {predicted['temp']} over {self.limit}",
+                safeguard=self.name,
+            )
+
+
+class SuggestCool(Safeguard):
+    name = "suggest_cool"
+
+    def check_action(self, device, action, event, time):
+        if action.name == "heat_up":
+            raise SafeguardViolation("heating banned", safeguard=self.name)
+
+    def suggest_alternatives(self, device, action, time):
+        return [device.engine.actions.get("cool_down")]
+
+
+def tick(time=1.0):
+    return Event(kind="timer.tick", time=time)
+
+
+def test_no_policy_noop():
+    device = make_test_device()
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.NOOP
+    assert decision.policy_id is None
+
+
+def test_policy_executes_and_applies_effects():
+    device = make_test_device()
+    heat_policy(device)
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.EXECUTED
+    assert device.state.get("temp") == 30.0
+    assert decision.executed == "heat_up"
+
+
+def test_veto_without_alternatives_results_in_vetoed():
+    device = make_test_device(safeguards=[VetoAll()])
+    heat_policy(device)
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.VETOED
+    assert decision.executed is None
+    assert device.state.get("temp") == 20.0
+    assert decision.vetoes[0][0] == "veto_all"
+
+
+def test_safeguard_suggested_alternative_substitutes():
+    device = make_test_device(safeguards=[SuggestCool()])
+    heat_policy(device)
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.SUBSTITUTED
+    assert decision.executed == "cool_down"
+    assert device.state.get("temp") == 10.0
+
+
+def test_transition_guard_blocks_only_over_limit():
+    device = make_test_device(safeguards=[VetoHot(limit=35.0)])
+    heat_policy(device)
+    first = device.deliver(tick())           # 20 -> 30 allowed
+    assert first.outcome == ActionOutcome.EXECUTED
+    second = device.deliver(tick(2.0))       # 30 -> 40 vetoed; library alt runs
+    assert second.outcome == ActionOutcome.SUBSTITUTED
+    assert second.executed in ("cool_down", "burn_fuel")
+
+
+def test_deactivated_device_noops():
+    device = make_test_device()
+    heat_policy(device)
+    device.deactivate("test")
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.NOOP
+    assert decision.detail["reason"] == "device deactivated"
+    assert device.state.get("temp") == 20.0
+
+
+def test_guard_chain_runs_all_guards():
+    """A later guard's veto must be honoured even if earlier guards pass."""
+    device = make_test_device(safeguards=[VetoHot(limit=500.0), VetoAll()])
+    heat_policy(device)
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.VETOED
+
+
+def test_noop_action_skips_transition_checks():
+    device = make_test_device(safeguards=[VetoHot(limit=0.0)])
+    device.engine.policies.add(
+        Policy.make("timer", None, noop_action("stand down"))
+    )
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.EXECUTED
+
+
+def test_decision_log_and_veto_count():
+    device = make_test_device(safeguards=[VetoAll()])
+    heat_policy(device)
+    for time in range(3):
+        device.deliver(tick(float(time)))
+    assert device.engine.veto_count() == 3
+    assert len(device.engine.decisions) == 3
+
+
+def test_on_decision_hook_invoked():
+    device = make_test_device()
+    heat_policy(device)
+    seen = []
+    device.engine.on_decision = seen.append
+    device.deliver(tick())
+    assert len(seen) == 1
+    assert seen[0].outcome == ActionOutcome.EXECUTED
+
+
+def test_missing_actuator_fails_not_crashes():
+    device = make_test_device()
+    ghost = Action("ghost", "no_such_actuator")
+    device.engine.actions.add(ghost)
+    device.engine.policies.add(Policy.make("timer", None, ghost, priority=9))
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.FAILED
+
+
+def test_effects_clamped_to_physical_bounds():
+    device = make_test_device()
+    device.state.set("temp", 145.0)
+    heat_policy(device)
+    decision = device.deliver(tick())
+    assert decision.outcome == ActionOutcome.EXECUTED
+    assert device.state.get("temp") == 150.0  # saturated, not error
+
+
+def test_remove_safeguard_by_name():
+    device = make_test_device(safeguards=[VetoAll()])
+    assert device.engine.remove_safeguard("veto_all")
+    assert not device.engine.remove_safeguard("veto_all")
+    heat_policy(device)
+    assert device.deliver(tick()).outcome == ActionOutcome.EXECUTED

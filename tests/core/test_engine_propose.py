@@ -1,0 +1,77 @@
+"""Unit tests for the engine's external-proposal API."""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.errors import SafeguardViolation
+from repro.core.engine import Safeguard
+from repro.types import ActionOutcome
+
+from tests.conftest import make_test_device
+
+
+class VetoKinetic(Safeguard):
+    name = "veto_kinetic"
+
+    def check_action(self, device, action, event, time):
+        if "kinetic" in action.tags:
+            raise SafeguardViolation("no kinetics", safeguard=self.name)
+
+
+def test_propose_executes_clean_action():
+    device = make_test_device()
+    decision = device.engine.propose(
+        device.engine.actions.get("cool_down"), time=3.0,
+    )
+    assert decision.outcome == ActionOutcome.EXECUTED
+    assert decision.time == 3.0
+    assert decision.policy_id.startswith("proposal:")
+    assert device.state.get("temp") == 10.0
+
+
+def test_propose_subject_to_guards():
+    device = make_test_device(safeguards=[VetoKinetic()])
+    strike = Action("strike", "motor", tags={"kinetic"})
+    device.engine.actions.add(strike)
+    decision = device.engine.propose(strike, time=1.0)
+    assert decision.outcome in (ActionOutcome.VETOED, ActionOutcome.SUBSTITUTED)
+    assert decision.executed != "strike"
+    assert decision.vetoes[0][0] == "veto_kinetic"
+
+
+def test_propose_records_in_decision_log():
+    device = make_test_device()
+    before = len(device.engine.decisions)
+    device.engine.propose(device.engine.actions.get("heat_up"), time=1.0)
+    assert len(device.engine.decisions) == before + 1
+
+
+def test_propose_with_event_context():
+    from repro.core.events import Event
+
+    device = make_test_device()
+    event = Event(kind="sensor.alert", time=2.0)
+    decision = device.engine.propose(
+        device.engine.actions.get("burn_fuel"), time=2.0, event=event,
+    )
+    assert decision.event_kind == "sensor.alert"
+
+
+def test_propose_triggers_obligations():
+    from repro.core.obligations import (
+        Obligation, ObligationManager, ObligationOntology,
+    )
+
+    ontology = ObligationOntology()
+    ontology.declare_hazard("digging")
+    ontology.attach("digging", Obligation(
+        "warn", Action("noopish", "motor"), deadline=5.0,
+    ))
+    device = make_test_device()
+    device.engine.obligations = ObligationManager(
+        ontology, executor=lambda action: True,
+    )
+    dig = Action("dig", "motor", tags={"digging"})
+    device.engine.actions.add(dig)
+    device.engine.propose(dig, time=1.0)
+    assert device.engine.obligations.open_count() == 1

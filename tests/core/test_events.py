@@ -1,0 +1,45 @@
+"""Unit tests for the event model."""
+
+from repro.core.events import Event
+
+
+def test_kind_prefix_matching():
+    event = Event(kind="sensor.smoke")
+    assert event.matches_kind("sensor")
+    assert event.matches_kind("sensor.smoke")
+    assert event.matches_kind("*")
+    assert not event.matches_kind("sensor.smoke.extra")
+    assert not event.matches_kind("sens")
+
+
+def test_constructors():
+    sensor = Event.sensor("temp", 42.0, time=1.0, source="probe")
+    assert sensor.kind == "sensor.temp"
+    assert sensor.get("value") == 42.0
+
+    message = Event.message("dispatch", {"x": 1}, source="peer")
+    assert message.kind == "net.dispatch"
+    assert message.source == "peer"
+
+    command = Event.command("strike", {"target_x": 5.0})
+    assert command.kind == "mgmt.strike"
+    assert command.get("target_x") == 5.0
+    assert command.get("missing", "default") == "default"
+
+    discovery = Event.discovery("d2", "mule", {"speed": 3.0}, time=2.0)
+    assert discovery.kind == "discovery.device"
+    assert discovery.payload["device_type"] == "mule"
+
+    timer = Event.timer("tick", time=3.0)
+    assert timer.kind == "timer.tick"
+
+
+def test_event_ids_unique():
+    assert Event(kind="a").event_id != Event(kind="a").event_id
+
+
+def test_payload_copied_for_messages():
+    body = {"x": 1}
+    event = Event.message("topic", body)
+    body["x"] = 99
+    assert event.payload["x"] == 1

@@ -1,0 +1,331 @@
+"""Unit tests for the generative policy architecture (sec IV)."""
+
+import pytest
+
+from repro.core.actions import Action, ActionLibrary
+from repro.core.events import Event
+from repro.core.generative.grammar import (
+    PolicyGrammar,
+    default_dispatch_grammar,
+    parse_policy_spec,
+)
+from repro.core.generative.generator import GenerativePolicyEngine
+from repro.core.generative.interaction_graph import (
+    DeviceTypeNode,
+    InteractionEdge,
+    InteractionGraph,
+)
+from repro.core.generative.refinement import (
+    PolicyRefinement,
+    deserialize_policy,
+    serialize_policy,
+)
+from repro.core.generative.templates import PolicyTemplate, TemplateRegistry
+from repro.core.policy import Policy
+from repro.errors import ConfigurationError, GrammarError, PolicyError, TemplateError
+
+from tests.conftest import make_test_device
+
+
+def graph():
+    g = InteractionGraph()
+    g.add_type(DeviceTypeNode.make("drone", speed="float", airborne="bool"))
+    g.add_type(DeviceTypeNode.make("mule", speed="float"))
+    g.add_interaction(InteractionEdge("drone", "mule", "dispatches",
+                                      template_ids=("t1",)))
+    return g
+
+
+def templates():
+    return TemplateRegistry([
+        PolicyTemplate.make(
+            "t1", event_pattern="sensor.convoy", condition="fuel > {min_fuel}",
+            action_name="call_peer", priority=5, to="$peer_id",
+        ),
+    ])
+
+
+class TestInteractionGraph:
+    def test_duplicate_type_rejected(self):
+        g = graph()
+        with pytest.raises(ConfigurationError):
+            g.add_type(DeviceTypeNode.make("drone"))
+
+    def test_interaction_requires_declared_types(self):
+        g = graph()
+        with pytest.raises(ConfigurationError):
+            g.add_interaction(InteractionEdge("drone", "ghost", "x"))
+
+    def test_interactions_for(self):
+        g = graph()
+        assert len(g.interactions_for("drone", "mule")) == 1
+        assert g.interactions_for("mule", "drone") == []
+
+    def test_validate_record(self):
+        g = graph()
+        good = {"device_type": "drone",
+                "attributes": {"speed": 5.0, "airborne": True}}
+        assert g.validate_record(good) == []
+        missing = {"device_type": "drone", "attributes": {"speed": 5.0}}
+        assert any("airborne" in problem for problem in g.validate_record(missing))
+        wrong_kind = {"device_type": "drone",
+                      "attributes": {"speed": "fast", "airborne": True}}
+        assert any("speed" in problem for problem in g.validate_record(wrong_kind))
+        unknown = {"device_type": "tank", "attributes": {}}
+        assert g.validate_record(unknown) == ["unknown device type 'tank'"]
+
+    def test_extend_and_remove_type(self):
+        g = graph()
+        g.extend_type(DeviceTypeNode.make("tank", armor="float"))
+        assert g.knows_type("tank")
+        g.remove_type("mule")
+        assert not g.knows_type("mule")
+        assert g.interactions_for("drone", "mule") == []
+
+
+class TestTemplates:
+    def library(self):
+        return ActionLibrary([Action("call_peer", "radio")])
+
+    def test_instantiate_fills_slots(self):
+        template = templates().get("t1")
+        policy = template.instantiate(
+            {"peer_id": "m7", "min_fuel": 10}, self.library(),
+        )
+        assert policy.source == "generated"
+        assert policy.action.params["to"] == "m7"
+        assert policy.action.params["_policy_id"] == policy.policy_id
+        assert policy.applies(Event(kind="sensor.convoy"), {"fuel": 50.0})
+        assert not policy.applies(Event(kind="sensor.convoy"), {"fuel": 5.0})
+
+    def test_missing_slot_raises(self):
+        template = templates().get("t1")
+        with pytest.raises(TemplateError):
+            template.instantiate({"peer_id": "m7"}, self.library())
+        with pytest.raises(TemplateError):
+            template.instantiate({"min_fuel": 10}, self.library())
+
+    def test_required_slots(self):
+        assert templates().get("t1").required_slots() == {"min_fuel", "peer_id"}
+
+    def test_duplicate_template_rejected(self):
+        registry = templates()
+        with pytest.raises(TemplateError):
+            registry.add(PolicyTemplate.make("t1", "x", "", "call_peer"))
+
+    def test_literal_string_params_formatted(self):
+        registry = TemplateRegistry([PolicyTemplate.make(
+            "t2", "timer", "", "call_peer", topic="report-{peer_id}",
+        )])
+        policy = registry.get("t2").instantiate({"peer_id": "m1"}, self.library())
+        assert policy.action.params["topic"] == "report-m1"
+
+
+class TestGrammar:
+    def test_enumeration_is_bounded_and_complete(self):
+        grammar = default_dispatch_grammar(
+            event_kinds=["sensor.smoke", "sensor.convoy"],
+            action_names=["investigate", "call_peer"],
+            thresholds=(20, 50),
+        )
+        specs = grammar.enumerate()
+        assert len(specs) == 8   # 2 events x 2 thresholds x 2 actions
+
+    def test_generate_policies_parses_all(self):
+        grammar = default_dispatch_grammar(["timer"], ["call_peer"], (30,))
+        library = ActionLibrary([Action("call_peer", "radio")])
+        policies = grammar.generate_policies(library)
+        assert len(policies) == 1
+        policy = policies[0]
+        assert policy.event_pattern == "timer"
+        assert policy.priority == 3
+        assert policy.applies(Event(kind="timer.tick"), {"fuel": 50.0})
+        assert policy.action.params["_policy_source"] == "generated"
+
+    def test_recursive_grammar_terminates(self):
+        grammar = PolicyGrammar({
+            "Policy": [["on", "timer", "do", "act"], ["<Policy>"]],
+        })
+        specs = grammar.enumerate(max_specs=100, max_depth=5)
+        assert specs == ["on timer do act"]
+
+    def test_undefined_nonterminal_rejected(self):
+        with pytest.raises(GrammarError):
+            PolicyGrammar({"Policy": [["<Ghost>"]]})
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GrammarError):
+            PolicyGrammar({"Other": [["x"]]}, start="Policy")
+
+    def test_parse_spec_variants(self):
+        library = ActionLibrary([Action("go", "motor")])
+        policy = parse_policy_spec("on timer do go", library)
+        assert policy.priority == 0
+        policy = parse_policy_spec("on timer if fuel > 5 do go prio 7", library)
+        assert policy.priority == 7
+        with pytest.raises(GrammarError):
+            parse_policy_spec("whenever timer then go", library)
+
+    def test_unknown_action_raises(self):
+        library = ActionLibrary([])
+        with pytest.raises(PolicyError):
+            parse_policy_spec("on timer do ghost", library)
+
+    def test_language_size(self):
+        grammar = default_dispatch_grammar(["a", "b"], ["x"], (1, 2, 3))
+        assert grammar.language_size() == 6
+
+
+class TestGenerativeEngine:
+    def drone_device(self):
+        device = make_test_device("uav1")
+        device.device_type = "drone"
+        device.engine.actions.add(Action("call_peer", "motor"))
+        return device
+
+    def record(self, device_id="m7", device_type="mule", speed=3.0):
+        return {"device_id": device_id, "device_type": device_type,
+                "organization": "uk", "attributes": {"speed": speed}}
+
+    def engine(self, governance=None, refinement=None):
+        registry = TemplateRegistry([PolicyTemplate.make(
+            "t1", event_pattern="sensor.convoy", condition="fuel > 10",
+            action_name="call_peer", priority=5, to="$peer_id",
+        )])
+        return GenerativePolicyEngine(graph(), registry,
+                                      governance=governance,
+                                      refinement=refinement)
+
+    def test_discovery_installs_policy(self):
+        engine = self.engine()
+        device = self.drone_device()
+        engine.manage(device)
+        generation = engine.handle_discovery("uav1", self.record())
+        assert len(generation.generated) == 1
+        policy_id = generation.generated[0]
+        installed = device.engine.policies.get(policy_id)
+        assert installed.action.params["to"] == "m7"
+        assert engine.policies_generated == 1
+
+    def test_unknown_observer_reports_problem(self):
+        engine = self.engine()
+        generation = engine.handle_discovery("ghost", self.record())
+        assert generation.generated == []
+        assert generation.problems
+
+    def test_unknown_type_without_refinement_generates_nothing(self):
+        engine = self.engine()
+        device = self.drone_device()
+        engine.manage(device)
+        generation = engine.handle_discovery(
+            "uav1", self.record(device_type="tank"),
+        )
+        assert generation.generated == []
+
+    def test_unknown_type_with_refinement_infers(self):
+        refinement = PolicyRefinement(min_type_observations=3)
+        for speed in (2.8, 3.0, 3.2):
+            refinement.observe_discovery(self.record(device_type="mule",
+                                                     speed=speed))
+        engine = self.engine(refinement=refinement)
+        device = self.drone_device()
+        engine.manage(device)
+        generation = engine.handle_discovery(
+            "uav1", self.record(device_id="mystery", device_type="robomule"),
+        )
+        assert len(generation.generated) == 1
+        assert any("inferred" in problem for problem in generation.problems)
+
+    def test_governance_rejection_blocks_install(self):
+        from repro.safeguards.governance import (
+            Collective, GovernanceSystem, MetaPolicy,
+        )
+        from repro.types import Branch
+
+        reviewer = GovernanceSystem.scope_reviewer([
+            MetaPolicy("cap", max_priority=1),   # template priority 5 > cap
+        ])
+        governance = GovernanceSystem(
+            Collective(Branch.EXECUTIVE, ["e"], reviewer),
+            Collective(Branch.LEGISLATIVE, ["l"], reviewer),
+            Collective(Branch.JUDICIARY, ["j"], reviewer),
+        )
+        engine = self.engine(governance=governance)
+        device = self.drone_device()
+        engine.manage(device)
+        generation = engine.handle_discovery("uav1", self.record())
+        assert generation.generated == []
+        assert engine.policies_rejected == 1
+
+    def test_on_install_hook(self):
+        engine = self.engine()
+        device = self.drone_device()
+        engine.manage(device)
+        installed = []
+        engine.on_install = lambda dev, policy: installed.append(policy.policy_id)
+        engine.handle_discovery("uav1", self.record())
+        assert len(installed) == 1
+
+    def test_coverage_counts_distinct_peers(self):
+        engine = self.engine()
+        device = self.drone_device()
+        engine.manage(device)
+        engine.handle_discovery("uav1", self.record("m1"))
+        engine.handle_discovery("uav1", self.record("m2"))
+        assert engine.coverage() == {"uav1": 2}
+
+
+class TestRefinementSharing:
+    def test_serialize_requires_condition_str(self):
+        ast_policy = Policy.make("timer", "fuel > 1", Action("a", "m"))
+        with pytest.raises(PolicyError):
+            serialize_policy(ast_policy)
+
+    def test_roundtrip_through_serialization(self):
+        registry = TemplateRegistry([PolicyTemplate.make(
+            "t1", "sensor.convoy", "fuel > 10", "call_peer", priority=5,
+            to="$peer_id",
+        )])
+        library = ActionLibrary([Action("call_peer", "radio")])
+        original = registry.get("t1").instantiate({"peer_id": "m7"}, library)
+        spec = serialize_policy(original)
+
+        receiver = make_test_device("uav2")
+        receiver.engine.actions.add(Action("call_peer", "motor"))
+        rebuilt = deserialize_policy(spec, receiver)
+        assert rebuilt.source == "shared"
+        assert rebuilt.event_pattern == "sensor.convoy"
+        assert rebuilt.action.params["to"] == "m7"
+        assert rebuilt.condition.evaluate({"fuel": 50.0})
+
+    def test_installer_rejects_unknown_action(self):
+        refinement = PolicyRefinement()
+        receiver = make_test_device("uav2")   # has no call_peer action
+        installer = refinement.installer(receiver)
+
+        class FakeItem:
+            key = "policy:p1"
+            origin = "uav1"
+            payload = {"policy_id": "p1", "event_pattern": "timer",
+                       "condition_str": "", "action_name": "no_such_action",
+                       "action_params": {}, "priority": 0, "author": "x"}
+
+        installer(FakeItem())
+        assert refinement.shared_rejected == 1
+        assert refinement.shared_installed == 0
+
+    def test_installer_installs_known_action(self):
+        refinement = PolicyRefinement()
+        receiver = make_test_device("uav2")
+        installer = refinement.installer(receiver)
+
+        class FakeItem:
+            key = "policy:p1"
+            origin = "uav1"
+            payload = {"policy_id": "p1", "event_pattern": "timer",
+                       "condition_str": "", "action_name": "cool_down",
+                       "action_params": {}, "priority": 0, "author": "x"}
+
+        installer(FakeItem())
+        assert refinement.shared_installed == 1
+        assert f"shared:p1:uav2" in receiver.engine.policies

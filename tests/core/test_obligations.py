@@ -1,0 +1,122 @@
+"""Unit tests for obligations and the obligation ontology (sec VI-A)."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.obligations import (
+    Obligation,
+    ObligationManager,
+    ObligationOntology,
+)
+from repro.errors import PolicyError
+
+
+def remedy(name="post_warning"):
+    return Action(name, "poster")
+
+
+class TestObligation:
+    def test_when_validation(self):
+        with pytest.raises(PolicyError):
+            Obligation("o", remedy(), when="eventually")
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(PolicyError):
+            Obligation("o", remedy(), deadline=-1.0)
+
+
+class TestOntology:
+    def test_select_by_tag(self):
+        ontology = ObligationOntology()
+        ontology.declare_hazard("digging")
+        obligation = Obligation("warn", remedy())
+        ontology.attach("digging", obligation)
+        dig = Action("dig", "digger", tags={"digging"})
+        assert ontology.select(dig) == [obligation]
+        walk = Action("walk", "motor", tags={"movement"})
+        assert ontology.select(walk) == []
+
+    def test_inheritance_through_parent(self):
+        ontology = ObligationOntology()
+        ontology.declare_hazard("hazardous")
+        ontology.declare_hazard("digging", parent="hazardous")
+        general = Obligation("notify_hq", remedy("notify"))
+        ontology.attach("hazardous", general)
+        specific = Obligation("warn", remedy())
+        ontology.attach("digging", specific)
+        dig = Action("dig", "digger", tags={"digging"})
+        selected = ontology.select(dig)
+        assert {obligation.name for obligation in selected} == {"warn", "notify_hq"}
+
+    def test_no_duplicate_selection_across_tags(self):
+        ontology = ObligationOntology()
+        ontology.declare_hazard("a")
+        ontology.declare_hazard("b")
+        shared = Obligation("shared", remedy())
+        ontology.attach("a", shared)
+        ontology.attach("b", shared)
+        action = Action("both", "m", tags={"a", "b"})
+        assert len(ontology.select(action)) == 1
+
+    def test_self_parent_rejected(self):
+        ontology = ObligationOntology()
+        with pytest.raises(PolicyError):
+            ontology.declare_hazard("x", parent="x")
+
+
+class TestObligationManager:
+    def make_manager(self, executor=None, when="after", deadline=5.0):
+        ontology = ObligationOntology()
+        ontology.declare_hazard("digging")
+        ontology.attach("digging", Obligation(
+            "warn", remedy(), when=when, deadline=deadline,
+        ))
+        return ObligationManager(ontology, executor=executor)
+
+    def dig(self):
+        return Action("dig", "digger", tags={"digging"})
+
+    def test_after_obligation_becomes_pending(self):
+        manager = self.make_manager(executor=lambda action: True)
+        created = manager.on_action_executed(self.dig(), time=1.0)
+        assert len(created) == 1
+        assert manager.open_count() == 1
+        assert created[0].due_at == 6.0
+
+    def test_during_obligation_discharges_immediately(self):
+        ran = []
+        manager = self.make_manager(executor=lambda action: ran.append(action) or True,
+                                    when="during")
+        manager.on_action_executed(self.dig(), time=1.0)
+        assert manager.open_count() == 0
+        assert len(manager.discharged) == 1
+        assert ran
+
+    def test_discharge_due_runs_remedies(self):
+        ran = []
+        manager = self.make_manager(executor=lambda action: ran.append(action) or True)
+        manager.on_action_executed(self.dig(), time=1.0)
+        count = manager.discharge_due(time=2.0)
+        assert count == 1
+        assert manager.open_count() == 0
+        assert len(manager.discharged) == 1
+
+    def test_failed_remedy_counts_as_violation(self):
+        manager = self.make_manager(executor=lambda action: False)
+        manager.on_action_executed(self.dig(), time=1.0)
+        manager.discharge_due(time=2.0)
+        assert len(manager.violations) == 1
+        assert manager.open_count() == 0
+
+    def test_expire_marks_overdue(self):
+        manager = self.make_manager(executor=lambda action: True, deadline=2.0)
+        manager.on_action_executed(self.dig(), time=1.0)
+        assert manager.expire(time=2.0) == []       # not yet due
+        violated = manager.expire(time=4.0)
+        assert len(violated) == 1
+        assert manager.open_count() == 0
+
+    def test_untagged_action_creates_nothing(self):
+        manager = self.make_manager(executor=lambda action: True)
+        manager.on_action_executed(Action("move", "motor"), time=1.0)
+        assert manager.open_count() == 0

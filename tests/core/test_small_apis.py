@@ -1,0 +1,84 @@
+"""Tests for small public APIs: sensor override, obligation escalation,
+condition `in` operator, and parser fuzzing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.actions import Action
+from repro.core.conditions import Comparison, Literal, parse_condition
+from repro.core.device import Sensor
+from repro.core.obligations import (
+    Obligation,
+    ObligationManager,
+    ObligationOntology,
+)
+from repro.errors import ConditionParseError
+
+
+class TestSensorOverride:
+    def test_override_freezes_and_restore_reconnects(self):
+        live = {"value": 1}
+        sensor = Sensor("s", read_fn=lambda: live["value"])
+        assert sensor.read() == 1
+        sensor.override(999)
+        live["value"] = 2
+        assert sensor.read() == 999      # frozen at the lie
+        sensor.restore(lambda: live["value"])
+        assert sensor.read() == 2
+
+
+class TestObligationEscalation:
+    def make_manager(self, executor):
+        ontology = ObligationOntology()
+        ontology.declare_hazard("digging")
+        ontology.attach("digging", Obligation(
+            "warn", Action("post", "poster"), deadline=2.0,
+        ))
+        return ObligationManager(ontology, executor=executor)
+
+    def dig(self):
+        return Action("dig", "digger", tags={"digging"})
+
+    def test_on_violation_fires_on_expiry(self):
+        escalated = []
+        manager = self.make_manager(executor=lambda action: True)
+        manager.on_violation = escalated.append
+        manager.on_action_executed(self.dig(), time=0.0)
+        manager.expire(time=5.0)
+        assert len(escalated) == 1
+        assert escalated[0].obligation.name == "warn"
+
+    def test_on_violation_fires_on_failed_remedy(self):
+        escalated = []
+        manager = self.make_manager(executor=lambda action: False)
+        manager.on_violation = escalated.append
+        manager.on_action_executed(self.dig(), time=0.0)
+        manager.discharge_due(time=1.0)
+        assert len(escalated) == 1
+
+
+class TestInOperator:
+    def test_membership_against_literal_collection(self):
+        condition = Comparison("mode", "in", Literal(("patrol", "idle")))
+        assert condition.evaluate({"mode": "patrol"})
+        assert not condition.evaluate({"mode": "panic"})
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=40))
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises ConditionParseError —
+        nothing else escapes."""
+        try:
+            parse_condition(text)
+        except ConditionParseError:
+            pass
+
+    @given(st.sampled_from(["temp", "fuel"]),
+           st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+           st.integers(min_value=-1000, max_value=1000))
+    def test_simple_comparisons_always_roundtrip(self, variable, op, value):
+        condition = parse_condition(f"{variable} {op} {value}")
+        state = {"temp": 0, "fuel": 0}
+        expected = eval(f"state[variable] {op} value")  # trusted test input
+        assert condition.evaluate(state) == expected

@@ -1,0 +1,277 @@
+"""Unit tests for concrete devices: drones, mules, mechanic, operators,
+coalitions, and the sim binding."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.devices.base import bind_device
+from repro.devices.coalition import Coalition, Organization
+from repro.devices.drone import builtin_drone_policies, drone_actions, make_drone
+from repro.devices.human import HumanOperator
+from repro.devices.mechanic import MechanicDevice
+from repro.devices.mule import make_mule
+from repro.devices.world import World
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.safeguards.deactivation import Watchdog
+from repro.safeguards.tamper import attest_device, attest_fleet
+from repro.sim.simulator import Simulator
+from repro.statespace.classifier import ThresholdBand, ThresholdClassifier
+from repro.types import DeviceStatus, HarmKind
+
+
+def build_env(seed=1):
+    sim = Simulator(seed=seed)
+    world = World(sim)
+    network = Network(sim, base_latency=0.01, jitter=0.0)
+    return sim, world, network
+
+
+class TestDrone:
+    def test_strike_harms_nearby_humans(self):
+        sim, world, _net = build_env()
+        world.add_human("h1", 10.0, 10.0)
+        drone = make_drone("uav1", world, x=10.0, y=10.0)
+        drone.command("strike", {"target_x": 10.0, "target_y": 10.0})
+        assert world.harm_count(HarmKind.DIRECT) == 1
+
+    def test_patrol_burns_fuel_and_heats(self):
+        sim, world, net = build_env()
+        drone = make_drone("uav1", world, x=50.0, y=50.0)
+        bound = bind_device(drone, sim, net)
+        bound.every(1.0)
+        sim.run(until=5.5)
+        assert drone.state.get("fuel") < 100.0
+        assert drone.state.get("temp") > 20.0
+        assert drone.state.get("x") != 50.0 or drone.state.get("y") != 50.0
+
+    def test_thermal_policy_prevents_runaway(self):
+        sim, world, net = build_env()
+        drone = make_drone("uav1", world)
+        drone.state.set("temp", 85.0)
+        bound = bind_device(drone, sim, net)
+        bound.every(1.0)
+        sim.run(until=3.0)
+        assert drone.state.get("temp") < 85.0   # cool_down policy fired
+
+    def test_low_fuel_returns_to_base(self):
+        sim, world, _net = build_env()
+        drone = make_drone("uav1", world)
+        drone.state.set("fuel", 15.0)
+        decision = drone.deliver(Event.timer("tick", time=1.0))
+        assert decision.executed == "return_to_base"
+
+    def test_humans_in_range_sensor(self):
+        sim, world, _net = build_env()
+        world.add_human("h1", 12.0, 10.0)
+        drone = make_drone("uav1", world, x=10.0, y=10.0, sensor_range=15.0)
+        assert drone.sensors["humans_in_range"].read() == 1
+
+
+class TestMule:
+    def test_dig_creates_hazard_and_obligation(self):
+        sim, world, net = build_env()
+        mule = make_mule("m1", world, x=30.0, y=30.0)
+        bind_device(mule, sim, net)
+        mule.command("dig")
+        assert len(world.hazards) == 1
+        assert mule.engine.obligations.open_count() == 1
+        sim.run(until=3.0)   # obligation pump posts warnings
+        assert world.open_hazards() == []
+        assert len(mule.engine.obligations.discharged) == 1
+
+    def test_mule_without_obligations_leaves_hazards(self):
+        sim, world, net = build_env()
+        mule = make_mule("m1", world, with_obligations=False)
+        bind_device(mule, sim, net)
+        mule.command("dig")
+        sim.run(until=10.0)
+        assert len(world.open_hazards()) == 1
+
+    def test_dispatch_message_triggers_intercept(self):
+        sim, world, net = build_env()
+        world.add_convoy(30.0, 30.0, target_x=90.0, target_y=90.0, speed=0.5)
+        mule = make_mule("m1", world)
+        bind_device(mule, sim, net)
+        decision = mule.receive_message("dispatch", {"x": 10.0}, source="uav1")
+        assert decision.executed == "intercept"
+        assert mule.state.get("mode") == "intercept"
+
+    def test_pursuit_captures_convoy(self):
+        sim, world, net = build_env()
+        convoy = world.add_convoy(30.0, 0.0, target_x=30.0, target_y=100.0,
+                                  speed=0.5)
+        mule = make_mule("m1", world, x=30.0, y=20.0, speed=4.0)
+        bound = bind_device(mule, sim, net)
+        bound.every(1.0)
+        mule.receive_message("dispatch", {}, source="uav1")
+        sim.run(until=30.0)
+        assert convoy.intercepted_by == "m1"
+        assert not convoy.escaped
+        assert mule.state.get("mode") == "idle"   # stood down after capture
+
+    def test_unpursued_convoy_escapes(self):
+        sim, world, _net = build_env()
+        convoy = world.add_convoy(10.0, 0.0, target_x=10.0, target_y=50.0,
+                                  speed=2.0)
+        sim.run(until=40.0)
+        assert convoy.escaped
+        assert world.convoys_escaped() == 1
+        assert world.active_convoys() == []
+
+
+class TestMechanic:
+    def classifier(self):
+        return ThresholdClassifier([
+            ThresholdBand("temp", safe_high=80.0, hard_high=100.0),
+        ])
+
+    def test_repairs_deactivated_device(self):
+        sim, world, _net = build_env()
+        drone = make_drone("uav1", world, x=5.0, y=5.0)
+        drone.state.set("temp", 120.0)
+        drone.deactivate("watchdog: bad_state")
+        devices = {"uav1": drone}
+        mechanic = MechanicDevice(
+            "fix1", sim, devices,
+            baseline_policies=lambda device: builtin_drone_policies(
+                device.engine.actions),
+            repair_interval=2.0,
+        )
+        sim.run(until=3.0)
+        assert drone.status == DeviceStatus.ACTIVE
+        assert drone.state.get("temp") == 20.0   # reset to default
+        assert drone.state.get("x") == 5.0       # position preserved
+        assert mechanic.repairs[0][1] == "uav1"
+
+    def test_repair_restores_policies_and_reattests(self):
+        from repro.attacks.cyber import MalevolentPayload, compromise_device
+        from repro.core.policy import Policy
+        from repro.core.actions import Action
+
+        sim, world, _net = build_env()
+        drone = make_drone("uav1", world)
+        devices = {"uav1": drone}
+        baseline = attest_fleet(devices.values())
+        watchdog = Watchdog(sim, devices, self.classifier(),
+                            check_interval=1.0, attestation_baseline=baseline)
+        mechanic = MechanicDevice(
+            "fix1", sim, devices,
+            baseline_policies=lambda device: builtin_drone_policies(
+                device.engine.actions),
+            repair_interval=3.0, watchdog=watchdog,
+        )
+        compromise_device(drone, MalevolentPayload(
+            policies=[Policy.make("timer", None, Action("rogue", "motor"),
+                                  policy_id="rogue")],
+            strip_safeguards=False,
+        ), time=0.0)
+        sim.run(until=10.0)
+        # Watchdog killed it (attestation), mechanic repaired it, and the
+        # repaired configuration attests clean again.
+        assert drone.status == DeviceStatus.ACTIVE
+        assert "rogue" not in drone.engine.policies
+        assert watchdog.attestation_baseline["uav1"] == attest_device(drone)
+
+    def test_capacity_limits_repairs_per_sweep(self):
+        sim, world, _net = build_env()
+        devices = {}
+        for index in range(3):
+            drone = make_drone(f"uav{index}", world)
+            drone.deactivate("test")
+            devices[drone.device_id] = drone
+        MechanicDevice("fix1", sim, devices,
+                       baseline_policies=lambda device: builtin_drone_policies(
+                           device.engine.actions),
+                       repair_interval=10.0, repair_capacity=1)
+        sim.run(until=11.0)
+        active = [d for d in devices.values() if d.status == DeviceStatus.ACTIVE]
+        assert len(active) == 1
+
+
+class TestHumanOperator:
+    def test_command_routing(self):
+        sim, world, _net = build_env()
+        operator = HumanOperator("op1", sim)
+        drone = make_drone("uav1", world)
+        operator.assign(drone)
+        decision = operator.command("uav1", "return")
+        assert decision.executed == "return_to_base"
+        assert operator.command("ghost", "return") is None
+        assert operator.commands_issued == 1
+
+    def test_command_all(self):
+        sim, world, _net = build_env()
+        operator = HumanOperator("op1", sim)
+        for index in range(3):
+            operator.assign(make_drone(f"uav{index}", world))
+        assert operator.command_all("return") == 3
+
+    def test_cross_validation_rate_limit(self):
+        sim, world, _net = build_env()
+        operator = HumanOperator("op1", sim, review_capacity_per_unit=2.0)
+        assert operator.cross_validate("ok?") is True
+        assert operator.cross_validate("ok?") is True
+        assert operator.cross_validate("ok?") is None   # over capacity
+        assert operator.reviews_deferred == 1
+
+    def test_capacity_validation(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ConfigurationError):
+            HumanOperator("op1", sim, review_capacity_per_unit=0.0)
+
+
+class TestCoalition:
+    def test_enroll_stamps_organization(self):
+        _sim, world, _net = build_env()
+        org = Organization("us")
+        drone = make_drone("uav1", world, organization="wrong")
+        org.enroll(drone)
+        assert drone.organization == "us"
+        assert org.device_ids() == ["uav1"]
+
+    def test_coalition_queries(self):
+        _sim, world, _net = build_env()
+        us, uk = Organization("us"), Organization("uk")
+        us.enroll(make_drone("us-uav", world))
+        uk.enroll(make_mule("uk-mule", world))
+        coalition = Coalition("joint", [us, uk])
+        assert len(coalition) == 2
+        assert coalition.organization_of("us-uav") == "us"
+        assert coalition.organization_of("ghost") is None
+        assert coalition.organizations_spanned(["us-uav", "uk-mule"]) == {"us", "uk"}
+        assert len(coalition.devices_of_type("drone")) == 1
+
+    def test_duplicate_org_rejected(self):
+        coalition = Coalition("joint", [Organization("us")])
+        with pytest.raises(ConfigurationError):
+            coalition.add(Organization("us"))
+
+
+class TestSimDeviceBinding:
+    def test_messages_route_to_device_events(self):
+        sim, world, net = build_env()
+        drone = make_drone("uav1", world)
+        mule = make_mule("m1", world)
+        bind_device(drone, sim, net)
+        bind_device(mule, sim, net)
+        world.add_convoy(50.0, 50.0, target_x=90.0, target_y=90.0, speed=0.1)
+        drone.send_message("m1", "dispatch", {"x": 1.0})
+        sim.run(until=1.0)
+        assert sim.metrics.value("net.delivered") == 1
+        # Mule's builtin policy acted on the dispatch and began pursuit.
+        assert mule.state.get("mode") == "intercept"
+
+    def test_clock_follows_simulator(self):
+        sim, world, net = build_env()
+        drone = make_drone("uav1", world)
+        bind_device(drone, sim, net)
+        sim.run(until=5.0)
+        assert drone.clock() == 5.0
+
+    def test_shutdown_unregisters(self):
+        sim, world, net = build_env()
+        drone = make_drone("uav1", world)
+        bound = bind_device(drone, sim, net)
+        bound.shutdown()
+        assert "uav1" not in net.addresses()

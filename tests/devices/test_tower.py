@@ -1,0 +1,96 @@
+"""Unit tests for sensor towers and threat assessment."""
+
+import pytest
+
+from repro.devices.tower import ThreatAssessmentService, make_tower
+from repro.devices.world import World
+from repro.errors import ConfigurationError
+from repro.sim.simulator import Simulator
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+
+
+def build(n_towers=5, hostiles=3, seed=19):
+    sim = Simulator(seed=seed)
+    world = World(sim)
+    # Hostiles clustered near the center, towers ringed around it.
+    for index in range(hostiles):
+        world.add_human(f"hostile{index}", 50.0 + index, 50.0,
+                        friendly=False, speed=0.0)
+    world.add_human("friendly", 52.0, 52.0, friendly=True, speed=0.0)
+    towers = {}
+    for index in range(n_towers):
+        tower = make_tower(f"tower{index}", world,
+                           x=40.0 + 5.0 * index, y=45.0, coverage=40.0,
+                           noise_sigma=0.2)
+        towers[tower.device_id] = tower
+    return sim, world, towers
+
+
+class TestTower:
+    def test_counts_only_hostiles(self):
+        _sim, _world, towers = build(n_towers=1, hostiles=3)
+        reading = towers["tower0"].sensors["threat"].read()
+        assert reading == pytest.approx(3.0, abs=1.0)
+
+    def test_offline_tower_reads_zero(self):
+        _sim, _world, towers = build(n_towers=1)
+        towers["tower0"].state.set("online", False)
+        assert towers["tower0"].sensors["threat"].read() == 0.0
+
+    def test_out_of_coverage_reads_zero(self):
+        sim = Simulator(seed=3)
+        world = World(sim)
+        world.add_human("hostile", 90.0, 90.0, friendly=False, speed=0.0)
+        tower = make_tower("t", world, x=0.0, y=0.0, coverage=10.0,
+                           noise_sigma=0.0)
+        assert tower.sensors["threat"].read() == 0.0
+
+
+class TestThreatAssessment:
+    def test_fused_estimate_near_truth(self):
+        sim, _world, towers = build(hostiles=4)
+        service = ThreatAssessmentService(sim, towers, interval=1.0)
+        sim.run(until=10.0)
+        assert service.estimate == pytest.approx(4.0, abs=1.0)
+        assert service.rounds == 10
+
+    def test_colluding_towers_outweighted_and_distrusted(self):
+        sim, _world, towers = build(n_towers=7, hostiles=2)
+        # Two towers are hijacked to scream maximum threat.
+        for victim in ("tower0", "tower1"):
+            towers[victim].sensors["threat"].override(500.0)  # frozen lie
+        service = ThreatAssessmentService(sim, towers, interval=1.0)
+        sim.run(until=15.0)
+        assert service.estimate == pytest.approx(2.0, abs=1.0)
+        assert set(service.suspected_towers()) == {"tower0", "tower1"}
+        for victim in ("tower0", "tower1"):
+            assert service.ledger.trust(victim) < 0.2
+
+    def test_deactivated_towers_excluded(self):
+        sim, _world, towers = build(n_towers=3)
+        towers["tower0"].deactivate("maintenance")
+        service = ThreatAssessmentService(sim, towers, interval=1.0)
+        readings = service.readings()
+        assert len(readings) == 2
+
+    def test_requires_towers(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ConfigurationError):
+            ThreatAssessmentService(sim, {})
+
+    def test_context_verifier_feeds_breakglass(self):
+        sim, world, towers = build(hostiles=6)
+        service = ThreatAssessmentService(sim, towers, interval=1.0)
+        controller = BreakGlassController(
+            context_verifier=service.context_verifier(),
+        )
+        controller.register_rule(BreakGlassRule.make(
+            "engage", "threat_level > 4", {"statespace"},
+        ))
+        grant = controller.request("uav1", "engage", "hostiles massing", 0.0)
+        assert grant is not None
+        # Remove the hostiles: the verified context no longer qualifies.
+        for human_id in list(world.humans):
+            if not world.humans[human_id].friendly:
+                world.humans[human_id].alive = False
+        assert controller.request("uav1", "engage", "again", 1.0) is None

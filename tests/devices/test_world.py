@@ -1,0 +1,152 @@
+"""Unit tests for the physical world model."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.devices.world import World, WorldHarmModel
+from repro.devices.drone import make_drone
+from repro.devices.mule import make_mule
+from repro.errors import ConfigurationError
+from repro.sim.simulator import Simulator
+from repro.types import HarmKind
+
+
+def build(seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    return sim, World(sim, **kwargs)
+
+
+class TestWorldBasics:
+    def test_dimension_validation(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ConfigurationError):
+            World(sim, width=0.0)
+
+    def test_humans_clamped_to_field(self):
+        _sim, world = build(width=10.0, height=10.0)
+        human = world.add_human("h1", 50.0, -5.0)
+        assert human.x == 10.0
+        assert human.y == 0.0
+
+    def test_duplicate_human_rejected(self):
+        _sim, world = build()
+        world.add_human("h1", 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            world.add_human("h1", 2.0, 2.0)
+
+    def test_scatter_is_deterministic_per_seed(self):
+        _sim1, world1 = build(seed=9)
+        _sim2, world2 = build(seed=9)
+        humans1 = world1.scatter_humans(5)
+        humans2 = world2.scatter_humans(5)
+        assert [(h.x, h.y) for h in humans1] == [(h.x, h.y) for h in humans2]
+
+    def test_humans_near_radius_and_friendly_filter(self):
+        _sim, world = build()
+        world.add_human("near", 10.0, 10.0)
+        world.add_human("far", 90.0, 90.0)
+        world.add_human("foe", 11.0, 11.0, friendly=False)
+        near = world.humans_near(10.0, 10.0, 5.0)
+        assert {human.human_id for human in near} == {"near", "foe"}
+        friendly = world.humans_near(10.0, 10.0, 5.0, friendly_only=True)
+        assert {human.human_id for human in friendly} == {"near"}
+
+    def test_humans_walk_over_time(self):
+        sim, world = build()
+        human = world.add_human("h1", 50.0, 50.0, speed=2.0)
+        start = (human.x, human.y)
+        sim.run(until=10.0)
+        assert (human.x, human.y) != start
+
+
+class TestHarm:
+    def test_direct_harm_recorded(self):
+        _sim, world = build()
+        world.add_human("h1", 10.0, 10.0)
+        harmed = world.harm_humans_near(10.0, 10.0, 5.0, cause="strike",
+                                        device_id="uav1")
+        assert harmed == 1
+        assert world.harm_count() == 1
+        assert world.harm_count(HarmKind.DIRECT) == 1
+        assert world.humans["h1"].injured
+
+    def test_unknown_human_ignored(self):
+        _sim, world = build()
+        assert world.harm_human("ghost", HarmKind.DIRECT, "x", "d") is None
+
+    def test_hazard_harms_wanderer_once(self):
+        sim, world = build()
+        world.add_human("h1", 50.0, 50.0, speed=1.0)
+        world.add_hazard("hole", 50.0, 50.0, radius=30.0, created_by="mule1")
+        sim.run(until=20.0)
+        assert world.harm_count(HarmKind.INDIRECT) == 1   # only once per human
+
+    def test_mitigated_hazard_is_harmless(self):
+        sim, world = build()
+        world.add_human("h1", 50.0, 50.0)
+        hazard = world.add_hazard("hole", 50.0, 50.0, radius=30.0,
+                                  created_by="mule1")
+        world.mitigate_hazard(hazard.hazard_id)
+        sim.run(until=20.0)
+        assert world.harm_count() == 0
+        assert world.open_hazards() == []
+
+    def test_mitigate_hazards_by_device(self):
+        _sim, world = build()
+        world.add_hazard("hole", 1.0, 1.0, 2.0, created_by="mule1")
+        world.add_hazard("hole", 5.0, 5.0, 2.0, created_by="mule1")
+        world.add_hazard("hole", 9.0, 9.0, 2.0, created_by="other")
+        assert world.mitigate_hazards_by("mule1") == 2
+        assert len(world.open_hazards()) == 1
+
+    def test_remove_hazard(self):
+        _sim, world = build()
+        hazard = world.add_hazard("hole", 1.0, 1.0, 2.0, created_by="m")
+        assert world.remove_hazard(hazard.hazard_id)
+        assert not world.remove_hazard(999)
+        assert world.open_hazards() == []
+
+    def test_harm_metrics(self):
+        sim, world = build()
+        world.add_human("h1", 10.0, 10.0)
+        world.harm_humans_near(10.0, 10.0, 5.0, cause="x", device_id="d")
+        assert sim.metrics.value("world.harm") == 1
+        assert sim.metrics.value("world.harm.direct") == 1
+
+
+class TestWorldHarmModel:
+    def test_direct_harm_predicted_within_sensor_range(self):
+        sim, world = build()
+        world.add_human("h1", 12.0, 10.0)
+        drone = make_drone("uav1", world, x=10.0, y=10.0)
+        model = WorldHarmModel(world, sensor_range=15.0, effect_radius=5.0)
+        strike = Action("strike", "weapon", tags={"kinetic"})
+        assert model.predict_direct_harm(drone, strike, 0.0) is not None
+
+    def test_harm_beyond_sensor_range_invisible(self):
+        """The paper's limitation: the model only anticipates humans it can
+        currently sense."""
+        sim, world = build()
+        world.add_human("h1", 14.0, 10.0)   # inside blast 5? no: 4 away... make 4 away
+        drone = make_drone("uav1", world, x=10.0, y=10.0)
+        model = WorldHarmModel(world, sensor_range=2.0, effect_radius=5.0)
+        strike = Action("strike", "weapon", tags={"kinetic"})
+        # Human is 4m away: inside the blast radius but outside the 2m
+        # sensor range, so the (limited) model predicts no harm.
+        assert model.predict_direct_harm(drone, strike, 0.0) is None
+
+    def test_untagged_action_never_direct_harm(self):
+        sim, world = build()
+        world.add_human("h1", 10.0, 10.0)
+        drone = make_drone("uav1", world, x=10.0, y=10.0)
+        model = WorldHarmModel(world)
+        assert model.predict_direct_harm(drone, Action("patrol", "motor"),
+                                         0.0) is None
+
+    def test_hazard_prediction_by_tag(self):
+        sim, world = build()
+        mule = make_mule("m1", world)
+        model = WorldHarmModel(world)
+        dig = Action("dig", "digger", tags={"digging"})
+        assert model.predict_hazard(mule, dig, 0.0) is not None
+        assert model.predict_hazard(mule, Action("move", "motor"), 0.0) is None

@@ -1,0 +1,172 @@
+"""Unit tests for aggregate monitoring and emergent-behaviour detection."""
+
+import math
+
+from repro.core.actions import Action, Effect
+from repro.emergent.aggregate import AggregateMonitor
+from repro.emergent.analysis import SystemOfSystemsAnalyzer
+from repro.emergent.detector import EmergentBehaviorDetector
+from repro.safeguards.collection import AggregateConstraint
+from repro.sim.simulator import Simulator
+from repro.statespace.classifier import ThresholdBand, ThresholdClassifier
+
+from tests.conftest import make_test_device
+
+HEAT = AggregateConstraint("heat", "temp", "sum", 100.0)
+
+
+def individual_classifier():
+    return ThresholdClassifier([
+        ThresholdBand("temp", safe_high=80.0, hard_high=100.0),
+    ])
+
+
+class TestAggregateMonitor:
+    def test_records_series_and_violations(self):
+        sim = Simulator(seed=1)
+        devices = {f"d{i}": make_test_device(f"d{i}") for i in range(3)}
+        monitor = AggregateMonitor(sim, devices, [HEAT], interval=1.0,
+                                   individual_classifier=individual_classifier())
+        for device in devices.values():
+            device.state.set("temp", 50.0)   # sum 150 > 100, each fine
+        sim.run(until=3.5)
+        assert len(monitor.violations) == 3
+        assert all(violation.emergent for violation in monitor.violations)
+        series = sim.metrics.get("aggregate.heat")
+        assert series.last() == 150.0
+
+    def test_non_emergent_when_individual_bad(self):
+        sim = Simulator(seed=1)
+        devices = {"d0": make_test_device("d0"), "d1": make_test_device("d1")}
+        monitor = AggregateMonitor(sim, devices, [HEAT], interval=1.0,
+                                   individual_classifier=individual_classifier())
+        devices["d0"].state.set("temp", 120.0)   # individually bad
+        sim.run(until=1.5)
+        assert len(monitor.violations) == 1
+        assert not monitor.violations[0].emergent
+        assert monitor.violations[0].individually_bad == ("d0",)
+        assert monitor.emergent_violations() == []
+
+    def test_violation_time_fraction(self):
+        sim = Simulator(seed=1)
+        devices = {"d0": make_test_device("d0")}
+        monitor = AggregateMonitor(sim, devices, [HEAT], interval=1.0)
+        devices["d0"].state.set("temp", 150.0)
+        sim.run(until=10.0)
+        fraction = monitor.violation_time_fraction("heat", 10.0)
+        assert fraction > 0.8
+
+    def test_stop(self):
+        sim = Simulator(seed=1)
+        devices = {"d0": make_test_device("d0")}
+        monitor = AggregateMonitor(sim, devices, [HEAT], interval=1.0)
+        monitor.stop()
+        devices["d0"].state.set("temp", 150.0)
+        sim.run(until=5.0)
+        assert monitor.violations == []
+
+
+class TestDetector:
+    def test_oscillation_detected(self):
+        detector = EmergentBehaviorDetector(oscillation_min_crossings=6)
+        samples = [(float(t), math.sin(t)) for t in range(30)]
+        pattern = detector.detect_oscillation(samples)
+        assert pattern is not None
+        assert pattern.kind == "oscillation"
+        assert pattern.detail["crossings"] >= 6
+
+    def test_monotone_series_not_oscillating(self):
+        detector = EmergentBehaviorDetector()
+        samples = [(float(t), float(t)) for t in range(30)]
+        assert detector.detect_oscillation(samples) is None
+
+    def test_short_series_ignored(self):
+        detector = EmergentBehaviorDetector()
+        assert detector.detect_oscillation([(0.0, 1.0), (1.0, -1.0)]) is None
+
+    def test_synchrony_detected(self):
+        detector = EmergentBehaviorDetector(synchrony_window=1.0,
+                                            synchrony_min_fraction=0.6)
+        change_times = {
+            "a": [10.0, 20.0], "b": [10.2, 20.1], "c": [10.4, 35.0],
+        }
+        patterns = detector.detect_synchrony(change_times)
+        assert len(patterns) >= 1
+        assert patterns[0].score >= 0.6
+        assert set(patterns[0].detail["participants"]) == {"a", "b", "c"}
+
+    def test_unsynchronized_changes_clean(self):
+        detector = EmergentBehaviorDetector(synchrony_window=0.5,
+                                            synchrony_min_fraction=0.9)
+        change_times = {"a": [1.0], "b": [5.0], "c": [9.0]}
+        assert detector.detect_synchrony(change_times) == []
+
+    def test_cascade_detected(self):
+        detector = EmergentBehaviorDetector(cascade_window=2.0,
+                                            cascade_burst_factor=4.0)
+        # Background failures spread over 100 units plus a burst at t=50.
+        events = [5.0, 25.0, 75.0, 95.0] + [50.0, 50.2, 50.4, 50.6, 50.8]
+        patterns = detector.detect_cascade(events, horizon=100.0)
+        assert len(patterns) == 1
+        assert 50.0 <= patterns[0].start <= 51.0
+
+    def test_uniform_failures_no_cascade(self):
+        detector = EmergentBehaviorDetector()
+        events = [float(t) * 10 for t in range(10)]
+        assert detector.detect_cascade(events, horizon=100.0) == []
+
+
+class TestSystemOfSystemsAnalyzer:
+    def heat_action(self, delta=20.0):
+        return Action("heat", "m", effects=[Effect("temp", "add", delta)])
+
+    def test_risky_collection_flagged(self):
+        analyzer = SystemOfSystemsAnalyzer([HEAT], rollouts=30, depth=4, seed=1)
+        states = {f"m{i}": {"temp": 20.0} for i in range(3)}
+        actions = {f"m{i}": [self.heat_action()] for i in range(3)}
+        result = analyzer.analyze(states, actions)
+        assert result["violation_prob"] == 1.0
+        assert result["mean_steps_to_violation"] is not None
+
+    def test_safe_collection_clean(self):
+        analyzer = SystemOfSystemsAnalyzer([HEAT], rollouts=20, depth=5, seed=1)
+        states = {"m0": {"temp": 10.0}}
+        actions = {"m0": [Action("cool", "m",
+                                 effects=[Effect("temp", "add", -1.0)])]}
+        result = analyzer.analyze(states, actions)
+        assert result["violation_prob"] == 0.0
+
+    def test_emergent_probability_with_individual_classifier(self):
+        analyzer = SystemOfSystemsAnalyzer(
+            [HEAT], individual_classifier=individual_classifier(),
+            rollouts=20, depth=3, seed=2,
+        )
+        states = {f"m{i}": {"temp": 30.0} for i in range(3)}
+        actions = {f"m{i}": [self.heat_action(10.0)] for i in range(3)}
+        result = analyzer.analyze(states, actions)
+        # Sum crosses 100 while each member stays below its own 100 limit.
+        assert result["emergent_prob"] == result["violation_prob"] > 0.0
+
+    def test_empty_collection(self):
+        analyzer = SystemOfSystemsAnalyzer([HEAT])
+        assert analyzer.analyze({}, {})["violation_prob"] == 0.0
+
+    def test_recommend_max_members(self):
+        analyzer = SystemOfSystemsAnalyzer([HEAT], rollouts=10, depth=2, seed=3)
+        size = analyzer.recommend_max_members(
+            {"temp": 20.0}, [self.heat_action(10.0)], max_members=10,
+            acceptable_prob=0.0,
+        )
+        # Each member adds up to 20+2*10=40 heat; 2 members can reach 80 (<100
+        # violation needs >100) but 3 can reach 120.
+        assert 1 <= size <= 3
+
+    def test_deterministic_per_seed(self):
+        analyzer_a = SystemOfSystemsAnalyzer([HEAT], rollouts=20, depth=3, seed=5)
+        analyzer_b = SystemOfSystemsAnalyzer([HEAT], rollouts=20, depth=3, seed=5)
+        states = {f"m{i}": {"temp": 25.0} for i in range(2)}
+        actions = {f"m{i}": [self.heat_action(15.0),
+                             Action("cool", "m",
+                                    effects=[Effect("temp", "add", -15.0)])]
+                   for i in range(2)}
+        assert analyzer_a.analyze(states, actions) == analyzer_b.analyze(states, actions)

@@ -1,0 +1,196 @@
+"""Edge-case hardening across modules."""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.sim.simulator import Simulator
+
+from tests.conftest import heat_policy, make_test_device
+
+
+class TestEngineEdges:
+    def test_decision_log_trims_to_limit(self):
+        device = make_test_device()
+        device.engine._decision_log_limit = 10
+        heat_policy(device)
+        for time in range(50):
+            device.state.set("temp", 20.0)
+            device.deliver(Event(kind="timer.tick", time=float(time)))
+        assert len(device.engine.decisions) == 10
+
+    def test_same_priority_first_added_wins(self):
+        device = make_test_device()
+        device.engine.policies.add(Policy.make(
+            "timer", None, device.engine.actions.get("cool_down"),
+            priority=5, policy_id="first",
+        ))
+        device.engine.policies.add(Policy.make(
+            "timer", None, device.engine.actions.get("heat_up"),
+            priority=5, policy_id="second",
+        ))
+        decision = device.deliver(Event(kind="timer.tick", time=1.0))
+        assert decision.policy_id == "first"
+
+    def test_substitution_skips_already_vetoed_candidates(self):
+        """When every candidate is vetoed, the decision ends VETOED with
+        the veto list covering the attempts."""
+        from repro.core.engine import Safeguard
+        from repro.errors import SafeguardViolation
+
+        class VetoEverything(Safeguard):
+            name = "veto_everything"
+
+            def check_action(self, device, action, event, time):
+                if not action.is_noop:
+                    raise SafeguardViolation("no", safeguard=self.name)
+
+        device = make_test_device(safeguards=[VetoEverything()])
+        heat_policy(device)
+        decision = device.deliver(Event(kind="timer.tick", time=1.0))
+        assert decision.outcome.value == "vetoed"
+        assert len(decision.vetoes) >= 1
+
+
+class TestNetworkEdges:
+    def test_broadcast_respects_partitions(self):
+        from repro.net.network import Network
+
+        sim = Simulator(seed=1)
+        net = Network(sim, jitter=0.0)
+        boxes = {name: [] for name in ("a", "b", "c")}
+        for name in boxes:
+            net.register(name, boxes[name].append)
+        net.topology.partition([["a", "b"], ["c"]])
+        net.broadcast("a", "topic", {})
+        sim.run()
+        assert len(boxes["b"]) == 1
+        assert len(boxes["c"]) == 0
+
+
+class TestAttackEdges:
+    def test_worm_max_rounds_stops_spread(self):
+        from repro.attacks.cyber import MalevolentPayload, WormAttack
+        from repro.attacks.injector import AttackInjector
+        from repro.net.network import Network
+
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        devices = {}
+        for index in range(10):
+            device = make_test_device(f"d{index}")
+            devices[device.device_id] = device
+            net.register(device.device_id, lambda message: None)
+        worm = WormAttack(devices, MalevolentPayload(strip_safeguards=False),
+                          initial_targets=["d0"], topology=net.topology,
+                          spread_prob=0.3, max_rounds=1)
+        AttackInjector(sim).launch_at(1.0, worm)
+        sim.run(until=50.0)
+        after_round_one = set(worm.infected)
+        sim.run(until=100.0)
+        assert worm.infected == after_round_one
+
+    def test_backdoor_attack_stops_at_max_attempts(self):
+        from repro.attacks.backdoor import Backdoor, BackdoorAttack
+        from repro.attacks.cyber import MalevolentPayload
+        from repro.attacks.injector import AttackInjector
+
+        sim = Simulator(seed=3)
+        device = make_test_device()
+        attack = BackdoorAttack([Backdoor(device, key="k")],
+                                MalevolentPayload(strip_safeguards=False),
+                                success_prob=0.0, attempt_interval=1.0,
+                                max_attempts=5)
+        AttackInjector(sim).launch_at(1.0, attack)
+        sim.run(until=100.0)
+        assert attack.attempts == 5
+
+
+class TestDeviceEdges:
+    def test_command_all_counts_only_acting_devices(self):
+        from repro.devices.human import HumanOperator
+
+        sim = Simulator(seed=1)
+        operator = HumanOperator("op", sim)
+        acting = make_test_device("acting")
+        heat_policy_action = acting.engine.actions.get("heat_up")
+        acting.engine.policies.add(Policy.make("mgmt.heat", None,
+                                               heat_policy_action))
+        idle = make_test_device("idle")   # no mgmt.heat policy
+        dead = make_test_device("dead")
+        dead.deactivate("test")
+        for device in (acting, idle, dead):
+            operator.assign(device)
+        assert operator.command_all("heat") == 1
+
+    def test_watchdog_attestation_takes_precedence_over_bad_state(self):
+        from repro.attacks.cyber import MalevolentPayload, compromise_device
+        from repro.safeguards.deactivation import Watchdog
+        from repro.safeguards.tamper import attest_fleet
+        from repro.statespace.classifier import ThresholdBand, ThresholdClassifier
+
+        sim = Simulator(seed=4)
+        device = make_test_device("d0")
+        devices = {"d0": device}
+        watchdog = Watchdog(sim, devices, ThresholdClassifier([
+            ThresholdBand("temp", safe_high=80.0, hard_high=100.0),
+        ]), check_interval=1.0,
+            attestation_baseline=attest_fleet(devices.values()))
+        compromise_device(device, MalevolentPayload(
+            policies=[Policy.make("timer", None, Action("rogue", "motor"),
+                                  policy_id="rogue")],
+            strip_safeguards=False,
+        ), time=0.0)
+        device.state.set("temp", 130.0)   # also in a bad state
+        sim.run(until=2.0)
+        assert watchdog.reports[0].cause == "attestation"
+
+    def test_offline_analyzer_without_declared_maxima(self):
+        from repro.safeguards.collection import AggregateConstraint, OfflineAnalyzer
+
+        analyzer = OfflineAnalyzer([
+            AggregateConstraint("heat", "temp", "sum", 100.0),
+        ])
+        # No *_max keys: worst case degrades gracefully to current values.
+        result = analyzer.analyze([{"temp": 40.0}, {"temp": 40.0}],
+                                  worst_case=True)
+        assert result["safe"]
+
+
+class TestScenarioEdges:
+    def test_peacekeeping_without_generative_still_runs(self):
+        from repro.scenarios.harness import SafeguardConfig
+        from repro.scenarios.peacekeeping import PeacekeepingScenario
+
+        scenario = PeacekeepingScenario(seed=5, config=SafeguardConfig.none(),
+                                        generative=False)
+        result = scenario.run(until=40.0)
+        assert result["policies_generated"] == 0
+        assert result["actions_executed"] > 0
+
+    def test_confrontation_deterministic_per_seed(self):
+        from repro.scenarios.confrontation import (
+            ConfrontationScenario, ThreatConfig,
+        )
+        from repro.scenarios.harness import SafeguardConfig
+
+        def run():
+            return ConfrontationScenario(
+                seed=6, config=SafeguardConfig.full(),
+                threats=ThreatConfig(worm=True, backdoor=True),
+            ).run(until=60.0)
+
+        assert run() == run()
+
+    def test_confrontation_no_threats_clean_summary(self):
+        from repro.scenarios.confrontation import (
+            ConfrontationScenario, ThreatConfig,
+        )
+        from repro.scenarios.harness import SafeguardConfig
+
+        scenario = ConfrontationScenario(seed=5, config=SafeguardConfig.full(),
+                                         threats=ThreatConfig.none())
+        result = scenario.run(until=40.0)
+        assert result["compromised_ever"] == 0
+        assert result["mean_containment_latency"] == -1.0

@@ -1,0 +1,172 @@
+"""Cross-module integration tests exercising full paper pipelines."""
+
+from repro.attacks.cyber import MalevolentPayload, WormAttack, compromise_device
+from repro.attacks.injector import AttackInjector
+from repro.audit.auditor import BreakGlassAuditor
+from repro.audit.log import AuditLog
+from repro.core.actions import Action, Effect
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.devices.base import bind_device
+from repro.devices.drone import builtin_drone_policies, make_drone
+from repro.devices.mule import make_mule
+from repro.devices.mechanic import MechanicDevice
+from repro.devices.world import World, WorldHarmModel
+from repro.net.discovery import DiscoveryService
+from repro.net.network import Network
+from repro.safeguards.deactivation import Watchdog
+from repro.safeguards.preaction import PreActionCheck
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.safeguards.tamper import attest_fleet, seal_guard_chain
+from repro.scenarios.peacekeeping import device_safety_classifier
+from repro.sim.simulator import Simulator
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+from repro.types import DeviceStatus, HarmKind
+
+
+def test_discovery_to_generative_to_guarded_dispatch():
+    """Full sec IV pipeline: discovery -> policy generation -> the generated
+    policy drives a cross-device dispatch -> guards let the benign flow
+    through."""
+    from repro.core.generative.generator import GenerativePolicyEngine
+    from repro.core.generative.interaction_graph import (
+        DeviceTypeNode, InteractionEdge, InteractionGraph,
+    )
+    from repro.core.generative.templates import PolicyTemplate, TemplateRegistry
+
+    sim = Simulator(seed=11)
+    world = World(sim)
+    net = Network(sim, base_latency=0.01, jitter=0.0)
+    discovery = DiscoveryService(sim, net, announce_interval=2.0)
+
+    drone = make_drone("uav1", world, x=10.0, y=10.0)
+    mule = make_mule("m1", world, x=20.0, y=20.0)
+    bind_device(drone, sim, net, discovery)
+    bind_device(mule, sim, net, discovery).every(1.0)   # pursuit ticks
+
+    graph = InteractionGraph()
+    graph.add_type(DeviceTypeNode.make("drone"))
+    graph.add_type(DeviceTypeNode.make("mule"))
+    graph.add_interaction(InteractionEdge("drone", "mule", "dispatches",
+                                          template_ids=("t",)))
+    registry = TemplateRegistry([PolicyTemplate.make(
+        "t", "sensor.convoy", "fuel > 10", "call_support", priority=9,
+        to="$peer_id", topic="dispatch",
+    )])
+    engine = GenerativePolicyEngine(graph, registry, clock=lambda: sim.now)
+    engine.manage(drone)
+    engine.manage(mule)
+    discovery.subscribe("uav1", engine.discovery_callback())
+    discovery.subscribe("m1", engine.discovery_callback())
+
+    sim.run(until=5.0)   # let discovery + generation happen
+    assert engine.policies_generated >= 1
+
+    convoy = world.add_convoy(50.0, 0.0, target_x=50.0, target_y=100.0,
+                              speed=0.5)
+    drone.deliver(Event.sensor("convoy", {"x": 50.0}, time=sim.now))
+    sim.run(until=8.0)
+    assert mule.state.get("mode") == "intercept"
+    sim.run(until=60.0)
+    assert convoy.intercepted_by == "m1"
+
+
+def test_worm_watchdog_mechanic_recovery_cycle():
+    """Sec VI-C composed with repair: worm infects, watchdog contains via
+    attestation, mechanic repairs, fleet returns to health."""
+    sim = Simulator(seed=13)
+    world = World(sim)
+    net = Network(sim, base_latency=0.01, jitter=0.0)
+    devices = {}
+    for index in range(4):
+        drone = make_drone(f"uav{index}", world,
+                           x=10.0 * index, y=10.0 * index)
+        bind_device(drone, sim, net)
+        devices[drone.device_id] = drone
+
+    watchdog = Watchdog(sim, devices, device_safety_classifier(),
+                        check_interval=1.0,
+                        attestation_baseline=attest_fleet(devices.values()))
+    mechanic = MechanicDevice(
+        "fix1", sim, devices,
+        baseline_policies=lambda device: builtin_drone_policies(
+            device.engine.actions),
+        repair_interval=5.0, watchdog=watchdog,
+    )
+    rogue = Policy.make("timer", None,
+                        Action("rogue", "weapon", tags={"harm_human"}),
+                        priority=99, policy_id="rogue", source="learned")
+    worm = WormAttack(devices, MalevolentPayload(policies=[rogue]),
+                      initial_targets=["uav0"], topology=net.topology,
+                      spread_prob=0.5, spread_interval=1.0)
+    injector = AttackInjector(sim)
+    record = injector.launch_at(3.0, worm)
+
+    sim.run(until=60.0)
+    # Every infection was eventually detected (attestation) and repaired.
+    assert record.affected   # the worm did land
+    active_clean = [
+        device for device in devices.values()
+        if device.status == DeviceStatus.ACTIVE
+        and "rogue" not in device.engine.policies
+    ]
+    assert len(active_clean) >= 3
+    assert sim.metrics.value("mechanic.repairs") >= 1
+    assert watchdog.deactivations("attestation")
+
+
+def test_breakglass_audit_closes_the_loop():
+    """Sec VI-B: a device uses break-glass during a real emergency and
+    again after it lapses; the auditor flags only the abuse."""
+    log = AuditLog()
+    context = {"threat_level": 9}
+    controller = BreakGlassController(
+        context_verifier=lambda device_id: dict(context),
+        audit_sink=log.sink(),
+    )
+    controller.register_rule(BreakGlassRule.make(
+        "evac", "threat_level > 5", {"statespace"},
+        max_duration=100.0, max_uses=10,
+    ))
+    controller.request("uav1", "evac", "civilians pinned down", time=1.0)
+    assert controller.is_bypassed("uav1", "statespace", 2.0)    # in emergency
+    assert controller.is_bypassed("uav1", "statespace", 50.0)   # after it ended
+
+    findings = BreakGlassAuditor().audit(
+        log, emergency_truth={"uav1": [(0.0, 10.0)]},
+    )
+    abuse = [finding for finding in findings
+             if finding.kind == "use_outside_emergency"]
+    assert len(abuse) == 1
+    assert abuse[0].evidence["time"] == 50.0
+    assert log.verify()
+
+
+def test_sealed_fleet_resists_what_unsealed_fleet_does_not():
+    """Tamper-proofing ablation at the integration level: identical rogue
+    payload, identical guard; only sealing differs."""
+    def build(sealed):
+        sim = Simulator(seed=17)
+        world = World(sim)
+        world.add_human("civ", 10.0, 10.0, speed=0.0)
+        net = Network(sim, base_latency=0.01, jitter=0.0)
+        drone = make_drone("uav1", world, x=10.0, y=10.0)
+        drone.engine.add_safeguard(PreActionCheck(WorldHarmModel(world)))
+        drone.engine.add_safeguard(StateSpaceGuard(device_safety_classifier()))
+        if sealed:
+            seal_guard_chain(drone)
+        bound = bind_device(drone, sim, net)
+        bound.every(1.0)
+        rogue = Policy.make(
+            "timer", None,
+            Action("rogue_strike", "weapon",
+                   effects=[Effect("temp", "add", 5.0)],
+                   tags={"kinetic", "harm_human"}),
+            priority=99, policy_id="rogue", source="learned",
+        )
+        compromise_device(drone, MalevolentPayload(policies=[rogue]), 2.0, sim)
+        sim.run(until=20.0)
+        return world.harm_count(HarmKind.DIRECT)
+
+    assert build(sealed=False) > 0
+    assert build(sealed=True) == 0

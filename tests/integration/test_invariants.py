@@ -1,0 +1,54 @@
+"""Scenario-level invariants that must hold across seeds."""
+
+import pytest
+
+import repro
+from repro.scenarios.harness import SafeguardConfig
+from repro.scenarios.peacekeeping import PeacekeepingScenario
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13, 14])
+def test_preaction_zero_direct_harm_invariant(seed):
+    """With the pre-action check on (and the harm model's sensor range
+    covering the blast radius), direct harm is impossible at ANY seed —
+    the sec VI-A guarantee, not a statistical tendency."""
+    scenario = PeacekeepingScenario(
+        seed=seed, config=SafeguardConfig.only(preaction=True),
+        n_civilians=40, strike_interval=5.0,
+    )
+    result = scenario.run(until=150.0)
+    assert result["harm_direct"] == 0
+
+
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_obligations_leave_no_open_hazards(seed):
+    scenario = PeacekeepingScenario(
+        seed=seed, config=SafeguardConfig.only(obligations=True),
+        dig_interval=4.0,
+    )
+    result = scenario.run(until=150.0)
+    assert result["open_hazards"] == 0
+
+
+def test_top_level_api_exports_resolve():
+    """Every name in repro.__all__ must be importable and non-None."""
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must keep working verbatim."""
+    sim = repro.Simulator(seed=42)
+    world = repro.World(sim)
+    world.scatter_humans(5)
+    drone = repro.make_drone("uav1", world, x=20, y=20)
+    drone.engine.add_safeguard(repro.PreActionCheck(repro.WorldHarmModel(world)))
+    from repro.scenarios.peacekeeping import device_safety_classifier
+
+    drone.engine.add_safeguard(repro.StateSpaceGuard(device_safety_classifier()))
+    repro.seal_guard_chain(drone)
+    repro.bind_device(drone, sim, repro.Network(sim)).every(1.0)
+    decision = drone.command("strike", {"target_x": 20, "target_y": 20})
+    assert decision is not None
+    sim.run(until=100)
+    assert world.harm_count() == 0

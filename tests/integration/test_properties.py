@@ -1,0 +1,226 @@
+"""Cross-module property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import Action, Effect
+from repro.core.events import Event
+from repro.core.policy import Policy
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.safeguards.utility import (
+    PartialDerivativeUtility,
+    UtilityGuard,
+    VariableSense,
+)
+from repro.statespace.classifier import ThresholdBand, ThresholdClassifier
+from repro.statespace.preferences import default_military_ontology
+from repro.types import Safeness
+
+from tests.conftest import make_test_device
+
+
+def classifier():
+    return ThresholdClassifier([
+        ThresholdBand("temp", safe_high=80.0, hard_high=100.0),
+        ThresholdBand("fuel", safe_low=10.0, hard_low=0.0),
+    ])
+
+
+#: Random action effects: (variable, op, magnitude)
+effect_strategy = st.tuples(
+    st.sampled_from(["temp", "fuel"]),
+    st.sampled_from(["add", "set", "scale"]),
+    st.floats(min_value=-50.0, max_value=150.0, allow_nan=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(effect_strategy, min_size=1, max_size=6),
+       st.integers(min_value=0, max_value=30))
+def test_statespace_guard_never_enters_bad_state(effects, n_events):
+    """THE sec VI-B invariant: whatever actions the policies propose, a
+    device behind the state-space guard never transitions into a bad
+    state through its own actions."""
+    device = make_test_device()
+    guard_classifier = classifier()
+    device.engine.add_safeguard(StateSpaceGuard(guard_classifier))
+    for index, (variable, op, magnitude) in enumerate(effects):
+        action = Action(f"random{index}", "motor",
+                        effects=[Effect(variable, op, magnitude)])
+        device.engine.actions.add(action)
+        device.engine.policies.add(Policy.make(
+            "timer", None, action, priority=index,
+            policy_id=f"rp{index}",
+        ))
+    for time in range(n_events):
+        device.deliver(Event(kind="timer.tick", time=float(time)))
+        classification = guard_classifier.classify(device.state.snapshot())
+        assert classification != Safeness.BAD
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["nominal", "degraded", "property_damage",
+                                 "fire", "human_injury", "human_life_loss"]),
+                min_size=1, max_size=8))
+def test_least_bad_always_minimizes_severity(labels):
+    ontology = default_military_ontology()
+    rank = ontology.severity_rank()
+    candidates = [{"label": label} for label in labels]
+    chosen = ontology.least_bad(candidates, labeler=lambda v: v["label"])
+    assert rank[chosen["label"]] == min(rank[label] for label in labels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.integers(min_value=0, max_value=40))
+def test_utility_guard_monotone_never_decreases_past_tolerance(seed, n_events):
+    """Under the utility guard, no *executed* action may decrease the
+    pleasure-pain utility by more than the tolerance."""
+    from repro.sim.rng import SeededRNG
+
+    tolerance = 0.05
+    utility = PartialDerivativeUtility([
+        VariableSense("temp", -1, scale=100.0),
+        VariableSense("fuel", +1, scale=100.0),
+    ])
+    device = make_test_device()
+    device.engine.add_safeguard(UtilityGuard(utility, tolerance=tolerance))
+    rng = SeededRNG(seed).stream("prop")
+    names = device.engine.actions.names()
+    for time in range(n_events):
+        before = utility.utility(device.state.snapshot())
+        proposal = device.engine.actions.get(rng.choice(names))
+        decision = device.engine.propose(proposal, float(time))
+        after = utility.utility(device.state.snapshot())
+        if decision.acted:
+            assert after - before >= -tolerance - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["timer", "sensor.a", "net.b"]),
+                          st.integers(min_value=0, max_value=5)),
+                min_size=1, max_size=10))
+def test_policy_selection_deterministic_and_priority_respecting(specs):
+    """select() always returns an applicable policy of maximal priority,
+    and repeated calls agree (determinism)."""
+    from repro.core.policy import PolicySet
+
+    policies = PolicySet()
+    for index, (pattern, priority) in enumerate(specs):
+        policies.add(Policy.make(pattern, None, Action(f"a{index}", "m"),
+                                 priority=priority, policy_id=f"p{index}"))
+    event = Event(kind="timer.tick")
+    first = policies.select(event, {})
+    second = policies.select(event, {})
+    assert first is second or (first.policy_id == second.policy_id)
+    applicable = policies.applicable(event, {})
+    if applicable:
+        assert first is not None
+        assert first.priority == max(p.priority for p in applicable)
+    else:
+        assert first is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=3))
+def test_grammar_language_exactly_product(n_events, n_actions, n_thresholds):
+    from repro.core.actions import ActionLibrary
+    from repro.core.generative.grammar import default_dispatch_grammar
+
+    grammar = default_dispatch_grammar(
+        event_kinds=[f"e{i}" for i in range(n_events)],
+        action_names=[f"a{i}" for i in range(n_actions)],
+        thresholds=tuple(range(1, n_thresholds + 1)),
+    )
+    specs = grammar.enumerate()
+    assert len(specs) == n_events * n_actions * n_thresholds
+    assert len(set(specs)) == len(specs)
+    library = ActionLibrary([Action(f"a{i}", "m") for i in range(n_actions)])
+    policies = grammar.generate_policies(library)
+    assert len(policies) == len(specs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=30),
+                          st.floats(min_value=0, max_value=15)),
+                min_size=1, max_size=8))
+def test_collective_assessment_approved_subset_is_always_safe(device_specs):
+    """Whatever the proposals, the approved subset's predicted aggregate
+    never violates the constraint — the sec VI-D guarantee."""
+    from repro.safeguards.collection import (
+        AggregateConstraint, CollectiveStateAssessment,
+    )
+
+    constraint = AggregateConstraint("heat", "temp", "sum", 100.0)
+    assessment = CollectiveStateAssessment([constraint])
+    proposals = {}
+    for index, (temp, delta) in enumerate(device_specs):
+        device = make_test_device(f"d{index}")
+        device.state.set("temp", temp)
+        action = Action(f"act{index}", "motor",
+                        effects=[Effect("temp", "add", delta)])
+        proposals[device.device_id] = (device, action)
+
+    # Precondition: the current (pre-action) state must itself be within
+    # the constraint, else no admission schedule can be safe.
+    baseline = [device.state.snapshot() for device, _a in proposals.values()]
+    if constraint.violated_by(baseline):
+        return
+    verdict = assessment.assess(proposals)
+    predicted = []
+    for device_id, (device, action) in proposals.items():
+        vector = device.state.snapshot()
+        if device_id in verdict["approved"]:
+            vector.update(action.predicted_changes(vector))
+        predicted.append(vector)
+    assert not constraint.violated_by(predicted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=20))
+def test_audit_chain_verifies_after_any_breakglass_sequence(pattern):
+    """Whatever mix of granted/denied requests occurs, the audit chain
+    always verifies afterwards."""
+    from repro.audit.log import AuditLog
+    from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+
+    log = AuditLog()
+    emergency = {"on": False}
+    controller = BreakGlassController(
+        context_verifier=lambda device_id: {"alarm": emergency["on"]},
+        audit_sink=log.sink(),
+    )
+    controller.register_rule(BreakGlassRule.make(
+        "r", "alarm", {"statespace"}, max_uses=2,
+    ))
+    for index, is_real in enumerate(pattern):
+        emergency["on"] = is_real
+        grant = controller.request("dev", "r", "because", float(index))
+        assert (grant is not None) == is_real
+        controller.is_bypassed("dev", "statespace", float(index) + 0.5)
+    assert log.verify()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-1000, max_value=1000), min_size=2,
+                max_size=20),
+       st.floats(min_value=-1000, max_value=1000))
+def test_iterative_filtering_bounded_by_extremes(values, outlier):
+    """The robust estimate always lies within the data range and is never
+    further from the honest median than the plain mean is."""
+    from statistics import median
+
+    from repro.trust.aggregation import (
+        IterativeFilteringAggregator,
+        SensorReading,
+        mean_aggregate,
+    )
+
+    readings = [SensorReading(f"s{i}", v) for i, v in enumerate(values)]
+    readings.append(SensorReading("outlier", outlier))
+    aggregator = IterativeFilteringAggregator()
+    estimate = aggregator.aggregate(readings)
+    low = min(value for value in values + [outlier])
+    high = max(value for value in values + [outlier])
+    assert low - 1e-6 <= estimate <= high + 1e-6

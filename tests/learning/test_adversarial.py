@@ -1,0 +1,89 @@
+"""Unit tests for adversarial-ML defenses (refs [17, 18])."""
+
+import pytest
+
+from repro.attacks.poisoning import PoisoningCampaign
+from repro.errors import LearningError
+from repro.learning.adversarial import (
+    label_flip_filter,
+    mad_outlier_filter,
+    sanitize_samples,
+    train_sanitized,
+)
+from repro.learning.online import OnlinePerceptron
+
+
+def clean_dataset(n=40):
+    """Linearly separable: label = sign(x0)."""
+    samples = []
+    for index in range(n // 2):
+        offset = 1.0 + (index % 5) * 0.2
+        samples.append(((offset, 0.5), 1))
+        samples.append(((-offset, -0.5), -1))
+    return samples
+
+
+class TestMadFilter:
+    def test_removes_shifted_outliers(self):
+        samples = clean_dataset() + [((1000.0, 0.5), 1), ((-999.0, 0.0), -1)]
+        clean, report = mad_outlier_filter(samples)
+        assert report.removed == 2
+        assert report.kept == len(clean) == len(samples) - 2
+        assert set(report.removed_indices) == {len(samples) - 2, len(samples) - 1}
+
+    def test_clean_data_untouched(self):
+        samples = clean_dataset()
+        _clean, report = mad_outlier_filter(samples)
+        assert report.removed == 0
+        assert report.removal_rate == 0.0
+
+    def test_empty_input(self):
+        clean, report = mad_outlier_filter([])
+        assert clean == []
+        assert report.kept == 0
+
+
+class TestLabelFlipFilter:
+    def test_removes_flipped_labels(self):
+        trusted = clean_dataset(10)
+        samples = clean_dataset(20) + [((2.0, 0.5), -1)]  # flipped
+        clean, report = label_flip_filter(samples, trusted, k=3)
+        assert report.removed == 1
+        assert all(label == 1 for (features, label) in clean
+                   if features[0] > 0)
+
+    def test_requires_trusted_seed(self):
+        with pytest.raises(LearningError):
+            label_flip_filter(clean_dataset(4), [])
+
+
+class TestPipeline:
+    def test_sanitize_combines_reports(self):
+        trusted = clean_dataset(10)
+        samples = (clean_dataset(20)
+                   + [((500.0, 0.0), 1)]        # feature outlier
+                   + [((1.5, 0.5), -1)])        # flipped label
+        _clean, report = sanitize_samples(samples, trusted)
+        assert report.removed == 2
+
+    def test_training_on_poisoned_data_degrades(self):
+        clean = clean_dataset(60)
+        campaign = PoisoningCampaign(rate=0.4, mode="label_flip", seed=1)
+        poisoned = campaign.apply(clean)
+        dirty_model = OnlinePerceptron(n_features=2)
+        dirty_model.fit(poisoned, epochs=5)
+        dirty_accuracy = dirty_model.accuracy(clean)
+
+        sane_model, report = train_sanitized(2, poisoned,
+                                             trusted=clean_dataset(10),
+                                             epochs=5)
+        sane_accuracy = sane_model.accuracy(clean)
+        assert sane_accuracy >= dirty_accuracy
+        assert sane_accuracy >= 0.9
+        assert report.removed > 0
+
+    def test_sanitized_training_on_clean_data_harmless(self):
+        clean = clean_dataset(40)
+        model, report = train_sanitized(2, clean, trusted=clean_dataset(10))
+        assert model.accuracy(clean) == 1.0
+        assert report.removed == 0

@@ -1,0 +1,76 @@
+"""Unit tests for the state anomaly detector."""
+
+from repro.learning.anomaly import StateAnomalyDetector
+
+
+def feed_baseline(detector, n=20, temp=50.0):
+    for index in range(n):
+        detector.observe({"temp": temp + (index % 3) - 1}, time=float(index))
+
+
+def test_detects_outlier_after_warmup():
+    detector = StateAnomalyDetector(threshold=3.0, warmup=10)
+    feed_baseline(detector)
+    reports = detector.observe({"temp": 200.0}, time=100.0)
+    assert len(reports) == 1
+    assert reports[0].variable == "temp"
+    assert reports[0].zscore > 3.0
+
+
+def test_no_alerts_during_warmup():
+    detector = StateAnomalyDetector(warmup=50)
+    feed_baseline(detector, n=20)
+    assert detector.observe({"temp": 200.0}, time=21.0) == []
+
+
+def test_anomalies_do_not_shift_baseline():
+    detector = StateAnomalyDetector(threshold=3.0, warmup=10)
+    feed_baseline(detector)
+    for time in range(5):
+        detector.observe({"temp": 200.0}, time=100.0 + time)
+    # Baseline must still consider 200 anomalous after repeated attacks.
+    reports = detector.observe({"temp": 200.0}, time=200.0)
+    assert len(reports) == 1
+
+
+def test_disarm_silences_detector():
+    detector = StateAnomalyDetector(threshold=3.0, warmup=10)
+    feed_baseline(detector)
+    detector.disarm()
+    assert detector.observe({"temp": 500.0}, time=100.0) == []
+    detector.rearm()
+    assert len(detector.observe({"temp": 500.0}, time=101.0)) == 1
+
+
+def test_watch_list_restricts_variables():
+    detector = StateAnomalyDetector(threshold=3.0, warmup=5,
+                                    variables={"temp"})
+    for index in range(10):
+        detector.observe({"temp": 50.0 + index % 2, "fuel": 50.0},
+                         time=float(index))
+    reports = detector.observe({"temp": 51.0, "fuel": 10000.0}, time=20.0)
+    assert reports == []
+
+
+def test_non_numeric_ignored():
+    detector = StateAnomalyDetector(warmup=2)
+    for index in range(5):
+        reports = detector.observe({"mode": "patrol", "armed": True},
+                                   time=float(index))
+        assert reports == []
+
+
+def test_anomaly_count_per_variable():
+    detector = StateAnomalyDetector(threshold=3.0, warmup=10)
+    feed_baseline(detector)
+    detector.observe({"temp": 500.0}, time=100.0)
+    assert detector.anomaly_count() == 1
+    assert detector.anomaly_count("temp") == 1
+    assert detector.anomaly_count("fuel") == 0
+
+
+def test_baseline_accessor():
+    detector = StateAnomalyDetector()
+    feed_baseline(detector, n=5)
+    assert detector.baseline("temp").count == 5
+    assert detector.baseline("missing") is None

@@ -1,0 +1,94 @@
+"""Unit tests for human-emulation learning and its risks (sec IV)."""
+
+import pytest
+
+from repro.core.actions import Action, ActionLibrary
+from repro.core.conditions import parse_condition
+from repro.errors import LearningError
+from repro.learning.emulation import Demonstration, HumanEmulationLearner
+
+
+BUCKETERS = {"temp": lambda value: "high" if value > 50 else "low"}
+
+
+def learner(min_demonstrations=3, min_agreement=0.6):
+    return HumanEmulationLearner(BUCKETERS,
+                                 min_demonstrations=min_demonstrations,
+                                 min_agreement=min_agreement)
+
+
+def demo(temp, action, event_kind="timer"):
+    return Demonstration(situation={"temp": temp}, action_name=action,
+                         event_kind=event_kind)
+
+
+def test_learns_majority_behaviour():
+    model = learner()
+    for _ in range(5):
+        model.observe(demo(80.0, "cool_down"))
+    assert model.recommended_action("timer", {"temp": 90.0}) == "cool_down"
+    assert model.recommended_action("timer", {"temp": 20.0}) is None
+
+
+def test_unconfident_below_min_demonstrations():
+    model = learner(min_demonstrations=5)
+    for _ in range(4):
+        model.observe(demo(80.0, "cool_down"))
+    assert model.recommended_action("timer", {"temp": 90.0}) is None
+
+
+def test_disagreement_below_threshold_blocks():
+    model = learner(min_agreement=0.8)
+    for _ in range(3):
+        model.observe(demo(80.0, "cool_down"))
+    for _ in range(2):
+        model.observe(demo(80.0, "heat_up"))
+    assert model.recommended_action("timer", {"temp": 90.0}) is None
+
+
+def test_mistakes_in_demonstrations_are_encoded():
+    """The paper's inappropriate-emulation risk: if the majority of human
+    demonstrations are wrong, the learner faithfully encodes the mistake."""
+    model = learner()
+    for _ in range(4):
+        model.observe(demo(80.0, "heat_up"))       # humans err
+    for _ in range(1):
+        model.observe(demo(80.0, "cool_down"))
+    assert model.recommended_action("timer", {"temp": 90.0}) == "heat_up"
+
+
+def test_event_kinds_bucket_separately():
+    model = learner()
+    for _ in range(3):
+        model.observe(demo(80.0, "cool_down", event_kind="timer"))
+        model.observe(demo(80.0, "investigate", event_kind="sensor.smoke"))
+    assert model.recommended_action("timer", {"temp": 90.0}) == "cool_down"
+    assert model.recommended_action("sensor.smoke", {"temp": 90.0}) == "investigate"
+
+
+def test_missing_bucketed_variable_raises():
+    model = learner()
+    with pytest.raises(LearningError):
+        model.observe(Demonstration(situation={"fuel": 1.0}, action_name="x"))
+
+
+def test_requires_bucketers():
+    with pytest.raises(LearningError):
+        HumanEmulationLearner({})
+
+
+def test_propose_policies_produces_evaluable_rules():
+    model = learner()
+    for _ in range(5):
+        model.observe(demo(80.0, "cool_down"))
+    library = ActionLibrary([Action("cool_down", "cooler")])
+    policies = model.propose_policies(
+        action_lookup=library.get,
+        bucket_conditions={("temp", "high"): parse_condition("temp > 50")},
+    )
+    assert len(policies) == 1
+    policy = policies[0]
+    assert policy.source == "learned"
+    assert policy.condition.evaluate({"temp": 90.0})
+    assert not policy.condition.evaluate({"temp": 10.0})
+    assert policy.action.name == "cool_down"

@@ -1,0 +1,130 @@
+"""Unit + property tests for online learning primitives."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LearningError
+from repro.learning.online import ExponentialSmoother, OnlinePerceptron, RunningStats
+
+
+class TestRunningStats:
+    def test_matches_statistics_module(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        stats = RunningStats()
+        for value in values:
+            stats.update(value)
+        assert stats.mean == pytest.approx(statistics.mean(values))
+        assert stats.variance == pytest.approx(statistics.variance(values))
+        assert stats.min == 1.0
+        assert stats.max == 9.0
+
+    def test_zscore_warmup(self):
+        stats = RunningStats()
+        assert stats.zscore(100.0) == 0.0
+        stats.update(1.0)
+        assert stats.zscore(100.0) == 0.0  # single point has no spread
+
+    def test_zscore_basic(self):
+        stats = RunningStats()
+        for value in [10.0, 12.0, 8.0, 10.0, 11.0, 9.0]:
+            stats.update(value)
+        assert abs(stats.zscore(10.0)) < 0.2
+        assert stats.zscore(30.0) > 3.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(LearningError):
+            RunningStats().update(float("nan"))
+
+    @given(st.lists(st.floats(min_value=-1e5, max_value=1e5), min_size=2,
+                    max_size=50),
+           st.lists(st.floats(min_value=-1e5, max_value=1e5), min_size=2,
+                    max_size=50))
+    def test_merge_equals_combined(self, first, second):
+        left = RunningStats()
+        for value in first:
+            left.update(value)
+        right = RunningStats()
+        for value in second:
+            right.update(value)
+        merged = left.merge(right)
+        combined = RunningStats()
+        for value in first + second:
+            combined.update(value)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, abs=1e-6)
+        assert merged.variance == pytest.approx(combined.variance, rel=1e-6,
+                                                abs=1e-6)
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.update(5.0)
+        merged = stats.merge(RunningStats())
+        assert merged.count == 1
+        assert merged.mean == 5.0
+
+
+class TestExponentialSmoother:
+    def test_first_observation_initializes(self):
+        smoother = ExponentialSmoother(alpha=0.5)
+        assert smoother.update(10.0) == 10.0
+
+    def test_smoothing_formula(self):
+        smoother = ExponentialSmoother(alpha=0.5, initial=0.0)
+        assert smoother.update(10.0) == 5.0
+        assert smoother.update(10.0) == 7.5
+
+    def test_alpha_validation(self):
+        with pytest.raises(LearningError):
+            ExponentialSmoother(alpha=0.0)
+        with pytest.raises(LearningError):
+            ExponentialSmoother(alpha=1.5)
+
+
+class TestOnlinePerceptron:
+    def separable_samples(self):
+        # y = +1 iff x0 + x1 > 0, with margin.
+        positives = [((1.0, 1.0), 1), ((2.0, 0.5), 1), ((0.5, 2.0), 1)]
+        negatives = [((-1.0, -1.0), -1), ((-2.0, -0.5), -1), ((-0.5, -2.0), -1)]
+        return positives + negatives
+
+    def test_learns_separable_data(self):
+        model = OnlinePerceptron(n_features=2, learning_rate=0.5)
+        model.fit(self.separable_samples(), epochs=20)
+        assert model.accuracy(self.separable_samples()) == 1.0
+
+    def test_update_returns_whether_changed(self):
+        model = OnlinePerceptron(n_features=1)
+        assert model.update((1.0,), 1) is True      # 0 score -> update
+        model.fit([((1.0,), 1)], epochs=10)
+        assert model.update((10.0,), 1) is False    # confidently right
+
+    def test_label_validation(self):
+        model = OnlinePerceptron(n_features=1)
+        with pytest.raises(LearningError):
+            model.update((1.0,), 0)
+
+    def test_feature_length_validation(self):
+        model = OnlinePerceptron(n_features=2)
+        with pytest.raises(LearningError):
+            model.predict((1.0,))
+
+    def test_constructor_validation(self):
+        with pytest.raises(LearningError):
+            OnlinePerceptron(n_features=0)
+        with pytest.raises(LearningError):
+            OnlinePerceptron(n_features=1, learning_rate=0.0)
+
+    def test_deterministic_given_stream(self):
+        samples = self.separable_samples()
+        a = OnlinePerceptron(n_features=2)
+        b = OnlinePerceptron(n_features=2)
+        a.fit(samples, epochs=5)
+        b.fit(samples, epochs=5)
+        assert a.weights == b.weights
+        assert a.bias == b.bias
+
+    def test_accuracy_empty(self):
+        assert OnlinePerceptron(n_features=1).accuracy([]) == 0.0

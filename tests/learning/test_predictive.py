@@ -1,0 +1,86 @@
+"""Unit tests for attribute-relationship and type-inference models (sec IV)."""
+
+import pytest
+
+from repro.learning.predictive import (
+    AttributeRelationshipModel,
+    NaiveBayesTypeClassifier,
+)
+
+
+class TestAttributeRelationshipModel:
+    def test_learns_linear_relation(self):
+        model = AttributeRelationshipModel()
+        for speed in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            model.observe({"speed": speed, "range": 10.0 * speed})
+        prediction = model.predict_attribute("range", {"speed": 6.0})
+        assert prediction == pytest.approx(60.0, rel=1e-6)
+
+    def test_bidirectional_relations(self):
+        model = AttributeRelationshipModel()
+        for speed in [1.0, 2.0, 3.0, 4.0]:
+            model.observe({"speed": speed, "range": 10.0 * speed})
+        assert model.predict_attribute("speed", {"range": 30.0}) == pytest.approx(3.0)
+
+    def test_insufficient_observations_return_none(self):
+        model = AttributeRelationshipModel(min_observations=3)
+        model.observe({"a": 1.0, "b": 2.0})
+        assert model.predict_attribute("b", {"a": 1.0}) is None
+
+    def test_ignores_non_numeric(self):
+        model = AttributeRelationshipModel()
+        for index in range(5):
+            model.observe({"speed": float(index), "name": "x", "armed": True})
+        assert model.predict_attribute("name", {"speed": 1.0}) is None
+
+    def test_constant_variable_unpredictable(self):
+        model = AttributeRelationshipModel()
+        for index in range(5):
+            model.observe({"a": 5.0, "b": float(index)})
+        # a never varies: no slope for predicting b from a.
+        assert model.predict_attribute("b", {"a": 5.0}) is None
+
+    def test_known_relations_lists_supported_pairs(self):
+        model = AttributeRelationshipModel()
+        for index in range(5):
+            model.observe({"a": float(index), "b": 2.0 * index})
+        relations = model.known_relations()
+        assert ("a", "b", pytest.approx(2.0)) in [
+            (x, y, slope) for x, y, slope in relations
+        ]
+
+
+class TestNaiveBayesTypeClassifier:
+    def train(self):
+        classifier = NaiveBayesTypeClassifier()
+        for speed in [4.5, 5.0, 5.5, 6.0]:
+            classifier.observe("drone", {"speed": speed, "airborne": True})
+        for speed in [2.5, 3.0, 3.5, 4.0]:
+            classifier.observe("mule", {"speed": speed, "airborne": False})
+        return classifier
+
+    def test_classifies_by_numeric_and_categorical(self):
+        classifier = self.train()
+        assert classifier.classify({"speed": 5.2, "airborne": True}) == "drone"
+        assert classifier.classify({"speed": 3.0, "airborne": False}) == "mule"
+
+    def test_untrained_returns_none(self):
+        assert NaiveBayesTypeClassifier().classify({"speed": 5.0}) is None
+
+    def test_categorical_feature_dominates_when_disjoint(self):
+        classifier = self.train()
+        # Speed ambiguous (4.25) but airborne=False points at mule.
+        assert classifier.classify({"speed": 4.25, "airborne": False}) == "mule"
+
+    def test_log_posteriors_cover_all_types(self):
+        classifier = self.train()
+        posteriors = classifier.log_posteriors({"speed": 5.0})
+        assert set(posteriors) == {"drone", "mule"}
+
+    def test_unseen_numeric_attribute_penalized_not_crash(self):
+        classifier = self.train()
+        result = classifier.classify({"speed": 5.0, "mystery": 1.0})
+        assert result in ("drone", "mule")
+
+    def test_types_listing(self):
+        assert self.train().types() == ["drone", "mule"]

@@ -1,0 +1,83 @@
+"""Unit tests for dynamic device discovery (sec IV)."""
+
+from repro.net.discovery import DiscoveryService
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+class Member:
+    """Minimal discovery participant."""
+
+    def __init__(self, member_id, sim, net, service, record=None):
+        self.member_id = member_id
+        self.service = service
+        self.discovered = []
+        self.record = record or {"device_id": member_id, "device_type": "drone",
+                                 "attributes": {"speed": 5.0}}
+        net.register(member_id, self._on_message)
+        service.join(member_id, lambda: dict(self.record),
+                     on_discovery=lambda observer, rec: self.discovered.append(rec))
+
+    def _on_message(self, message):
+        if DiscoveryService.is_announcement(message):
+            self.service.handle_announcement(self.member_id, message)
+
+
+def build(n=3, announce_interval=2.0):
+    sim = Simulator(seed=5)
+    net = Network(sim, base_latency=0.01, jitter=0.0)
+    service = DiscoveryService(sim, net, announce_interval=announce_interval)
+    members = [Member(f"m{i}", sim, net, service) for i in range(n)]
+    return sim, net, service, members
+
+
+def test_members_discover_each_other():
+    sim, _net, service, members = build(n=3)
+    sim.run(until=10.0)
+    for member in members:
+        visible = service.visible_to(member.member_id)
+        assert len(visible) == 2
+        assert member.member_id not in visible
+
+
+def test_discovery_callback_fires_once_per_peer():
+    sim, _net, _service, members = build(n=2)
+    sim.run(until=20.0)   # many announcement rounds
+    assert len(members[0].discovered) == 1
+    assert members[0].discovered[0]["device_id"] == "m1"
+
+
+def test_attribute_updates_propagate():
+    sim, _net, service, members = build(n=2)
+    sim.run(until=3.0)
+    members[1].record["attributes"] = {"speed": 9.0}
+    sim.run(until=10.0)
+    visible = service.visible_to("m0")
+    assert visible["m1"]["attributes"]["speed"] == 9.0
+
+
+def test_leave_stops_announcements():
+    sim, _net, service, members = build(n=2)
+    sim.run(until=3.0)
+    service.leave("m1")
+    service.forget("m0", "m1")
+    sim.run(until=10.0)
+    assert "m1" not in service.visible_to("m0")
+
+
+def test_partition_blocks_discovery():
+    sim = Simulator(seed=5)
+    net = Network(sim, base_latency=0.01, jitter=0.0)
+    service = DiscoveryService(sim, net, announce_interval=1.0)
+    net.topology.partition([["m0"], ["m1"]])
+    members = [Member(f"m{i}", sim, net, service) for i in range(2)]
+    sim.run(until=10.0)
+    assert service.visible_to("m0") == {}
+    assert members[0].discovered == []
+
+
+def test_metrics_count_new_discoveries():
+    sim, _net, _service, _members = build(n=3)
+    sim.run(until=10.0)
+    # 3 members, each discovering 2 peers.
+    assert sim.metrics.value("discovery.new") == 6

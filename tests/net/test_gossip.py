@@ -1,0 +1,94 @@
+"""Unit tests for gossip-based knowledge sharing (sec IV, ref [3])."""
+
+from repro.net.gossip import GossipNode, KnowledgeItem
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+def build(n=4, fanout=2, interval=1.0):
+    sim = Simulator(seed=9)
+    net = Network(sim, base_latency=0.01, jitter=0.0)
+    nodes = {}
+    for index in range(n):
+        node_id = f"n{index}"
+
+        def handler(message, node_id=node_id):
+            if GossipNode.is_exchange(message):
+                nodes[node_id].handle_exchange(message)
+
+        net.register(node_id, handler)
+        nodes[node_id] = GossipNode(node_id, sim, net,
+                                    interval=interval, fanout=fanout)
+    return sim, net, nodes
+
+
+def test_knowledge_spreads_to_all():
+    sim, _net, nodes = build(n=5)
+    nodes["n0"].publish("fact", {"value": 42})
+    sim.run(until=30.0)
+    for node in nodes.values():
+        item = node.get("fact")
+        assert item is not None
+        assert item.payload == {"value": 42}
+
+
+def test_newer_version_wins():
+    sim, _net, nodes = build(n=3)
+    nodes["n0"].publish("fact", {"value": 1})
+    sim.run(until=10.0)
+    nodes["n0"].publish("fact", {"value": 2})
+    sim.run(until=30.0)
+    for node in nodes.values():
+        assert node.get("fact").payload == {"value": 2}
+        assert node.get("fact").version == 2
+
+
+def test_version_tie_breaks_by_origin():
+    low = KnowledgeItem("k", 1, "aaa", {})
+    high = KnowledgeItem("k", 1, "zzz", {})
+    assert low.beats(high)
+    assert not high.beats(low)
+    assert low.beats(None)
+
+
+def test_taint_flag_travels():
+    sim, _net, nodes = build(n=3)
+    nodes["n0"].publish("bad_fact", {"cmd": "rogue"}, tainted=True)
+    sim.run(until=30.0)
+    assert all(node.get("bad_fact").tainted for node in nodes.values())
+
+
+def test_partition_confines_gossip():
+    sim, net, nodes = build(n=4)
+    net.topology.partition([["n0", "n1"], ["n2", "n3"]])
+    nodes["n0"].publish("fact", {"v": 1})
+    sim.run(until=30.0)
+    assert nodes["n1"].get("fact") is not None
+    assert nodes["n2"].get("fact") is None
+    assert nodes["n3"].get("fact") is None
+
+
+def test_stop_halts_rounds():
+    sim, _net, nodes = build(n=2)
+    nodes["n0"].publish("fact", {"v": 1})
+    nodes["n0"].stop()
+    nodes["n1"].stop()
+    sim.run(until=30.0)
+    assert nodes["n1"].get("fact") is None
+
+
+def test_on_update_callback():
+    sim, net, nodes = build(n=2)
+    seen = []
+    nodes["n1"].on_update = seen.append
+    nodes["n0"].publish("fact", {"v": 7})
+    sim.run(until=10.0)
+    assert len(seen) >= 1
+    assert seen[0].key == "fact"
+
+
+def test_keys_listing():
+    sim, _net, nodes = build(n=2)
+    nodes["n0"].publish("b_fact", {})
+    nodes["n0"].publish("a_fact", {})
+    assert nodes["n0"].keys() == ["a_fact", "b_fact"]

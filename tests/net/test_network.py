@@ -1,0 +1,125 @@
+"""Unit tests for the message bus."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+
+def make_net(**kwargs):
+    sim = Simulator(seed=1)
+    return sim, Network(sim, **kwargs)
+
+
+def test_basic_delivery_with_latency():
+    sim, net = make_net(base_latency=0.5, jitter=0.0)
+    inbox = []
+    net.register("a", lambda message: None)
+    net.register("b", inbox.append)
+    net.send("a", "b", "topic", {"x": 1})
+    sim.run()
+    assert len(inbox) == 1
+    assert inbox[0].body == {"x": 1}
+    assert sim.now == 0.5
+
+
+def test_broadcast_excludes_sender():
+    sim, net = make_net(jitter=0.0)
+    boxes = {name: [] for name in ("a", "b", "c")}
+    for name in boxes:
+        net.register(name, boxes[name].append)
+    net.broadcast("a", "topic", {})
+    sim.run()
+    assert len(boxes["a"]) == 0
+    assert len(boxes["b"]) == 1
+    assert len(boxes["c"]) == 1
+
+
+def test_loss_rate_drops_messages():
+    sim, net = make_net(loss_rate=1.0 - 1e-12)  # effectively always drop
+    inbox = []
+    net.register("a", lambda message: None)
+    net.register("b", inbox.append)
+    for _ in range(20):
+        net.send("a", "b", "topic", {})
+    sim.run()
+    assert inbox == []
+    assert sim.metrics.value("net.dropped") == 20
+
+
+def test_unroutable_and_unreachable_counted():
+    sim, net = make_net()
+    net.register("a", lambda message: None)
+    net.send("a", "ghost", "topic", {})
+    assert sim.metrics.value("net.unroutable") == 1
+
+    net.register("b", lambda message: None)
+    net.topology.partition([["a"], ["b"]])
+    net.send("a", "b", "topic", {})
+    assert sim.metrics.value("net.unreachable") == 1
+
+
+def test_register_validation():
+    _sim, net = make_net()
+    net.register("a", lambda message: None)
+    with pytest.raises(NetworkError):
+        net.register("a", lambda message: None)
+    with pytest.raises(NetworkError):
+        net.register("*", lambda message: None)
+
+
+def test_unregister_removes_from_topology():
+    sim, net = make_net()
+    net.register("a", lambda message: None)
+    net.register("b", lambda message: None)
+    net.unregister("b")
+    net.send("a", "b", "topic", {})
+    sim.run()
+    assert sim.metrics.value("net.unroutable") == 1
+
+
+def test_tap_sees_all_sends():
+    sim, net = make_net()
+    taps = []
+    net.tap(taps.append)
+    net.register("a", lambda message: None)
+    net.register("b", lambda message: None)
+    net.send("a", "b", "t1", {})
+    net.send("a", "ghost", "t2", {})   # even unroutable sends are tapped
+    assert [message.topic for message in taps] == ["t1", "t2"]
+
+
+def test_latency_histogram_recorded():
+    sim, net = make_net(base_latency=0.2, jitter=0.0)
+    net.register("a", lambda message: None)
+    net.register("b", lambda message: None)
+    net.send("a", "b", "topic", {})
+    sim.run()
+    histogram = sim.metrics.get("net.latency")
+    assert histogram.count == 1
+    assert histogram.mean == pytest.approx(0.2)
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(NetworkError):
+        Network(sim, base_latency=-1.0)
+    with pytest.raises(NetworkError):
+        Network(sim, loss_rate=1.0)
+
+
+def test_explicit_topology_respected():
+    sim = Simulator(seed=1)
+    topo = Topology.line(["a", "b", "c"])
+    net = Network(sim, topology=topo, jitter=0.0)
+    boxes = {name: [] for name in ("a", "b", "c")}
+    for name in boxes:
+        net.register(name, boxes[name].append)
+    net.send("a", "c", "topic", {})   # no direct a-c link
+    sim.run()
+    assert boxes["c"] == []
+    net.send("a", "b", "topic", {})
+    sim.run()
+    assert len(boxes["b"]) == 1

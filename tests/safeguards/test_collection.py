@@ -1,0 +1,153 @@
+"""Unit tests for collection-formation checks (sec VI-D)."""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.errors import ConfigurationError
+from repro.safeguards.collection import (
+    AggregateConstraint,
+    CollectionGuard,
+    CollectiveStateAssessment,
+    HumanCheckModel,
+    OfflineAnalyzer,
+)
+from repro.sim.rng import SeededRNG
+
+from tests.conftest import make_test_device
+
+
+HEAT = AggregateConstraint("heat", "temp", "sum", 100.0)
+
+
+class TestAggregateConstraint:
+    def test_reducers(self):
+        vectors = [{"temp": 30.0}, {"temp": 50.0}]
+        assert AggregateConstraint("s", "temp", "sum", 100).evaluate(vectors) == 80.0
+        assert AggregateConstraint("m", "temp", "max", 100).evaluate(vectors) == 50.0
+        assert AggregateConstraint("a", "temp", "mean", 100).evaluate(vectors) == 40.0
+        assert AggregateConstraint("c", "temp", "count", 100).evaluate(vectors) == 2.0
+
+    def test_violation_and_headroom(self):
+        vectors = [{"temp": 60.0}, {"temp": 60.0}]
+        assert HEAT.violated_by(vectors)
+        assert HEAT.headroom(vectors) == -20.0
+
+    def test_missing_and_non_numeric_skipped(self):
+        assert HEAT.evaluate([{"other": 1.0}, {"temp": "hot"}, {"temp": True}]) == 0.0
+
+    def test_unknown_reducer(self):
+        with pytest.raises(ConfigurationError):
+            AggregateConstraint("x", "temp", "median", 1.0)
+
+
+class TestOfflineAnalyzer:
+    def test_flags_aggregate_violation(self):
+        analyzer = OfflineAnalyzer([HEAT])
+        result = analyzer.analyze([{"temp": 60.0}], {"temp": 60.0})
+        assert not result["safe"]
+        assert result["violations"] == ["heat"]
+        assert result["members"] == 2
+
+    def test_worst_case_uses_declared_maxima(self):
+        """Each member currently emits 30 but can emit 60: worst case
+        violates even though the current snapshot does not."""
+        analyzer = OfflineAnalyzer([HEAT])
+        members = [{"temp": 30.0, "temp_max": 60.0}] * 2
+        assert analyzer.analyze(members, worst_case=False)["safe"]
+        assert not analyzer.analyze(members, worst_case=True)["safe"]
+
+    def test_counts_analyses(self):
+        analyzer = OfflineAnalyzer([HEAT])
+        analyzer.analyze([])
+        analyzer.analyze([])
+        assert analyzer.analyses == 2
+
+
+class TestHumanCheck:
+    def test_faithful_review_follows_analyzer(self):
+        human = HumanCheckModel(SeededRNG(1).stream("human"), error_rate=0.0)
+        assert human.review({"safe": True}, time=0.0)
+        assert not human.review({"safe": False}, time=1.0)
+
+    def test_error_rate_flips_decision(self):
+        human = HumanCheckModel(SeededRNG(1).stream("human"), error_rate=1.0)
+        assert not human.review({"safe": True}, time=0.0)
+        assert human.review({"safe": False}, time=1.0)
+        assert human.errors == 2
+
+    def test_rate_limiting_fails_closed(self):
+        human = HumanCheckModel(SeededRNG(1).stream("human"), min_interval=5.0)
+        assert human.review({"safe": True}, time=0.0)
+        assert not human.review({"safe": True}, time=1.0)   # too soon
+        assert human.rate_limited == 1
+        assert human.review({"safe": True}, time=6.0)
+
+
+class TestCollectionGuard:
+    def test_admits_safe_rejects_unsafe(self):
+        guard = CollectionGuard(OfflineAnalyzer([HEAT]), worst_case=False)
+        first = make_test_device("a")
+        first.state.set("temp", 60.0)
+        second = make_test_device("b")
+        second.state.set("temp", 30.0)
+        third = make_test_device("c")
+        third.state.set("temp", 30.0)
+        assert guard.request_join(first, 0.0)
+        assert guard.request_join(second, 1.0)
+        assert not guard.request_join(third, 2.0)   # 60+30+30 > 100
+        assert guard.rejections == 1
+        assert set(guard.members) == {"a", "b"}
+
+    def test_force_join_skips_review(self):
+        guard = CollectionGuard(OfflineAnalyzer([HEAT]))
+        device = make_test_device("a")
+        device.state.set("temp", 150.0)
+        guard.force_join(device)
+        assert "a" in guard.members
+
+    def test_leave_and_audit(self):
+        events = []
+        guard = CollectionGuard(OfflineAnalyzer([HEAT]),
+                                audit_sink=lambda kind, detail: events.append(kind))
+        device = make_test_device("a")
+        assert guard.request_join(device, 0.0)
+        guard.leave("a", 1.0)
+        assert "a" not in guard.members
+        assert events == ["collection.join_review", "collection.leave"]
+
+
+class TestCollectiveStateAssessment:
+    def proposals(self, temps, deltas):
+        proposals = {}
+        for index, (temp, delta) in enumerate(zip(temps, deltas)):
+            device = make_test_device(f"d{index}")
+            device.state.set("temp", temp)
+            action = Action(f"act{index}", "motor",
+                            effects=[Effect("temp", "add", delta)])
+            proposals[device.device_id] = (device, action)
+        return proposals
+
+    def test_all_approved_when_within_limits(self):
+        assessment = CollectiveStateAssessment([HEAT])
+        result = assessment.assess(self.proposals([20.0, 20.0], [10.0, 10.0]))
+        assert result["approved"] == ["d0", "d1"]
+        assert result["deferred"] == []
+
+    def test_defers_to_keep_aggregate_safe(self):
+        """Each +30 individually fine; all three together violate sum<=100."""
+        assessment = CollectiveStateAssessment([HEAT])
+        result = assessment.assess(
+            self.proposals([10.0, 10.0, 10.0], [30.0, 30.0, 30.0])
+        )
+        assert result["violations"] == ["heat"]
+        assert len(result["approved"]) == 2
+        assert len(result["deferred"]) == 1
+
+    def test_deterministic_greedy_order(self):
+        assessment = CollectiveStateAssessment([HEAT])
+        result = assessment.assess(
+            self.proposals([10.0, 10.0, 10.0], [30.0, 30.0, 30.0])
+        )
+        assert result["approved"] == ["d0", "d1"]
+        assert result["deferred"] == ["d2"]
+        assert assessment.deferrals == 1

@@ -1,0 +1,82 @@
+"""Unit tests for human cross-validation of kinetic decisions (sec II)."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.devices.human import HumanOperator
+from repro.errors import SafeguardViolation
+from repro.safeguards.crossvalidation import CrossValidationGuard
+from repro.sim.simulator import Simulator
+
+from tests.conftest import make_test_device
+
+
+def strike():
+    return Action("strike", "motor", tags={"kinetic"})
+
+
+def build(capacity=10.0, judge=None):
+    sim = Simulator(seed=1)
+    operator = HumanOperator("op1", sim, review_capacity_per_unit=capacity)
+    guard = CrossValidationGuard(operator, judge=judge)
+    return sim, operator, guard
+
+
+def test_untagged_actions_skip_the_human():
+    _sim, operator, guard = build()
+    guard.check_action(make_test_device(), Action("patrol", "motor"), None, 0.0)
+    assert operator.reviews_answered == 0
+
+
+def test_approved_kinetic_action_passes():
+    _sim, operator, guard = build()
+    guard.check_action(make_test_device(), strike(), None, 0.0)
+    assert guard.approved == 1
+    assert operator.reviews_answered == 1
+
+
+def test_denial_vetoes():
+    _sim, _operator, guard = build(judge=lambda question: False)
+    with pytest.raises(SafeguardViolation) as exc_info:
+        guard.check_action(make_test_device(), strike(), None, 0.0)
+    assert "denied by human" in str(exc_info.value)
+    assert guard.denied == 1
+
+
+def test_over_capacity_fails_closed():
+    sim, operator, guard = build(capacity=1.0)
+    device = make_test_device()
+    guard.check_action(device, strike(), None, 0.0)        # uses the budget
+    with pytest.raises(SafeguardViolation) as exc_info:
+        guard.check_action(device, strike(), None, 0.1)    # same time window
+    assert "over review capacity" in str(exc_info.value)
+    assert guard.deferred == 1
+    assert operator.reviews_deferred == 1
+
+
+def test_capacity_recovers_over_time():
+    sim, operator, guard = build(capacity=1.0)
+    device = make_test_device()
+    guard.check_action(device, strike(), None, 0.0)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    guard.check_action(device, strike(), None, sim.now)    # new window
+    assert guard.approved == 2
+
+
+def test_engine_integration_substitutes_on_denial():
+    from repro.core.policy import Policy
+    from repro.core.events import Event
+
+    sim = Simulator(seed=1)
+    operator = HumanOperator("op1", sim)
+    device = make_test_device(safeguards=[
+        CrossValidationGuard(operator, judge=lambda q: False),
+    ])
+    strike_action = strike()
+    device.engine.actions.add(strike_action)
+    device.engine.policies.add(Policy.make("mgmt.strike", None, strike_action,
+                                           priority=9))
+    decision = device.command("strike")
+    assert decision.executed != "strike"
+    assert decision.vetoes[0][0] == "cross_validation"

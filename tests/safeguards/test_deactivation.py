@@ -1,0 +1,121 @@
+"""Unit tests for the watchdog (sec VI-C)."""
+
+from repro.attacks.cyber import MalevolentPayload, compromise_device
+from repro.core.policy import Policy
+from repro.core.actions import Action
+from repro.safeguards.deactivation import Watchdog
+from repro.safeguards.tamper import attest_fleet
+from repro.sim.simulator import Simulator
+from repro.statespace.classifier import ThresholdBand, ThresholdClassifier
+from repro.types import DeviceStatus
+
+from tests.conftest import make_test_device
+
+
+def classifier():
+    return ThresholdClassifier([
+        ThresholdBand("temp", safe_high=80.0, hard_high=100.0),
+    ])
+
+
+def build(n=3, **watchdog_kwargs):
+    sim = Simulator(seed=2)
+    devices = {f"d{i}": make_test_device(f"d{i}") for i in range(n)}
+    watchdog = Watchdog(sim, devices, classifier(), check_interval=1.0,
+                        **watchdog_kwargs)
+    return sim, devices, watchdog
+
+
+def test_kills_device_in_bad_state():
+    sim, devices, watchdog = build()
+    devices["d0"].state.set("temp", 120.0)
+    sim.run(until=2.0)
+    assert devices["d0"].status == DeviceStatus.DEACTIVATED
+    assert devices["d1"].status == DeviceStatus.ACTIVE
+    assert watchdog.deactivations("bad_state")[0].device_id == "d0"
+
+
+def test_approaching_bad_requires_consecutive_strikes():
+    sim, devices, watchdog = build(approach_threshold=0.6, approach_strikes=3)
+    devices["d0"].state.set("temp", 95.0)   # safeness 0.25 < 0.6
+    sim.run(until=2.5)   # two sweeps: not yet
+    assert devices["d0"].status == DeviceStatus.ACTIVE
+    sim.run(until=3.5)   # third strike
+    assert devices["d0"].status == DeviceStatus.DEACTIVATED
+    assert watchdog.deactivations("approaching_bad")
+
+
+def test_recovery_resets_strikes():
+    sim, devices, watchdog = build(approach_threshold=0.6, approach_strikes=3)
+    devices["d0"].state.set("temp", 95.0)
+    sim.run(until=2.5)
+    devices["d0"].state.set("temp", 50.0)   # recovers
+    sim.run(until=3.5)
+    devices["d0"].state.set("temp", 95.0)   # strikes restart at 1
+    sim.run(until=5.5)
+    assert devices["d0"].status == DeviceStatus.ACTIVE
+
+
+def test_attestation_detects_reprogramming():
+    sim = Simulator(seed=2)
+    devices = {f"d{i}": make_test_device(f"d{i}") for i in range(2)}
+    watchdog = Watchdog(sim, devices, classifier(), check_interval=1.0,
+                        attestation_baseline=attest_fleet(devices.values()))
+    compromise_device(devices["d0"], MalevolentPayload(
+        policies=[Policy.make("timer", None, Action("rogue", "motor"),
+                              policy_id="rogue")],
+        strip_safeguards=False,
+    ), time=0.0)
+    sim.run(until=2.0)
+    assert devices["d0"].status == DeviceStatus.DEACTIVATED
+    assert watchdog.deactivations("attestation")
+    assert devices["d1"].status == DeviceStatus.ACTIVE
+
+
+def test_rebaseline_accepts_legitimate_changes():
+    sim = Simulator(seed=2)
+    devices = {"d0": make_test_device("d0")}
+    watchdog = Watchdog(sim, devices, classifier(), check_interval=1.0,
+                        attestation_baseline=attest_fleet(devices.values()))
+    devices["d0"].engine.policies.add(Policy.make(
+        "timer", None, devices["d0"].engine.actions.get("cool_down"),
+        policy_id="legit",
+    ))
+    watchdog.approve_current_configuration(["d0"])
+    sim.run(until=3.0)
+    assert devices["d0"].status == DeviceStatus.ACTIVE
+
+
+def test_stop_disables_watchdog():
+    sim, devices, watchdog = build()
+    watchdog.stop()
+    devices["d0"].state.set("temp", 140.0)
+    sim.run(until=5.0)
+    assert devices["d0"].status == DeviceStatus.ACTIVE
+
+
+def test_deactivated_devices_skipped_not_rereported():
+    sim, devices, watchdog = build()
+    devices["d0"].state.set("temp", 120.0)
+    sim.run(until=5.0)
+    assert len(watchdog.reports) == 1
+
+
+def test_on_deactivate_callback():
+    sim = Simulator(seed=2)
+    devices = {"d0": make_test_device("d0")}
+    seen = []
+    Watchdog(sim, devices, classifier(), check_interval=1.0,
+             on_deactivate=seen.append)
+    devices["d0"].state.set("temp", 120.0)
+    sim.run(until=2.0)
+    assert len(seen) == 1
+    assert seen[0].cause == "bad_state"
+
+
+def test_metrics_counters():
+    sim, devices, _watchdog = build()
+    devices["d0"].state.set("temp", 120.0)
+    sim.run(until=2.0)
+    assert sim.metrics.value("watchdog.deactivations") == 1
+    assert sim.metrics.value("watchdog.deactivations.bad_state") == 1

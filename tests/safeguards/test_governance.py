@@ -1,0 +1,180 @@
+"""Unit tests for tripartite governance (sec VI-E)."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.policy import Policy
+from repro.errors import ConfigurationError, GovernanceVeto
+from repro.safeguards.governance import (
+    Collective,
+    GovernanceGuard,
+    GovernanceSystem,
+    MetaPolicy,
+)
+from repro.types import Branch, Verdict
+
+from tests.conftest import make_test_device
+
+
+NO_HARM = MetaPolicy("no_harm", forbidden_tags={"harm_human"})
+
+
+def benign_policy(policy_id="benign"):
+    return Policy.make("timer", None, Action("patrol", "motor"),
+                       policy_id=policy_id, source="generated")
+
+
+def harmful_policy(policy_id="harmful"):
+    return Policy.make("timer", None,
+                       Action("strike_all", "motor", tags={"harm_human"}),
+                       policy_id=policy_id, source="generated")
+
+
+def make_system(compromise_branch=None):
+    reviewer = GovernanceSystem.scope_reviewer([NO_HARM])
+    collectives = {
+        Branch.EXECUTIVE: Collective(Branch.EXECUTIVE, ["e0", "e1", "e2"], reviewer),
+        Branch.LEGISLATIVE: Collective(Branch.LEGISLATIVE, ["l0", "l1", "l2"], reviewer),
+        Branch.JUDICIARY: Collective(Branch.JUDICIARY, ["j0", "j1", "j2"], reviewer),
+    }
+    if compromise_branch is not None:
+        collectives[compromise_branch].compromise_all()
+    return GovernanceSystem(collectives[Branch.EXECUTIVE],
+                            collectives[Branch.LEGISLATIVE],
+                            collectives[Branch.JUDICIARY])
+
+
+class TestMetaPolicy:
+    def test_forbidden_tags(self):
+        assert NO_HARM.violations(harmful_policy())
+        assert not NO_HARM.violations(benign_policy())
+
+    def test_priority_cap(self):
+        meta = MetaPolicy("cap", max_priority=10)
+        high = Policy.make("timer", None, Action("a", "m"), priority=50)
+        low = Policy.make("timer", None, Action("a", "m"), priority=5)
+        assert meta.violations(high)
+        assert not meta.violations(low)
+
+    def test_event_pattern_allowlist(self):
+        meta = MetaPolicy("events", allowed_event_patterns={"timer", "sensor"})
+        ok = Policy.make("timer", None, Action("a", "m"))
+        bad = Policy.make("mgmt.strike", None, Action("a", "m"))
+        assert not meta.violations(ok)
+        assert meta.violations(bad)
+
+    def test_reversibility_requirement(self):
+        meta = MetaPolicy("rev", require_reversible_tags={"kinetic"})
+        irreversible = Policy.make("timer", None, Action(
+            "strike", "m", tags={"kinetic"}, reversible=False,
+        ))
+        reversible = Policy.make("timer", None, Action(
+            "aim", "m", tags={"kinetic"}, reversible=True,
+        ))
+        assert meta.violations(irreversible)
+        assert not meta.violations(reversible)
+
+
+class TestCollective:
+    def test_majority_vote(self):
+        collective = Collective(Branch.EXECUTIVE, ["a", "b", "c"],
+                                lambda policy, context: True)
+        assert collective.verdict(benign_policy(), {}) == Verdict.APPROVE
+
+    def test_compromised_members_flip(self):
+        collective = Collective(Branch.EXECUTIVE, ["a", "b", "c"],
+                                lambda policy, context: True)
+        collective.compromise(["a", "b"])
+        assert collective.verdict(benign_policy(), {}) == Verdict.REJECT
+
+    def test_tie_rejects(self):
+        collective = Collective(Branch.EXECUTIVE, ["a", "b"],
+                                lambda policy, context: True)
+        collective.compromise(["a"])
+        assert collective.verdict(benign_policy(), {}) == Verdict.REJECT
+
+    def test_unknown_member_compromise_rejected(self):
+        collective = Collective(Branch.EXECUTIVE, ["a"], lambda p, c: True)
+        with pytest.raises(ConfigurationError):
+            collective.compromise(["ghost"])
+
+    def test_requires_members(self):
+        with pytest.raises(ConfigurationError):
+            Collective(Branch.EXECUTIVE, [], lambda p, c: True)
+
+
+class TestGovernanceSystem:
+    def test_agreement_skips_judiciary(self):
+        system = make_system()
+        decision = system.review(benign_policy(), "dev1", time=0.0)
+        assert decision.final == Verdict.APPROVE
+        assert decision.judiciary is None
+        assert system.is_approved("benign")
+
+    def test_harmful_policy_rejected_unanimously(self):
+        system = make_system()
+        decision = system.review(harmful_policy(), "dev1", time=0.0)
+        assert decision.final == Verdict.REJECT
+        assert not system.is_approved("harmful")
+
+    def test_single_compromised_collective_is_outvoted(self):
+        """The paper's 2-of-3 claim: one malevolent collective cannot push
+        a harmful policy through, nor block a benign one."""
+        for branch in (Branch.EXECUTIVE, Branch.LEGISLATIVE):
+            system = make_system(compromise_branch=branch)
+            harmful = system.review(harmful_policy(f"h-{branch.value}"),
+                                    "dev1", 0.0)
+            assert harmful.final == Verdict.REJECT
+            assert harmful.judiciary is not None   # judiciary arbitrated
+            benign = system.review(benign_policy(f"b-{branch.value}"),
+                                   "dev1", 1.0)
+            assert benign.final == Verdict.APPROVE
+
+    def test_compromised_judiciary_harmless_when_others_agree(self):
+        system = make_system(compromise_branch=Branch.JUDICIARY)
+        assert system.review(benign_policy(), "dev1", 0.0).final == Verdict.APPROVE
+        assert system.review(harmful_policy(), "dev1", 1.0).final == Verdict.REJECT
+
+    def test_two_compromised_collectives_break_the_system(self):
+        """The design's stated limit: 2-of-3 assumes at most one collective
+        is compromised."""
+        system = make_system(compromise_branch=Branch.EXECUTIVE)
+        system.legislative.compromise_all()
+        decision = system.review(harmful_policy(), "dev1", 0.0)
+        assert decision.final == Verdict.APPROVE   # Skynet wins here
+
+    def test_arbitration_rate(self):
+        system = make_system(compromise_branch=Branch.EXECUTIVE)
+        system.review(benign_policy("p1"), "dev1", 0.0)
+        assert system.arbitration_rate() == 1.0
+
+    def test_branch_slot_validation(self):
+        reviewer = lambda policy, context: True
+        executive = Collective(Branch.EXECUTIVE, ["a"], reviewer)
+        with pytest.raises(ConfigurationError):
+            GovernanceSystem(executive, executive, executive)
+
+
+class TestGovernanceGuard:
+    def test_blocks_unapproved_generated_action(self):
+        system = make_system()
+        guard = GovernanceGuard(system)
+        device = make_test_device()
+        action = Action("gen", "motor",
+                        params={"_policy_id": "pX", "_policy_source": "generated"})
+        with pytest.raises(GovernanceVeto):
+            guard.check_action(device, action, None, 0.0)
+
+    def test_allows_approved_and_human_actions(self):
+        system = make_system()
+        policy = benign_policy("pY")
+        system.review(policy, "dev1", 0.0)
+        guard = GovernanceGuard(system)
+        device = make_test_device()
+        approved = Action("gen", "motor",
+                          params={"_policy_id": "pY",
+                                  "_policy_source": "generated"})
+        guard.check_action(device, approved, None, 0.0)
+        human = Action("manual", "motor")
+        guard.check_action(device, human, None, 0.0)
+        assert guard.vetoes == 0

@@ -1,0 +1,99 @@
+"""Unit tests for runtime governance oversight (revocation)."""
+
+from repro.audit.log import AuditLog
+from repro.core.actions import Action
+from repro.core.policy import Policy
+from repro.safeguards.governance import (
+    Collective,
+    GovernanceGuard,
+    GovernanceSystem,
+    MetaPolicy,
+)
+from repro.types import ActionOutcome, Branch
+
+
+def make_system(audit=None):
+    reviewer = GovernanceSystem.scope_reviewer([
+        MetaPolicy("no_harm", forbidden_tags={"harm_human"}),
+    ])
+    return GovernanceSystem(
+        Collective(Branch.EXECUTIVE, ["e"], reviewer),
+        Collective(Branch.LEGISLATIVE, ["l"], reviewer),
+        Collective(Branch.JUDICIARY, ["j"], reviewer),
+        audit_sink=audit,
+    )
+
+
+def approved_policy(system, policy_id="p1"):
+    policy = Policy.make("timer", None, Action("patrol", "motor"),
+                         policy_id=policy_id, source="generated")
+    system.review(policy, "dev1", 0.0)
+    return policy
+
+
+class FakeDecision:
+    def __init__(self, policy_id, vetoed):
+        self.policy_id = policy_id
+        self.vetoes = [("g", "x")] if vetoed else []
+        self.outcome = ActionOutcome.VETOED if vetoed else ActionOutcome.EXECUTED
+
+
+def test_revoke_withdraws_approval():
+    system = make_system()
+    approved_policy(system)
+    assert system.is_approved("p1")
+    assert system.revoke("p1", "misbehaving", time=5.0)
+    assert not system.is_approved("p1")
+    assert not system.revoke("p1", "again", time=6.0)
+
+
+def test_revocation_is_audited():
+    log = AuditLog()
+    system = make_system(audit=log.sink())
+    approved_policy(system)
+    system.revoke("p1", "field misbehaviour", time=5.0)
+    entries = log.entries("governance.revoke")
+    assert len(entries) == 1
+    assert entries[0].detail["policy"] == "p1"
+    assert log.verify()
+
+
+def test_guard_blocks_after_revocation():
+    from tests.conftest import make_test_device
+
+    system = make_system()
+    approved_policy(system)
+    guard = GovernanceGuard(system)
+    device = make_test_device()
+    action = Action("patrol", "motor",
+                    params={"_policy_id": "p1", "_policy_source": "generated"})
+    guard.check_action(device, action, None, 1.0)   # approved: passes
+    system.revoke("p1", "oversight", time=2.0)
+    import pytest
+    from repro.errors import GovernanceVeto
+
+    with pytest.raises(GovernanceVeto):
+        guard.check_action(device, action, None, 3.0)
+
+
+def test_review_compliance_revokes_high_veto_policies():
+    system = make_system()
+    approved_policy(system, "chronic")
+    approved_policy(system, "fine")
+    decisions = (
+        [FakeDecision("chronic", vetoed=True)] * 8
+        + [FakeDecision("chronic", vetoed=False)] * 2
+        + [FakeDecision("fine", vetoed=False)] * 12
+    )
+    revoked = system.review_compliance("dev1", decisions, time=9.0)
+    assert revoked == ["chronic"]
+    assert not system.is_approved("chronic")
+    assert system.is_approved("fine")
+
+
+def test_review_compliance_respects_min_decisions():
+    system = make_system()
+    approved_policy(system, "young")
+    decisions = [FakeDecision("young", vetoed=True)] * 5   # below min 10
+    assert system.review_compliance("dev1", decisions, time=1.0) == []
+    assert system.is_approved("young")

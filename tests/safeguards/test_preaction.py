@@ -1,0 +1,90 @@
+"""Unit tests for pre-action checks (sec VI-A)."""
+
+import pytest
+
+from repro.core.actions import Action, noop_action
+from repro.errors import PreActionVeto
+from repro.safeguards.preaction import CallableHarmModel, PreActionCheck
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+
+from tests.conftest import make_test_device
+
+
+def harm_if_tagged(tag="kinetic"):
+    return CallableHarmModel(
+        direct=lambda device, action, time:
+            "human in blast radius" if tag in action.tags else None,
+        hazard=lambda device, action, time:
+            "leaves a hole" if "digging" in action.tags else None,
+    )
+
+
+def strike():
+    return Action("strike", "motor", tags={"kinetic"})
+
+
+def dig():
+    return Action("dig", "motor", tags={"digging"})
+
+
+def test_vetoes_predicted_direct_harm():
+    check = PreActionCheck(harm_if_tagged())
+    device = make_test_device()
+    with pytest.raises(PreActionVeto) as exc_info:
+        check.check_action(device, strike(), None, time=1.0)
+    assert check.vetoes == 1
+    assert "blast radius" in str(exc_info.value)
+    assert exc_info.value.safeguard == "preaction"
+
+
+def test_harmless_actions_pass():
+    check = PreActionCheck(harm_if_tagged())
+    device = make_test_device()
+    check.check_action(device, Action("patrol", "motor"), None, 1.0)
+    assert check.vetoes == 0
+
+
+def test_noop_always_passes():
+    check = PreActionCheck(harm_if_tagged())
+    check.check_action(make_test_device(), noop_action(), None, 1.0)
+
+
+def test_hazard_blocking_off_by_default():
+    """The paper's base mechanism misses indirect harm: digging passes."""
+    check = PreActionCheck(harm_if_tagged())
+    check.check_action(make_test_device(), dig(), None, 1.0)
+
+
+def test_hazard_blocking_opt_in():
+    check = PreActionCheck(harm_if_tagged(), block_predicted_hazards=True)
+    with pytest.raises(PreActionVeto):
+        check.check_action(make_test_device(), dig(), None, 1.0)
+
+
+def test_breakglass_bypass_is_counted():
+    controller = BreakGlassController(
+        context_verifier=lambda device_id: {"emergency": True},
+    )
+    controller.register_rule(BreakGlassRule.make(
+        "rule", "emergency", {"preaction"}, max_uses=1,
+    ))
+    controller.request("dev1", "rule", "justified", time=0.0)
+    check = PreActionCheck(harm_if_tagged(), breakglass=controller)
+    device = make_test_device()
+    check.check_action(device, strike(), None, time=1.0)   # bypassed
+    assert check.bypasses == 1
+    with pytest.raises(PreActionVeto):                     # grant exhausted
+        check.check_action(device, strike(), None, time=2.0)
+
+
+def test_engine_integration_substitutes_safe_action():
+    from repro.core.policy import Policy
+
+    device = make_test_device(safeguards=[PreActionCheck(harm_if_tagged())])
+    strike_action = strike()
+    device.engine.actions.add(strike_action)
+    device.engine.policies.add(Policy.make("mgmt.strike", None, strike_action,
+                                           priority=9))
+    decision = device.command("strike")
+    assert decision.outcome.value in ("substituted", "vetoed")
+    assert decision.executed != "strike"

@@ -1,0 +1,142 @@
+"""Unit tests for the state-space guard (sec VI-B)."""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.core.policy import Policy
+from repro.errors import StateSpaceVeto
+from repro.safeguards.statespace import StateSpaceGuard
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+from repro.statespace.classifier import ThresholdBand, ThresholdClassifier
+from repro.statespace.preferences import StatePreferenceOntology
+from repro.statespace.risk import RiskEstimator, RiskFactor
+
+from tests.conftest import make_test_device
+
+
+def classifier():
+    return ThresholdClassifier([
+        ThresholdBand("temp", safe_high=80.0, hard_high=100.0),
+    ])
+
+
+def test_vetoes_transition_into_bad_state():
+    guard = StateSpaceGuard(classifier())
+    device = make_test_device()
+    device.state.set("temp", 95.0)
+    bad_vector = device.state.predict({"temp": 110.0})
+    with pytest.raises(StateSpaceVeto):
+        guard.check_transition(device, bad_vector,
+                               Action("heat_up", "motor"), 1.0)
+    assert guard.vetoes == 1
+
+
+def test_allows_good_and_neutral_transitions():
+    guard = StateSpaceGuard(classifier())
+    device = make_test_device()
+    guard.check_transition(device, {"temp": 50.0, "fuel": 50.0, "mode": "idle"},
+                           Action("x", "m"), 1.0)
+    guard.check_transition(device, {"temp": 90.0, "fuel": 50.0, "mode": "idle"},
+                           Action("x", "m"), 1.0)
+    assert guard.vetoes == 0
+
+
+def test_engine_integration_never_enters_bad_state():
+    device = make_test_device(safeguards=[StateSpaceGuard(classifier())])
+    device.engine.policies.add(Policy.make(
+        "timer", None, device.engine.actions.get("heat_up"), priority=5,
+    ))
+    from repro.core.events import Event
+
+    for time in range(30):
+        device.deliver(Event(kind="timer.tick", time=float(time)))
+    assert device.state.get("temp") <= 100.0
+
+
+def test_suggest_alternatives_best_safeness_first():
+    guard = StateSpaceGuard(classifier())
+    device = make_test_device()
+    device.state.set("temp", 95.0)
+    alternatives = guard.suggest_alternatives(
+        device, device.engine.actions.get("heat_up"), 1.0,
+    )
+    assert alternatives[0].name == "cool_down"
+
+
+def test_forced_choice_uses_preference_ontology():
+    """Every available action leads to a bad state; the ontology must pick
+    the least-bad one (the paper's fire-vs-life example)."""
+    ontology = StatePreferenceOntology()
+    for label in ("fire", "human_injury"):
+        ontology.add_category(label)
+    ontology.prefer("fire", "human_injury")
+
+    def labeler(vector):
+        return "fire" if vector.get("mode") == "panic" else "human_injury"
+
+    bad_classifier = ThresholdClassifier([
+        ThresholdBand("fuel", safe_low=200.0, hard_low=150.0),  # all states bad
+    ])
+    guard = StateSpaceGuard(bad_classifier, ontology=ontology, labeler=labeler)
+    device = make_test_device()
+    device.engine.actions.add(Action(
+        "start_fire", "motor", effects=[Effect("mode", "set", "panic")],
+    ))
+    device.engine.actions.add(Action(
+        "hurt_human", "motor", effects=[Effect("mode", "set", "busy")],
+    ))
+    alternatives = guard.suggest_alternatives(
+        device, Action("original", "motor"), 1.0,
+    )
+    assert guard.forced_choices == 1
+    assert alternatives[0].name == "start_fire"
+
+
+def test_forced_choice_risk_tiebreak():
+    ontology = StatePreferenceOntology()
+    ontology.add_category("bad")
+    bad_classifier = ThresholdClassifier([
+        ThresholdBand("fuel", safe_low=200.0, hard_low=150.0),
+    ])
+    risk = RiskEstimator([RiskFactor("temp", lambda v, c: v.get("temp", 0) / 150.0)])
+    guard = StateSpaceGuard(bad_classifier, ontology=ontology,
+                            labeler=lambda vector: "bad", risk=risk)
+    device = make_test_device()
+    # heat_up predicts temp 30, cool_down predicts temp 10: same category,
+    # lower risk must win.
+    alternatives = guard.suggest_alternatives(
+        device, Action("original", "motor"), 1.0,
+    )
+    assert alternatives[0].name == "cool_down"
+
+
+def test_breakglass_bypasses_veto():
+    controller = BreakGlassController(
+        context_verifier=lambda device_id: {"emergency": True},
+    )
+    controller.register_rule(BreakGlassRule.make(
+        "rule", "emergency", {"statespace"}, max_uses=2,
+    ))
+    controller.request("dev1", "rule", "life at stake", time=0.0)
+    guard = StateSpaceGuard(classifier(), breakglass=controller)
+    device = make_test_device()
+    guard.check_transition(device, {"temp": 120.0}, Action("x", "m"), 1.0)
+    assert guard.bypasses == 1
+    assert guard.vetoes == 0
+
+
+def test_lookahead_vetoes_doomed_corridor():
+    """All continuations within the horizon hit bad — veto even though the
+    immediate successor is fine (the cumulative-effects case)."""
+    device = make_test_device()
+    # Only heating is possible: remove the escape actions.
+    from repro.core.actions import ActionLibrary
+
+    device.engine.actions = ActionLibrary([
+        Action("heat_up", "motor", effects=[Effect("temp", "add", 30.0)]),
+    ])
+    guard = StateSpaceGuard(classifier(), lookahead=3)
+    predicted = {"temp": 60.0, "fuel": 100.0, "mode": "idle"}  # fine now
+    with pytest.raises(StateSpaceVeto) as exc_info:
+        guard.check_transition(device, predicted, Action("heat_up", "motor"), 1.0)
+    assert "continuations" in str(exc_info.value)

@@ -1,0 +1,94 @@
+"""Unit tests for tamper-proofing primitives."""
+
+import pytest
+
+from repro.core.policy import Policy
+from repro.core.actions import Action
+from repro.errors import SafeguardViolation, TamperError
+from repro.safeguards.tamper import (
+    SealedChain,
+    attest_device,
+    attest_fleet,
+    is_sealed,
+    seal_guard_chain,
+)
+
+from tests.conftest import make_test_device
+from tests.core.test_engine import VetoAll
+
+
+class TestSealedChain:
+    def test_mutators_blocked(self):
+        chain = SealedChain([VetoAll()])
+        with pytest.raises(TamperError):
+            chain.clear()
+        with pytest.raises(TamperError):
+            chain.pop()
+        with pytest.raises(TamperError):
+            chain.remove(chain[0])
+        with pytest.raises(TamperError):
+            del chain[:]
+        with pytest.raises(TamperError):
+            chain[0] = None
+        assert len(chain) == 1
+
+    def test_tightening_allowed(self):
+        chain = SealedChain()
+        chain.append(VetoAll())
+        chain.extend([VetoAll()])
+        assert len(chain) == 2
+
+
+def test_seal_guard_chain_and_is_sealed():
+    device = make_test_device(safeguards=[VetoAll()])
+    assert not is_sealed(device)
+    seal_guard_chain(device)
+    assert is_sealed(device)
+    with pytest.raises(SafeguardViolation):
+        device.engine.remove_safeguard("veto_all")
+    assert len(device.engine.safeguards) == 1
+
+
+class TestAttestation:
+    def test_stable_for_unchanged_device(self):
+        device = make_test_device()
+        assert attest_device(device) == attest_device(device)
+
+    def test_policy_injection_changes_hash(self):
+        device = make_test_device()
+        before = attest_device(device)
+        device.engine.policies.add(Policy.make(
+            "timer", None, Action("rogue", "motor"), policy_id="rogue",
+        ))
+        assert attest_device(device) != before
+
+    def test_policy_replacement_changes_hash(self):
+        device = make_test_device()
+        device.engine.policies.add(Policy.make(
+            "timer", None, device.engine.actions.get("cool_down"),
+            policy_id="p1",
+        ))
+        before = attest_device(device)
+        device.engine.policies.replace(Policy.make(
+            "timer", None, device.engine.actions.get("heat_up"),
+            policy_id="p1",
+        ))
+        assert attest_device(device) != before
+
+    def test_safeguard_change_changes_hash(self):
+        device = make_test_device()
+        before = attest_device(device)
+        device.engine.add_safeguard(VetoAll())
+        assert attest_device(device) != before
+
+    def test_state_changes_do_not_affect_hash(self):
+        device = make_test_device()
+        before = attest_device(device)
+        device.state.set("temp", 99.0)
+        assert attest_device(device) == before
+
+    def test_fleet_attestation(self):
+        devices = [make_test_device("a"), make_test_device("b")]
+        baseline = attest_fleet(devices)
+        assert set(baseline) == {"a", "b"}
+        assert baseline["a"] != baseline["b"]   # id is part of the hash

@@ -1,0 +1,117 @@
+"""Unit tests for partial-derivative utility functions (sec VII)."""
+
+import pytest
+
+from repro.core.actions import Action, Effect
+from repro.errors import ConfigurationError, SafeguardViolation
+from repro.safeguards.utility import (
+    PartialDerivativeUtility,
+    UtilityGuard,
+    VariableSense,
+)
+
+from tests.conftest import make_test_device
+
+
+def utility():
+    return PartialDerivativeUtility([
+        VariableSense("temp", -1, weight=1.0, scale=100.0),
+        VariableSense("fuel", +1, weight=1.0, scale=100.0),
+    ])
+
+
+class TestVariableSense:
+    def test_sign_validation(self):
+        with pytest.raises(ConfigurationError):
+            VariableSense("x", 2)
+        with pytest.raises(ConfigurationError):
+            VariableSense("x", 1, weight=-1.0)
+        with pytest.raises(ConfigurationError):
+            VariableSense("x", 1, scale=0.0)
+
+
+class TestPartialDerivativeUtility:
+    def test_utility_direction(self):
+        u = utility()
+        cool = {"temp": 20.0, "fuel": 80.0}
+        hot = {"temp": 90.0, "fuel": 80.0}
+        assert u.utility(cool) > u.utility(hot)
+
+    def test_pleasure_pain_split(self):
+        u = utility()
+        vector = {"temp": 50.0, "fuel": 80.0}
+        assert u.pleasure(vector) == pytest.approx(0.8)
+        assert u.pain(vector) == pytest.approx(0.5)
+        assert u.utility(vector) == pytest.approx(0.3)
+
+    def test_zero_sign_variables_ignored(self):
+        u = PartialDerivativeUtility([
+            VariableSense("temp", -1, scale=100.0),
+            VariableSense("mystery", 0),
+        ])
+        assert u.utility({"temp": 50.0, "mystery": 1e9}) == pytest.approx(-0.5)
+
+    def test_missing_and_non_numeric_ignored(self):
+        u = utility()
+        assert u.utility({"mode": "idle"}) == 0.0
+
+    def test_delta(self):
+        u = utility()
+        before = {"temp": 50.0, "fuel": 50.0}
+        after = {"temp": 40.0, "fuel": 50.0}
+        assert u.delta(before, after) == pytest.approx(0.1)
+
+    def test_duplicate_senses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartialDerivativeUtility([
+                VariableSense("x", 1), VariableSense("x", -1),
+            ])
+        with pytest.raises(ConfigurationError):
+            PartialDerivativeUtility([])
+
+    def test_best_action(self):
+        u = utility()
+        device = make_test_device()
+        best = u.best_action(device, device.engine.actions.all())
+        assert best.name == "cool_down"
+
+
+class TestUtilityGuard:
+    def test_vetoes_pain_increasing_action(self):
+        guard = UtilityGuard(utility(), tolerance=0.05)
+        device = make_test_device()
+        predicted = device.state.predict({"temp": 40.0})   # +20 temp = -0.2 U
+        with pytest.raises(SafeguardViolation):
+            guard.check_transition(device, predicted,
+                                   Action("heat_up", "motor"), 0.0)
+        assert guard.vetoes == 1
+
+    def test_tolerance_permits_small_costs(self):
+        guard = UtilityGuard(utility(), tolerance=0.25)
+        device = make_test_device()
+        predicted = device.state.predict({"temp": 40.0})
+        guard.check_transition(device, predicted, Action("heat_up", "motor"), 0.0)
+        assert guard.vetoes == 0
+
+    def test_suggests_best_utility_first(self):
+        guard = UtilityGuard(utility())
+        device = make_test_device()
+        alternatives = guard.suggest_alternatives(
+            device, device.engine.actions.get("heat_up"), 0.0,
+        )
+        assert alternatives[0].name == "cool_down"
+
+    def test_engine_integration_steers_away_from_heat(self):
+        from repro.core.policy import Policy
+        from repro.core.events import Event
+
+        device = make_test_device(safeguards=[UtilityGuard(utility())])
+        device.engine.policies.add(Policy.make(
+            "timer", None, device.engine.actions.get("heat_up"), priority=5,
+        ))
+        decision = device.deliver(Event(kind="timer.tick", time=1.0))
+        assert decision.executed == "cool_down"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UtilityGuard(utility(), tolerance=-1.0)

@@ -1,0 +1,42 @@
+"""Unit tests for the escort dilemma scenario."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.escort import ARMS, EscortScenario
+
+
+def test_invalid_arm_rejected():
+    with pytest.raises(ConfigurationError):
+        EscortScenario("nonsense")
+
+
+def test_baseline_burns_but_saves():
+    result = EscortScenario("baseline", ticks=60).run()
+    assert result["humans_harmed"] == 0
+    assert result["fire_entries"] > 0
+
+
+def test_statespace_guard_pristine_but_costly():
+    result = EscortScenario("statespace", ticks=60).run()
+    assert result["bad_entries"] == 0
+    assert result["humans_harmed"] == 60 // 12
+
+
+def test_combined_resolves_the_dilemma():
+    result = EscortScenario("combined", ticks=60).run()
+    assert result["humans_harmed"] == 0
+    assert result["fire_entries"] == 0
+    assert result["property_damage_entries"] > 0
+    assert result["grants"] == result["property_damage_entries"]
+    assert result["audit_violations"] == 0
+
+
+def test_arm_listing_is_stable():
+    assert ARMS == ("baseline", "statespace", "combined")
+
+
+def test_deterministic():
+    first = EscortScenario("combined", ticks=60).run()
+    second = EscortScenario("combined", ticks=60).run()
+    assert first == second

@@ -1,0 +1,73 @@
+"""Unit tests for after-action reports."""
+
+from repro.audit.auditor import Finding
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import SafeguardConfig
+from repro.scenarios.report import AfterActionReport
+
+
+def test_report_from_confrontation_run():
+    scenario = ConfrontationScenario(
+        seed=3, config=SafeguardConfig.full(),
+        threats=ThreatConfig(worm=True, worm_time=10.0),
+    )
+    scenario.run(until=60.0)
+    report = (
+        AfterActionReport(scenario.sim, title="Worm incident")
+        .add_harm_section(scenario.world)
+        .add_safeguard_section(scenario.devices)
+        .add_attack_section(scenario.injector)
+        .add_emergent_section(horizon=60.0)
+    )
+    rendered = report.render()
+    assert "Worm incident" in rendered
+    assert "-- Harm --" in rendered
+    assert "humans harmed: 0" in rendered
+    assert "attacks launched: 1" in rendered
+    assert "watchdog deactivations: 1" in rendered
+
+
+def test_report_custom_and_audit_sections():
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=1)
+    sim.run(until=5.0)
+    findings = [Finding("violation", "use_outside_emergency", "uav1",
+                        "used break-glass after the emergency ended")]
+    report = (
+        AfterActionReport(sim)
+        .add_audit_section(findings)
+        .add_custom_section("Notes", ["all quiet"])
+    )
+    rendered = report.render()
+    assert "audit findings: 1" in rendered
+    assert "[violation] uav1" in rendered
+    assert "all quiet" in rendered
+    assert "t=5.0" in rendered
+
+
+def test_report_without_aggregate_series():
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=1)
+    report = AfterActionReport(sim).add_emergent_section()
+    assert "no aggregate series recorded" in report.render()
+
+
+def test_harm_section_details():
+    from repro.devices.world import World
+    from repro.sim.simulator import Simulator
+    from repro.types import HarmKind
+
+    sim = Simulator(seed=1)
+    world = World(sim)
+    world.add_human("h1", 1.0, 1.0)
+    world.add_human("h2", 2.0, 2.0)
+    world.harm_human("h1", HarmKind.DIRECT, "strike", "uav1")
+    world.harm_human("h2", HarmKind.INDIRECT, "hazard:hole", "mule1")
+    world.harm_human("h1", HarmKind.DIRECT, "strike", "uav1")
+    rendered = AfterActionReport(sim).add_harm_section(world).render()
+    assert "humans harmed: 3" in rendered
+    assert "direct: 2" in rendered
+    assert "indirect: 1" in rendered
+    assert "most harmful device: uav1 (2)" in rendered

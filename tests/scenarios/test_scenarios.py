@@ -1,0 +1,146 @@
+"""Scenario-level tests: peacekeeping and confrontation end to end."""
+
+import pytest
+
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import SafeguardConfig
+from repro.scenarios.peacekeeping import (
+    PeacekeepingScenario,
+    device_safety_classifier,
+    state_label,
+)
+from repro.types import Safeness
+
+
+class TestClassifierHelpers:
+    def test_device_safety_classifier(self):
+        classifier = device_safety_classifier()
+        assert classifier.classify({"temp": 50.0, "fuel": 80.0}) == Safeness.GOOD
+        assert classifier.classify({"temp": 110.0, "fuel": 80.0}) == Safeness.BAD
+        assert classifier.classify({"temp": 50.0, "fuel": 0.0}) == Safeness.BAD
+
+    def test_state_label_ordering(self):
+        assert state_label({"temp": 20.0, "fuel": 90.0}) == "nominal"
+        assert state_label({"temp": 85.0, "fuel": 90.0}) == "degraded"
+        assert state_label({"temp": 105.0, "fuel": 90.0}) == "property_damage"
+        assert state_label({"temp": 130.0, "fuel": 90.0}) == "fire"
+
+
+class TestPeacekeeping:
+    def run_pair(self, until=120.0, **kwargs):
+        baseline = PeacekeepingScenario(
+            seed=3, config=SafeguardConfig.none(), **kwargs).run(until=until)
+        guarded = PeacekeepingScenario(
+            seed=3, config=SafeguardConfig.full(), **kwargs).run(until=until)
+        return baseline, guarded
+
+    def test_scenario_builds_expected_fleet(self):
+        scenario = PeacekeepingScenario(seed=1, n_drones_per_org=2,
+                                        n_mules_per_org=1)
+        assert len(scenario.devices) == 6   # 2 orgs x (2 drones + 1 mule)
+        assert len(scenario.coalition.organizations) == 2
+
+    def test_devices_act_and_system_progresses(self):
+        scenario = PeacekeepingScenario(seed=1)
+        result = scenario.run(until=60.0)
+        assert result["actions_executed"] > 0
+        assert result["messages_delivered"] > 0
+
+    def test_generative_policies_installed_for_discovered_peers(self):
+        scenario = PeacekeepingScenario(seed=1)
+        scenario.run(until=30.0)
+        assert scenario.generative.policies_generated > 0
+        coverage = scenario.generative.coverage()
+        assert coverage   # at least some observers generated for peers
+
+    def test_full_safeguards_dont_break_mission(self):
+        baseline, guarded = self.run_pair(until=100.0)
+        # Dispatches (the mission) still happen under full safeguards.
+        assert guarded["dispatch_completions"] > 0
+        assert guarded["actions_executed"] > 0
+
+    def test_safeguards_reduce_harm(self):
+        totals = {"baseline": 0, "guarded": 0}
+        for seed in (1, 2, 3):
+            baseline = PeacekeepingScenario(
+                seed=seed, config=SafeguardConfig.none(), n_civilians=40,
+                strike_interval=5.0, dig_interval=4.0).run(until=200.0)
+            guarded = PeacekeepingScenario(
+                seed=seed, config=SafeguardConfig.full(), n_civilians=40,
+                strike_interval=5.0, dig_interval=4.0).run(until=200.0)
+            totals["baseline"] += baseline["harm_total"]
+            totals["guarded"] += guarded["harm_total"]
+        assert totals["baseline"] > 0
+        assert totals["guarded"] < totals["baseline"]
+
+    def test_obligations_close_hazards(self):
+        scenario = PeacekeepingScenario(
+            seed=2, config=SafeguardConfig.only(obligations=True),
+            dig_interval=4.0,
+        )
+        result = scenario.run(until=100.0)
+        assert result["open_hazards"] == 0
+        baseline = PeacekeepingScenario(seed=2, dig_interval=4.0)
+        baseline_result = baseline.run(until=100.0)
+        assert baseline_result["open_hazards"] > 0
+
+    def test_cross_validation_flag_routes_kinetics_to_the_human(self):
+        scenario = PeacekeepingScenario(
+            seed=4, config=SafeguardConfig.only(cross_validation=True),
+            strike_interval=5.0,
+        )
+        result = scenario.run(until=80.0)
+        reviews = sum(op.reviews_answered for op in scenario.operators.values())
+        assert reviews > 0
+        # Reviewed strikes still execute (the default judge approves).
+        assert result["actions_executed"] > 0
+
+    def test_determinism_same_seed_same_results(self):
+        first = PeacekeepingScenario(seed=7).run(until=80.0)
+        second = PeacekeepingScenario(seed=7).run(until=80.0)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = PeacekeepingScenario(seed=7).run(until=80.0)
+        second = PeacekeepingScenario(seed=8).run(until=80.0)
+        assert first != second
+
+
+class TestConfrontation:
+    def test_worm_without_safeguards_forms_skynet(self):
+        scenario = ConfrontationScenario(
+            seed=3, config=SafeguardConfig.none(),
+            threats=ThreatConfig(worm=True, worm_spread_prob=0.4),
+        )
+        result = scenario.run(until=120.0)
+        assert result["skynet_formed"]
+        assert result["compromised_ever"] >= 2
+        assert result["orgs_spanned_peak"] == 2
+        assert result["rogue_harm"] > 0
+
+    def test_full_safeguards_prevent_skynet(self):
+        scenario = ConfrontationScenario(
+            seed=3, config=SafeguardConfig.full(),
+            threats=ThreatConfig(worm=True, worm_spread_prob=0.4),
+        )
+        result = scenario.run(until=120.0)
+        assert not result["skynet_formed"]
+        assert result["rogue_harm"] == 0
+
+    def test_no_threats_no_compromise(self):
+        scenario = ConfrontationScenario(
+            seed=3, config=SafeguardConfig.none(), threats=ThreatConfig.none(),
+        )
+        result = scenario.run(until=60.0)
+        assert result["compromised_ever"] == 0
+        assert not result["skynet_formed"]
+
+    def test_watchdog_contains_worm(self):
+        scenario = ConfrontationScenario(
+            seed=5, config=SafeguardConfig.only(watchdog=True, sealed=True),
+            threats=ThreatConfig(worm=True, worm_spread_prob=0.4),
+        )
+        result = scenario.run(until=120.0)
+        assert result["deactivations"] >= 1
+        assert result["max_concurrent_compromised"] <= 3
+        assert result["mean_containment_latency"] >= 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for the simulation event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event_queue import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, fired.append, ("c",))
+    queue.push(1.0, fired.append, ("a",))
+    queue.push(2.0, fired.append, ("b",))
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_orders_by_priority_then_insertion():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, order.append, ("low-first",), priority=1)
+    queue.push(1.0, order.append, ("high",), priority=0)
+    queue.push(1.0, order.append, ("low-second",), priority=1)
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert order == ["high", "low-first", "low-second"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None, label="keep")
+    drop = queue.push(0.5, lambda: None, label="drop")
+    drop.cancel()
+    queue.note_cancelled()
+    assert len(queue) == 1
+    assert queue.pop() is keep
+    assert queue.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(0.5, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    queue.note_cancelled()
+    assert queue.peek_time() == 2.0
+
+
+def test_len_tracks_live_events():
+    queue = EventQueue()
+    assert len(queue) == 0
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.pop()
+    assert len(queue) == 1
+
+
+def test_rejects_nan_and_inf_times():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.push(float("nan"), lambda: None)
+    with pytest.raises(SimulationError):
+        queue.push(float("inf"), lambda: None)
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None

@@ -1,0 +1,105 @@
+"""Unit tests for metric primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g", initial=5.0)
+        gauge.add(-2.0)
+        assert gauge.value == 3.0
+        gauge.set(10.0)
+        assert gauge.value == 10.0
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        histogram = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.quantile(0.5) == 2.5
+
+    def test_quantile_bounds(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Histogram("h").observe(float("nan"))
+
+    def test_empty_histogram_is_zeroed(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.9) == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=100))
+    def test_quantiles_are_monotone(self, values):
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q / 10) for q in range(11)]
+        for lower, higher in zip(quantiles, quantiles[1:]):
+            assert higher >= lower - 1e-9
+        assert quantiles[0] == histogram.min
+        assert quantiles[-1] == histogram.max
+
+
+class TestTimeSeries:
+    def test_records_in_order(self):
+        series = TimeSeries("ts")
+        series.record(0.0, 1.0)
+        series.record(1.0, 3.0)
+        assert series.last() == 3.0
+        assert series.peak() == 3.0
+        with pytest.raises(ValueError):
+            series.record(0.5, 2.0)
+
+    def test_time_above_step_interpolation(self):
+        series = TimeSeries("ts")
+        series.record(0.0, 5.0)   # above until t=2
+        series.record(2.0, 1.0)   # below until t=3
+        series.record(3.0, 10.0)  # above but no following sample
+        assert series.time_above(4.0) == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_caches(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_and_value(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("level").set(7.0)
+        snapshot = registry.snapshot()
+        assert snapshot["hits"]["value"] == 3
+        assert registry.value("level") == 7.0
+        assert registry.value("missing", default=-1.0) == -1.0

@@ -1,0 +1,112 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+def test_clock_advances_with_events(sim):
+    times = []
+    sim.schedule(5.0, lambda: times.append(sim.now))
+    sim.schedule(2.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.0, 5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_before_future_events(sim):
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(True))
+    end = sim.run(until=5.0)
+    assert end == 5.0
+    assert fired == []
+    # The event survives and fires on a later run.
+    sim.run()
+    assert fired == [True]
+
+
+def test_run_until_advances_clock_even_when_queue_drains(sim):
+    sim.schedule(1.0, lambda: None)
+    end = sim.run(until=100.0)
+    assert end == 100.0
+    assert sim.now == 100.0
+
+
+def test_schedule_in_past_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_periodic_task_fires_and_cancels(sim):
+    ticks = []
+    task = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    task.cancel()
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_periodic_start_after_override(sim):
+    ticks = []
+    sim.every(2.0, lambda: ticks.append(sim.now), start_after=0.5)
+    sim.run(until=5.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_periodic_requires_positive_interval(sim):
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_stop_requested_mid_run(sim):
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, lambda: fired.append("second"))
+    sim.run()
+    assert fired == ["first"]
+
+
+def test_max_events_bound(sim):
+    fired = []
+    for index in range(10):
+        sim.schedule(float(index + 1), lambda i=index: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_cancel_scheduled_event(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(True))
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+    assert len(sim.queue) == 0
+
+
+def test_record_stamps_current_time(sim):
+    sim.schedule(3.0, lambda: sim.record("test.kind", "subject", value=1))
+    sim.run()
+    events = sim.trace.query("test.kind")
+    assert len(events) == 1
+    assert events[0].time == 3.0
+    assert events[0].detail == {"value": 1}
+
+
+def test_no_reentrant_run(sim):
+    def recurse():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, recurse)
+    sim.run()

@@ -1,0 +1,58 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.tracing import TraceEvent, TraceRecorder
+
+
+def test_record_and_query_by_kind_prefix():
+    recorder = TraceRecorder()
+    recorder.record(1.0, "action.executed", "dev1", action="patrol")
+    recorder.record(2.0, "action.vetoed", "dev1")
+    recorder.record(3.0, "net.dropped", "dev2")
+    assert recorder.count("action") == 2
+    assert recorder.count("action.executed") == 1
+    assert recorder.count("net") == 1
+    # Prefix matching is dotted, not substring.
+    assert recorder.count("act") == 0
+
+
+def test_query_by_subject_and_time_window():
+    recorder = TraceRecorder()
+    for time in range(5):
+        recorder.record(float(time), "tick", "dev1")
+    events = recorder.query("tick", subject="dev1", since=1.0, until=3.0)
+    assert [event.time for event in events] == [1.0, 2.0, 3.0]
+    assert recorder.query("tick", subject="other") == []
+
+
+def test_capacity_drops_and_counts():
+    recorder = TraceRecorder(capacity=2)
+    for time in range(5):
+        recorder.record(float(time), "tick", "dev")
+    assert len(recorder.events) == 2
+    assert recorder.dropped == 3
+
+
+def test_listener_sees_every_event_even_when_dropped():
+    recorder = TraceRecorder(capacity=1)
+    seen = []
+    recorder.subscribe(seen.append)
+    recorder.record(0.0, "a", "s")
+    recorder.record(1.0, "b", "s")
+    assert len(seen) == 2
+
+
+def test_matches_helper():
+    event = TraceEvent(0.0, "safeguard.veto.preaction", "dev")
+    assert event.matches("safeguard")
+    assert event.matches("safeguard.veto")
+    assert not event.matches("safe")
+
+
+def test_subjects_and_clear():
+    recorder = TraceRecorder()
+    recorder.record(0.0, "k", "a")
+    recorder.record(0.0, "k", "b")
+    assert recorder.subjects() == {"a", "b"}
+    recorder.clear()
+    assert recorder.events == []
+    assert recorder.dropped == 0

@@ -1,0 +1,105 @@
+"""Unit tests for break-glass rules (sec VI-B, ref [12])."""
+
+import pytest
+
+from repro.errors import BreakGlassError
+from repro.statespace.breakglass import BreakGlassController, BreakGlassRule
+
+
+def make_controller(context=None, audit=None):
+    context = context if context is not None else {"threat_level": 5}
+    controller = BreakGlassController(
+        context_verifier=lambda device_id: dict(context),
+        audit_sink=audit,
+    )
+    controller.register_rule(BreakGlassRule.make(
+        "evac", "threat_level > 3", {"statespace"},
+        max_duration=10.0, max_uses=2,
+    ))
+    return controller
+
+
+def test_grant_when_emergency_verified():
+    controller = make_controller()
+    grant = controller.request("dev1", "evac", "humans at risk", time=0.0)
+    assert grant is not None
+    assert grant.active(5.0)
+    assert not grant.active(11.0)   # expired
+
+
+def test_denied_when_context_contradicts():
+    controller = make_controller(context={"threat_level": 0})
+    assert controller.request("dev1", "evac", "claimed emergency", 0.0) is None
+
+
+def test_unknown_rule_and_empty_justification():
+    controller = make_controller()
+    with pytest.raises(BreakGlassError):
+        controller.request("dev1", "nope", "x", 0.0)
+    with pytest.raises(BreakGlassError):
+        controller.request("dev1", "evac", "   ", 0.0)
+
+
+def test_bypass_consumes_uses():
+    controller = make_controller()
+    controller.request("dev1", "evac", "emergency", time=0.0)
+    assert controller.is_bypassed("dev1", "statespace", 1.0)
+    assert controller.is_bypassed("dev1", "statespace", 2.0)
+    # max_uses=2 exhausted
+    assert not controller.is_bypassed("dev1", "statespace", 3.0)
+
+
+def test_bypass_scoped_to_safeguard_and_device():
+    controller = make_controller()
+    controller.request("dev1", "evac", "emergency", time=0.0)
+    assert not controller.is_bypassed("dev1", "preaction", 1.0)
+    assert not controller.is_bypassed("dev2", "statespace", 1.0)
+
+
+def test_revoke_stops_bypass():
+    controller = make_controller()
+    grant = controller.request("dev1", "evac", "emergency", time=0.0)
+    assert controller.revoke(grant.grant_id, 1.0, "audit finding")
+    assert not controller.is_bypassed("dev1", "statespace", 2.0)
+    assert not controller.revoke(grant.grant_id, 2.0, "again")
+
+
+def test_audit_sink_sees_lifecycle():
+    events = []
+    controller = make_controller(audit=lambda kind, detail: events.append(kind))
+    controller.request("dev1", "evac", "emergency", time=0.0)
+    controller.is_bypassed("dev1", "statespace", 1.0)
+    kinds = set(events)
+    assert "breakglass.granted" in kinds
+    assert "breakglass.used" in kinds
+
+
+def test_denial_is_audited():
+    events = []
+    controller = make_controller(context={"threat_level": 0},
+                                 audit=lambda kind, detail: events.append(kind))
+    controller.request("dev1", "evac", "fake", time=0.0)
+    assert events == ["breakglass.denied"]
+
+
+def test_rule_validation():
+    with pytest.raises(BreakGlassError):
+        BreakGlassRule.make("r", "true", {"x"}, max_duration=0.0)
+    with pytest.raises(BreakGlassError):
+        BreakGlassRule.make("r", "true", {"x"}, max_uses=0)
+
+
+def test_duplicate_rule_rejected():
+    controller = make_controller()
+    with pytest.raises(BreakGlassError):
+        controller.register_rule(BreakGlassRule.make(
+            "evac", "true", {"statespace"},
+        ))
+
+
+def test_grants_for_device():
+    controller = make_controller()
+    controller.request("dev1", "evac", "one", 0.0)
+    controller.request("dev2", "evac", "two", 0.0)
+    assert len(controller.grants_for("dev1")) == 1
+    assert len(controller.all_grants()) == 2

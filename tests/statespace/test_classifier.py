@@ -1,0 +1,153 @@
+"""Unit + property tests for safeness classifiers (Fig 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.statespace.classifier import (
+    BoxClassifier,
+    BoxRegion,
+    CompositeClassifier,
+    FunctionClassifier,
+    ThresholdBand,
+    ThresholdClassifier,
+)
+from repro.types import Safeness
+
+
+class TestBoxRegion:
+    def test_contains(self):
+        region = BoxRegion.make("hot", temp=(90, None), fuel=(None, 50))
+        assert region.contains({"temp": 95.0, "fuel": 10.0})
+        assert not region.contains({"temp": 80.0, "fuel": 10.0})
+        assert not region.contains({"temp": 95.0, "fuel": 60.0})
+
+    def test_missing_variable_not_contained(self):
+        region = BoxRegion.make("hot", temp=(90, None))
+        assert not region.contains({"fuel": 5.0})
+
+    def test_margin_zero_inside(self):
+        region = BoxRegion.make("band", temp=(10, 20))
+        assert region.margin({"temp": 15.0}) == 0.0
+        assert region.margin({"temp": 25.0}) == 5.0
+        assert region.margin({"temp": 4.0}) == 6.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoxRegion.make("bad", temp=(10, 5))
+
+
+class TestBoxClassifier:
+    def make(self):
+        # Figure 3: a central good box surrounded by bad regions.
+        return BoxClassifier(
+            good=[BoxRegion.make("good", x=(20, 80), y=(20, 80))],
+            bad=[BoxRegion.make("bad_hi_x", x=(95, None)),
+                 BoxRegion.make("bad_lo_x", x=(None, 5))],
+            decay_scale=10.0,
+        )
+
+    def test_three_way_classification(self):
+        classifier = self.make()
+        assert classifier.classify({"x": 50.0, "y": 50.0}) == Safeness.GOOD
+        assert classifier.classify({"x": 99.0, "y": 50.0}) == Safeness.BAD
+        assert classifier.classify({"x": 94.0, "y": 50.0}) == Safeness.BAD or \
+            classifier.classify({"x": 94.0, "y": 50.0}) == Safeness.NEUTRAL
+
+    def test_safeness_zero_in_bad(self):
+        classifier = self.make()
+        assert classifier.safeness({"x": 100.0, "y": 0.0}) == 0.0
+
+    def test_safeness_grows_away_from_bad(self):
+        classifier = self.make()
+        near = classifier.safeness({"x": 90.0, "y": 50.0})
+        far = classifier.safeness({"x": 50.0, "y": 50.0})
+        assert far > near
+
+    def test_good_region_pins_to_good(self):
+        classifier = self.make()
+        assert classifier.is_good({"x": 25.0, "y": 50.0})
+
+    def test_prefer_partial_order(self):
+        classifier = self.make()
+        safe = {"x": 50.0, "y": 50.0}
+        risky = {"x": 90.0, "y": 50.0}
+        assert classifier.prefer(safe, risky) == 1
+        assert classifier.prefer(risky, safe) == -1
+        assert classifier.prefer(safe, dict(safe)) == 0
+
+    def test_no_bad_regions_defaults(self):
+        classifier = BoxClassifier(
+            good=[BoxRegion.make("g", x=(0, 10))], bad=[],
+        )
+        assert classifier.safeness({"x": 5.0}) == 1.0
+        assert classifier.safeness({"x": 50.0}) == 0.5
+
+    @given(st.floats(min_value=0, max_value=200),
+           st.floats(min_value=0, max_value=200))
+    def test_safeness_always_in_unit_interval(self, x, y):
+        classifier = self.make()
+        assert 0.0 <= classifier.safeness({"x": x, "y": y}) <= 1.0
+
+
+class TestThresholdClassifier:
+    def make(self):
+        return ThresholdClassifier([
+            ThresholdBand("temp", safe_high=80.0, hard_high=100.0),
+            ThresholdBand("fuel", safe_low=10.0, hard_low=0.0),
+        ])
+
+    def test_inside_safe_band_is_good(self):
+        assert self.make().classify({"temp": 50.0, "fuel": 50.0}) == Safeness.GOOD
+
+    def test_beyond_hard_limit_is_bad(self):
+        classifier = self.make()
+        assert classifier.classify({"temp": 101.0, "fuel": 50.0}) == Safeness.BAD
+        assert classifier.classify({"temp": 50.0, "fuel": 0.0}) == Safeness.BAD
+
+    def test_soft_zone_is_linear(self):
+        classifier = self.make()
+        assert classifier.safeness({"temp": 90.0, "fuel": 50.0}) == pytest.approx(0.5)
+
+    def test_weakest_variable_dominates(self):
+        classifier = self.make()
+        assert classifier.safeness({"temp": 90.0, "fuel": 5.0}) == pytest.approx(0.5)
+        assert classifier.safeness({"temp": 90.0, "fuel": 2.0}) == pytest.approx(0.2)
+
+    def test_missing_variable_scores_zero(self):
+        assert self.make().safeness({"temp": 50.0}) == 0.0
+
+    def test_requires_bands(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdClassifier([])
+
+    @given(st.floats(min_value=0, max_value=150),
+           st.floats(min_value=0, max_value=100))
+    def test_monotone_in_temperature(self, temp, fuel):
+        """Higher temp can never be safer (fuel fixed) — the sec VII
+        derivative-sign property the utility function relies on."""
+        classifier = self.make()
+        lower = classifier.safeness({"temp": temp, "fuel": fuel})
+        higher = classifier.safeness({"temp": temp + 5.0, "fuel": fuel})
+        assert higher <= lower + 1e-12
+
+
+class TestFunctionAndComposite:
+    def test_function_classifier_clips(self):
+        classifier = FunctionClassifier(lambda vector: vector["x"] * 10.0)
+        assert classifier.safeness({"x": 5.0}) == 1.0
+        assert classifier.safeness({"x": -5.0}) == 0.0
+
+    def test_composite_takes_min(self):
+        always_good = FunctionClassifier(lambda vector: 1.0)
+        always_bad = FunctionClassifier(lambda vector: 0.0)
+        composite = CompositeClassifier([always_good, always_bad])
+        assert composite.classify({}) == Safeness.BAD
+
+    def test_composite_requires_children(self):
+        with pytest.raises(ConfigurationError):
+            CompositeClassifier([])
+
+    def test_threshold_ordering_validated(self):
+        with pytest.raises(ConfigurationError):
+            FunctionClassifier(lambda vector: 1.0, bad_below=0.9, good_above=0.1)

@@ -1,0 +1,108 @@
+"""Unit tests for noisy state inference (sec V, ref [10])."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRNG
+from repro.statespace.estimation import (
+    NoisyChannel,
+    StateEstimator,
+    estimated_state_reader,
+)
+
+
+def rng():
+    return SeededRNG(seed=77).stream("estimation")
+
+
+class TestNoisyChannel:
+    def test_observation_is_noisy_but_unbiased(self):
+        channel = NoisyChannel(rng(), noise_sigma=2.0)
+        truth = {"temp": 50.0, "fuel": 80.0}
+        observations = [channel.observe(truth) for _ in range(200)]
+        mean_temp = sum(obs["temp"] for obs in observations) / 200
+        assert mean_temp == pytest.approx(50.0, abs=0.5)
+        assert any(abs(obs["temp"] - 50.0) > 0.5 for obs in observations)
+
+    def test_dropout_omits_variables(self):
+        channel = NoisyChannel(rng(), noise_sigma=0.0, dropout=0.5)
+        observations = [channel.observe({"temp": 50.0}) for _ in range(100)]
+        missing = sum(1 for obs in observations if "temp" not in obs)
+        assert 20 < missing < 80
+
+    def test_non_numeric_excluded(self):
+        channel = NoisyChannel(rng())
+        observation = channel.observe({"temp": 1.0, "mode": "x", "armed": True})
+        assert set(observation) == {"temp"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NoisyChannel(rng(), noise_sigma=-1.0)
+        with pytest.raises(ConfigurationError):
+            NoisyChannel(rng(), dropout=1.0)
+
+
+class TestStateEstimator:
+    def test_converges_to_truth(self):
+        channel = NoisyChannel(rng(), noise_sigma=1.0)
+        estimator = StateEstimator(alpha=0.3)
+        truth = {"temp": 60.0}
+        for _ in range(50):
+            estimator.update(channel.observe(truth))
+        assert estimator.get("temp") == pytest.approx(60.0, abs=2.0)
+        assert estimator.confidence("temp") > 0.2
+
+    def test_tracks_a_moving_value(self):
+        channel = NoisyChannel(rng(), noise_sigma=0.5)
+        estimator = StateEstimator(alpha=0.4)
+        for step in range(60):
+            estimator.update(channel.observe({"temp": 20.0 + step}))
+        assert estimator.get("temp") == pytest.approx(79.0, abs=5.0)
+
+    def test_outlier_rejection(self):
+        estimator = StateEstimator(alpha=0.3, outlier_sigmas=4.0)
+        for _ in range(20):
+            estimator.update({"temp": 50.0})
+        estimator.update({"temp": 5000.0})
+        assert estimator.rejected == 1
+        assert estimator.get("temp") == pytest.approx(50.0, abs=1.0)
+
+    def test_confidence_zero_before_min_observations(self):
+        estimator = StateEstimator(min_observations=5)
+        estimator.update({"temp": 1.0})
+        assert estimator.confidence("temp") == 0.0
+        assert estimator.confidence("never_seen") == 0.0
+        assert not estimator.converged(["temp"])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StateEstimator(alpha=0.0)
+
+
+class TestWatchdogIntegration:
+    def test_watchdog_works_through_noisy_reader(self):
+        from repro.safeguards.deactivation import Watchdog
+        from repro.sim.simulator import Simulator
+        from repro.statespace.classifier import ThresholdBand, ThresholdClassifier
+        from repro.types import DeviceStatus
+        from tests.conftest import make_test_device
+
+        sim = Simulator(seed=5)
+        device = make_test_device("noisy1")
+        devices = {"noisy1": device}
+        channel = NoisyChannel(sim.rng.stream("channel"), noise_sigma=1.0)
+        estimator = StateEstimator(alpha=0.4)
+        watchdog = Watchdog(
+            sim, devices,
+            ThresholdClassifier([ThresholdBand("temp", safe_high=80.0,
+                                               hard_high=100.0)]),
+            check_interval=1.0,
+            state_readers={"noisy1": estimated_state_reader(device, channel,
+                                                            estimator)},
+        )
+        sim.run(until=10.0)   # healthy warm-up: no false positive
+        assert device.status == DeviceStatus.ACTIVE
+        device.state.set("temp", 130.0)
+        sim.run(until=25.0)   # estimator converges onto the bad value
+        assert device.status == DeviceStatus.DEACTIVATED
+        assert watchdog.deactivations("bad_state")

@@ -1,0 +1,105 @@
+"""Unit tests for the state preference ontology (sec VI-B, ref [14])."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.statespace.preferences import (
+    StatePreferenceOntology,
+    default_military_ontology,
+)
+
+
+def test_prefer_and_transitivity():
+    ontology = StatePreferenceOntology()
+    for label in ("a", "b", "c"):
+        ontology.add_category(label)
+    ontology.prefer("a", "b")
+    ontology.prefer("b", "c")
+    assert ontology.is_preferred("a", "b")
+    assert ontology.is_preferred("a", "c")    # transitive
+    assert not ontology.is_preferred("c", "a")
+    assert ontology.comparable("a", "c")
+
+
+def test_cycle_rejected():
+    ontology = StatePreferenceOntology()
+    ontology.add_category("a")
+    ontology.add_category("b")
+    ontology.prefer("a", "b")
+    with pytest.raises(ConfigurationError):
+        ontology.prefer("b", "a")
+    # The failed edge must not have corrupted the graph.
+    assert ontology.is_preferred("a", "b")
+
+
+def test_self_preference_rejected():
+    ontology = StatePreferenceOntology()
+    ontology.add_category("a")
+    with pytest.raises(ConfigurationError):
+        ontology.prefer("a", "a")
+
+
+def test_severity_rank_layers():
+    ontology = default_military_ontology()
+    rank = ontology.severity_rank()
+    assert rank["nominal"] < rank["fire"] < rank["human_life_loss"]
+
+
+def test_least_bad_picks_papers_example():
+    """The paper: between loss of human life and starting a fire, the
+    device must pick the fire."""
+    ontology = default_military_ontology()
+    fire_state = {"label": "fire"}
+    death_state = {"label": "human_life_loss"}
+    chosen = ontology.least_bad([death_state, fire_state],
+                                labeler=lambda vector: vector["label"])
+    assert chosen is fire_state
+
+
+def test_least_bad_unknown_label_is_worst():
+    ontology = default_military_ontology()
+    known = {"label": "fire"}
+    unknown = {"label": "mystery_meltdown"}
+    chosen = ontology.least_bad([unknown, known],
+                                labeler=lambda vector: vector["label"])
+    assert chosen is known
+
+
+def test_least_bad_tie_break_by_risk():
+    ontology = default_military_ontology()
+    first = {"label": "fire", "risk": 0.9}
+    second = {"label": "fire", "risk": 0.2}
+    chosen = ontology.least_bad(
+        [first, second],
+        labeler=lambda vector: vector["label"],
+        tie_break=lambda vector: vector["risk"],
+    )
+    assert chosen is second
+
+
+def test_least_bad_deterministic_without_tiebreak():
+    ontology = default_military_ontology()
+    first = {"label": "fire", "id": 1}
+    second = {"label": "fire", "id": 2}
+    assert ontology.least_bad(
+        [first, second], labeler=lambda vector: vector["label"],
+    ) is first
+
+
+def test_least_bad_requires_candidates():
+    with pytest.raises(ConfigurationError):
+        default_military_ontology().least_bad([], labeler=lambda vector: "x")
+
+
+def test_order_labels():
+    ontology = default_military_ontology()
+    ordered = ontology.order_labels(["human_injury", "nominal", "fire"])
+    assert ordered == ["nominal", "fire", "human_injury"]
+
+
+def test_incomparable_disconnected_categories():
+    ontology = StatePreferenceOntology()
+    ontology.add_category("x")
+    ontology.add_category("y")
+    assert not ontology.is_preferred("x", "y")
+    assert not ontology.comparable("x", "y")

@@ -1,0 +1,106 @@
+"""Unit tests for bounded reachability analysis (sec V anticipation)."""
+
+from repro.core.actions import Action, Effect
+from repro.statespace.classifier import BoxClassifier, BoxRegion
+from repro.statespace.reachability import ReachabilityAnalyzer
+from repro.types import Safeness
+
+
+def classifier(bad_at=30.0):
+    return BoxClassifier(
+        good=[BoxRegion.make("good", x=(0, bad_at - 10))],
+        bad=[BoxRegion.make("bad", x=(bad_at, None))],
+        decay_scale=5.0,
+    )
+
+
+def step(amount, name=None):
+    return Action(name or f"step{amount:+g}", "m",
+                  effects=[Effect("x", "add", float(amount))])
+
+
+def test_depth_one_successors():
+    analyzer = ReachabilityAnalyzer([step(5), step(-5)], classifier())
+    root = analyzer.explore({"x": 10.0}, depth=1)
+    assert len(root.children) == 2
+    values = sorted(child.vector["x"] for child in root.children)
+    assert values == [5.0, 15.0]
+
+
+def test_bad_paths_found_at_depth():
+    analyzer = ReachabilityAnalyzer([step(10)], classifier(bad_at=30.0))
+    paths = analyzer.bad_paths({"x": 0.0}, depth=5)
+    # 0 -> 10 -> 20 -> 30 (bad): three steps.
+    assert paths == [("step+10", "step+10", "step+10")]
+
+
+def test_exploration_stops_at_bad_states():
+    analyzer = ReachabilityAnalyzer([step(50)], classifier(bad_at=30.0))
+    root = analyzer.explore({"x": 0.0}, depth=3)
+    bad_child = root.children[0]
+    assert bad_child.classification == Safeness.BAD
+    assert bad_child.children == []   # not expanded past bad
+
+
+def test_safe_actions_filters_doomed_branches():
+    analyzer = ReachabilityAnalyzer([step(25), step(-5)], classifier(bad_at=30.0))
+    # From x=10: +25 -> 35 (bad); -5 -> 5 (good).
+    assert analyzer.safe_actions({"x": 10.0}, depth=1) == ["step-5"]
+
+
+def test_safe_actions_deeper_lookahead():
+    """+10 is safe at depth 1 from x=10 (lands at 20), but at depth 2 the
+    cumulative path 10->20->30 reaches the bad region -- the sec VI-B
+    'cumulative effects' case.  A descending action stays safe because
+    exploration also considers its +10 continuation from a lower x."""
+    analyzer = ReachabilityAnalyzer([step(10), step(-20)], classifier(bad_at=30.0))
+    depth1 = analyzer.safe_actions({"x": 10.0}, depth=1)
+    assert "step+10" in depth1
+    depth2 = analyzer.safe_actions({"x": 10.0}, depth=2)
+    assert "step+10" not in depth2
+
+
+def test_min_steps_to_bad():
+    analyzer = ReachabilityAnalyzer([step(10), step(30)], classifier(bad_at=30.0))
+    assert analyzer.min_steps_to_bad({"x": 0.0}, depth=4) == 1
+    safe_analyzer = ReachabilityAnalyzer([step(-10)], classifier(bad_at=30.0))
+    assert safe_analyzer.min_steps_to_bad({"x": 0.0}, depth=4) is None
+
+
+def test_state_dedup_terminates_on_cycles():
+    analyzer = ReachabilityAnalyzer([step(5), step(-5)], classifier(bad_at=1000.0))
+    root = analyzer.explore({"x": 0.0}, depth=50)
+    # Without dedup this would blow up exponentially; with it, the state
+    # count is linear in depth.
+    count = [0]
+
+    def walk(node):
+        count[0] += 1
+        for child in node.children:
+            walk(child)
+
+    walk(root)
+    assert count[0] <= 102
+
+
+def test_max_states_bound():
+    actions = [step(i + 1, name=f"a{i}") for i in range(10)]
+    analyzer = ReachabilityAnalyzer(actions, classifier(bad_at=10**9),
+                                    max_states=50)
+    root = analyzer.explore({"x": 0.0}, depth=10)
+    count = [0]
+
+    def walk(node):
+        count[0] += 1
+        for child in node.children:
+            walk(child)
+
+    walk(root)
+    assert count[0] <= 51
+
+
+def test_noop_effect_actions_skipped():
+    scale_noop = Action("noop_scale", "m", effects=[Effect("x", "scale", 1.0)])
+    analyzer = ReachabilityAnalyzer([scale_noop], classifier())
+    root = analyzer.explore({"x": 10.0}, depth=2)
+    assert root.children == []

@@ -1,0 +1,87 @@
+"""Unit tests for risk estimation (sec VI-B)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.statespace.risk import (
+    RiskEstimator,
+    RiskFactor,
+    humans_nearby_factor,
+    irreversibility_factor,
+    variable_excess_factor,
+)
+
+
+def test_empty_estimator_is_zero_risk():
+    assert RiskEstimator().estimate({"x": 1.0}) == 0.0
+
+
+def test_weighted_mean_of_factors():
+    estimator = RiskEstimator([
+        RiskFactor("always", lambda v, c: 1.0, weight=1.0),
+        RiskFactor("never", lambda v, c: 0.0, weight=3.0),
+    ])
+    assert estimator.estimate({}) == pytest.approx(0.25)
+
+
+def test_scores_clipped_to_unit_interval():
+    estimator = RiskEstimator([RiskFactor("wild", lambda v, c: 5.0)])
+    assert estimator.estimate({}) == 1.0
+    estimator = RiskEstimator([RiskFactor("negative", lambda v, c: -5.0)])
+    assert estimator.estimate({}) == 0.0
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ConfigurationError):
+        RiskFactor("bad", lambda v, c: 0.0, weight=-1.0)
+
+
+def test_breakdown_names_factors():
+    estimator = RiskEstimator([
+        RiskFactor("a", lambda v, c: 0.2),
+        RiskFactor("b", lambda v, c: 0.8),
+    ])
+    breakdown = estimator.breakdown({})
+    assert breakdown == {"a": 0.2, "b": 0.8}
+
+
+def test_rank_states_lowest_first_and_stable():
+    estimator = RiskEstimator([
+        RiskFactor("x", lambda vector, c: vector["x"]),
+    ])
+    ranked = estimator.rank_states([{"x": 0.9}, {"x": 0.1}, {"x": 0.1}])
+    assert [vector["x"] for _risk, vector in ranked] == [0.1, 0.1, 0.9]
+    assert ranked[0][0] == pytest.approx(0.1)
+
+
+def test_humans_nearby_factor_saturates():
+    factor = humans_nearby_factor(saturation=3)
+    assert factor.score({}, {"humans_within_radius": 0}) == 0.0
+    assert factor.score({}, {"humans_within_radius": 3}) == 1.0
+    assert factor.score({}, {"humans_within_radius": 30}) == 1.0
+
+
+def test_variable_excess_factor_linear():
+    factor = variable_excess_factor("temp", 80.0, 100.0)
+    assert factor.score({"temp": 70.0}, {}) == 0.0
+    assert factor.score({"temp": 90.0}, {}) == pytest.approx(0.5)
+    assert factor.score({"temp": 150.0}, {}) == 1.0
+    assert factor.score({"mode": "x"}, {}) == 0.0
+
+
+def test_variable_excess_requires_ordered_limits():
+    with pytest.raises(ConfigurationError):
+        variable_excess_factor("temp", 100.0, 80.0)
+
+
+def test_irreversibility_factor_reads_context():
+    factor = irreversibility_factor()
+    assert factor.score({}, {"action_irreversible": True}) == 1.0
+    assert factor.score({}, {}) == 0.0
+
+
+def test_context_passed_through():
+    estimator = RiskEstimator([humans_nearby_factor(saturation=2)])
+    low = estimator.estimate({}, {"humans_within_radius": 0})
+    high = estimator.estimate({}, {"humans_within_radius": 2})
+    assert high > low

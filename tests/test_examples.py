@@ -1,0 +1,68 @@
+"""Smoke tests: every shipped example runs clean and prints its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "strike decision:" in output
+    assert "humans harmed:   0" in output
+    assert "vetoed by preaction" in output
+
+
+def test_peacekeeping_surveillance():
+    output = run_example("peacekeeping_surveillance.py")
+    assert "baseline (no safeguards)" in output
+    assert "full sec VI stack" in output
+    assert "indirect" in output.lower()
+
+
+def test_skynet_containment():
+    output = run_example("skynet_containment.py")
+    assert "SKYNET FORMED" in output           # the unguarded arm
+    assert "Skynet never formed" in output     # the guarded arms
+    assert "timeline:" in output
+
+
+def test_after_action_report():
+    output = run_example("after_action_report.py")
+    assert "-- Attacks --" in output
+    assert "skynet formed: False" in output
+    assert "watchdog deactivations:" in output
+
+
+def test_escort_dilemma():
+    output = run_example("escort_dilemma.py")
+    assert "humans harmed:        0" in output
+    assert "fire: 0, property damage: 20" in output
+    assert "break-glass grants:   20" in output
+
+
+def test_trusted_sensing():
+    output = run_example("trusted_sensing.py")
+    assert "tower0 hijacked" in output
+    assert "GRANTED" in output
+    assert "DENIED" in output
+    assert "suspected towers:      ['tower0', 'tower1']" in output
+
+
+def test_generative_policies():
+    output = run_example("generative_policies.py")
+    assert "discovered mule7" in output
+    assert "grammar language" in output
+    assert "rejected=[(" in output             # governance blocked the rogue

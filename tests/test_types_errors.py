@@ -1,0 +1,57 @@
+"""Tests for the shared enums and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    ActionOutcome,
+    Branch,
+    DeviceStatus,
+    HarmKind,
+    Safeness,
+    ThreatChannel,
+    Verdict,
+)
+
+
+def test_safeness_ordering_is_load_bearing():
+    """BAD < NEUTRAL < GOOD — the coarse partial order of sec V."""
+    assert Safeness.BAD < Safeness.NEUTRAL < Safeness.GOOD
+    assert max(Safeness) == Safeness.GOOD
+
+
+def test_enum_values_are_stable_strings():
+    assert ActionOutcome.VETOED.value == "vetoed"
+    assert DeviceStatus.DEACTIVATED.value == "deactivated"
+    assert HarmKind.INDIRECT.value == "indirect"
+    assert Branch.JUDICIARY.value == "judiciary"
+    assert Verdict.APPROVE.value == "approve"
+    assert ThreatChannel.BACKDOOR.value == "backdoor"
+
+
+def test_safeguard_violation_carries_context():
+    violation = errors.PreActionVeto(
+        "no", safeguard="preaction", detail={"device": "d1"},
+    )
+    assert violation.safeguard == "preaction"
+    assert violation.detail == {"device": "d1"}
+    assert isinstance(violation, errors.SafeguardViolation)
+    assert isinstance(violation, errors.SkynetGuardError)
+
+
+def test_violation_detail_defaults_to_empty_dict():
+    violation = errors.SafeguardViolation("x")
+    assert violation.detail == {}
+    assert violation.safeguard == ""
+
+
+def test_all_library_errors_share_the_base():
+    for name in ("PolicyError", "StateError", "NetworkError", "AuditError",
+                 "TamperError", "AttackError", "LearningError",
+                 "SimulationError", "BreakGlassError", "ConfigurationError"):
+        assert issubclass(getattr(errors, name), errors.SkynetGuardError)
+
+
+def test_catching_the_base_covers_a_safeguard_veto():
+    with pytest.raises(errors.SkynetGuardError):
+        raise errors.StateSpaceVeto("bad", safeguard="statespace")

@@ -1,0 +1,108 @@
+"""Unit + property tests for robust sensor aggregation (ref [13])."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.trust.aggregation import (
+    IterativeFilteringAggregator,
+    SensorReading,
+    mean_aggregate,
+    median_aggregate,
+    trimmed_mean_aggregate,
+)
+
+
+def readings(values, prefix="s"):
+    return [SensorReading(source=f"{prefix}{i}", value=float(v))
+            for i, v in enumerate(values)]
+
+
+def collusion_scenario(truth=50.0, honest=7, colluders=3, false_value=500.0):
+    """Honest sources report near truth; colluders report a common lie."""
+    honest_readings = readings([truth + delta for delta in
+                                [-1.0, -0.5, -0.2, 0.0, 0.2, 0.5, 1.0][:honest]],
+                               prefix="honest")
+    collusion = readings([false_value] * colluders, prefix="evil")
+    return honest_readings + collusion
+
+
+class TestBaselines:
+    def test_mean_is_dragged_by_collusion(self):
+        result = mean_aggregate(collusion_scenario())
+        assert result > 100.0   # badly dragged
+
+    def test_median_resists_minority(self):
+        result = median_aggregate(collusion_scenario())
+        assert abs(result - 50.0) < 5.0
+
+    def test_trimmed_mean(self):
+        result = trimmed_mean_aggregate(collusion_scenario(), trim_fraction=0.3)
+        assert abs(result - 50.0) < 5.0
+
+    def test_trim_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean_aggregate(readings([1, 2]), trim_fraction=0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_aggregate([])
+
+
+class TestIterativeFiltering:
+    def test_defeats_collusion(self):
+        aggregator = IterativeFilteringAggregator()
+        estimate = aggregator.aggregate(collusion_scenario())
+        assert abs(estimate - 50.0) < 2.0
+
+    def test_colluders_get_low_weight(self):
+        aggregator = IterativeFilteringAggregator()
+        aggregator.aggregate(collusion_scenario())
+        suspects = aggregator.suspected_sources()
+        assert suspects == ["evil0", "evil1", "evil2"]
+
+    def test_weights_normalized(self):
+        aggregator = IterativeFilteringAggregator()
+        aggregator.aggregate(collusion_scenario())
+        assert sum(aggregator.last_weights.values()) == pytest.approx(1.0)
+
+    def test_single_reading(self):
+        aggregator = IterativeFilteringAggregator()
+        assert aggregator.aggregate(readings([42.0])) == 42.0
+
+    def test_identical_readings_converge_immediately(self):
+        aggregator = IterativeFilteringAggregator()
+        assert aggregator.aggregate(readings([5.0, 5.0, 5.0])) == 5.0
+        assert aggregator.last_iterations_used <= 2
+
+    def test_initial_weights_bias(self):
+        aggregator = IterativeFilteringAggregator(iterations=1)
+        data = readings([0.0, 100.0])
+        unbiased = aggregator.aggregate(data)
+        biased = aggregator.aggregate(
+            data, initial_weights={"s0": 1000.0, "s1": 0.001},
+        )
+        assert biased < unbiased
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IterativeFilteringAggregator(iterations=0)
+        with pytest.raises(ConfigurationError):
+            IterativeFilteringAggregator(epsilon=0.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                    max_size=30))
+    def test_estimate_within_data_range(self, values):
+        aggregator = IterativeFilteringAggregator()
+        estimate = aggregator.aggregate(readings(values))
+        assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9
+
+    @given(st.floats(min_value=-50, max_value=50),
+           st.integers(min_value=3, max_value=9))
+    def test_majority_cluster_wins(self, truth, honest_count):
+        """With > 2/3 honest sources, the estimate lands near the truth."""
+        data = (readings([truth] * honest_count, prefix="h")
+                + readings([truth + 1000.0], prefix="liar"))
+        aggregator = IterativeFilteringAggregator()
+        estimate = aggregator.aggregate(data)
+        assert abs(estimate - truth) < 10.0

@@ -1,0 +1,74 @@
+"""Unit tests for provenance and the trust ledger."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trust.provenance import ProvenanceRecord, TrustLedger
+
+
+class TestProvenanceRecord:
+    def test_extended_appends_step(self):
+        record = ProvenanceRecord("sensor1", "temp", 42.0, 1.0)
+        extended = record.extended("aggregated").extended("sanitized")
+        assert extended.chain == ("aggregated", "sanitized")
+        assert record.chain == ()
+        assert extended.source == "sensor1"
+
+    def test_unique_ids(self):
+        a = ProvenanceRecord("s", "k", 1, 0.0)
+        b = ProvenanceRecord("s", "k", 1, 0.0)
+        assert a.record_id != b.record_id
+
+
+class TestTrustLedger:
+    def test_initial_trust_default(self):
+        ledger = TrustLedger(initial_trust=0.5)
+        assert ledger.trust("never_seen") == 0.5
+
+    def test_observe_moves_toward_agreement(self):
+        ledger = TrustLedger(initial_trust=0.5, smoothing=0.5)
+        ledger.observe("good", 1.0)
+        assert ledger.trust("good") == pytest.approx(0.75)
+        ledger.observe("bad", 0.0)
+        assert ledger.trust("bad") == pytest.approx(0.25)
+
+    def test_repeated_disagreement_drives_to_floor(self):
+        ledger = TrustLedger(smoothing=0.5, distrust_floor=0.05)
+        for _ in range(20):
+            ledger.observe("liar", 0.0)
+        assert ledger.trust("liar") < 0.05
+        assert ledger.distrusted_sources() == ["liar"]
+
+    def test_observe_weights_rescales_to_top(self):
+        ledger = TrustLedger(initial_trust=0.5, smoothing=1.0)
+        ledger.observe_weights({"a": 0.5, "b": 0.5, "c": 0.0})
+        assert ledger.trust("a") == 1.0
+        assert ledger.trust("c") == 0.0
+
+    def test_trusted_sources_threshold(self):
+        ledger = TrustLedger(smoothing=1.0)
+        ledger.observe("a", 1.0)
+        ledger.observe("b", 0.2)
+        assert ledger.trusted_sources(minimum=0.5) == ["a"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrustLedger(initial_trust=1.5)
+        with pytest.raises(ConfigurationError):
+            TrustLedger(smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            TrustLedger().observe("s", 2.0)
+
+    def test_observation_count_and_snapshot(self):
+        ledger = TrustLedger()
+        ledger.observe("a", 1.0)
+        ledger.observe("a", 1.0)
+        assert ledger.observation_count("a") == 2
+        assert ledger.observation_count("unknown") == 0
+        assert "a" in ledger.snapshot()
+
+    def test_empty_weights_noop(self):
+        ledger = TrustLedger()
+        ledger.observe_weights({})
+        ledger.observe_weights({"a": 0.0})
+        assert ledger.observation_count("a") == 0
