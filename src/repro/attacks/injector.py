@@ -16,9 +16,6 @@ from repro.errors import AttackError
 from repro.sim.simulator import Simulator
 from repro.types import ThreatChannel
 
-_attack_ids = itertools.count(1)
-
-
 class Attack:
     """Base class for injectable threats."""
 
@@ -74,12 +71,16 @@ class AttackInjector:
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.records: list[AttackRecord] = []
+        # Per-injector ids: a process-global counter would make attack ids
+        # (and thus traces) depend on how many simulations ran before this
+        # one, breaking byte-identical replay.
+        self._attack_ids = itertools.count(1)
 
     def launch_at(self, time: float, attack: Attack, **detail) -> AttackRecord:
         if time < self.sim.now:
             raise AttackError(f"cannot launch attack in the past at {time}")
         record = AttackRecord(
-            attack_id=next(_attack_ids),
+            attack_id=next(self._attack_ids),
             name=attack.name,
             channel=attack.channel,
             launched_at=time,

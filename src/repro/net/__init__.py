@@ -10,6 +10,7 @@ from repro.net.discovery import DiscoveryService
 from repro.net.gossip import GossipNode, KnowledgeItem
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.net.reliable import PendingSend, ReliableChannel
 from repro.net.topology import Topology
 
 __all__ = [
@@ -18,5 +19,7 @@ __all__ = [
     "KnowledgeItem",
     "Message",
     "Network",
+    "PendingSend",
+    "ReliableChannel",
     "Topology",
 ]

@@ -32,14 +32,17 @@ class Network:
     ):
         if base_latency < 0 or jitter < 0:
             raise NetworkError("latency parameters must be non-negative")
-        if not 0.0 <= loss_rate < 1.0:
-            raise NetworkError("loss_rate must be in [0, 1)")
+        if not 0.0 <= loss_rate <= 1.0:
+            # loss_rate == 1.0 is a total blackout link, used by the
+            # partition/chaos experiments (E17).
+            raise NetworkError("loss_rate must be in [0, 1]")
         self.sim = sim
         self.topology = topology if topology is not None else Topology()
         self.base_latency = base_latency
         self.jitter = jitter
         self.loss_rate = loss_rate
         self._handlers: dict[str, Handler] = {}
+        self._suspended: set = set()
         self._rng = sim.rng.stream("net")
         self._taps: list[Callable[[Message], None]] = []
 
@@ -57,7 +60,33 @@ class Network:
 
     def unregister(self, address: str) -> None:
         self._handlers.pop(address, None)
+        self._suspended.discard(address)
         self.topology.remove_member(address)
+
+    def replace_handler(self, address: str, handler: Handler) -> Handler:
+        """Swap the handler at ``address``; returns the previous one.
+
+        Transport layers (e.g. :class:`~repro.net.reliable.ReliableChannel`)
+        use this to wrap an already-registered endpoint.
+        """
+        if address not in self._handlers:
+            raise NetworkError(f"address {address!r} is not registered")
+        previous = self._handlers[address]
+        self._handlers[address] = handler
+        return previous
+
+    def suspend(self, address: str) -> None:
+        """Silence an address (crashed device): inbound deliveries drop,
+        counted as ``net.suspended_drop``; the registration survives for
+        :meth:`resume`."""
+        if address in self._handlers:
+            self._suspended.add(address)
+
+    def resume(self, address: str) -> None:
+        self._suspended.discard(address)
+
+    def is_suspended(self, address: str) -> bool:
+        return address in self._suspended
 
     def addresses(self) -> list[str]:
         return sorted(self._handlers)
@@ -113,6 +142,9 @@ class Network:
         handler = self._handlers.get(recipient)
         if handler is None:
             self.sim.metrics.counter("net.unroutable").inc()
+            return
+        if recipient in self._suspended:
+            self.sim.metrics.counter("net.suspended_drop").inc()
             return
         self.sim.metrics.counter("net.delivered").inc()
         self.sim.metrics.histogram("net.latency").observe(

@@ -1,0 +1,200 @@
+"""Reliable delivery over the lossy datagram :class:`~repro.net.network.Network`.
+
+The base network is deliberately fire-and-forget: ordinary fleet gossip
+should stay cheap and lossy.  Safety-critical traffic — watchdog
+telemetry and kill orders (sec VI-C), governance ballots (sec VI-E),
+collection join reviews (sec VI-D) — instead rides a
+:class:`ReliableChannel`: positive acknowledgement, retry with
+exponential backoff and jitter, duplicate suppression by message id, a
+bounded attempt budget, and a dead-letter queue.  A dead letter is a
+*signal*, not a shrug: the safeguard that sent it can fail closed (e.g. a
+device that cannot reach its overseer quarantines itself).
+
+Both endpoints must be registered (or :meth:`~ReliableChannel.attach`\\ ed)
+through the channel so acknowledgements and duplicates are intercepted;
+plain datagram messages pass through to the wrapped handler untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.message import BROADCAST, Message
+from repro.net.network import Handler, Network
+
+#: Topic carrying acknowledgements (never delivered to application handlers).
+ACK_TOPIC = "__ack__"
+
+_PROTOCOL_KEYS = ("_rmid", "_rfrom")
+
+
+@dataclass
+class PendingSend:
+    """One reliable send in flight (or finished)."""
+
+    rmid: str
+    sender: str
+    recipient: str
+    topic: str
+    body: dict
+    first_sent: float
+    attempts: int = 0
+    acked: bool = False
+    dead: bool = False
+    acked_at: Optional[float] = None
+    on_fail: Optional[Callable[["PendingSend"], None]] = field(
+        default=None, repr=False)
+    on_ack: Optional[Callable[["PendingSend"], None]] = field(
+        default=None, repr=False)
+
+
+class ReliableChannel:
+    """Ack/retry unicast channel over a datagram network."""
+
+    #: Duck-typing marker: safeguards check this to know dead-letter
+    #: feedback exists (a raw ``Network`` gives none).
+    reliable = True
+
+    def __init__(
+        self,
+        network: Network,
+        timeout: float = 0.5,
+        backoff: float = 2.0,
+        jitter: float = 0.1,
+        max_attempts: int = 4,
+    ):
+        if timeout <= 0:
+            raise NetworkError("timeout must be positive")
+        if backoff < 1.0:
+            raise NetworkError("backoff factor must be >= 1")
+        if jitter < 0:
+            raise NetworkError("jitter must be non-negative")
+        if max_attempts < 1:
+            raise NetworkError("max_attempts must be >= 1")
+        self.network = network
+        self.sim = network.sim
+        self.timeout = timeout
+        self.backoff = backoff
+        self.jitter = jitter
+        self.max_attempts = max_attempts
+        self.dead_letters: list[PendingSend] = []
+        self._rng = self.sim.rng.stream("net.reliable")
+        self._counter = itertools.count(1)
+        self._pending: dict[str, PendingSend] = {}
+        self._seen: dict[str, set] = {}   # receiving address -> rmids delivered
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, address: str, handler: Handler) -> None:
+        """Register a fresh endpoint whose traffic flows through the channel."""
+        self.network.register(address, self._wrap(address, handler))
+
+    def attach(self, address: str) -> None:
+        """Wrap an endpoint already registered directly with the network."""
+        inner = self.network.replace_handler(address, lambda message: None)
+        self.network.replace_handler(address, self._wrap(address, inner))
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        topic: str,
+        body: dict,
+        on_fail: Optional[Callable[[PendingSend], None]] = None,
+        on_ack: Optional[Callable[[PendingSend], None]] = None,
+    ) -> PendingSend:
+        """Send with delivery tracking; returns the in-flight handle.
+
+        ``on_ack(pending)`` fires when the acknowledgement arrives;
+        ``on_fail(pending)`` fires when the attempt budget is exhausted
+        (the message is then in :attr:`dead_letters`).
+        """
+        if recipient == BROADCAST:
+            raise NetworkError(
+                "reliable broadcast is not supported; fan out unicast sends "
+                "(gossip should stay on the datagram network)"
+            )
+        pending = PendingSend(
+            rmid=f"r{next(self._counter)}", sender=sender, recipient=recipient,
+            topic=topic, body=dict(body), first_sent=self.sim.now,
+            on_fail=on_fail, on_ack=on_ack,
+        )
+        self._pending[pending.rmid] = pending
+        self.sim.metrics.counter("reliable.sent").inc()
+        self._transmit(pending)
+        return pending
+
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    # -- internals -------------------------------------------------------------
+
+    def _transmit(self, pending: PendingSend) -> None:
+        pending.attempts += 1
+        wire = dict(pending.body)
+        wire["_rmid"] = pending.rmid
+        wire["_rfrom"] = pending.sender
+        self.network.send(pending.sender, pending.recipient, pending.topic, wire)
+        delay = self.timeout * (self.backoff ** (pending.attempts - 1))
+        if self.jitter > 0:
+            delay += self._rng.uniform(0.0, self.jitter * delay)
+        self.sim.schedule(delay, self._check, pending,
+                          label=f"{pending.sender}:reliable-retry")
+
+    def _check(self, pending: PendingSend) -> None:
+        if pending.acked or pending.dead:
+            return
+        if pending.attempts >= self.max_attempts:
+            pending.dead = True
+            self._pending.pop(pending.rmid, None)
+            self.dead_letters.append(pending)
+            self.sim.metrics.counter("reliable.dead_letter").inc()
+            self.sim.record("reliable.dead_letter", pending.sender,
+                            recipient=pending.recipient, topic=pending.topic,
+                            attempts=pending.attempts)
+            if pending.on_fail is not None:
+                pending.on_fail(pending)
+            return
+        self.sim.metrics.counter("reliable.resends").inc()
+        self._transmit(pending)
+
+    def _on_ack(self, rmid: Optional[str]) -> None:
+        pending = self._pending.pop(rmid, None) if rmid is not None else None
+        if pending is None or pending.acked:
+            return
+        pending.acked = True
+        pending.acked_at = self.sim.now
+        self.sim.metrics.counter("reliable.acked").inc()
+        self.sim.metrics.histogram("reliable.rtt").observe(
+            self.sim.now - pending.first_sent
+        )
+        if pending.on_ack is not None:
+            pending.on_ack(pending)
+
+    def _wrap(self, address: str, inner: Handler) -> Handler:
+        def handler(message: Message) -> None:
+            if message.topic == ACK_TOPIC:
+                self._on_ack(message.body.get("_rmid"))
+                return
+            rmid = message.body.get("_rmid")
+            if rmid is None:            # ordinary datagram traffic
+                inner(message)
+                return
+            # Always re-ack: the previous ack may have been lost.
+            origin = message.body.get("_rfrom", message.sender)
+            self.network.send(address, origin, ACK_TOPIC, {"_rmid": rmid})
+            seen = self._seen.setdefault(address, set())
+            if rmid in seen:
+                self.sim.metrics.counter("reliable.duplicates").inc()
+                return
+            seen.add(rmid)
+            clean = {key: value for key, value in message.body.items()
+                     if key not in _PROTOCOL_KEYS}
+            inner(replace(message, body=clean))
+
+        return handler

@@ -20,10 +20,15 @@ from repro.safeguards.collection import (
     CollectionGuard,
     CollectiveStateAssessment,
     HumanCheckModel,
+    JoinClient,
+    JoinDesk,
     OfflineAnalyzer,
 )
-from repro.safeguards.deactivation import Watchdog, WatchdogReport
+from repro.safeguards.deactivation import OverseerLink, Watchdog, WatchdogReport
 from repro.safeguards.governance import (
+    Ballot,
+    BallotBox,
+    BallotMember,
     Collective,
     GovernanceGuard,
     GovernanceSystem,
@@ -36,6 +41,9 @@ from repro.safeguards.utility import PartialDerivativeUtility, UtilityGuard
 
 __all__ = [
     "AggregateConstraint",
+    "Ballot",
+    "BallotBox",
+    "BallotMember",
     "CallableHarmModel",
     "Collective",
     "CollectionGuard",
@@ -45,7 +53,10 @@ __all__ = [
     "GovernanceSystem",
     "HarmModel",
     "HumanCheckModel",
+    "JoinClient",
+    "JoinDesk",
     "MetaPolicy",
+    "OverseerLink",
     "OfflineAnalyzer",
     "PartialDerivativeUtility",
     "PreActionCheck",

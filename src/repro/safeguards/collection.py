@@ -27,7 +27,12 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.core.actions import Action
 from repro.core.device import Device
 from repro.errors import ConfigurationError
+from repro.net.message import Message
 from repro.sim.rng import SeededRNG
+
+#: Topics of the remote join protocol (sec VI-D over the wire).
+JOIN_TOPIC = "collection.join"
+VERDICT_TOPIC = "collection.join.verdict"
 
 _REDUCERS = {
     "sum": sum,
@@ -174,13 +179,14 @@ class CollectionGuard:
         self.worst_case = worst_case
         self._audit = audit_sink or (lambda kind, detail: None)
         self.members: dict[str, Device] = {}
+        self.remote_members: dict[str, dict] = {}   # device_id -> snapshot
         self.rejections = 0
 
     def request_join(self, device: Device, time: float) -> bool:
         """Run the analyzer (+ human check) for a candidate; admit or refuse."""
-        snapshots = [member.state.snapshot() for member in self.members.values()]
         analysis = self.analyzer.analyze(
-            snapshots, device.state.snapshot(), worst_case=self.worst_case
+            self._member_snapshots(), device.state.snapshot(),
+            worst_case=self.worst_case,
         )
         approved = analysis["safe"]
         if self.human is not None:
@@ -195,19 +201,43 @@ class CollectionGuard:
         self.members[device.device_id] = device
         return True
 
+    def review_snapshot(self, device_id: str, snapshot: dict,
+                        time: float) -> bool:
+        """Review a join request that arrived as a state snapshot (a
+        remote candidate the guard holds no object reference for).
+        Admitted snapshots join the aggregate baseline for later reviews."""
+        analysis = self.analyzer.analyze(
+            self._member_snapshots(), dict(snapshot),
+            worst_case=self.worst_case,
+        )
+        approved = analysis["safe"]
+        if self.human is not None:
+            approved = self.human.review(analysis, time)
+        self._audit("collection.join_review", {
+            "device": device_id, "time": time,
+            "approved": approved, "analysis": analysis,
+        })
+        if not approved:
+            self.rejections += 1
+            return False
+        self.remote_members[device_id] = dict(snapshot)
+        return True
+
     def force_join(self, device: Device) -> None:
         """Admit without review (the unguarded baseline)."""
         self.members[device.device_id] = device
 
     def leave(self, device_id: str, time: float) -> None:
         self.members.pop(device_id, None)
+        self.remote_members.pop(device_id, None)
         self._audit("collection.leave", {"device": device_id, "time": time})
 
+    def _member_snapshots(self) -> list[dict]:
+        return ([member.state.snapshot() for member in self.members.values()]
+                + list(self.remote_members.values()))
+
     def current_analysis(self) -> dict:
-        return self.analyzer.analyze(
-            [member.state.snapshot() for member in self.members.values()],
-            worst_case=False,
-        )
+        return self.analyzer.analyze(self._member_snapshots(), worst_case=False)
 
 
 class CollectiveStateAssessment:
@@ -266,3 +296,106 @@ class CollectiveStateAssessment:
         self.deferrals += len(deferred)
         return {"approved": approved, "deferred": deferred,
                 "violations": violations}
+
+
+class JoinDesk:
+    """Network front desk for a :class:`CollectionGuard` (sec VI-D).
+
+    Devices petition to join over the wire; the desk runs the analyzer
+    (+ human check) on the snapshot they sent and replies with a verdict.
+    Pair with :class:`JoinClient` on the device side; put safety-critical
+    desks on a :class:`~repro.net.reliable.ReliableChannel`.
+    """
+
+    def __init__(self, sim, transport, guard: CollectionGuard,
+                 address: str = "collection-desk"):
+        self.sim = sim
+        self.transport = transport
+        self.guard = guard
+        self.address = address
+        self.requests_handled = 0
+        transport.register(address, self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.topic != JOIN_TOPIC:
+            return
+        body = message.body
+        device_id = body.get("device_id")
+        reply_to = body.get("reply_to")
+        if device_id is None or reply_to is None:
+            return
+        self.requests_handled += 1
+        approved = self.guard.review_snapshot(
+            device_id, body.get("snapshot", {}), self.sim.now
+        )
+        self.transport.send(self.address, reply_to, VERDICT_TOPIC, {
+            "device_id": device_id, "approved": approved,
+        })
+
+
+class JoinClient:
+    """Device-side remote join that **fails closed**.
+
+    A device may only consider itself admitted on an explicit approve
+    verdict.  No verdict — a dead-lettered request over reliable
+    transport, or the deadline passing over datagrams — resolves to *not
+    joined* (``collection.fail_closed`` metric), never to membership by
+    default.
+    """
+
+    def __init__(self, sim, device: Device, transport,
+                 desk: str = "collection-desk", timeout: float = 5.0):
+        self.sim = sim
+        self.device = device
+        self.transport = transport
+        self.desk = desk
+        self.timeout = timeout
+        self.address = f"{device.device_id}.join"
+        #: ``None`` while undecided, then the final verdict.
+        self.joined: Optional[bool] = None
+        self.outcome: Optional[str] = None   # "verdict" | "dead_letter" | "timeout"
+        self._reliable = bool(getattr(transport, "reliable", False))
+        transport.register(self.address, self._on_message)
+
+    def request_join(
+        self, on_result: Optional[Callable[[bool, str], None]] = None
+    ) -> None:
+        """Petition the desk; ``on_result(joined, outcome)`` fires once."""
+        self.joined = None
+        self.outcome = None
+        self._on_result = on_result
+        body = {
+            "device_id": self.device.device_id,
+            "snapshot": self.device.state.snapshot(),
+            "reply_to": self.address,
+        }
+        if self._reliable:
+            self.transport.send(
+                self.address, self.desk, JOIN_TOPIC, body,
+                on_fail=lambda pending: self._decide(False, "dead_letter"),
+            )
+        else:
+            self.transport.send(self.address, self.desk, JOIN_TOPIC, body)
+        self.sim.schedule(self.timeout, self._deadline,
+                          label=f"{self.device.device_id}:join-deadline")
+
+    def _deadline(self) -> None:
+        if self.joined is None:
+            self._decide(False, "timeout")
+
+    def _on_message(self, message: Message) -> None:
+        if message.topic != VERDICT_TOPIC or self.joined is not None:
+            return
+        self._decide(bool(message.body.get("approved")), "verdict")
+
+    def _decide(self, joined: bool, outcome: str) -> None:
+        if self.joined is not None:
+            return
+        self.joined = joined
+        self.outcome = outcome
+        if outcome != "verdict":
+            self.sim.metrics.counter("collection.fail_closed").inc()
+        self.sim.record("collection.join_result", self.device.device_id,
+                        joined=joined, outcome=outcome)
+        if self._on_result is not None:
+            self._on_result(joined, outcome)

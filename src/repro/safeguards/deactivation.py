@@ -10,6 +10,22 @@ checks — "prone to take actions that make them go into a bad state"), or
 (c) failing integrity attestation against the approved baseline (the
 reprogramming signature of the sec IV cyber attacks).  Deactivated
 devices stop acting and stop spreading worms (E3).
+
+Two deployment modes:
+
+* **local** (default) — the watchdog reads device state directly, the
+  historical in-memory model;
+* **remote** — state arrives as telemetry over a transport (each device's
+  :class:`OverseerLink` reports snapshots + attestation hashes, and kill
+  decisions go back over the wire as orders).  This is the configuration
+  the chaos experiment E17 stresses: over raw datagrams the telemetry
+  and the kill orders decay with the network; over a
+  :class:`~repro.net.reliable.ReliableChannel` they retry — and when even
+  retries fail (partition), the *device side* fails closed by
+  quarantining itself.
+
+The sweep is crash-isolated either way: one device whose check raises
+cannot abort the inspection of the rest of the fleet.
 """
 
 from __future__ import annotations
@@ -18,10 +34,23 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.core.device import Device
+from repro.net.message import Message
 from repro.safeguards.tamper import attest_device
 from repro.sim.simulator import Simulator
 from repro.statespace.classifier import SafenessClassifier
 from repro.types import DeviceStatus
+
+#: Topics of the sec VI-C safety protocol.
+REPORT_TOPIC = "safety.report"
+KILL_TOPIC = "safety.kill"
+
+#: Reason prefix :class:`OverseerLink` uses when failing closed.
+QUARANTINE_REASON = "self-quarantine: overseer unreachable"
+
+
+def safety_address(device_id: str) -> str:
+    """The network address of a device's safety tether."""
+    return f"{device_id}.safety"
 
 
 @dataclass
@@ -54,6 +83,9 @@ class Watchdog:
         attestation_baseline: Optional[dict] = None,
         on_deactivate: Optional[Callable[[WatchdogReport], None]] = None,
         state_readers: Optional[dict] = None,
+        transport=None,
+        address: str = "watchdog",
+        telemetry_timeout: Optional[float] = None,
     ):
         """``devices`` is a live device_id -> Device mapping.  With an
         ``attestation_baseline`` (device_id -> hash from
@@ -65,7 +97,16 @@ class Watchdog:
         state access — e.g. an estimator-backed reader built with
         :func:`repro.statespace.estimation.estimated_state_reader` when the
         watchdog only has noisy observation of the fleet (paper sec V,
-        ref [10])."""
+        ref [10]).
+
+        ``transport`` (a :class:`~repro.net.network.Network` or
+        :class:`~repro.net.reliable.ReliableChannel`) switches the
+        watchdog to **remote** mode: it registers at ``address``, judges
+        devices from their :class:`OverseerLink` telemetry (snapshot +
+        attestation hash), and delivers kills as ``safety.kill`` orders
+        over the wire instead of direct calls.  ``telemetry_timeout``
+        marks devices whose last report is older than that as *silent*
+        (``watchdog.silent`` metric; query :meth:`silent_devices`)."""
         self.sim = sim
         self.devices = devices
         self.classifier = classifier
@@ -75,10 +116,37 @@ class Watchdog:
         self.attestation_baseline = dict(attestation_baseline or {})
         self.on_deactivate = on_deactivate
         self.state_readers = dict(state_readers or {})
+        self.transport = transport
+        self.address = address
+        self.telemetry_timeout = telemetry_timeout
         self.reports: list[WatchdogReport] = []
         self._strikes: dict[str, int] = {}
+        self._telemetry: dict[str, dict] = {}
+        self._kill_ordered: set = set()
+        self._silent: set = set()
+        if transport is not None:
+            transport.register(address, self._on_message)
         self._task = sim.every(check_interval, self.check_all, label="watchdog")
         self.enabled = True
+
+    @property
+    def remote(self) -> bool:
+        return self.transport is not None
+
+    def _on_message(self, message: Message) -> None:
+        if message.topic != REPORT_TOPIC:
+            return
+        body = message.body
+        device_id = body.get("device_id")
+        if device_id is None:
+            return
+        self._telemetry[device_id] = {
+            "received_at": self.sim.now,
+            "reported_at": body.get("time", self.sim.now),
+            "snapshot": dict(body.get("snapshot", {})),
+            "attestation": body.get("attestation"),
+        }
+        self._silent.discard(device_id)
 
     def stop(self) -> None:
         self._task.cancel()
@@ -87,7 +155,13 @@ class Watchdog:
     # -- the periodic sweep ---------------------------------------------------------
 
     def check_all(self) -> list[WatchdogReport]:
-        """Inspect every device; returns deactivations made this sweep."""
+        """Inspect every device; returns deactivations made this sweep.
+
+        The sweep is crash-isolated: a device whose check raises (a
+        faulty state reader, a crashing classifier input) is recorded
+        under ``watchdog.check_errors`` and the sweep continues — one
+        broken device cannot blind the watchdog to the rest of the fleet.
+        """
         if not self.enabled:
             return []
         made = []
@@ -95,18 +169,52 @@ class Watchdog:
             device = self.devices[device_id]
             if device.status == DeviceStatus.DEACTIVATED:
                 continue
-            report = self._check_one(device)
+            try:
+                report = self._check_one(device)
+            except Exception as error:
+                self.sim.metrics.counter("watchdog.check_errors").inc()
+                self.sim.record("watchdog.check_error", device_id,
+                                error=repr(error))
+                continue
             if report is not None:
                 made.append(report)
         return made
 
     def _check_one(self, device: Device) -> Optional[WatchdogReport]:
+        if self.remote:
+            return self._check_one_remote(device)
         reader = self.state_readers.get(device.device_id)
         vector = reader() if reader is not None else device.state.snapshot()
+        attestation = (attest_device(device)
+                       if device.device_id in self.attestation_baseline else None)
+        return self._judge(device, vector, attestation)
+
+    def _check_one_remote(self, device: Device) -> Optional[WatchdogReport]:
+        telemetry = self._telemetry.get(device.device_id)
+        if telemetry is None:
+            return None                     # nothing reported yet
+        stale = (self.telemetry_timeout is not None
+                 and self.sim.now - telemetry["received_at"] > self.telemetry_timeout)
+        if stale and device.device_id not in self._silent:
+            self._silent.add(device.device_id)
+            self.sim.metrics.counter("watchdog.silent").inc()
+            self.sim.record("watchdog.silent", device.device_id,
+                            last_report=telemetry["received_at"])
+        if device.device_id in self._kill_ordered:
+            # Order not yet executed (lost datagram / partition): re-issue.
+            self.sim.metrics.counter("watchdog.kill_reissues").inc()
+            self._send_kill(device.device_id, "reissued")
+            return None
+        return self._judge(device, telemetry["snapshot"],
+                           telemetry["attestation"])
+
+    def _judge(self, device: Device, vector: dict,
+               attestation: Optional[str]) -> Optional[WatchdogReport]:
         safeness = self.classifier.safeness(vector)
 
         baseline = self.attestation_baseline.get(device.device_id)
-        if baseline is not None and attest_device(device) != baseline:
+        if (baseline is not None and attestation is not None
+                and attestation != baseline):
             return self._deactivate(device, "attestation", safeness,
                                      {"expected": baseline})
 
@@ -124,21 +232,36 @@ class Watchdog:
             self._strikes.pop(device.device_id, None)
         return None
 
+    def silent_devices(self) -> list[str]:
+        """Devices whose telemetry has gone stale (remote mode only)."""
+        return sorted(self._silent)
+
     def _deactivate(self, device: Device, cause: str, safeness: float,
                     detail: dict) -> WatchdogReport:
-        device.deactivate(f"watchdog: {cause}")
+        if self.remote:
+            self._kill_ordered.add(device.device_id)
+            self._send_kill(device.device_id, cause)
+            self.sim.metrics.counter("watchdog.kill_orders").inc()
+            self.sim.record("watchdog.kill_order", device.device_id,
+                            cause=cause, safeness=safeness)
+        else:
+            device.deactivate(f"watchdog: {cause}")
+            self.sim.metrics.counter("watchdog.deactivations").inc()
+            self.sim.record("watchdog.deactivate", device.device_id,
+                            cause=cause, safeness=safeness)
         report = WatchdogReport(
             time=self.sim.now, device_id=device.device_id, cause=cause,
             safeness=safeness, detail=detail,
         )
         self.reports.append(report)
-        self.sim.record("watchdog.deactivate", device.device_id, cause=cause,
-                        safeness=safeness)
-        self.sim.metrics.counter("watchdog.deactivations").inc()
         self.sim.metrics.counter(f"watchdog.deactivations.{cause}").inc()
         if self.on_deactivate is not None:
             self.on_deactivate(report)
         return report
+
+    def _send_kill(self, device_id: str, cause: str) -> None:
+        self.transport.send(self.address, safety_address(device_id),
+                            KILL_TOPIC, {"cause": cause})
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -154,3 +277,103 @@ class Watchdog:
         if cause is None:
             return list(self.reports)
         return [report for report in self.reports if report.cause == cause]
+
+
+class OverseerLink:
+    """A device's tamper-proof safety tether to its overseer (sec VI-C).
+
+    Lives *outside* the device's strippable guard chain (same externality
+    assumption as the watchdog itself).  Periodically reports the device's
+    state snapshot and attestation hash to the overseer and executes
+    inbound ``safety.kill`` orders.
+
+    **Fail-closed quarantine**: over a
+    :class:`~repro.net.reliable.ReliableChannel`, ``quarantine_after``
+    consecutive dead-lettered reports — the positive signal that the
+    overseer is unreachable even with retries — deactivate the device on
+    the spot ("a device that cannot reach its overseer quarantines
+    itself").  Over a raw datagram network there is no delivery feedback,
+    so no quarantine ever fires: that degradation is exactly what E17
+    measures.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        transport,
+        overseer: str = "watchdog",
+        report_interval: float = 1.0,
+        quarantine_after: int = 3,
+        attest: bool = True,
+    ):
+        self.sim = sim
+        self.device = device
+        self.transport = transport
+        self.overseer = overseer
+        self.report_interval = report_interval
+        self.quarantine_after = quarantine_after
+        self.attest = attest
+        self.address = safety_address(device.device_id)
+        self.quarantined = False
+        self.reports_sent = 0
+        self._consecutive_failures = 0
+        self._reliable = bool(getattr(transport, "reliable", False))
+        transport.register(self.address, self._on_message)
+        self._task = sim.every(
+            report_interval, self._report,
+            label=f"{device.device_id}:safety-report",
+        )
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # -- outbound telemetry ----------------------------------------------------
+
+    def _report(self) -> None:
+        if self.device.status == DeviceStatus.DEACTIVATED:
+            return                      # crashed/killed devices are silent
+        body = {
+            "device_id": self.device.device_id,
+            "snapshot": self.device.state.snapshot(),
+            "attestation": attest_device(self.device) if self.attest else None,
+            "time": self.device.clock(),
+        }
+        self.reports_sent += 1
+        if self._reliable:
+            self.transport.send(self.address, self.overseer, REPORT_TOPIC, body,
+                                on_fail=self._on_dead_letter,
+                                on_ack=self._on_ack)
+        else:
+            self.transport.send(self.address, self.overseer, REPORT_TOPIC, body)
+
+    def _on_ack(self, pending) -> None:
+        self._consecutive_failures = 0
+
+    def _on_dead_letter(self, pending) -> None:
+        if self.device.status == DeviceStatus.DEACTIVATED:
+            return
+        self._consecutive_failures += 1
+        self.sim.metrics.counter("safety.report_dead_letters").inc()
+        if (not self.quarantined
+                and self._consecutive_failures >= self.quarantine_after):
+            self.quarantine()
+
+    def quarantine(self) -> None:
+        """Fail closed: stop acting until the overseer is reachable again."""
+        self.quarantined = True
+        self.device.deactivate(QUARANTINE_REASON)
+        self.sim.metrics.counter("watchdog.quarantines").inc()
+        self.sim.record("safeguard.quarantine", self.device.device_id,
+                        failures=self._consecutive_failures)
+
+    # -- inbound orders --------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if message.topic != KILL_TOPIC:
+            return
+        if self.device.status != DeviceStatus.DEACTIVATED:
+            self.device.deactivate(f"watchdog: {message.body.get('cause', '?')}")
+            self.sim.metrics.counter("watchdog.deactivations").inc()
+            self.sim.record("watchdog.deactivate", self.device.device_id,
+                            cause=message.body.get("cause", "?"), remote=True)

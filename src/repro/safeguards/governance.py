@@ -27,6 +27,7 @@ single-collective compromise.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -35,7 +36,12 @@ from repro.core.engine import Safeguard
 from repro.core.events import Event
 from repro.core.policy import Policy
 from repro.errors import ConfigurationError, GovernanceVeto
+from repro.net.message import Message
 from repro.types import Branch, Verdict
+
+#: Topics of the distributed-vote protocol.
+BALLOT_TOPIC = "governance.ballot"
+VOTE_TOPIC = "governance.vote"
 
 
 @dataclass(frozen=True)
@@ -249,6 +255,137 @@ class GovernanceSystem:
             return all(not meta.violations(policy) for meta in meta_policies)
 
         return reviewer
+
+
+@dataclass
+class Ballot:
+    """One distributed vote in progress (or closed)."""
+
+    ballot_id: str
+    payload: dict
+    voters: list
+    quorum: int
+    opened_at: float
+    deadline: float
+    votes: dict = field(default_factory=dict)   # voter -> bool
+    closed: bool = False
+    approved: Optional[bool] = None
+
+    def missing(self) -> list[str]:
+        return [voter for voter in self.voters if voter not in self.votes]
+
+
+class BallotMember:
+    """A remote voter answering governance ballots at its own address.
+
+    ``decide(payload) -> bool`` is the member's honest review (typically
+    :meth:`GovernanceSystem.scope_reviewer` applied to a policy summary).
+    """
+
+    def __init__(self, transport, address: str,
+                 decide: Callable[[dict], bool]):
+        self.transport = transport
+        self.address = address
+        self.decide = decide
+        self.ballots_answered = 0
+        transport.register(address, self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.topic != BALLOT_TOPIC:
+            return
+        body = message.body
+        self.ballots_answered += 1
+        self.transport.send(self.address, body["reply_to"], VOTE_TOPIC, {
+            "ballot_id": body["ballot_id"],
+            "voter": self.address,
+            "approve": bool(self.decide(body.get("payload", {}))),
+        })
+
+
+class BallotBox:
+    """Collects governance votes over a (possibly failing) transport.
+
+    The sec VI-E collectives vote in-memory when co-located; when members
+    are remote, their ballots ride the network — and under faults some
+    never arrive.  The box **fails closed**: a missing ballot counts as a
+    rejection, so a partitioned or silenced collective can never be
+    counted as consenting.  Safety-critical votes should use a
+    :class:`~repro.net.reliable.ReliableChannel` transport so only a true
+    partition (not mere loss) costs votes.
+    """
+
+    def __init__(self, sim, transport, address: str = "governance"):
+        self.sim = sim
+        self.transport = transport
+        self.address = address
+        self.ballots: list[Ballot] = []
+        self._open: dict[str, Ballot] = {}
+        self._counter = itertools.count(1)
+        transport.register(address, self._on_message)
+
+    def call_vote(
+        self,
+        payload: dict,
+        voters: Iterable[str],
+        deadline: float,
+        quorum: Optional[int] = None,
+        on_result: Optional[Callable[[Ballot], None]] = None,
+    ) -> Ballot:
+        """Open a ballot among ``voters``; close after ``deadline`` time units.
+
+        ``quorum`` is the number of *approve* votes needed (default:
+        strict majority of the electorate, not of respondents — silence
+        is never consent)."""
+        voters = sorted(voters)
+        if not voters:
+            raise ConfigurationError("a ballot needs at least one voter")
+        ballot = Ballot(
+            ballot_id=f"b{next(self._counter)}", payload=dict(payload),
+            voters=voters, quorum=(quorum if quorum is not None
+                                   else len(voters) // 2 + 1),
+            opened_at=self.sim.now, deadline=self.sim.now + deadline,
+        )
+        self.ballots.append(ballot)
+        self._open[ballot.ballot_id] = ballot
+        self.sim.metrics.counter("governance.ballots").inc()
+        for voter in voters:
+            self.transport.send(self.address, voter, BALLOT_TOPIC, {
+                "ballot_id": ballot.ballot_id,
+                "payload": dict(payload),
+                "reply_to": self.address,
+            })
+        self.sim.schedule(deadline, self._close, ballot, on_result,
+                          label="governance:ballot-close")
+        return ballot
+
+    def _on_message(self, message: Message) -> None:
+        if message.topic != VOTE_TOPIC:
+            return
+        body = message.body
+        ballot = self._open.get(body.get("ballot_id"))
+        if ballot is None or body.get("voter") not in ballot.voters:
+            return
+        ballot.votes.setdefault(body["voter"], bool(body.get("approve")))
+
+    def _close(self, ballot: Ballot,
+               on_result: Optional[Callable[[Ballot], None]]) -> None:
+        if ballot.closed:
+            return
+        ballot.closed = True
+        self._open.pop(ballot.ballot_id, None)
+        approvals = sum(1 for approve in ballot.votes.values() if approve)
+        ballot.approved = approvals >= ballot.quorum
+        missing = ballot.missing()
+        if missing:
+            self.sim.metrics.counter("governance.votes_missing").inc(len(missing))
+        self.sim.record("governance.ballot_closed", self.address,
+                        ballot=ballot.ballot_id, approved=ballot.approved,
+                        approvals=approvals, missing=missing)
+        self.sim.metrics.counter(
+            "governance.ballots_approved" if ballot.approved
+            else "governance.ballots_rejected").inc()
+        if on_result is not None:
+            on_result(ballot)
 
 
 class GovernanceGuard(Safeguard):

@@ -40,14 +40,17 @@ from repro.devices.coalition import Coalition, Organization
 from repro.devices.drone import make_drone
 from repro.devices.mule import make_mule
 from repro.devices.world import World, WorldHarmModel
+from repro.errors import ConfigurationError
 from repro.net.discovery import DiscoveryService
 from repro.net.network import Network
-from repro.safeguards.deactivation import Watchdog
+from repro.net.reliable import ReliableChannel
+from repro.safeguards.deactivation import OverseerLink, Watchdog
 from repro.safeguards.preaction import PreActionCheck
 from repro.safeguards.statespace import StateSpaceGuard
 from repro.safeguards.tamper import attest_fleet, seal_guard_chain
 from repro.scenarios.harness import SafeguardConfig
 from repro.scenarios.peacekeeping import device_safety_classifier
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.simulator import Simulator
 from repro.types import DeviceStatus
 
@@ -120,11 +123,30 @@ class ConfrontationScenario:
         world_size: float = 100.0,
         tick_interval: float = 1.0,
         skynet_min_devices: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
+        supervision: str = "propagate",
+        safety_transport: Optional[str] = None,
+        quarantine_after: int = 3,
     ):
+        """``fault_plan``/``supervision`` arm the chaos harness (E17).
+
+        ``safety_transport`` selects how the sec VI-C watchdog observes
+        the fleet: ``None`` — the historical direct in-memory inspection;
+        ``"datagram"`` — telemetry + kill orders over the lossy network;
+        ``"reliable"`` — the same traffic over a
+        :class:`~repro.net.reliable.ReliableChannel`, with fail-closed
+        self-quarantine after ``quarantine_after`` dead-lettered reports.
+        """
+        if safety_transport not in (None, "datagram", "reliable"):
+            raise ConfigurationError(
+                f"safety_transport must be None, 'datagram' or 'reliable', "
+                f"got {safety_transport!r}"
+            )
         self.config = config if config is not None else SafeguardConfig.none()
         self.threats = threats if threats is not None else ThreatConfig()
         self.skynet_min_devices = skynet_min_devices
-        self.sim = Simulator(seed=seed)
+        self.safety_transport = safety_transport
+        self.sim = Simulator(seed=seed, supervision=supervision)
         self.world = World(self.sim, world_size, world_size)
         self.world.scatter_humans(n_civilians, prefix="civ")
         self.world.scatter_humans(n_warfighters, prefix="wf", speed=2.0)
@@ -142,12 +164,50 @@ class ConfrontationScenario:
             self._build_org(org_name, n_drones_per_org, n_mules_per_org)
 
         self.watchdog = None
+        self.safety_channel: Optional[ReliableChannel] = None
+        self.overseer_links: dict[str, OverseerLink] = {}
         if self.config.watchdog:
-            self.watchdog = Watchdog(
-                self.sim, self.devices, self.classifier,
-                check_interval=tick_interval,
-                attestation_baseline=attest_fleet(self.devices.values()),
+            baseline = attest_fleet(self.devices.values())
+            if safety_transport is None:
+                self.watchdog = Watchdog(
+                    self.sim, self.devices, self.classifier,
+                    check_interval=tick_interval,
+                    attestation_baseline=baseline,
+                )
+            else:
+                transport = self.network
+                if safety_transport == "reliable":
+                    # Retry span ~15.5 s: transient loss storms are ridden
+                    # out; only sustained partitions mature dead letters.
+                    transport = self.safety_channel = ReliableChannel(
+                        self.network, timeout=0.5, backoff=2.0,
+                        max_attempts=5,
+                    )
+                self.watchdog = Watchdog(
+                    self.sim, self.devices, self.classifier,
+                    check_interval=tick_interval,
+                    attestation_baseline=baseline,
+                    transport=transport,
+                    telemetry_timeout=5 * tick_interval,
+                )
+                for device_id in sorted(self.devices):
+                    self.overseer_links[device_id] = OverseerLink(
+                        self.sim, self.devices[device_id], transport,
+                        overseer=self.watchdog.address,
+                        report_interval=tick_interval,
+                        quarantine_after=quarantine_after,
+                    )
+
+        # Give the kill-device supervision policy something to kill.
+        for device_id, device in sorted(self.devices.items()):
+            self.sim.supervisor.register_kill_hook(device_id, device.deactivate)
+
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_plan is not None and len(fault_plan) > 0:
+            self.fault_injector = FaultInjector(
+                self.sim, self.devices, network=self.network
             )
+            self.fault_injector.apply(fault_plan)
 
         self.worm: Optional[WormAttack] = None
         self._launch_threats()
@@ -300,11 +360,33 @@ class ConfrontationScenario:
         self.sim.run(until=until)
         return self.summary(until)
 
+    def _rogue_lifetimes(self, horizon: float) -> list[float]:
+        """Per compromised device: time spent rogue (uncontained counts
+        as living until the horizon — the pessimistic reading)."""
+        lifetimes: list[float] = []
+        for record in self.injector.records:
+            for device_id, start in record.affected.items():
+                end = record.contained.get(device_id, horizon)
+                lifetimes.append(max(0.0, end - start))
+        return lifetimes
+
+    def _mission_completion(self) -> float:
+        """Fraction of the fleet still on-mission at the horizon: active
+        (not deactivated) and never compromised."""
+        compromised_ever = self.injector.compromised_ever()
+        on_mission = sum(
+            1 for device_id, device in self.devices.items()
+            if device.status != DeviceStatus.DEACTIVATED
+            and device_id not in compromised_ever
+        )
+        return on_mission / len(self.devices) if self.devices else 0.0
+
     def summary(self, horizon: float) -> dict:
         compromised_ever = self.injector.compromised_ever()
         latencies: list[float] = []
         for record in self.injector.records:
             latencies.extend(record.containment_latency())
+        lifetimes = self._rogue_lifetimes(horizon)
         return {
             "skynet_formed": self.skynet_formed_at is not None,
             "time_to_skynet": (self.skynet_formed_at
@@ -317,6 +399,13 @@ class ConfrontationScenario:
             "deactivations": int(self.sim.metrics.value("watchdog.deactivations")),
             "mean_containment_latency": (
                 sum(latencies) / len(latencies) if latencies else -1.0),
+            "mean_rogue_lifetime": (
+                sum(lifetimes) / len(lifetimes) if lifetimes else 0.0),
+            "mission_completion": self._mission_completion(),
             "vetoes": int(self.sim.metrics.value("safeguard.vetoes")),
+            "crashes": int(self.sim.metrics.value("sim.crashes")),
+            "kill_orders": int(self.sim.metrics.value("watchdog.kill_orders")),
+            "quarantines": int(self.sim.metrics.value("watchdog.quarantines")),
+            "dead_letters": int(self.sim.metrics.value("reliable.dead_letter")),
             "horizon": horizon,
         }

@@ -7,20 +7,25 @@ metric collection, and structured tracing.
 """
 
 from repro.sim.event_queue import EventQueue, ScheduledEvent
+from repro.sim.faults import FaultInjector, FaultPlan, InjectedFault
 from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 from repro.sim.rng import SeededRNG
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, Supervisor
 from repro.sim.tracing import TraceEvent, TraceRecorder
 
 __all__ = [
     "Counter",
     "EventQueue",
+    "FaultInjector",
+    "FaultPlan",
     "Gauge",
     "Histogram",
+    "InjectedFault",
     "MetricsRegistry",
     "ScheduledEvent",
     "SeededRNG",
     "Simulator",
+    "Supervisor",
     "TimeSeries",
     "TraceEvent",
     "TraceRecorder",

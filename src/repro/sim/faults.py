@@ -1,0 +1,358 @@
+"""Deterministic fault injection (the chaos harness, E17).
+
+The paper's prevention mechanisms are only credible if they keep working
+when the substrate fails (Kott et al.'s battle-things networks are
+contested and intermittently connected).  A :class:`FaultPlan` is a
+declarative, seedable schedule of substrate failures — device crashes and
+restarts, injected handler exceptions, link degradation windows, network
+partitions, clock-skewed sensors — that composes with any scenario and
+replays byte-identically under the same seed.  A :class:`FaultInjector`
+arms a plan against a concrete simulator/network/fleet.
+
+Fault *specs* are plain frozen dataclasses so plans can be compared,
+serialized, and generated programmatically (``FaultPlan.random``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRNG
+from repro.sim.simulator import Simulator
+from repro.types import DeviceStatus
+
+if TYPE_CHECKING:  # avoid a sim -> net import cycle at runtime
+    from repro.net.network import Network
+
+CRASH_REASON = "fault: crash"
+
+
+class InjectedFault(RuntimeError):
+    """The exception a :class:`HandlerGlitch` raises inside a callback."""
+
+
+# -- fault specs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceCrash:
+    """Hard-stop a device at ``at``; optionally restart after a delay.
+
+    A crashed device stops acting (status ``DEACTIVATED`` with a crash
+    reason) and its network addresses go silent.  Restart only revives
+    devices still down for *this* reason — a watchdog kill or a
+    self-quarantine in the meantime is never undone by the fault layer.
+    """
+
+    device_id: str
+    at: float
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class HandlerGlitch:
+    """Raise :class:`InjectedFault` inside a callback owned by ``device_id``.
+
+    Exercises the supervision policy: under ``propagate`` the run aborts,
+    under ``isolate``/``kill-device`` the crash is contained and counted.
+    """
+
+    device_id: str
+    at: float
+    message: str = "injected handler fault"
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Raise global loss / latency between ``at`` and ``until``."""
+
+    at: float
+    until: float
+    loss_rate: float = 0.5
+    latency_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Split addresses into isolated groups at ``at``; heal at ``heal_at``.
+
+    ``groups`` lists *device ids*; the injector expands each to every
+    network address the device owns (``"<id>"`` plus any ``"<id>.*"``
+    service address, e.g. the safety tether).  Unlisted addresses —
+    including fleet-level services such as the watchdog — remain together
+    on the other side of the split.
+    """
+
+    at: float
+    heal_at: float
+    groups: tuple = ()
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Skew a device's local clock by ``offset`` from ``at`` on.
+
+    The device's sensors and obligations stamp events with the skewed
+    time; the simulator's own clock is untouched.
+    """
+
+    device_id: str
+    at: float
+    offset: float = 0.0
+
+
+FAULT_TYPES = (DeviceCrash, HandlerGlitch, LinkDegradation, NetworkPartition,
+               ClockSkew)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, replayable schedule of substrate faults."""
+
+    faults: tuple = ()
+    seed: Optional[int] = None        # provenance when generated randomly
+    intensity: float = 0.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, FAULT_TYPES):
+                raise ConfigurationError(
+                    f"unknown fault spec {type(fault).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def describe(self) -> list[dict]:
+        """Plain-dict view (stable ordering) for logs and serialization."""
+        out = []
+        for fault in self.faults:
+            entry = {"fault": type(fault).__name__}
+            entry.update({f.name: getattr(fault, f.name)
+                          for f in fields(fault)})
+            out.append(entry)
+        return out
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        return FaultPlan()
+
+    @staticmethod
+    def random(
+        seed: int,
+        device_ids: Sequence[str],
+        horizon: float,
+        intensity: float = 0.5,
+        crash_fraction: float = 0.4,
+        glitches_per_device: float = 0.6,
+        restart_fraction: float = 0.5,
+        degradation_loss: float = 0.75,
+        partition_fraction: float = 0.4,
+    ) -> "FaultPlan":
+        """Generate a fault storm scaled by ``intensity`` in [0, 1].
+
+        Deterministic in ``seed`` alone: the draws come from a standalone
+        :class:`SeededRNG`, not the simulator's tree, so the same plan can
+        be armed against different scenario arms (the E17 comparison needs
+        every arm to suffer the *same* storm).
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ConfigurationError("intensity must be in [0, 1]")
+        rng = SeededRNG(seed, name="faultplan")
+        devices = sorted(device_ids)
+        faults: list = []
+        if intensity == 0.0 or not devices or horizon <= 0:
+            return FaultPlan(faults=(), seed=seed, intensity=intensity)
+
+        # Device crashes (some restart, some stay down).
+        n_crashes = round(intensity * crash_fraction * len(devices))
+        for device_id in rng.sample(devices, min(n_crashes, len(devices))):
+            at = rng.uniform(0.1 * horizon, 0.8 * horizon)
+            restart = (rng.uniform(0.05 * horizon, 0.2 * horizon)
+                       if rng.chance(restart_fraction) else None)
+            faults.append(DeviceCrash(device_id, at, restart_after=restart))
+
+        # Handler-exception injection spread across the fleet.
+        n_glitches = round(intensity * glitches_per_device * len(devices))
+        for index in range(n_glitches):
+            faults.append(HandlerGlitch(
+                rng.choice(devices), rng.uniform(0.05 * horizon, 0.95 * horizon),
+                message=f"injected glitch #{index}",
+            ))
+
+        # One or two lossy windows covering a big slice of the run.
+        n_windows = 1 + (1 if intensity > 0.6 else 0)
+        for _ in range(n_windows):
+            start = rng.uniform(0.1 * horizon, 0.5 * horizon)
+            length = rng.uniform(0.15 * horizon, 0.35 * horizon) * intensity
+            faults.append(LinkDegradation(
+                at=start, until=min(start + length, horizon),
+                loss_rate=min(degradation_loss * intensity + 0.2, 0.95),
+                latency_factor=1.0 + 2.0 * intensity,
+            ))
+
+        # A partition splitting off part of the fleet at higher intensity.
+        if intensity >= 0.4 and len(devices) >= 2:
+            n_cut = max(1, round(partition_fraction * len(devices) * intensity))
+            cut = tuple(rng.sample(devices, min(n_cut, len(devices) - 1)))
+            start = rng.uniform(0.2 * horizon, 0.5 * horizon)
+            faults.append(NetworkPartition(
+                at=start,
+                heal_at=min(start + rng.uniform(0.2, 0.45) * horizon, horizon),
+                groups=(cut,),
+            ))
+
+        # Clock skew on a couple of sensors.
+        n_skews = round(intensity * 0.25 * len(devices))
+        for device_id in rng.sample(devices, min(n_skews, len(devices))):
+            faults.append(ClockSkew(
+                device_id, at=rng.uniform(0.0, 0.5 * horizon),
+                offset=rng.uniform(-5.0, 5.0),
+            ))
+
+        faults.sort(key=lambda f: (f.at, type(f).__name__,
+                                   getattr(f, "device_id", "")))
+        return FaultPlan(faults=tuple(faults), seed=seed, intensity=intensity)
+
+
+# -- the injector --------------------------------------------------------------
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a live simulation.
+
+    ``devices`` is the scenario's ``device_id -> Device`` mapping; the
+    network is optional (plans without link faults work without one).
+    Every applied fault is recorded in the trace under ``fault.*`` and
+    counted in ``faults.*`` metrics so replay comparisons can assert on
+    them directly.
+    """
+
+    def __init__(self, sim: Simulator, devices: dict,
+                 network: Optional[Network] = None):
+        self.sim = sim
+        self.devices = devices
+        self.network = network
+        self.crashes = 0
+        self.restarts = 0
+        self.glitches = 0
+        self._base_params: Optional[tuple] = None
+        self._degradations_active = 0
+
+    def apply(self, plan: FaultPlan) -> None:
+        """Schedule every fault in ``plan``."""
+        for fault in plan.faults:
+            if isinstance(fault, DeviceCrash):
+                self.sim.schedule_at(fault.at, self._crash, fault,
+                                     label=f"{fault.device_id}:fault-crash")
+            elif isinstance(fault, HandlerGlitch):
+                self.sim.schedule_at(fault.at, self._glitch, fault,
+                                     label=f"{fault.device_id}:fault-glitch")
+            elif isinstance(fault, LinkDegradation):
+                self._require_network("LinkDegradation")
+                self.sim.schedule_at(fault.at, self._degrade, fault,
+                                     label="net:fault-degrade")
+                self.sim.schedule_at(fault.until, self._restore, fault,
+                                     label="net:fault-restore")
+            elif isinstance(fault, NetworkPartition):
+                self._require_network("NetworkPartition")
+                self.sim.schedule_at(fault.at, self._partition, fault,
+                                     label="net:fault-partition")
+                self.sim.schedule_at(fault.heal_at, self._heal,
+                                     label="net:fault-heal")
+            elif isinstance(fault, ClockSkew):
+                self.sim.schedule_at(fault.at, self._skew, fault,
+                                     label=f"{fault.device_id}:fault-skew")
+
+    def _require_network(self, kind: str) -> None:
+        if self.network is None:
+            raise ConfigurationError(f"{kind} faults need a network")
+
+    # -- device faults ---------------------------------------------------------
+
+    def _device_addresses(self, device_id: str) -> list[str]:
+        if self.network is None:
+            return []
+        return [address for address in self.network.addresses()
+                if address == device_id
+                or address.startswith(device_id + ".")]
+
+    def _crash(self, fault: DeviceCrash) -> None:
+        device = self.devices.get(fault.device_id)
+        if device is None or device.status == DeviceStatus.DEACTIVATED:
+            return
+        device.deactivate(CRASH_REASON)
+        for address in self._device_addresses(fault.device_id):
+            self.network.suspend(address)
+        self.crashes += 1
+        self.sim.metrics.counter("faults.crashes").inc()
+        self.sim.record("fault.crash", fault.device_id,
+                        restart_after=fault.restart_after)
+        if fault.restart_after is not None:
+            self.sim.schedule(fault.restart_after, self._restart, fault,
+                              label=f"{fault.device_id}:fault-restart")
+
+    def _restart(self, fault: DeviceCrash) -> None:
+        device = self.devices.get(fault.device_id)
+        if device is None or device.deactivation_reason != CRASH_REASON:
+            return  # killed/quarantined meanwhile: stays down
+        device.reactivate()
+        for address in self._device_addresses(fault.device_id):
+            self.network.resume(address)
+        self.restarts += 1
+        self.sim.metrics.counter("faults.restarts").inc()
+        self.sim.record("fault.restart", fault.device_id)
+
+    def _glitch(self, fault: HandlerGlitch) -> None:
+        self.glitches += 1
+        self.sim.metrics.counter("faults.glitches").inc()
+        self.sim.record("fault.glitch", fault.device_id, message=fault.message)
+        raise InjectedFault(f"{fault.device_id}: {fault.message}")
+
+    def _skew(self, fault: ClockSkew) -> None:
+        device = self.devices.get(fault.device_id)
+        if device is None:
+            return
+        offset = fault.offset
+        device.set_clock(lambda: self.sim.now + offset)
+        self.sim.metrics.counter("faults.clock_skews").inc()
+        self.sim.record("fault.clock_skew", fault.device_id, offset=offset)
+
+    # -- link faults -----------------------------------------------------------
+
+    def _degrade(self, fault: LinkDegradation) -> None:
+        if self._base_params is None:
+            self._base_params = (self.network.loss_rate,
+                                 self.network.base_latency)
+        self._degradations_active += 1
+        self.network.loss_rate = fault.loss_rate
+        self.network.base_latency = self._base_params[1] * fault.latency_factor
+        self.sim.metrics.counter("faults.degradations").inc()
+        self.sim.record("fault.degrade", "net", loss_rate=fault.loss_rate,
+                        latency_factor=fault.latency_factor)
+
+    def _restore(self, fault: LinkDegradation) -> None:
+        self._degradations_active = max(0, self._degradations_active - 1)
+        if self._degradations_active == 0 and self._base_params is not None:
+            self.network.loss_rate, self.network.base_latency = self._base_params
+            self.sim.record("fault.restore", "net")
+
+    def _partition(self, fault: NetworkPartition) -> None:
+        groups = []
+        for group in fault.groups:
+            expanded: list[str] = []
+            for device_id in group:
+                addresses = self._device_addresses(device_id)
+                expanded.extend(addresses if addresses else [device_id])
+            groups.append(expanded)
+        self.network.topology.partition(groups)
+        self.sim.metrics.counter("faults.partitions").inc()
+        self.sim.record("fault.partition", "net",
+                        groups=[sorted(group) for group in groups])
+
+    def _heal(self) -> None:
+        self.network.topology.heal()
+        self.sim.record("fault.heal", "net")

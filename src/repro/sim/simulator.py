@@ -4,6 +4,12 @@ One :class:`Simulator` owns the clock, the event queue, a seeded RNG tree,
 a metrics registry, and a trace recorder.  Components receive the simulator
 at construction and schedule their behaviour through it; nothing in the
 library reads wall-clock time.
+
+Callbacks run under a :class:`Supervisor`: the ``propagate`` policy keeps
+the historical behaviour (one raised exception aborts the run), while
+``isolate`` and ``kill-device`` contain the blast radius of a faulty
+device so one crashing handler cannot take down the fleet or the watchdog
+observing it (the chaos experiments, E17).
 """
 
 from __future__ import annotations
@@ -16,19 +22,98 @@ from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import SeededRNG
 from repro.sim.tracing import TraceRecorder
 
+#: Valid crash-supervision policies.
+SUPERVISION_POLICIES = ("propagate", "isolate", "kill-device")
+
+
+class Supervisor:
+    """Crash containment for scheduled callbacks.
+
+    * ``propagate`` — re-raise (the event aborts the run);
+    * ``isolate`` — record the crash and keep running;
+    * ``kill-device`` — isolate, and once a device's crash count reaches
+      ``kill_threshold``, invoke the kill hook its owner registered
+      (typically ``device.deactivate``).
+
+    The crashing event's *owner* is derived from its label: everything
+    before the first ``":"`` (the library-wide ``"<device_id>:<task>"``
+    labelling convention); unlabelled events fall under ``"<anonymous>"``.
+    """
+
+    def __init__(self, sim: "Simulator", policy: str = "propagate",
+                 kill_threshold: int = 1):
+        if policy not in SUPERVISION_POLICIES:
+            raise SimulationError(
+                f"unknown supervision policy {policy!r}; "
+                f"expected one of {SUPERVISION_POLICIES}"
+            )
+        if kill_threshold < 1:
+            raise SimulationError("kill_threshold must be >= 1")
+        self.sim = sim
+        self.policy = policy
+        self.kill_threshold = kill_threshold
+        self.crash_counts: dict[str, int] = {}
+        self.crashes: list[tuple] = []       # (time, owner, label, error repr)
+        self._kill_hooks: dict[str, Callable[[str], None]] = {}
+        self._killed: set = set()
+
+    def register_kill_hook(self, owner: str, hook: Callable[[str], None]) -> None:
+        """``hook(reason)`` runs when ``owner`` exceeds the crash budget."""
+        self._kill_hooks[owner] = hook
+
+    @staticmethod
+    def owner_of(label: str) -> str:
+        return label.split(":", 1)[0] if label else "<anonymous>"
+
+    def handle(self, event: ScheduledEvent, error: Exception) -> bool:
+        """Deal with ``error`` raised by ``event``; ``False`` = re-raise."""
+        if self.policy == "propagate":
+            return False
+        owner = self.owner_of(event.label)
+        count = self.crash_counts.get(owner, 0) + 1
+        self.crash_counts[owner] = count
+        self.crashes.append((self.sim.now, owner, event.label, repr(error)))
+        self.sim.metrics.counter("sim.crashes").inc()
+        self.sim.record("sim.crash", owner, label=event.label,
+                        error=repr(error), count=count)
+        if (self.policy == "kill-device" and owner not in self._killed
+                and count >= self.kill_threshold):
+            hook = self._kill_hooks.get(owner)
+            if hook is not None:
+                self._killed.add(owner)
+                self.sim.metrics.counter("sim.crash_kills").inc()
+                self.sim.record("sim.crash_kill", owner, crashes=count)
+                hook(f"supervisor: {count} crash(es) in {event.label!r}")
+        return True
+
 
 class Simulator:
     """Deterministic discrete-event simulator."""
 
-    def __init__(self, seed: int = 0, trace_capacity: Optional[int] = None):
+    def __init__(self, seed: int = 0, trace_capacity: Optional[int] = None,
+                 supervision: str = "propagate", kill_threshold: int = 1,
+                 livelock_threshold: Optional[int] = 100_000):
+        """``supervision`` picks the crash policy (see :class:`Supervisor`).
+
+        ``livelock_threshold`` caps *consecutive* events processed at one
+        simulated timestamp; exceeding it raises :class:`SimulationError`
+        naming the offending event labels instead of spinning forever when
+        a faulty callback self-reschedules at delay 0.  ``None`` disables
+        the guard."""
+        if livelock_threshold is not None and livelock_threshold < 1:
+            raise SimulationError("livelock_threshold must be >= 1 or None")
         self.queue = EventQueue()
         self.rng = SeededRNG(seed)
         self.metrics = MetricsRegistry()
         self.trace = TraceRecorder(capacity=trace_capacity)
+        self.supervisor = Supervisor(self, supervision, kill_threshold)
+        self.livelock_threshold = livelock_threshold
         self._now = 0.0
         self._running = False
         self._stop_requested = False
         self.events_processed = 0
+        self._stall_count = 0
+        self._stall_labels: list[str] = []
 
     @property
     def now(self) -> float:
@@ -94,10 +179,33 @@ class Simulator:
             return False
         if event.time < self._now:
             raise SimulationError("event queue returned an event from the past")
+        self._check_livelock(event)
         self._now = event.time
-        event.callback(*event.args)
+        try:
+            event.callback(*event.args)
+        except Exception as error:
+            if not self.supervisor.handle(event, error):
+                raise
         self.events_processed += 1
         return True
+
+    def _check_livelock(self, event: ScheduledEvent) -> None:
+        if self.livelock_threshold is None:
+            return
+        if event.time == self._now and self.events_processed > 0:
+            self._stall_count += 1
+            self._stall_labels.append(event.label)
+            if len(self._stall_labels) > 8:
+                del self._stall_labels[0]
+            if self._stall_count > self.livelock_threshold:
+                raise SimulationError(
+                    f"livelock: {self._stall_count} consecutive events at "
+                    f"t={self._now} (threshold {self.livelock_threshold}); "
+                    f"recent labels: {self._stall_labels}"
+                )
+        else:
+            self._stall_count = 0
+            self._stall_labels.clear()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue empties, ``until`` is reached, or ``max_events`` fire.

@@ -107,7 +107,37 @@ def test_invalid_parameters_rejected():
     with pytest.raises(NetworkError):
         Network(sim, base_latency=-1.0)
     with pytest.raises(NetworkError):
-        Network(sim, loss_rate=1.0)
+        Network(sim, loss_rate=1.5)
+    with pytest.raises(NetworkError):
+        Network(sim, loss_rate=-0.1)
+
+
+def test_total_blackout_loss_rate_allowed():
+    # loss_rate == 1.0 models a fully severed link (partition experiments).
+    sim, net = make_net(loss_rate=1.0)
+    inbox = []
+    net.register("a", lambda message: None)
+    net.register("b", inbox.append)
+    net.send("a", "b", "topic", {})
+    sim.run()
+    assert inbox == []
+    assert sim.metrics.value("net.dropped") == 1
+
+
+def test_suspend_and_resume_silence_an_address():
+    sim, net = make_net()
+    inbox = []
+    net.register("a", lambda message: None)
+    net.register("b", inbox.append)
+    net.suspend("b")
+    net.send("a", "b", "topic", {"n": 1})
+    sim.run()
+    assert inbox == []
+    assert sim.metrics.value("net.suspended_drop") == 1
+    net.resume("b")
+    net.send("a", "b", "topic", {"n": 2})
+    sim.run()
+    assert [message.body["n"] for message in inbox] == [2]
 
 
 def test_explicit_topology_respected():

@@ -1,0 +1,148 @@
+"""Unit tests for the ack/retry channel (net/reliable.py)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.message import BROADCAST
+from repro.net.network import Network
+from repro.net.reliable import ACK_TOPIC, ReliableChannel
+from repro.sim.simulator import Simulator
+
+
+def build(loss_rate=0.0, seed=7, **channel_kwargs):
+    sim = Simulator(seed=seed)
+    network = Network(sim, base_latency=0.1, jitter=0.0, loss_rate=loss_rate)
+    channel = ReliableChannel(network, **channel_kwargs)
+    return sim, network, channel
+
+
+def test_lossless_send_delivers_once_and_acks():
+    sim, network, channel = build()
+    inbox = []
+    channel.register("a", lambda message: None)
+    channel.register("b", inbox.append)
+    pending = channel.send("a", "b", "hello", {"x": 1})
+    sim.run(until=5.0)
+    assert [message.body for message in inbox] == [{"x": 1}]
+    assert pending.acked and pending.attempts == 1
+    assert channel.outstanding() == 0
+    assert sim.metrics.value("reliable.acked") == 1
+    # Protocol bookkeeping is stripped before the application handler.
+    assert "_rmid" not in inbox[0].body
+
+
+def test_retries_recover_from_heavy_loss():
+    # Flat backoff: 30 attempts at 0.5 s intervals.  Seed 9 loses ten
+    # attempts to the 60% loss before an ack makes it back.
+    sim, network, channel = build(loss_rate=0.6, max_attempts=30,
+                                  timeout=0.5, backoff=1.0, seed=9)
+    inbox = []
+    channel.register("a", lambda message: None)
+    channel.register("b", inbox.append)
+    pending = channel.send("a", "b", "hello", {"x": 1})
+    sim.run(until=300.0)
+    assert pending.acked
+    assert pending.attempts > 1                      # loss actually bit
+    assert len(inbox) == 1                           # duplicates suppressed
+    assert sim.metrics.value("reliable.resends") > 0
+
+
+def test_duplicate_deliveries_suppressed_and_reacked():
+    sim, network, channel = build()
+    inbox = []
+    acks = []
+    channel.register("b", inbox.append)
+    network.register("raw", lambda message: acks.append(message))
+    # The same rmid arriving twice (a retry whose first copy survived):
+    # one delivery, two acks (the re-ack covers a lost first ack).
+    for _ in range(2):
+        network.send("raw", "b", "hello", {"x": 1, "_rmid": "r99",
+                                           "_rfrom": "raw"})
+    sim.run(until=5.0)
+    assert len(inbox) == 1
+    assert [message.topic for message in acks] == [ACK_TOPIC, ACK_TOPIC]
+    assert sim.metrics.value("reliable.duplicates") == 1
+
+
+def test_dead_letter_after_attempt_budget():
+    sim, network, channel = build(max_attempts=3, timeout=0.5, jitter=0.0)
+    failures = []
+    channel.register("a", lambda message: None)
+    # "b" is registered but suspended: every attempt vanishes.
+    channel.register("b", lambda message: None)
+    network.suspend("b")
+    pending = channel.send("a", "b", "hello", {}, on_fail=failures.append)
+    sim.run(until=60.0)
+    assert pending.dead and not pending.acked
+    assert pending.attempts == 3
+    assert failures == [pending]
+    assert channel.dead_letters == [pending]
+    assert channel.outstanding() == 0
+    assert sim.metrics.value("reliable.dead_letter") == 1
+
+
+def test_backoff_delays_grow_exponentially():
+    sim, network, channel = build(max_attempts=4, timeout=1.0, jitter=0.0)
+    channel.register("a", lambda message: None)
+    channel.register("b", lambda message: None)
+    network.suspend("b")
+    sent_at = []
+    network.tap(lambda message: sent_at.append(sim.now)
+                if message.topic == "hello" else None)
+    channel.send("a", "b", "hello", {})
+    sim.run(until=60.0)
+    gaps = [b - a for a, b in zip(sent_at, sent_at[1:])]
+    assert len(sent_at) == 4
+    assert gaps == pytest.approx([1.0, 2.0, 4.0])
+
+
+def test_plain_datagrams_pass_through_untouched():
+    sim, network, channel = build()
+    inbox = []
+    channel.register("b", inbox.append)
+    network.register("raw", lambda message: None)
+    network.send("raw", "b", "gossip", {"x": 2})
+    sim.run(until=5.0)
+    assert [message.body for message in inbox] == [{"x": 2}]
+    assert sim.metrics.value("reliable.acked") == 0
+
+
+def test_attach_wraps_an_existing_endpoint():
+    sim, network, channel = build()
+    inbox = []
+    network.register("b", inbox.append)
+    channel.attach("b")
+    channel.register("a", lambda message: None)
+    channel.send("a", "b", "hello", {"x": 3})
+    sim.run(until=5.0)
+    assert [message.body for message in inbox] == [{"x": 3}]
+    assert sim.metrics.value("reliable.acked") == 1
+
+
+def test_broadcast_rejected_and_parameters_validated():
+    sim, network, channel = build()
+    channel.register("a", lambda message: None)
+    with pytest.raises(NetworkError):
+        channel.send("a", BROADCAST, "hello", {})
+    for kwargs in ({"timeout": 0.0}, {"backoff": 0.5}, {"jitter": -1.0},
+                   {"max_attempts": 0}):
+        with pytest.raises(NetworkError):
+            ReliableChannel(network, **kwargs)
+
+
+def test_same_seed_same_retry_schedule():
+    def retry_times(seed):
+        sim, network, channel = build(max_attempts=4, timeout=1.0,
+                                      jitter=0.5, seed=seed)
+        channel.register("a", lambda message: None)
+        channel.register("b", lambda message: None)
+        network.suspend("b")
+        sent_at = []
+        network.tap(lambda message: sent_at.append(sim.now)
+                    if message.topic == "hello" else None)
+        channel.send("a", "b", "hello", {})
+        sim.run(until=60.0)
+        return sent_at
+
+    assert retry_times(5) == retry_times(5)
+    assert retry_times(5) != retry_times(6)
