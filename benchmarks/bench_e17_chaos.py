@@ -32,6 +32,7 @@ import pytest
 
 from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
 from repro.scenarios.harness import ExperimentTable, SafeguardConfig
+from repro.scenarios.sweep import run_sweep
 from repro.sim.faults import DeviceCrash, FaultPlan, HandlerGlitch, InjectedFault, LinkDegradation
 
 QUICK = os.environ.get("E17_QUICK", "") not in ("", "0")
@@ -83,20 +84,20 @@ def run_cell(transport, config: SafeguardConfig, seed: int,
     return scenario.run(until=HORIZON)
 
 
-def aggregate(transport, config: SafeguardConfig, intensity: float) -> dict:
+def aggregate_results(results) -> dict:
+    """Pool one (arm, intensity) cell's per-seed results."""
     skynet_runs = 0
     lifetimes = 0.0
     mission = 0.0
     crashes = 0
     quarantines = 0
-    for seed in SEEDS:
-        result = run_cell(transport, config, seed, intensity)
+    for result in results:
         skynet_runs += int(result["skynet_formed"])
         lifetimes += result["mean_rogue_lifetime"]
         mission += result["mission_completion"]
         crashes += result["crashes"]
         quarantines += result["quarantines"]
-    n = len(SEEDS)
+    n = len(results)
     return {
         "skynet_rate": skynet_runs / n,
         "rogue_lifetime": lifetimes / n,
@@ -104,6 +105,33 @@ def aggregate(transport, config: SafeguardConfig, intensity: float) -> dict:
         "crashes": crashes,
         "quarantines": quarantines,
     }
+
+
+def aggregate(transport, config: SafeguardConfig, intensity: float) -> dict:
+    return aggregate_results([run_cell(transport, config, seed, intensity)
+                              for seed in SEEDS])
+
+
+def run_grid(workers=None) -> dict:
+    """The full (arm x intensity) grid through the sweep executor.
+
+    Every cell is keyed only by its arguments, so the parallel and serial
+    paths produce cell-for-cell identical aggregates (asserted by
+    ``tests/scenarios/test_sweep.py``).
+    """
+    cells = [(transport, config, seed, intensity)
+             for _label, config, transport in ARMS
+             for intensity in INTENSITIES
+             for seed in SEEDS]
+    flat = run_sweep(run_cell, cells, workers=workers)
+    rows = {}
+    index = 0
+    for label, _config, _transport in ARMS:
+        for intensity in INTENSITIES:
+            rows[(label, intensity)] = aggregate_results(
+                flat[index:index + len(SEEDS)])
+            index += len(SEEDS)
+    return rows
 
 
 def pool(rows: dict, arm: str, key: str) -> float:
@@ -124,10 +152,7 @@ def test_e17_arm_benchmarks(benchmark, label, config, transport):
 
 
 def test_e17_chaos_table(experiment, benchmark):
-    rows = {}
-    for label, config, transport in ARMS:
-        for intensity in INTENSITIES:
-            rows[(label, intensity)] = aggregate(transport, config, intensity)
+    rows = run_grid()
     benchmark.pedantic(run_cell, args=(ARMS[2][2], ARMS[2][1], 3,
                                        INTENSITIES[-1]),
                        rounds=1, iterations=1)
@@ -177,6 +202,65 @@ def test_e17_chaos_table(experiment, benchmark):
     if not QUICK:
         assert any(rows[("guarded-reliable", i)]["quarantines"] > 0
                    for i in INTENSITIES if i > 0)
+
+
+def run_capped_cell(max_in_flight, seed: int, intensity: float):
+    """One guarded-reliable cell with the flow-control cap; returns the
+    scenario so callers can read channel metrics."""
+    plan = storm(seed, intensity)
+    threats = ThreatConfig(worm=True, worm_time=worm_time(plan),
+                           worm_spread_prob=0.25, worm_spread_interval=3.0)
+    scenario = ConfrontationScenario(
+        seed=seed, config=SafeguardConfig.only(watchdog=True), threats=threats,
+        supervision="isolate", safety_transport="reliable",
+        fault_plan=plan, quarantine_after=4,
+        reliable_max_in_flight=max_in_flight,
+    )
+    result = scenario.run(until=HORIZON)
+    return scenario, result
+
+
+def test_e17_flow_control_queue_depth(experiment):
+    """Satellite measurement: the reliable channel's per-sender in-flight
+    cap under the E17 fault storm.  With the cap on, telemetry backs up
+    into the flow-control queue during loss windows (nonzero measured
+    queue depth) and superseded snapshots coalesce away instead of
+    replaying as a backlog; uncapped, the queue never forms."""
+    intensity = INTENSITIES[-1]
+    table = ExperimentTable(
+        f"E17 reliable-channel flow control under the storm "
+        f"(intensity {intensity:g}, horizon {HORIZON:g})",
+        ["cap", "queued", "coalesced", "queue depth p95", "queue depth max",
+         "wire sends", "dead letters", "skynet"],
+    )
+    stats = {}
+    for cap in (None, 2):
+        scenario, result = run_capped_cell(cap, SEEDS[0], intensity)
+        metrics = scenario.sim.metrics
+        depth = metrics.histogram("reliable.queue_depth")
+        stats[cap] = {
+            "queued": metrics.value("reliable.queued"),
+            "coalesced": metrics.value("reliable.coalesced"),
+            "wire": metrics.value("net.sent"),
+            "skynet": result["skynet_formed"],
+        }
+        table.add_row("off" if cap is None else cap,
+                      int(stats[cap]["queued"]), int(stats[cap]["coalesced"]),
+                      depth.quantile(0.95), depth.max,
+                      int(stats[cap]["wire"]),
+                      int(metrics.value("reliable.dead_letter")),
+                      result["skynet_formed"])
+    experiment(table)
+
+    # Uncapped: flow control never engages.
+    assert stats[None]["queued"] == 0 and stats[None]["coalesced"] == 0
+    # Capped: the storm actually backs telemetry up, and stale snapshots
+    # coalesce instead of queueing without bound.
+    assert stats[2]["queued"] > 0
+    assert stats[2]["coalesced"] > 0
+    # Coalescing sheds wire traffic; the watchdog still holds the line.
+    assert stats[2]["wire"] <= stats[None]["wire"]
+    assert stats[2]["skynet"] == stats[None]["skynet"]
 
 
 def test_e17_crashed_device_never_aborts_run_under_isolate():

@@ -6,7 +6,6 @@ chain append+verify, bounded reachability, and state estimation all get
 real multi-round timings so regressions surface in CI.
 """
 
-import pytest
 
 from repro.audit.log import AuditLog
 from repro.core.actions import Action, Effect
@@ -101,3 +100,61 @@ def test_state_estimator_update(benchmark):
 
     benchmark(update)
     assert abs(estimator.get("temp") - 60.0) < 10.0
+
+
+def test_event_queue_push_pop_throughput(benchmark):
+    from repro.sim.event_queue import EventQueue
+
+    def churn():
+        queue = EventQueue()
+        for index in range(2000):
+            queue.push(float(index % 97), lambda: None, label="bench:evt")
+        drained = 0
+        while queue.pop_until(100.0) is not None:
+            drained += 1
+        return drained
+
+    assert benchmark(churn) == 2000
+
+
+def test_simulator_event_loop_throughput(benchmark):
+    """The tentpole fast path: tuple-heap pop_until + slots payloads,
+    tracing off, no profiler — pure run-loop overhead per event."""
+    from repro.sim.simulator import Simulator
+
+    def spin(n_events):
+        sim = Simulator(seed=1, trace_enabled=False)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < n_events:
+                sim.schedule(0.001, tick, label="bench:tick")
+
+        sim.schedule(0.001, tick, label="bench:tick")
+        sim.run()
+        return count[0]
+
+    assert benchmark(spin, 5000) == 5000
+
+
+def test_simulator_loop_profiled_overhead(benchmark):
+    from repro.sim.profiling import profile_run
+    from repro.sim.simulator import Simulator
+
+    def spin(n_events):
+        sim = Simulator(seed=1, trace_enabled=False)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < n_events:
+                sim.schedule(0.001, tick, label="bench:tick")
+
+        sim.schedule(0.001, tick, label="bench:tick")
+        with profile_run(sim) as profiler:
+            sim.run()
+        assert profiler.per_label["bench:tick"][0] == n_events
+        return count[0]
+
+    assert benchmark(spin, 2000) == 2000

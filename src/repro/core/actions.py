@@ -77,9 +77,21 @@ class Action:
         return self.actuator == "" and not self.effects
 
     def predicted_changes(self, current: dict) -> dict:
-        """The state changes this action declares, resolved against ``current``."""
-        vector = dict(current)
-        for effect in self.effects:
+        """The state changes this action declares, resolved against ``current``.
+
+        Only the touched variables are materialised (rather than copying
+        the whole vector): actions typically declare one or two effects
+        while the state space can be much larger, and this runs once per
+        delivered event (benchmark F2).
+        """
+        effects = self.effects
+        if not effects:
+            return {}
+        vector: dict = {}
+        for effect in effects:
+            name = effect.variable
+            if name not in vector and name in current:
+                vector[name] = current[name]
             effect.apply_to(vector)
         return {k: v for k, v in vector.items() if current.get(k) != v}
 

@@ -81,6 +81,9 @@ class Comparison(Condition):
     def __post_init__(self):
         if self.op not in _OPS:
             raise ConditionParseError(f"unknown operator {self.op!r}")
+        # Cache the comparator: conditions evaluate once per delivered
+        # event, so the per-call _OPS lookup is paid at parse time instead.
+        object.__setattr__(self, "_compare", _OPS[self.op])
 
     def _resolve(self, operand, state: dict, event: Optional[Event]):
         if isinstance(operand, Literal):
@@ -108,7 +111,7 @@ class Comparison(Condition):
         left = self._resolve(self.left, state, event)
         right = self._resolve(self.right, state, event)
         try:
-            return bool(_OPS[self.op](left, right))
+            return bool(self._compare(left, right))
         except TypeError as exc:
             raise ConditionEvalError(
                 f"cannot compare {left!r} {self.op} {right!r}: {exc}"

@@ -13,7 +13,6 @@ transition check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.core.actions import Action, ActionLibrary
@@ -51,22 +50,46 @@ class Safeguard:
         return []
 
 
-@dataclass
 class Decision:
-    """The auditable record of one engine invocation."""
+    """The auditable record of one engine invocation.
 
-    time: float
-    event_kind: str
-    policy_id: Optional[str]
-    requested: Optional[str]        # action name the policy asked for
-    executed: Optional[str]         # action name actually run (None if none)
-    outcome: ActionOutcome
-    vetoes: list = field(default_factory=list)   # (safeguard_name, message)
-    detail: dict = field(default_factory=dict)
+    A ``__slots__`` class rather than a dataclass: one record is created
+    per delivered event, so construction cost is part of the device-model
+    hot loop (benchmark F2).  ``vetoes`` holds ``(safeguard_name,
+    message)`` pairs.
+    """
+
+    __slots__ = ("time", "event_kind", "policy_id", "requested", "executed",
+                 "outcome", "vetoes", "detail")
+
+    def __init__(
+        self,
+        time: float,
+        event_kind: str,
+        policy_id: Optional[str],
+        requested: Optional[str],       # action name the policy asked for
+        executed: Optional[str],        # action name actually run (None if none)
+        outcome: ActionOutcome,
+        vetoes: Optional[list] = None,
+        detail: Optional[dict] = None,
+    ):
+        self.time = time
+        self.event_kind = event_kind
+        self.policy_id = policy_id
+        self.requested = requested
+        self.executed = executed
+        self.outcome = outcome
+        self.vetoes = [] if vetoes is None else vetoes
+        self.detail = {} if detail is None else detail
 
     @property
     def acted(self) -> bool:
         return self.outcome in (ActionOutcome.EXECUTED, ActionOutcome.SUBSTITUTED)
+
+    def __repr__(self) -> str:
+        return (f"Decision(t={self.time}, event={self.event_kind!r}, "
+                f"policy={self.policy_id!r}, requested={self.requested!r}, "
+                f"executed={self.executed!r}, outcome={self.outcome!r})")
 
 
 class PolicyEngine:
@@ -90,6 +113,9 @@ class PolicyEngine:
         self.decisions: list[Decision] = []
         self._decision_log_limit = decision_log_limit
         self.on_decision = on_decision
+        #: Clamped predicted changes computed by the last guard-chain run
+        #: (reused by the execution path when the state has not moved).
+        self._guard_changes: Optional[dict] = None
         if self.obligations is not None and self.obligations.executor is None:
             # Remedies run through the same guarded execution path.
             self.obligations.executor = self._execute_remedy
@@ -110,17 +136,31 @@ class PolicyEngine:
 
     def _run_guards(self, action: Action, event: Optional[Event],
                     time: float) -> Optional[tuple[str, str]]:
-        """Run every safeguard; return (safeguard, message) on veto, else None."""
+        """Run every safeguard; return (safeguard, message) on veto, else None.
+
+        Side channel: when the guard chain computed the clamped predicted
+        changes for ``action``, they are left in ``_guard_changes`` so the
+        execution path can reuse them instead of recomputing (valid as
+        long as the device state has not moved in between — the caller
+        checks ``state.version``).
+        """
+        self._guard_changes = None
+        safeguards = self.safeguards
+        if not safeguards:
+            # Empty guard chain: nothing can veto, so skip the state
+            # prediction entirely (the unguarded F2 hot path).
+            return None
         try:
-            for safeguard in self.safeguards:
-                safeguard.check_action(self.device, action, event, time)
+            device = self.device
+            for safeguard in safeguards:
+                safeguard.check_action(device, action, event, time)
             if not action.is_noop:
-                changes = self.device.state.clamp_changes(
-                    action.predicted_changes(self.device.state.snapshot())
-                )
-                predicted = self.device.state.predict(changes)
-                for safeguard in self.safeguards:
-                    safeguard.check_transition(self.device, predicted, action, time)
+                state = device.state
+                changes = state.resolve_changes(action.effects)
+                self._guard_changes = changes
+                predicted = state.predict(changes)
+                for safeguard in safeguards:
+                    safeguard.check_transition(device, predicted, action, time)
         except SafeguardViolation as veto:
             return (veto.safeguard or type(veto).__name__, str(veto))
         return None
@@ -137,7 +177,9 @@ class PolicyEngine:
                 detail={"reason": "device deactivated"},
             ))
 
-        state_vector = self.device.state.snapshot()
+        # Policy selection only reads the vector, so the live view is safe
+        # (and skips a per-event dict copy).
+        state_vector = self.device.state.peek()
         policy = self.policies.select(event, state_vector)
         if policy is None:
             return self._record(Decision(
@@ -151,7 +193,7 @@ class PolicyEngine:
         vetoes: list[tuple[str, str]] = []
         veto = self._run_guards(action, event, time)
         if veto is None:
-            executed_ok = self._execute(action, time)
+            executed_ok = self._execute(action, time, self._guard_changes)
             outcome = ActionOutcome.EXECUTED if executed_ok else ActionOutcome.FAILED
             return self._record(Decision(
                 time=time, event_kind=event.kind if event else "internal",
@@ -183,7 +225,7 @@ class PolicyEngine:
                     policy_id=policy.policy_id, requested=action.name,
                     executed=None, outcome=ActionOutcome.VETOED, vetoes=vetoes,
                 ))
-            executed_ok = self._execute(candidate, time)
+            executed_ok = self._execute(candidate, time, self._guard_changes)
             if executed_ok:
                 return self._record(Decision(
                     time=time, event_kind=event.kind if event else "internal",
@@ -215,9 +257,18 @@ class PolicyEngine:
 
     # -- execution -------------------------------------------------------------
 
-    def _execute(self, action: Action, time: float) -> bool:
-        """Fire the actuator and apply declared effects.  True on success."""
+    def _execute(self, action: Action, time: float,
+                 changes: Optional[dict] = None) -> bool:
+        """Fire the actuator and apply declared effects.  True on success.
+
+        ``changes`` may carry the clamped predicted changes the guard
+        chain already computed; they are reused only if the actuator left
+        the state untouched (``state.version`` unchanged), otherwise the
+        effects are re-resolved against the post-actuator state.
+        """
+        state = self.device.state
         if not action.is_noop:
+            version_before = state.version
             try:
                 self.device.invoke_actuator(action, time)
             except DeactivatedError:
@@ -228,13 +279,12 @@ class PolicyEngine:
                 # The action references an actuator this device lacks (e.g. a
                 # payload implanted on the wrong device type): fail, not crash.
                 return False
-        changes = self.device.state.clamp_changes(
-            action.predicted_changes(self.device.state.snapshot())
-        )
-        if changes:
-            self.device.state.apply(changes, time=time, cause=f"action:{action.name}")
-        if self.obligations is not None and not action.is_noop:
-            self.obligations.on_action_executed(action, time)
+            if changes is None or state.version != version_before:
+                changes = state.resolve_changes(action.effects)
+            if changes:
+                state.apply_resolved(changes, time=time, cause=f"action:{action.name}")
+            if self.obligations is not None:
+                self.obligations.on_action_executed(action, time)
         return True
 
     def _execute_remedy(self, remedy: Action) -> bool:
@@ -242,7 +292,7 @@ class PolicyEngine:
         time = self.device.clock()
         if self._run_guards(remedy, None, time) is not None:
             return False
-        return self._execute(remedy, time)
+        return self._execute(remedy, time, self._guard_changes)
 
     # -- bookkeeping -----------------------------------------------------------
 

@@ -12,21 +12,35 @@ Events carry a dotted ``kind`` (``sensor.smoke``, ``net.message``,
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 _event_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
 class Event:
-    """An occurrence delivered to a device's logic."""
+    """An occurrence delivered to a device's logic.
 
-    kind: str
-    time: float = 0.0
-    source: str = ""
-    payload: dict = field(default_factory=dict)
-    event_id: int = field(default_factory=lambda: next(_event_ids))
+    Treated as immutable once constructed.  A ``__slots__`` class rather
+    than a dataclass: one event is allocated per delivery, so
+    construction cost is part of the device-model hot loop (benchmark
+    F2).
+    """
+
+    __slots__ = ("kind", "time", "source", "payload", "event_id")
+
+    def __init__(self, kind: str, time: float = 0.0, source: str = "",
+                 payload: Optional[dict] = None,
+                 event_id: Optional[int] = None):
+        self.kind = kind
+        self.time = time
+        self.source = source
+        self.payload = {} if payload is None else payload
+        self.event_id = next(_event_ids) if event_id is None else event_id
+
+    def __repr__(self) -> str:
+        return (f"Event(kind={self.kind!r}, time={self.time!r}, "
+                f"source={self.source!r}, payload={self.payload!r}, "
+                f"event_id={self.event_id})")
 
     def get(self, key: str, default: Any = None) -> Any:
         """Payload lookup with default."""

@@ -14,7 +14,7 @@ import string
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.actions import Action, ActionLibrary
+from repro.core.actions import ActionLibrary
 from repro.core.policy import Policy
 from repro.errors import TemplateError
 

@@ -170,15 +170,17 @@ class PolicySet:
         wildcard bucket are scanned.
         """
         event_root = event.kind.split(".", 1)[0]
-        candidates: list[tuple[int, Policy]] = []
+        policies = self._policies
+        hits: list[tuple[int, Policy]] = []
         for root in (event_root, "*"):
-            for policy_id, seq in self._by_root.get(root, {}).items():
-                candidates.append((seq, self._policies[policy_id]))
-        hits = [
-            (seq, policy) for seq, policy in candidates
-            if policy.applies(event, state)
-        ]
-        hits.sort(key=lambda item: (-item[1].priority, item[0]))
+            bucket = self._by_root.get(root)
+            if bucket:
+                for policy_id, seq in bucket.items():
+                    policy = policies[policy_id]
+                    if policy.applies(event, state):
+                        hits.append((seq, policy))
+        if len(hits) > 1:
+            hits.sort(key=lambda item: (-item[1].priority, item[0]))
         return [policy for _seq, policy in hits]
 
     def select(self, event: Event, state: dict, *, strict: bool = False) -> Optional[Policy]:

@@ -12,8 +12,8 @@ transition history so safeguards and auditors can inspect trajectories.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 from repro.errors import StateBoundsError, UnknownVariableError
 from repro.types import Value
@@ -130,13 +130,28 @@ class StateSpace:
         return StateSpace(merged.values())
 
 
-@dataclass
 class Transition:
-    """One recorded state change."""
+    """One recorded state change (``changed`` maps name -> (old, new)).
 
-    time: float
-    cause: str
-    changed: dict = field(default_factory=dict)   # name -> (old, new)
+    A plain ``__slots__`` class rather than a dataclass: one instance is
+    allocated per state mutation, which makes construction cost part of
+    the device-model hot loop (benchmark F2).
+    """
+
+    __slots__ = ("time", "cause", "changed")
+
+    def __init__(self, time: float, cause: str, changed: Optional[dict] = None):
+        self.time = time
+        self.cause = cause
+        self.changed = {} if changed is None else changed
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Transition)
+                and self.time == other.time and self.cause == other.cause
+                and self.changed == other.changed)
+
+    def __repr__(self) -> str:
+        return f"Transition(time={self.time!r}, cause={self.cause!r}, changed={self.changed!r})"
 
 
 class DeviceState:
@@ -165,28 +180,50 @@ class DeviceState:
     def set(self, name: str, value: Value, *, time: float = 0.0,
             cause: str = "direct") -> None:
         """Assign one variable (validated against its declaration)."""
-        self.apply({name: value}, time=time, cause=cause)
+        self.space.variable(name).validate(value)
+        old = self._values[name]
+        if old != value:
+            self._values[name] = value
+            self.version += 1
+            history = self._history
+            history.append(Transition(time, cause, {name: (old, value)}))
+            if len(history) > self._history_limit:
+                del history[: len(history) - self._history_limit]
 
     def apply(self, changes: dict, *, time: float = 0.0, cause: str = "direct") -> Transition:
         """Apply several assignments atomically; records one transition."""
-        self.space.validate_vector(changes)
+        variable = self.space.variable
+        for name, new in changes.items():
+            variable(name).validate(new)
+        values = self._values
         changed = {}
         for name, new in changes.items():
-            old = self._values[name]
+            old = values[name]
             if old != new:
                 changed[name] = (old, new)
-                self._values[name] = new
-        transition = Transition(time=time, cause=cause, changed=changed)
+                values[name] = new
+        transition = Transition(time, cause, changed)
         if changed:
             self.version += 1
-            self._history.append(transition)
-            if len(self._history) > self._history_limit:
-                del self._history[: len(self._history) - self._history_limit]
+            history = self._history
+            history.append(transition)
+            if len(history) > self._history_limit:
+                del history[: len(history) - self._history_limit]
         return transition
 
     def snapshot(self) -> dict:
         """A defensive copy of the current state vector."""
         return dict(self._values)
+
+    def peek(self) -> dict:
+        """The live state vector itself — strictly read-only.
+
+        The policy-engine hot path (policy selection, effect prediction)
+        reads the vector once per event; copying it each time dominated
+        the F2 loop.  Callers must not mutate the returned dict; use
+        :meth:`snapshot` for a safe copy.
+        """
+        return self._values
 
     def history(self) -> list[Transition]:
         return list(self._history)
@@ -213,6 +250,70 @@ class DeviceState:
             else:
                 clamped[name] = value
         return clamped
+
+    def resolve_changes(self, effects) -> dict:
+        """Resolve declared effects against the current vector, clamped.
+
+        Semantically equivalent to
+        ``clamp_changes(action.predicted_changes(peek()))`` but in one
+        pass touching only the affected variables — effects compose
+        unclamped (matching :meth:`Action.predicted_changes`) and the
+        final value of each variable is then saturated at its physical
+        bounds.  This is the per-event path of the policy engine
+        (benchmark F2); raises :class:`UnknownVariableError` for effects
+        on undeclared variables, like :meth:`clamp_changes`.
+        """
+        if not effects:
+            return {}
+        values = self._values
+        overlay: dict = {}
+        for effect in effects:
+            name = effect.variable
+            if name not in overlay and name in values:
+                overlay[name] = values[name]
+            effect.apply_to(overlay)
+        variable = self.space.variable
+        out: dict = {}
+        for name, new in overlay.items():
+            var = variable(name)
+            if (var.kind in ("float", "int")
+                    and isinstance(new, (int, float))
+                    and not isinstance(new, bool)):
+                if var.low is not None and new < var.low:
+                    new = var.low
+                if var.high is not None and new > var.high:
+                    new = var.high
+                if var.kind == "int":
+                    new = int(new)
+            else:
+                # Non-numeric assignments are validated here (numeric ones
+                # are in-bounds by construction after clamping), so the
+                # result is safe for :meth:`apply_resolved`.
+                var.validate(new)
+            if values.get(name) != new:
+                out[name] = new
+        return out
+
+    def apply_resolved(self, changes: dict, *, time: float = 0.0,
+                       cause: str = "direct") -> Transition:
+        """Apply changes produced by :meth:`resolve_changes`, skipping
+        re-validation (they are in-bounds by construction).  Same atomic
+        semantics and history recording as :meth:`apply`."""
+        values = self._values
+        changed = {}
+        for name, new in changes.items():
+            old = values[name]
+            if old != new:
+                changed[name] = (old, new)
+                values[name] = new
+        transition = Transition(time, cause, changed)
+        if changed:
+            self.version += 1
+            history = self._history
+            history.append(transition)
+            if len(history) > self._history_limit:
+                del history[: len(history) - self._history_limit]
+        return transition
 
     def predict(self, changes: dict) -> dict:
         """The vector that *would* result from ``changes``, without mutating.

@@ -45,6 +45,16 @@ class Network:
         self._suspended: set = set()
         self._rng = sim.rng.stream("net")
         self._taps: list[Callable[[Message], None]] = []
+        # Cached metric handles: send/deliver run once per message, so the
+        # registry's dict-lookup-by-string is hoisted out of the hot path.
+        metrics = sim.metrics
+        self._m_sent = metrics.counter("net.sent")
+        self._m_unroutable = metrics.counter("net.unroutable")
+        self._m_unreachable = metrics.counter("net.unreachable")
+        self._m_dropped = metrics.counter("net.dropped")
+        self._m_suspended_drop = metrics.counter("net.suspended_drop")
+        self._m_delivered = metrics.counter("net.delivered")
+        self._m_latency = metrics.histogram("net.latency")
 
     # -- registration ------------------------------------------------------------
 
@@ -107,7 +117,7 @@ class Network:
                          body=dict(body), sent_at=self.sim.now)
         for tap in self._taps:
             tap(message)
-        self.sim.metrics.counter("net.sent").inc()
+        self._m_sent.inc()
         if message.is_broadcast:
             for address in self.addresses():
                 if address != sender:
@@ -118,17 +128,17 @@ class Network:
 
     def _deliver_one(self, message: Message, recipient: str) -> None:
         if recipient not in self._handlers:
-            self.sim.metrics.counter("net.unroutable").inc()
+            self._m_unroutable.inc()
             self.sim.record("net.unroutable", message.sender, recipient=recipient,
                             topic=message.topic)
             return
         if not self.topology.can_reach(message.sender, recipient):
-            self.sim.metrics.counter("net.unreachable").inc()
+            self._m_unreachable.inc()
             self.sim.record("net.unreachable", message.sender, recipient=recipient,
                             topic=message.topic)
             return
         if self._rng.chance(self.loss_rate):
-            self.sim.metrics.counter("net.dropped").inc()
+            self._m_dropped.inc()
             self.sim.record("net.dropped", message.sender, recipient=recipient,
                             topic=message.topic)
             return
@@ -141,15 +151,13 @@ class Network:
     def _arrive(self, message: Message, recipient: str) -> None:
         handler = self._handlers.get(recipient)
         if handler is None:
-            self.sim.metrics.counter("net.unroutable").inc()
+            self._m_unroutable.inc()
             return
         if recipient in self._suspended:
-            self.sim.metrics.counter("net.suspended_drop").inc()
+            self._m_suspended_drop.inc()
             return
-        self.sim.metrics.counter("net.delivered").inc()
-        self.sim.metrics.histogram("net.latency").observe(
-            self.sim.now - message.sent_at
-        )
+        self._m_delivered.inc()
+        self._m_latency.observe(self.sim.now - message.sent_at)
         handler(message)
 
     # -- convenience -----------------------------------------------------------------

@@ -33,7 +33,13 @@ _PROTOCOL_KEYS = ("_rmid", "_rfrom")
 
 @dataclass
 class PendingSend:
-    """One reliable send in flight (or finished)."""
+    """One reliable send in flight, queued, or finished.
+
+    ``coalesce`` tags sends that carry full-state snapshots: while such a
+    send waits in the flow-control queue, a newer send with the same
+    ``(recipient, topic, coalesce)`` replaces it (the old handle reads
+    ``superseded=True`` and none of its callbacks ever fire).
+    """
 
     rmid: str
     sender: str
@@ -44,6 +50,8 @@ class PendingSend:
     attempts: int = 0
     acked: bool = False
     dead: bool = False
+    superseded: bool = False
+    coalesce: Optional[str] = None
     acked_at: Optional[float] = None
     on_fail: Optional[Callable[["PendingSend"], None]] = field(
         default=None, repr=False)
@@ -65,7 +73,17 @@ class ReliableChannel:
         backoff: float = 2.0,
         jitter: float = 0.1,
         max_attempts: int = 4,
+        max_in_flight: Optional[int] = None,
     ):
+        """``max_in_flight`` caps how many of one sender's messages may be
+        on the wire (transmitted, unresolved) at once; excess sends queue
+        per sender in FIFO order and drain as earlier ones ack or die.
+        ``None`` (the default) keeps the historical uncapped behaviour.
+        Under a fault storm the cap stops a cut-off sender from pyramiding
+        retries for every queued snapshot at once — combined with
+        ``coalesce`` tags, stale telemetry collapses to the newest
+        snapshot instead of replaying a backlog after the partition heals.
+        """
         if timeout <= 0:
             raise NetworkError("timeout must be positive")
         if backoff < 1.0:
@@ -74,17 +92,22 @@ class ReliableChannel:
             raise NetworkError("jitter must be non-negative")
         if max_attempts < 1:
             raise NetworkError("max_attempts must be >= 1")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise NetworkError("max_in_flight must be >= 1 or None")
         self.network = network
         self.sim = network.sim
         self.timeout = timeout
         self.backoff = backoff
         self.jitter = jitter
         self.max_attempts = max_attempts
+        self.max_in_flight = max_in_flight
         self.dead_letters: list[PendingSend] = []
         self._rng = self.sim.rng.stream("net.reliable")
         self._counter = itertools.count(1)
         self._pending: dict[str, PendingSend] = {}
         self._seen: dict[str, set] = {}   # receiving address -> rmids delivered
+        self._in_flight: dict[str, int] = {}        # sender -> wire count
+        self._queued: dict[str, list] = {}          # sender -> FIFO backlog
 
     # -- registration ----------------------------------------------------------
 
@@ -107,12 +130,20 @@ class ReliableChannel:
         body: dict,
         on_fail: Optional[Callable[[PendingSend], None]] = None,
         on_ack: Optional[Callable[[PendingSend], None]] = None,
+        coalesce: Optional[str] = None,
     ) -> PendingSend:
         """Send with delivery tracking; returns the in-flight handle.
 
         ``on_ack(pending)`` fires when the acknowledgement arrives;
         ``on_fail(pending)`` fires when the attempt budget is exhausted
         (the message is then in :attr:`dead_letters`).
+
+        ``coalesce`` (with :attr:`max_in_flight` set) marks the message
+        as a superseding snapshot: if an *unsent* message with the same
+        ``(recipient, topic, coalesce)`` is still queued behind the
+        in-flight cap, the new send replaces it in place (the superseded
+        handle fires no callbacks).  In-flight messages never coalesce —
+        they are already on the wire.
         """
         if recipient == BROADCAST:
             raise NetworkError(
@@ -122,17 +153,65 @@ class ReliableChannel:
         pending = PendingSend(
             rmid=f"r{next(self._counter)}", sender=sender, recipient=recipient,
             topic=topic, body=dict(body), first_sent=self.sim.now,
-            on_fail=on_fail, on_ack=on_ack,
+            coalesce=coalesce, on_fail=on_fail, on_ack=on_ack,
         )
-        self._pending[pending.rmid] = pending
         self.sim.metrics.counter("reliable.sent").inc()
-        self._transmit(pending)
+        cap = self.max_in_flight
+        if cap is not None and self._in_flight.get(sender, 0) >= cap:
+            self._enqueue(pending)
+        else:
+            self._pending[pending.rmid] = pending
+            self._in_flight[sender] = self._in_flight.get(sender, 0) + 1
+            self._transmit(pending)
         return pending
 
     def outstanding(self) -> int:
-        return len(self._pending)
+        return len(self._pending) + sum(
+            len(queue) for queue in self._queued.values())
+
+    def queue_depth(self, sender: Optional[str] = None) -> int:
+        """Messages waiting behind the in-flight cap (0 when uncapped)."""
+        if sender is not None:
+            return len(self._queued.get(sender, ()))
+        return sum(len(queue) for queue in self._queued.values())
 
     # -- internals -------------------------------------------------------------
+
+    def _enqueue(self, pending: PendingSend) -> None:
+        queue = self._queued.setdefault(pending.sender, [])
+        if pending.coalesce is not None:
+            slot = (pending.recipient, pending.topic, pending.coalesce)
+            for index, waiting in enumerate(queue):
+                if (waiting.recipient, waiting.topic, waiting.coalesce) == slot:
+                    waiting.superseded = True
+                    queue[index] = pending     # keep the old queue position
+                    self.sim.metrics.counter("reliable.coalesced").inc()
+                    self.sim.metrics.histogram("reliable.queue_depth").observe(
+                        len(queue))
+                    return
+        queue.append(pending)
+        self.sim.metrics.counter("reliable.queued").inc()
+        self.sim.metrics.histogram("reliable.queue_depth").observe(len(queue))
+
+    def _resolve(self, pending: PendingSend) -> None:
+        """One in-flight send finished (ack or dead): admit the backlog."""
+        sender = pending.sender
+        in_flight = self._in_flight.get(sender, 0) - 1
+        if in_flight > 0:
+            self._in_flight[sender] = in_flight
+        else:
+            self._in_flight.pop(sender, None)
+            in_flight = max(in_flight, 0)
+        cap = self.max_in_flight
+        queue = self._queued.get(sender)
+        while queue and (cap is None or in_flight < cap):
+            next_pending = queue.pop(0)
+            self._pending[next_pending.rmid] = next_pending
+            in_flight += 1
+            self._in_flight[sender] = in_flight
+            self._transmit(next_pending)
+        if queue is not None and not queue:
+            del self._queued[sender]
 
     def _transmit(self, pending: PendingSend) -> None:
         pending.attempts += 1
@@ -159,6 +238,7 @@ class ReliableChannel:
                             attempts=pending.attempts)
             if pending.on_fail is not None:
                 pending.on_fail(pending)
+            self._resolve(pending)
             return
         self.sim.metrics.counter("reliable.resends").inc()
         self._transmit(pending)
@@ -175,6 +255,7 @@ class ReliableChannel:
         )
         if pending.on_ack is not None:
             pending.on_ack(pending)
+        self._resolve(pending)
 
     def _wrap(self, address: str, inner: Handler) -> Handler:
         def handler(message: Message) -> None:

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.core.actions import Action
 from repro.core.device import Device
 from repro.errors import ConfigurationError
 from repro.net.message import Message

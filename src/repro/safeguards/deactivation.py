@@ -341,9 +341,12 @@ class OverseerLink:
         }
         self.reports_sent += 1
         if self._reliable:
+            # Reports are full-state snapshots, so when the channel is
+            # flow-controlled a queued stale report may be superseded by
+            # this fresher one (no-op on an uncapped channel).
             self.transport.send(self.address, self.overseer, REPORT_TOPIC, body,
                                 on_fail=self._on_dead_letter,
-                                on_ack=self._on_ack)
+                                on_ack=self._on_ack, coalesce="telemetry")
         else:
             self.transport.send(self.address, self.overseer, REPORT_TOPIC, body)
 

@@ -20,7 +20,6 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.actions import Action
 from repro.core.engine import Safeguard
-from repro.core.events import Event
 from repro.errors import StateSpaceVeto
 from repro.statespace.classifier import SafenessClassifier
 from repro.statespace.preferences import StatePreferenceOntology

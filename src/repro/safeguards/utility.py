@@ -23,7 +23,6 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.actions import Action
 from repro.core.engine import Safeguard
-from repro.core.events import Event
 from repro.errors import ConfigurationError, SafeguardViolation
 
 if TYPE_CHECKING:  # pragma: no cover

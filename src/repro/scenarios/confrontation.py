@@ -127,6 +127,7 @@ class ConfrontationScenario:
         supervision: str = "propagate",
         safety_transport: Optional[str] = None,
         quarantine_after: int = 3,
+        reliable_max_in_flight: Optional[int] = None,
     ):
         """``fault_plan``/``supervision`` arm the chaos harness (E17).
 
@@ -136,6 +137,9 @@ class ConfrontationScenario:
         ``"reliable"`` — the same traffic over a
         :class:`~repro.net.reliable.ReliableChannel`, with fail-closed
         self-quarantine after ``quarantine_after`` dead-lettered reports.
+        ``reliable_max_in_flight`` turns on the channel's per-sender
+        flow-control cap (telemetry snapshots then coalesce while
+        queued); ``None`` keeps the uncapped historical behaviour.
         """
         if safety_transport not in (None, "datagram", "reliable"):
             raise ConfigurationError(
@@ -182,6 +186,7 @@ class ConfrontationScenario:
                     transport = self.safety_channel = ReliableChannel(
                         self.network, timeout=0.5, backoff=2.0,
                         max_attempts=5,
+                        max_in_flight=reliable_max_in_flight,
                     )
                 self.watchdog = Watchdog(
                     self.sim, self.devices, self.classifier,

@@ -135,6 +135,7 @@ def run_matrix(
     run_fn: Callable[..., dict],
     seeds: Sequence[int],
     export_path: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> dict:
     """Run a full (arm x seed) grid and aggregate per arm.
 
@@ -143,11 +144,22 @@ def run_matrix(
     each aggregated dict maps numeric keys to ``(mean, std)`` (the
     :func:`run_replications` format).  With ``export_path`` set, the raw
     per-run results are also written as JSON for offline analysis.
+
+    Cells fan out through :func:`repro.scenarios.sweep.run_sweep`
+    (parallel when ``workers`` or ``REPRO_SWEEP_WORKERS`` says so, serial
+    otherwise) with identical aggregates either way: each cell depends
+    only on its ``(config, seed)`` arguments and results merge in cell
+    order.
     """
+    from repro.scenarios.sweep import run_sweep
+
+    cells = [(config, seed) for _label, config in arms for seed in seeds]
+    flat = run_sweep(run_fn, cells, workers=workers)
     raw: dict = {}
     aggregated: dict = {}
-    for label, config in arms:
-        runs = [run_fn(config, seed) for seed in seeds]
+    per_arm = len(seeds)
+    for index, (label, _config) in enumerate(arms):
+        runs = flat[index * per_arm:(index + 1) * per_arm]
         raw[label] = runs
         aggregated[label] = {"_n": len(runs)}
         if runs:

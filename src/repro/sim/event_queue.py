@@ -3,46 +3,78 @@
 Ordering is total and deterministic: events fire by (time, priority,
 sequence number).  The sequence number breaks ties in insertion order so
 repeated runs with the same seed replay identically.
+
+Heap entries are plain ``(time, priority, seq, event)`` tuples: tuple
+comparison short-circuits on the numeric fields (the sequence number is
+unique, so the event payload itself is never compared), which is markedly
+faster than dataclass field-by-field ordering in the simulator's hot
+loop.  The :class:`ScheduledEvent` payload is a ``__slots__`` class for
+the same reason.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
+_INF = float("inf")
 
-@dataclass(order=True)
+
 class ScheduledEvent:
     """A callback scheduled to run at a simulated time.
 
-    Instances are ordered by ``(time, priority, seq)`` which is exactly the
+    Events are ordered by ``(time, priority, seq)`` which is exactly the
     firing order.  ``cancelled`` events stay in the heap but are skipped
-    when popped (lazy deletion).
+    when popped (lazy deletion).  Cancellation bookkeeping lives here —
+    :meth:`cancel` notifies the owning queue — so ``len(queue)`` always
+    counts live events no matter which path cancelled the handle.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "label",
+                 "cancelled", "_queue")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., Any], args: tuple = (),
+                 label: str = "", queue: Optional["EventQueue"] = None):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so it will be skipped when its time comes."""
-        self.cancelled = True
+        """Mark the event so it will be skipped when its time comes.
+
+        Idempotent, and self-accounting: the owning queue's live count is
+        decremented exactly once, and only while the event is actually
+        still queued (popped events detach from the queue first).
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                self._queue = None
+                queue._live -= 1
+
+    def __repr__(self) -> str:
+        state = ", cancelled" if self.cancelled else ""
+        return (f"ScheduledEvent(time={self.time!r}, priority={self.priority}, "
+                f"seq={self.seq}, label={self.label!r}{state})")
 
 
 class EventQueue:
     """A deterministic min-heap of :class:`ScheduledEvent` objects."""
 
+    __slots__ = ("_heap", "_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
-        self._counter = itertools.count()
+        self._heap: list = []        # (time, priority, seq, ScheduledEvent)
+        self._seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -57,46 +89,72 @@ class EventQueue:
         label: str = "",
     ) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at ``time`` and return a cancellable handle."""
-        if time != time or time == float("inf"):  # NaN or inf
+        if time != time or time == _INF:  # NaN or inf
             raise SimulationError(f"cannot schedule event at time {time!r}")
-        event = ScheduledEvent(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            args=args,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, priority, seq, callback, args, label, self)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[ScheduledEvent]:
         """Remove and return the next live event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if not event.cancelled:
+                event._queue = None
+                self._live -= 1
+                return event
+        return None
+
+    def pop_until(self, horizon: float) -> Optional[ScheduledEvent]:
+        """Pop the next live event at or before ``horizon``, else ``None``.
+
+        Fuses the former ``peek_time()``/``pop()`` pair into a single heap
+        traversal: cancelled entries are drained once, and an event beyond
+        the horizon stays queued.  ``None`` therefore means *either* the
+        queue is empty *or* the next live event is later than ``horizon``
+        (callers distinguish via :meth:`peek_time` when it matters).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heapq.heappop(heap)
                 continue
+            if entry[0] > horizon:
+                return None
+            event = heapq.heappop(heap)[3]
+            event._queue = None
             self._live -= 1
             return event
-        self._live = 0
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            self._live = 0
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
-        """Account for an externally-cancelled event (keeps ``len`` accurate)."""
-        if self._live > 0:
-            self._live -= 1
+        """Deprecated no-op, kept for source compatibility.
+
+        :meth:`ScheduledEvent.cancel` now keeps the live count accurate
+        itself, which closes the historical accounting drift where events
+        cancelled directly on the handle (bypassing this method) left
+        ``len(queue)`` overcounting until the heap drained them.
+        """
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event (their handles read as cancelled)."""
+        for entry in self._heap:
+            event = entry[3]
+            event.cancelled = True
+            event._queue = None
         self._heap.clear()
         self._live = 0

@@ -13,7 +13,14 @@ from typing import Optional
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
+
+    Hot callbacks hold a direct reference (a *cached handle*) obtained
+    once from :meth:`MetricsRegistry.counter` instead of re-looking the
+    name up per event; ``__slots__`` keeps the instances lean.
+    """
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str):
         self.name = name
@@ -30,6 +37,8 @@ class Counter:
 
 class Gauge:
     """A value that can move in either direction."""
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str, initial: float = 0.0):
         self.name = name

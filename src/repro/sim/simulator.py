@@ -14,6 +14,7 @@ observing it (the chaos experiments, E17).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -92,22 +93,33 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace_capacity: Optional[int] = None,
                  supervision: str = "propagate", kill_threshold: int = 1,
-                 livelock_threshold: Optional[int] = 100_000):
+                 livelock_threshold: Optional[int] = 100_000,
+                 trace_enabled: bool = True, trace_sample_every: int = 1):
         """``supervision`` picks the crash policy (see :class:`Supervisor`).
 
         ``livelock_threshold`` caps *consecutive* events processed at one
         simulated timestamp; exceeding it raises :class:`SimulationError`
         naming the offending event labels instead of spinning forever when
         a faulty callback self-reschedules at delay 0.  ``None`` disables
-        the guard."""
+        the guard.
+
+        ``trace_enabled``/``trace_sample_every`` configure the
+        :class:`TraceRecorder` (disabled or sampled tracing for perf
+        runs — see ``repro.sim.tracing``); the default keeps full,
+        byte-identical-on-replay traces."""
         if livelock_threshold is not None and livelock_threshold < 1:
             raise SimulationError("livelock_threshold must be >= 1 or None")
         self.queue = EventQueue()
         self.rng = SeededRNG(seed)
         self.metrics = MetricsRegistry()
-        self.trace = TraceRecorder(capacity=trace_capacity)
+        self.trace = TraceRecorder(capacity=trace_capacity,
+                                   enabled=trace_enabled,
+                                   sample_every=trace_sample_every)
         self.supervisor = Supervisor(self, supervision, kill_threshold)
         self.livelock_threshold = livelock_threshold
+        #: Optional :class:`~repro.sim.profiling.Profiler`; when set the
+        #: run loop times every callback (one ``is None`` check otherwise).
+        self.profiler = None
         self._now = 0.0
         self._running = False
         self._stop_requested = False
@@ -166,9 +178,7 @@ class Simulator:
         return task
 
     def cancel(self, event: ScheduledEvent) -> None:
-        if not event.cancelled:
-            event.cancel()
-            self.queue.note_cancelled()
+        event.cancel()      # idempotent; the handle keeps queue accounting
 
     # -- execution -----------------------------------------------------------
 
@@ -211,32 +221,76 @@ class Simulator:
         """Run until the queue empties, ``until`` is reached, or ``max_events`` fire.
 
         Returns the simulated time at which the run stopped.
+
+        The loop is the simulator's hottest code: one fused
+        ``pop_until`` heap traversal per event (instead of the former
+        ``peek_time()`` + ``pop()`` double walk), with the livelock
+        check inlined and per-iteration attribute lookups hoisted.
         """
         if self._running:
             raise SimulationError("simulator is already running (no reentrant run)")
         self._running = True
         self._stop_requested = False
         processed = 0
+        exhausted = False        # pop_until returned None (drained or horizon)
+        horizon = until if until is not None else float("inf")
+        pop_until = self.queue.pop_until
+        supervisor = self.supervisor
+        livelock_threshold = self.livelock_threshold
+        profiler = self.profiler
         try:
             while True:
                 if self._stop_requested:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                event = pop_until(horizon)
+                if event is None:
+                    exhausted = True
                     break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                self.step()
+                time = event.time
+                now = self._now
+                if time < now:
+                    raise SimulationError("event queue returned an event from the past")
+                if livelock_threshold is not None:
+                    if time == now and self.events_processed > 0:
+                        self._stall_count += 1
+                        stalls = self._stall_labels
+                        stalls.append(event.label)
+                        if len(stalls) > 8:
+                            del stalls[0]
+                        if self._stall_count > livelock_threshold:
+                            raise SimulationError(
+                                f"livelock: {self._stall_count} consecutive events at "
+                                f"t={now} (threshold {livelock_threshold}); "
+                                f"recent labels: {stalls}"
+                            )
+                    elif self._stall_count:
+                        self._stall_count = 0
+                        self._stall_labels.clear()
+                self._now = time
+                try:
+                    if profiler is None:
+                        event.callback(*event.args)
+                    else:
+                        started = perf_counter()
+                        try:
+                            event.callback(*event.args)
+                        finally:
+                            profiler.add(event.label, perf_counter() - started)
+                except Exception as error:
+                    if not supervisor.handle(event, error):
+                        raise
+                self.events_processed += 1
                 processed += 1
         finally:
             self._running = False
-        if until is not None and self._now < until and self.queue.peek_time() is None:
-            # Queue drained before the horizon: advance the clock to it so
-            # time-based rates (harm per unit time) are computed consistently.
-            self._now = until
+        if until is not None and self._now < until:
+            if exhausted or self.queue.peek_time() is None:
+                # Next event beyond the horizon, or the queue drained
+                # before it: advance the clock so time-based rates (harm
+                # per unit time) are computed consistently.
+                self._now = until
         return self._now
 
     def stop(self) -> None:

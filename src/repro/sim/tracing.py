@@ -31,15 +31,42 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` records and supports filtered queries."""
+    """Collects :class:`TraceEvent` records and supports filtered queries.
 
-    def __init__(self, capacity: Optional[int] = None):
+    Tracing allocates a frozen dataclass per record, which is measurable
+    in hot loops, so perf-sensitive runs can turn it down:
+
+    * ``enabled=False`` — :meth:`record` returns ``None`` immediately
+      (only ``dropped`` is counted; listeners are not invoked);
+    * ``sample_every=N`` — keep the first of every ``N`` calls and drop
+      the rest (deterministic stride, no RNG, so sampled runs replay
+      identically for a given seed).
+
+    Audit-bearing experiments keep the default full recording.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, *,
+                 enabled: bool = True, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self.capacity = capacity
+        self.enabled = enabled
+        self.sample_every = sample_every
         self.events: list[TraceEvent] = []
         self.dropped = 0
+        self._calls = 0
         self._listeners: list[Callable[[TraceEvent], None]] = []
 
-    def record(self, time: float, kind: str, subject: str, **detail) -> TraceEvent:
+    def record(self, time: float, kind: str, subject: str, **detail) -> Optional[TraceEvent]:
+        if not self.enabled:
+            self.dropped += 1
+            return None
+        if self.sample_every != 1:
+            calls = self._calls
+            self._calls = calls + 1
+            if calls % self.sample_every:
+                self.dropped += 1
+                return None
         event = TraceEvent(time=time, kind=kind, subject=subject, detail=detail)
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1

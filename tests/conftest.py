@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.actions import Action, ActionLibrary, Effect
+from repro.core.actions import Action, Effect
 from repro.core.device import Actuator, Device
 from repro.core.policy import Policy
 from repro.core.state import StateSpace, StateVariable

@@ -11,7 +11,6 @@ from repro.core.conditions import (
     EventKindIs,
     Literal,
     Not,
-    TrueCondition,
     parse_condition,
 )
 from repro.core.events import Event

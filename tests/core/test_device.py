@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.device import Actuator, Device, Sensor
-from repro.core.events import Event
 from repro.errors import ConfigurationError, DeactivatedError
 from repro.types import DeviceStatus
 

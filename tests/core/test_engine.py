@@ -1,13 +1,12 @@
 """Unit tests for the policy engine and guard chain."""
 
-import pytest
 
-from repro.core.actions import Action, Effect, noop_action
+from repro.core.actions import Action, noop_action
 from repro.core.engine import Safeguard
 from repro.core.events import Event
 from repro.core.policy import Policy
 from repro.errors import SafeguardViolation
-from repro.types import ActionOutcome, DeviceStatus
+from repro.types import ActionOutcome
 
 from tests.conftest import heat_policy, make_test_device
 

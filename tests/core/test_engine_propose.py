@@ -1,8 +1,7 @@
 """Unit tests for the engine's external-proposal API."""
 
-import pytest
 
-from repro.core.actions import Action, Effect
+from repro.core.actions import Action
 from repro.errors import SafeguardViolation
 from repro.core.engine import Safeguard
 from repro.types import ActionOutcome

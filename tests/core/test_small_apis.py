@@ -1,7 +1,6 @@
 """Tests for small public APIs: sensor override, obligation escalation,
 condition `in` operator, and parser fuzzing."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.actions import Action

@@ -6,7 +6,7 @@ import pytest
 from repro.core.events import Event
 from repro.devices.base import bind_device
 from repro.devices.coalition import Coalition, Organization
-from repro.devices.drone import builtin_drone_policies, drone_actions, make_drone
+from repro.devices.drone import builtin_drone_policies, make_drone
 from repro.devices.human import HumanOperator
 from repro.devices.mechanic import MechanicDevice
 from repro.devices.mule import make_mule

@@ -1,8 +1,7 @@
 """Edge-case hardening across modules."""
 
-import pytest
 
-from repro.core.actions import Action, Effect
+from repro.core.actions import Action
 from repro.core.events import Event
 from repro.core.policy import Policy
 from repro.sim.simulator import Simulator

@@ -209,12 +209,9 @@ def test_audit_chain_verifies_after_any_breakglass_sequence(pattern):
 def test_iterative_filtering_bounded_by_extremes(values, outlier):
     """The robust estimate always lies within the data range and is never
     further from the honest median than the plain mean is."""
-    from statistics import median
-
     from repro.trust.aggregation import (
         IterativeFilteringAggregator,
         SensorReading,
-        mean_aggregate,
     )
 
     readings = [SensorReading(f"s{i}", v) for i, v in enumerate(values)]

@@ -1,6 +1,5 @@
 """Unit + property tests for online learning primitives."""
 
-import math
 import statistics
 
 import pytest

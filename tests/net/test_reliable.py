@@ -146,3 +146,98 @@ def test_same_seed_same_retry_schedule():
 
     assert retry_times(5) == retry_times(5)
     assert retry_times(5) != retry_times(6)
+
+
+# -- flow control: per-sender in-flight cap + snapshot coalescing -------------------
+
+
+def test_in_flight_cap_queues_excess_sends():
+    sim, network, channel = build(max_in_flight=2)
+    inbox = []
+    channel.register("a", lambda message: None)
+    channel.register("b", inbox.append)
+    handles = [channel.send("a", "b", "data", {"n": n}) for n in range(5)]
+    assert channel.queue_depth("a") == 3           # 2 on the wire, 3 waiting
+    assert channel.outstanding() == 5
+    sim.run(until=10.0)
+    # Everything drains, in FIFO order, exactly once each.
+    assert [message.body["n"] for message in inbox] == [0, 1, 2, 3, 4]
+    assert all(handle.acked for handle in handles)
+    assert channel.queue_depth() == 0
+    assert channel.outstanding() == 0
+    assert sim.metrics.value("reliable.queued") == 3
+
+
+def test_queue_drains_on_dead_letters_too():
+    # Unreachable recipient: every send dead-letters, but the cap still
+    # admits the backlog one resolution at a time instead of stalling.
+    sim, network, channel = build(max_in_flight=1, max_attempts=2,
+                                  timeout=0.5, jitter=0.0)
+    channel.register("a", lambda message: None)
+    handles = [channel.send("a", "nowhere", "data", {"n": n}) for n in range(3)]
+    sim.run(until=60.0)
+    assert all(handle.dead for handle in handles)
+    assert len(channel.dead_letters) == 3
+    assert channel.queue_depth() == 0
+
+
+def test_coalescing_supersedes_queued_snapshots():
+    sim, network, channel = build(max_in_flight=1)
+    inbox = []
+    channel.register("a", lambda message: None)
+    channel.register("b", inbox.append)
+    first = channel.send("a", "b", "report", {"v": 1}, coalesce="telemetry")
+    stale = channel.send("a", "b", "report", {"v": 2}, coalesce="telemetry")
+    fresh = channel.send("a", "b", "report", {"v": 3}, coalesce="telemetry")
+    other = channel.send("a", "b", "order", {"v": 4})   # different topic: kept
+    assert stale.superseded and not fresh.superseded
+    assert channel.queue_depth("a") == 2                # fresh + order
+    sim.run(until=10.0)
+    # The wire only ever carried v=1 (in flight before v=2 arrived), the
+    # winning v=3 snapshot, and the non-coalescible order.
+    assert [message.body for message in inbox] == [{"v": 1}, {"v": 3}, {"v": 4}]
+    assert first.acked and fresh.acked and other.acked
+    assert not stale.acked and not stale.dead           # dropped silently
+    assert sim.metrics.value("reliable.coalesced") == 1
+
+
+def test_coalescing_never_touches_in_flight_messages():
+    sim, network, channel = build(max_in_flight=2)
+    inbox = []
+    channel.register("a", lambda message: None)
+    channel.register("b", inbox.append)
+    wire1 = channel.send("a", "b", "report", {"v": 1}, coalesce="telemetry")
+    wire2 = channel.send("a", "b", "report", {"v": 2}, coalesce="telemetry")
+    assert not wire1.superseded and not wire2.superseded
+    sim.run(until=10.0)
+    assert [message.body["v"] for message in inbox] == [1, 2]
+
+
+def test_uncapped_channel_ignores_coalesce_tag():
+    sim, network, channel = build()                      # max_in_flight=None
+    inbox = []
+    channel.register("a", lambda message: None)
+    channel.register("b", inbox.append)
+    for value in range(4):
+        channel.send("a", "b", "report", {"v": value}, coalesce="telemetry")
+    assert channel.queue_depth() == 0                    # nothing ever queues
+    sim.run(until=10.0)
+    assert [message.body["v"] for message in inbox] == [0, 1, 2, 3]
+
+
+def test_caps_are_per_sender_not_global():
+    sim, network, channel = build(max_in_flight=1)
+    channel.register("a", lambda message: None)
+    channel.register("b", lambda message: None)
+    channel.register("c", lambda message: None)
+    channel.send("a", "c", "data", {})
+    channel.send("b", "c", "data", {})                  # different sender
+    assert channel.queue_depth("a") == 0
+    assert channel.queue_depth("b") == 0                # both on the wire
+    channel.send("a", "c", "data", {})
+    assert channel.queue_depth("a") == 1                # a is at its cap
+
+
+def test_max_in_flight_validation():
+    with pytest.raises(NetworkError):
+        build(max_in_flight=0)

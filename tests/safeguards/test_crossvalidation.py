@@ -66,7 +66,6 @@ def test_capacity_recovers_over_time():
 
 def test_engine_integration_substitutes_on_denial():
     from repro.core.policy import Policy
-    from repro.core.events import Event
 
     sim = Simulator(seed=1)
     operator = HumanOperator("op1", sim)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.actions import Action, Effect
+from repro.core.actions import Action
 from repro.errors import ConfigurationError, SafeguardViolation
 from repro.safeguards.utility import (
     PartialDerivativeUtility,

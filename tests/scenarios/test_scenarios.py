@@ -1,6 +1,5 @@
 """Scenario-level tests: peacekeeping and confrontation end to end."""
 
-import pytest
 
 from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
 from repro.scenarios.harness import SafeguardConfig

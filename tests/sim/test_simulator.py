@@ -110,3 +110,145 @@ def test_no_reentrant_run(sim):
 
     sim.schedule(1.0, recurse)
     sim.run()
+
+
+# -- PeriodicTask edge cases --------------------------------------------------------
+
+
+def test_periodic_cancel_during_fire_stops_rescheduling(sim):
+    fired = []
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) == 2:
+            task.cancel()               # a callback cancelling its own task
+
+    task = sim.every(1.0, tick)
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0]
+    assert task.fired == 2
+    assert len(sim.queue) == 0          # no dangling reschedule left behind
+
+
+def test_periodic_start_after_zero_fires_immediately(sim):
+    fired = []
+    sim.schedule(3.0, lambda: None)     # move the clock off zero first
+    sim.run(until=3.0)
+    sim.every(2.0, lambda: fired.append(sim.now), start_after=0.0)
+    sim.run(until=8.0)
+    assert fired == [3.0, 5.0, 7.0]     # first fire at the current time
+
+
+def test_periodic_start_after_cancel_is_inert(sim):
+    fired = []
+    task = sim.every(1.0, lambda: fired.append(sim.now))
+    sim.run(until=2.5)
+    task.cancel()
+    task.start(1.0)                     # restart after cancel: documented no-op
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0]
+    assert len(sim.queue) == 0
+
+
+def test_periodic_double_cancel_is_idempotent(sim):
+    task = sim.every(1.0, lambda: None)
+    task.cancel()
+    task.cancel()
+    sim.run(until=5.0)
+    assert task.fired == 0
+    assert len(sim.queue) == 0
+
+
+# -- Supervisor kill-hook ordering --------------------------------------------------
+
+
+def test_kill_hook_fires_once_at_threshold_in_order():
+    sim = Simulator(seed=0, supervision="kill-device", kill_threshold=2)
+    log = []
+
+    def boom(tag):
+        log.append(("boom", sim.now, tag))
+        raise RuntimeError(tag)
+
+    sim.supervisor.register_kill_hook(
+        "dev", lambda reason: log.append(("kill", sim.now, reason)))
+    for at, tag in ((1.0, "first"), (2.0, "second"), (3.0, "third")):
+        sim.schedule(at, boom, tag, label=f"dev:task-{tag}")
+    sim.run(until=10.0)
+
+    kills = [entry for entry in log if entry[0] == "kill"]
+    assert len(kills) == 1                       # once, despite a third crash
+    assert kills[0][1] == 2.0                    # exactly at the threshold crash
+    assert "2 crash(es)" in kills[0][2]
+    # The hook ran *after* the threshold crash was recorded, so its reason
+    # reflects the full count, and later crashes still isolate cleanly.
+    assert log.index(("boom", 2.0, "second")) < log.index(kills[0])
+    assert sim.supervisor.crash_counts["dev"] == 3
+    assert sim.metrics.value("sim.crashes") == 3
+    assert sim.metrics.value("sim.crash_kills") == 1
+
+
+def test_kill_hook_crash_recording_precedes_hook_side_effects():
+    # The crash that trips the threshold must be visible in the trace
+    # before the kill record: audits reconstruct "crash then kill".
+    sim = Simulator(seed=0, supervision="kill-device", kill_threshold=1)
+    sim.supervisor.register_kill_hook("dev", lambda reason: None)
+    sim.schedule(1.0, lambda: (_ for _ in ()).throw(RuntimeError("x")),
+                 label="dev:glitch")
+    sim.run(until=5.0)
+    kinds = [event.kind for event in sim.trace.query()]
+    assert kinds.index("sim.crash") < kinds.index("sim.crash_kill")
+
+
+def test_kill_hooks_are_per_owner():
+    sim = Simulator(seed=0, supervision="kill-device", kill_threshold=1)
+    killed = []
+    for owner in ("a", "b"):
+        sim.supervisor.register_kill_hook(
+            owner, lambda reason, owner=owner: killed.append(owner))
+
+    def boom():
+        raise RuntimeError("x")
+
+    sim.schedule(1.0, boom, label="a:task")
+    sim.schedule(2.0, boom, label="b:task")
+    sim.schedule(3.0, boom, label="a:task")      # a already killed: no re-fire
+    sim.run(until=10.0)
+    assert killed == ["a", "b"]
+
+
+# -- profiling hook -----------------------------------------------------------------
+
+
+def test_profiler_attributes_time_per_label(sim):
+    from repro.sim.profiling import profile_run
+
+    sim.schedule(1.0, lambda: sum(range(200)), label="dev:fast")
+    sim.schedule(2.0, lambda: sum(range(5000)), label="dev:slow")
+    sim.schedule(3.0, lambda: None, label="dev:fast")
+    with profile_run(sim) as profiler:
+        sim.run(until=10.0)
+    assert sim.profiler is None                  # restored on exit
+    assert profiler.events == 3
+    assert profiler.per_label["dev:fast"][0] == 2
+    assert profiler.per_label["dev:slow"][0] == 1
+    assert profiler.busy_time > 0 and profiler.wall_time >= profiler.busy_time
+    report = profiler.report()
+    assert report["events"] == 3
+    assert {row["label"] for row in report["top_labels"]} == {"dev:fast", "dev:slow"}
+    assert profiler.events_per_sec() > 0
+    assert "ev/s" in profiler.format_report()
+
+
+def test_profiler_accounts_crashing_callbacks():
+    from repro.sim.profiling import profile_run
+
+    sim = Simulator(seed=0, supervision="isolate")
+
+    def boom():
+        raise RuntimeError("x")
+
+    sim.schedule(1.0, boom, label="dev:boom")
+    with profile_run(sim) as profiler:
+        sim.run(until=5.0)
+    assert profiler.per_label["dev:boom"][0] == 1   # timed despite the crash

@@ -56,3 +56,49 @@ def test_subjects_and_clear():
     recorder.clear()
     assert recorder.events == []
     assert recorder.dropped == 0
+
+
+# -- perf modes: disabled and sampled recording -------------------------------------
+
+
+def test_disabled_recorder_keeps_nothing_and_skips_listeners():
+    from repro.sim.tracing import TraceRecorder
+
+    seen = []
+    recorder = TraceRecorder(enabled=False)
+    recorder.subscribe(seen.append)
+    assert recorder.record(1.0, "a.b", "s") is None
+    assert recorder.events == [] and seen == []
+    assert recorder.dropped == 1
+
+
+def test_sampled_recorder_keeps_first_of_each_stride():
+    from repro.sim.tracing import TraceRecorder
+
+    recorder = TraceRecorder(sample_every=3)
+    for index in range(7):
+        recorder.record(float(index), "tick", "s", index=index)
+    kept = [event.detail["index"] for event in recorder.events]
+    assert kept == [0, 3, 6]                     # deterministic stride, no RNG
+    assert recorder.dropped == 4
+
+
+def test_sample_every_validation():
+    import pytest
+
+    from repro.sim.tracing import TraceRecorder
+
+    with pytest.raises(ValueError):
+        TraceRecorder(sample_every=0)
+
+
+def test_simulator_trace_options_flow_through():
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=0, trace_enabled=False)
+    sim.record("x", "y")
+    assert sim.trace.events == []
+    sim = Simulator(seed=0, trace_sample_every=2)
+    for _ in range(4):
+        sim.record("x", "y")
+    assert len(sim.trace.events) == 2
