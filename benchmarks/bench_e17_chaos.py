@@ -263,6 +263,67 @@ def test_e17_flow_control_queue_depth(experiment):
     assert stats[2]["skynet"] == stats[None]["skynet"]
 
 
+#: Defense in depth: on-device sealed guard chains (pre-action harm
+#: checks + state-space envelopes that survive tamper attempts) layered
+#: under the remote reliable-transport watchdog.
+DEFENSE_CONFIG = SafeguardConfig.only(
+    watchdog=True, preaction=True, statespace=True, sealed=True,
+)
+
+
+def test_e17_defense_in_depth(experiment):
+    """Satellite arm: local sealed guards + remote watchdog, against the
+    watchdog-only reliable arm, under the same storms (reusing the sweep
+    executor).  The layered arm can only do better: the local guards veto
+    rogue strikes during the window when the watchdog is blinded by loss
+    or partitions, so pooled Skynet rate and rogue harm do not rise, and
+    the local layer demonstrably engages (vetoes > 0)."""
+    arms = (
+        ("guarded-reliable", SafeguardConfig.only(watchdog=True)),
+        ("defense-in-depth", DEFENSE_CONFIG),
+    )
+    intensities = [i for i in INTENSITIES if i > 0]
+    cells = [("reliable", config, seed, intensity)
+             for _label, config in arms
+             for intensity in intensities
+             for seed in SEEDS]
+    flat = run_sweep(run_cell, cells)
+
+    table = ExperimentTable(
+        f"E17 defense in depth ({len(SEEDS)} seeds, pooled over "
+        f"intensities > 0, horizon {HORIZON:g})",
+        ["configuration", "skynet rate", "rogue harm", "rogue lifetime",
+         "vetoes", "quarantines"],
+    )
+    pooled = {}
+    index = 0
+    for label, _config in arms:
+        results = flat[index:index + len(intensities) * len(SEEDS)]
+        index += len(results)
+        n = len(results)
+        pooled[label] = {
+            "skynet_rate": sum(r["skynet_formed"] for r in results) / n,
+            "rogue_harm": sum(r["rogue_harm"] for r in results),
+            "rogue_lifetime": sum(r["mean_rogue_lifetime"]
+                                  for r in results) / n,
+            "vetoes": sum(r["vetoes"] for r in results),
+            "quarantines": sum(r["quarantines"] for r in results),
+        }
+        row = pooled[label]
+        table.add_row(label, round(row["skynet_rate"], 2), row["rogue_harm"],
+                      round(row["rogue_lifetime"], 1), row["vetoes"],
+                      row["quarantines"])
+    experiment(table)
+
+    deep, flat_arm = pooled["defense-in-depth"], pooled["guarded-reliable"]
+    assert deep["skynet_rate"] <= flat_arm["skynet_rate"]
+    assert deep["rogue_harm"] <= flat_arm["rogue_harm"]
+    # The local layer actually fired — these vetoes are decisions the
+    # remote watchdog alone could never have intercepted in time.
+    assert deep["vetoes"] > 0
+    assert flat_arm["vetoes"] == 0
+
+
 def test_e17_crashed_device_never_aborts_run_under_isolate():
     """Regression: a crashed non-critical device must not take down the
     simulation when supervision is ``isolate`` — the exact failure mode

@@ -8,11 +8,12 @@ break-glass abuse and safeguard-bypass anomalies.
 """
 
 from repro.audit.auditor import BreakGlassAuditor, ComplianceAuditor, Finding
-from repro.audit.log import AuditEntry, AuditLog
+from repro.audit.log import GAP_KIND, AuditEntry, AuditLog
 
 __all__ = [
     "AuditEntry",
     "AuditLog",
+    "GAP_KIND",
     "BreakGlassAuditor",
     "ComplianceAuditor",
     "Finding",

@@ -4,6 +4,17 @@ Each entry commits to its predecessor's hash, so any retroactive edit or
 deletion breaks verification — the in-library realization of the paper's
 "tamper-proof" record-keeping assumption, and the thing a malevolent
 device would have to defeat to hide break-glass abuse.
+
+Tamper-evidence alone is not crash-evidence: a chain held only in
+process memory is erased by the very :class:`~repro.sim.faults.DeviceCrash`
+a post-incident auditor would investigate.  A log constructed with a
+:class:`~repro.store.journal.Journal` therefore writes every entry
+through to simulated stable storage; after a crash wipes the volatile
+copy, :meth:`recover` replays the journal (snapshot plus trustworthy
+tail), re-verifies the recovered chain, and — when entries were lost
+(journal-less operation, an unflushed buffer, or a torn/corrupted tail)
+— appends an explicit ``audit.gap`` marker so the resumed chain *admits*
+the hole instead of papering over it.
 """
 
 from __future__ import annotations
@@ -16,6 +27,9 @@ from typing import Optional
 from repro.errors import AuditError
 
 _GENESIS = "0" * 64
+
+#: Kind of the marker entry a recovery appends when entries were lost.
+GAP_KIND = "audit.gap"
 
 
 def _canonical(payload: dict) -> str:
@@ -44,18 +58,61 @@ class AuditEntry:
         })
         return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
+    def to_payload(self) -> dict:
+        """The journal/snapshot wire form."""
+        return {
+            "index": self.index, "time": self.time, "kind": self.kind,
+            "subject": self.subject, "detail": self.detail,
+            "prev": self.prev_hash, "hash": self.entry_hash,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "AuditEntry":
+        return AuditEntry(
+            index=int(payload["index"]), time=float(payload["time"]),
+            kind=str(payload["kind"]), subject=str(payload["subject"]),
+            detail=dict(payload["detail"]), prev_hash=str(payload["prev"]),
+            entry_hash=str(payload["hash"]),
+        )
+
 
 class AuditLog:
-    """Append-only log with O(1) append and full-chain verification."""
+    """Append-only log with O(1) append and full-chain verification.
 
-    def __init__(self) -> None:
+    ``journal`` (a :class:`~repro.store.journal.Journal`) makes the log
+    crash-durable: appends write through, :meth:`checkpoint` snapshots,
+    and the :meth:`crash_volatile` / :meth:`recover` pair plugs into the
+    fault layer's :class:`~repro.store.recovery.DurabilityManager`.
+    Without one the log keeps the historical in-memory behaviour — and a
+    crash loses everything, which the crash hook now *reports* instead of
+    swallowing.
+    """
+
+    def __init__(self, journal=None) -> None:
         self._entries: list[AuditEntry] = []
+        self._journal = journal
+        self._crashed = False
+        self._lost_at_crash = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def journaled(self) -> bool:
+        return self._journal is not None
+
     def append(self, time: float, kind: str, subject: str,
-               detail: Optional[dict] = None) -> AuditEntry:
+               detail: Optional[dict] = None) -> Optional[AuditEntry]:
+        """Append one entry; returns ``None`` while crashed.
+
+        Between :meth:`crash_volatile` and :meth:`recover` the owning
+        process is *down*: nothing runs, so nothing may log.  Accepting
+        appends in that window would both fabricate history and write
+        a second from-genesis chain into the journal behind the real
+        one, poisoning the eventual replay.
+        """
+        if self._crashed:
+            return None
         detail = dict(detail or {})
         index = len(self._entries)
         prev_hash = self._entries[-1].entry_hash if self._entries else _GENESIS
@@ -65,6 +122,8 @@ class AuditLog:
                            detail=detail, prev_hash=prev_hash,
                            entry_hash=entry_hash)
         self._entries.append(entry)
+        if self._journal is not None:
+            self._journal.append(entry.to_payload())
         return entry
 
     def entries(self, kind_prefix: str = "", subject: Optional[str] = None) -> list[AuditEntry]:
@@ -113,3 +172,73 @@ class AuditLog:
             subject = str(detail.get("device", detail.get("subject", "")))
             self.append(time, kind, subject, detail)
         return _sink
+
+    # -- durability ------------------------------------------------------------
+
+    def checkpoint(self) -> Optional[int]:
+        """Snapshot the full chain into the journal's snapshot blob and
+        compact the journal.  No-op without a journal, and while crashed
+        (a checkpoint of wiped memory would compact real history away)."""
+        if self._journal is None or self._crashed:
+            return None
+        return self._journal.snapshot(
+            {"entries": [entry.to_payload() for entry in self._entries]})
+
+    def durable_entries(self) -> int:
+        """Entries a crash right now provably could not erase."""
+        if self._journal is None:
+            return 0
+        return min(self._journal.durable_records, len(self._entries))
+
+    def crash_volatile(self) -> dict:
+        """Crash semantics: the in-memory chain is gone; only journaled
+        frames survive.  Returns loss accounting for the fault layer."""
+        lost = len(self._entries) - self.durable_entries()
+        if self._journal is not None:
+            self._journal.drop_volatile()
+        self._lost_at_crash = len(self._entries)    # vs. recovered, later
+        self._entries = []
+        self._crashed = True
+        return {"lost": lost, "kind": "audit", "journaled": self.journaled}
+
+    def recover(self) -> dict:
+        """Rebuild the chain from stable storage after a crash.
+
+        Replays the snapshot (if any) plus the journal's trustworthy
+        tail, re-verifies the recovered chain (a tampered journal —
+        edited payload with a recomputed CRC — still breaks the hash
+        chain and raises :class:`AuditError`), and appends an explicit
+        ``audit.gap`` entry when the recovered chain is shorter than the
+        pre-crash one.  The hash chain then *resumes from the recovered
+        head*: new entries link to the last surviving hash.
+        """
+        recovered: list[AuditEntry] = []
+        torn = False
+        if self._journal is not None:
+            snapshot, records, report = self._journal.recover()
+            torn = report.truncated or report.corrupt_frame
+            if snapshot is not None:
+                for payload in snapshot.get("state", {}).get("entries", []):
+                    recovered.append(AuditEntry.from_payload(payload))
+            for record in records:
+                recovered.append(AuditEntry.from_payload(record.payload))
+        replayed = len(recovered)
+        self._entries = list(recovered)
+        self._crashed = False
+        self.verify()
+        lost = max(0, self._lost_at_crash - replayed)
+        self._lost_at_crash = 0
+        gap = lost > 0 or torn
+        if gap:
+            self.append(0.0 if not recovered else recovered[-1].time,
+                        GAP_KIND, "recovery", {
+                            "lost_entries": lost,
+                            "torn_tail": torn,
+                            "resumed_from": (recovered[-1].entry_hash
+                                             if recovered else _GENESIS),
+                        })
+        return {"replayed": replayed, "lost": lost, "gap": gap}
+
+    def gap_entries(self) -> list[AuditEntry]:
+        """The explicit loss markers recoveries appended (forensic holes)."""
+        return self.entries(GAP_KIND)

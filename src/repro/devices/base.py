@@ -75,6 +75,30 @@ class SimDevice:
 
     # -- conveniences ------------------------------------------------------------
 
+    def attach_audit(self, audit) -> None:
+        """Chain a per-device :class:`~repro.audit.log.AuditLog` onto the
+        engine's decision stream (sec VI-B: "collection of comprehensive
+        context information").  Every decision becomes one hash-chained
+        entry — the forensic record a post-incident auditor replays, and
+        the thing the durability layer journals so it survives a crash.
+        Any previously installed ``on_decision`` hook keeps running.
+        """
+        previous = self.device.engine.on_decision
+
+        def on_decision(decision) -> None:
+            if previous is not None:
+                previous(decision)
+            audit.append(
+                self.sim.now, f"decision.{decision.outcome.value}",
+                self.device.device_id, {
+                    "requested": decision.requested,
+                    "executed": decision.executed,
+                    "vetoes": len(decision.vetoes),
+                })
+
+        self.device.engine.on_decision = on_decision
+        self.audit = audit
+
     def emit_sensor(self, name: str, value) -> None:
         """Inject a sensor reading as an event at the current sim time."""
         self.device.deliver(Event.sensor(name, value, time=self.sim.now,

@@ -99,6 +99,10 @@ class AuditError(SkynetGuardError):
     """The tamper-evident audit chain failed verification."""
 
 
+class StorageError(SkynetGuardError):
+    """Stable storage or write-ahead journal misuse."""
+
+
 class NetworkError(SkynetGuardError):
     """Message delivery or discovery failed."""
 

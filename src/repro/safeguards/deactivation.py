@@ -306,7 +306,13 @@ class OverseerLink:
         report_interval: float = 1.0,
         quarantine_after: int = 3,
         attest: bool = True,
+        journal=None,
     ):
+        """``journal`` (a :class:`~repro.store.journal.Journal`) makes the
+        quarantine state crash-durable: the dead-letter streak and any
+        quarantine write through, so a crash/restart cycle cannot be used
+        to reset the fail-closed countdown (or to slip a quarantined
+        device back into the fleet with a clean slate)."""
         self.sim = sim
         self.device = device
         self.transport = transport
@@ -314,6 +320,7 @@ class OverseerLink:
         self.report_interval = report_interval
         self.quarantine_after = quarantine_after
         self.attest = attest
+        self._journal = journal
         self.address = safety_address(device.device_id)
         self.quarantined = False
         self.reports_sent = 0
@@ -351,12 +358,15 @@ class OverseerLink:
             self.transport.send(self.address, self.overseer, REPORT_TOPIC, body)
 
     def _on_ack(self, pending) -> None:
-        self._consecutive_failures = 0
+        if self._consecutive_failures:
+            self._consecutive_failures = 0
+            self._journal_state()
 
     def _on_dead_letter(self, pending) -> None:
         if self.device.status == DeviceStatus.DEACTIVATED:
             return
         self._consecutive_failures += 1
+        self._journal_state()
         self.sim.metrics.counter("safety.report_dead_letters").inc()
         if (not self.quarantined
                 and self._consecutive_failures >= self.quarantine_after):
@@ -365,10 +375,52 @@ class OverseerLink:
     def quarantine(self) -> None:
         """Fail closed: stop acting until the overseer is reachable again."""
         self.quarantined = True
+        self._journal_state()
         self.device.deactivate(QUARANTINE_REASON)
         self.sim.metrics.counter("watchdog.quarantines").inc()
         self.sim.record("safeguard.quarantine", self.device.device_id,
                         failures=self._consecutive_failures)
+
+    # -- durability ------------------------------------------------------------
+
+    def _journal_state(self) -> None:
+        if self._journal is not None:
+            self._journal.append({"failures": self._consecutive_failures,
+                                  "quarantined": self.quarantined})
+
+    def crash_volatile(self) -> dict:
+        """Crash semantics: the streak counter and quarantine flag are
+        in-memory — an amnesiac restart would reset the fail-closed
+        countdown unless the journal preserved it."""
+        lost = 1 if (self._consecutive_failures or self.quarantined) else 0
+        self._consecutive_failures = 0
+        self.quarantined = False
+        return {"lost": lost, "kind": "quarantine-state",
+                "journaled": self._journal is not None}
+
+    def recover(self) -> dict:
+        """Restore the streak/quarantine state from the journal.
+
+        A recovered *quarantined* link re-deactivates its device on the
+        spot: quarantine is sticky across restarts (fail closed), and
+        only a reachable overseer lifts it — not a reboot.
+        """
+        replayed = 0
+        if self._journal is not None:
+            for record in self._journal.replay():
+                self._consecutive_failures = int(record.payload.get("failures", 0))
+                self.quarantined = bool(record.payload.get("quarantined", False))
+                replayed += 1
+            if (self.quarantined
+                    and self.device.deactivation_reason != QUARANTINE_REASON):
+                # Sticky across restarts: re-assert the quarantine even if
+                # the device is mid-restart (the fault layer then leaves it
+                # down instead of reviving it with a clean slate).
+                self.device.deactivate(QUARANTINE_REASON)
+                self.sim.record("safeguard.quarantine_restored",
+                                self.device.device_id,
+                                failures=self._consecutive_failures)
+        return {"replayed": replayed}
 
     # -- inbound orders --------------------------------------------------------
 

@@ -152,7 +152,12 @@ class GovernanceSystem:
 
     def __init__(self, executive: Collective, legislative: Collective,
                  judiciary: Collective,
-                 audit_sink: Optional[Callable[[str, dict], None]] = None):
+                 audit_sink: Optional[Callable[[str, dict], None]] = None,
+                 journal=None):
+        """``journal`` (a :class:`~repro.store.journal.Journal`) makes the
+        decision record and the approval set crash-durable: every review
+        and revocation writes through, and :meth:`recover` rebuilds both
+        after a crash wipes the volatile copies."""
         for collective, branch in ((executive, Branch.EXECUTIVE),
                                    (legislative, Branch.LEGISLATIVE),
                                    (judiciary, Branch.JUDICIARY)):
@@ -165,6 +170,7 @@ class GovernanceSystem:
         self.legislative = legislative
         self.judiciary = judiciary
         self._audit = audit_sink or (lambda kind, detail: None)
+        self._journal = journal
         self.decisions: list[GovernanceDecision] = []
         self.approved_policy_ids: set = set()
 
@@ -187,6 +193,16 @@ class GovernanceSystem:
         self.decisions.append(decision)
         if final == Verdict.APPROVE:
             self.approved_policy_ids.add(policy.policy_id)
+        if self._journal is not None:
+            self._journal.append({
+                "kind": "review", "policy": policy.policy_id,
+                "proposer": proposer, "time": time,
+                "executive": exec_verdict.value,
+                "legislative": legis_verdict.value,
+                "judiciary": (judiciary_verdict.value
+                              if judiciary_verdict else None),
+                "final": final.value,
+            })
         self._audit("governance.review", {
             "policy": policy.policy_id, "proposer": proposer, "time": time,
             "executive": exec_verdict.value, "legislative": legis_verdict.value,
@@ -207,10 +223,57 @@ class GovernanceSystem:
         if policy_id not in self.approved_policy_ids:
             return False
         self.approved_policy_ids.discard(policy_id)
+        if self._journal is not None:
+            self._journal.append({
+                "kind": "revoke", "policy": policy_id, "reason": reason,
+                "time": time,
+            })
         self._audit("governance.revoke", {
             "policy": policy_id, "reason": reason, "time": time,
         })
         return True
+
+    # -- durability ------------------------------------------------------------
+
+    def crash_volatile(self) -> dict:
+        """Crash semantics: decisions and the approval set are in-memory."""
+        lost = len(self.decisions)
+        self.decisions = []
+        self.approved_policy_ids = set()
+        return {"lost": lost, "kind": "governance",
+                "journaled": self._journal is not None}
+
+    def recover(self) -> dict:
+        """Rebuild decisions and approvals from the journal after a crash.
+
+        A device restored from stable storage rejoins knowing exactly
+        which generated policies were admitted — the
+        :class:`GovernanceGuard` keeps enforcing instead of either
+        blanket-vetoing (amnesia reads as "never approved") or being
+        re-seeded by whoever answers first.
+        """
+        replayed = 0
+        if self._journal is not None:
+            for record in self._journal.replay():
+                payload = record.payload
+                if payload.get("kind") == "review":
+                    decision = GovernanceDecision(
+                        policy_id=payload["policy"],
+                        proposer=payload.get("proposer", ""),
+                        executive=Verdict(payload["executive"]),
+                        legislative=Verdict(payload["legislative"]),
+                        judiciary=(Verdict(payload["judiciary"])
+                                   if payload.get("judiciary") else None),
+                        final=Verdict(payload["final"]),
+                        time=float(payload.get("time", 0.0)),
+                    )
+                    self.decisions.append(decision)
+                    if decision.final == Verdict.APPROVE:
+                        self.approved_policy_ids.add(decision.policy_id)
+                elif payload.get("kind") == "revoke":
+                    self.approved_policy_ids.discard(payload["policy"])
+                replayed += 1
+        return {"replayed": replayed}
 
     def review_compliance(self, device_id: str, decisions, time: float,
                           veto_rate_threshold: float = 0.5,
@@ -270,6 +333,7 @@ class Ballot:
     votes: dict = field(default_factory=dict)   # voter -> bool
     closed: bool = False
     approved: Optional[bool] = None
+    quorum_mode: str = "electorate"
 
     def missing(self) -> list[str]:
         return [voter for voter in self.voters if voter not in self.votes]
@@ -302,22 +366,48 @@ class BallotMember:
         })
 
 
+#: Valid :class:`BallotBox` quorum modes.
+QUORUM_MODES = ("electorate", "reachable-majority")
+
+
 class BallotBox:
     """Collects governance votes over a (possibly failing) transport.
 
     The sec VI-E collectives vote in-memory when co-located; when members
     are remote, their ballots ride the network — and under faults some
-    never arrive.  The box **fails closed**: a missing ballot counts as a
+    never arrive.  The box **fails closed** by default
+    (``quorum_mode="electorate"``): a missing ballot counts as a
     rejection, so a partitioned or silenced collective can never be
     counted as consenting.  Safety-critical votes should use a
     :class:`~repro.net.reliable.ReliableChannel` transport so only a true
     partition (not mere loss) costs votes.
+
+    ``quorum_mode="reachable-majority"`` trades some of that caution for
+    liveness: a ballot without an explicit ``quorum`` closes on a
+    majority of the voters who actually responded (the reachable side of
+    a split), so a long partition cannot veto a vote every reachable
+    member approved.  Silence still never *approves* anything — zero
+    responses is still a rejection — and explicit per-ballot quorums are
+    honoured unchanged.
+
+    ``journal`` (a :class:`~repro.store.journal.Journal`) makes pending
+    ballots crash-durable: opens, votes, and closes write through, and
+    :meth:`recover` re-opens unfinished ballots with their collected
+    votes and re-schedules their deadline closes.
     """
 
-    def __init__(self, sim, transport, address: str = "governance"):
+    def __init__(self, sim, transport, address: str = "governance",
+                 quorum_mode: str = "electorate", journal=None):
+        if quorum_mode not in QUORUM_MODES:
+            raise ConfigurationError(
+                f"unknown quorum_mode {quorum_mode!r}; "
+                f"expected one of {QUORUM_MODES}"
+            )
         self.sim = sim
         self.transport = transport
         self.address = address
+        self.quorum_mode = quorum_mode
+        self._journal = journal
         self.ballots: list[Ballot] = []
         self._open: dict[str, Ballot] = {}
         self._counter = itertools.count(1)
@@ -344,10 +434,19 @@ class BallotBox:
             voters=voters, quorum=(quorum if quorum is not None
                                    else len(voters) // 2 + 1),
             opened_at=self.sim.now, deadline=self.sim.now + deadline,
+            quorum_mode=("electorate" if quorum is not None
+                         else self.quorum_mode),
         )
         self.ballots.append(ballot)
         self._open[ballot.ballot_id] = ballot
         self.sim.metrics.counter("governance.ballots").inc()
+        if self._journal is not None:
+            self._journal.append({
+                "kind": "open", "ballot": ballot.ballot_id,
+                "payload": dict(payload), "voters": voters,
+                "quorum": ballot.quorum, "quorum_mode": ballot.quorum_mode,
+                "opened_at": ballot.opened_at, "deadline": ballot.deadline,
+            })
         for voter in voters:
             self.transport.send(self.address, voter, BALLOT_TOPIC, {
                 "ballot_id": ballot.ballot_id,
@@ -363,9 +462,27 @@ class BallotBox:
             return
         body = message.body
         ballot = self._open.get(body.get("ballot_id"))
-        if ballot is None or body.get("voter") not in ballot.voters:
+        if (ballot is None or body.get("voter") not in ballot.voters
+                or body["voter"] in ballot.votes):
             return
-        ballot.votes.setdefault(body["voter"], bool(body.get("approve")))
+        ballot.votes[body["voter"]] = bool(body.get("approve"))
+        if self._journal is not None:
+            self._journal.append({
+                "kind": "vote", "ballot": ballot.ballot_id,
+                "voter": body["voter"], "approve": ballot.votes[body["voter"]],
+            })
+
+    def _required_approvals(self, ballot: Ballot) -> int:
+        """The approvals this ballot needs to pass, per its quorum mode.
+
+        ``electorate`` (and any explicit quorum): the number fixed at
+        open time.  ``reachable-majority``: a strict majority of the
+        voters who responded — but never fewer than one approval, so an
+        empty response set stays a rejection (silence is never consent).
+        """
+        if ballot.quorum_mode == "reachable-majority":
+            return max(1, len(ballot.votes) // 2 + 1)
+        return ballot.quorum
 
     def _close(self, ballot: Ballot,
                on_result: Optional[Callable[[Ballot], None]]) -> None:
@@ -374,18 +491,92 @@ class BallotBox:
         ballot.closed = True
         self._open.pop(ballot.ballot_id, None)
         approvals = sum(1 for approve in ballot.votes.values() if approve)
-        ballot.approved = approvals >= ballot.quorum
+        required = self._required_approvals(ballot)
+        ballot.approved = approvals >= required
         missing = ballot.missing()
         if missing:
             self.sim.metrics.counter("governance.votes_missing").inc(len(missing))
+        if self._journal is not None:
+            self._journal.append({
+                "kind": "close", "ballot": ballot.ballot_id,
+                "approved": ballot.approved, "approvals": approvals,
+                "required": required,
+            })
         self.sim.record("governance.ballot_closed", self.address,
                         ballot=ballot.ballot_id, approved=ballot.approved,
-                        approvals=approvals, missing=missing)
+                        approvals=approvals, required=required,
+                        mode=ballot.quorum_mode, missing=missing)
         self.sim.metrics.counter(
             "governance.ballots_approved" if ballot.approved
             else "governance.ballots_rejected").inc()
         if on_result is not None:
             on_result(ballot)
+
+    # -- durability ------------------------------------------------------------
+
+    def crash_volatile(self) -> dict:
+        """Crash semantics: every ballot — pending votes included — lives
+        in process memory until journaled."""
+        lost = len(self._open)
+        self.ballots = []
+        self._open = {}
+        return {"lost": lost, "kind": "ballots",
+                "journaled": self._journal is not None}
+
+    def recover(self) -> dict:
+        """Rebuild ballot history from the journal after a crash.
+
+        Closed ballots return as history; unfinished ones re-open with
+        the votes already collected, and their deadline close is
+        re-scheduled (immediately when the deadline passed while the box
+        was down — the vote is then judged on the votes that made it in
+        before the crash, under the ballot's quorum mode as usual).
+        """
+        replayed = 0
+        highest = 0
+        if self._journal is not None:
+            by_id: dict[str, Ballot] = {}
+            for record in self._journal.replay():
+                payload = record.payload
+                kind = payload.get("kind")
+                if kind == "open":
+                    ballot = Ballot(
+                        ballot_id=payload["ballot"],
+                        payload=dict(payload.get("payload", {})),
+                        voters=list(payload.get("voters", [])),
+                        quorum=int(payload.get("quorum", 1)),
+                        opened_at=float(payload.get("opened_at", 0.0)),
+                        deadline=float(payload.get("deadline", 0.0)),
+                        quorum_mode=payload.get("quorum_mode", "electorate"),
+                    )
+                    by_id[ballot.ballot_id] = ballot
+                    self.ballots.append(ballot)
+                    number = ballot.ballot_id.lstrip("b")
+                    if number.isdigit():
+                        highest = max(highest, int(number))
+                elif kind == "vote":
+                    ballot = by_id.get(payload.get("ballot"))
+                    if ballot is not None:
+                        ballot.votes[payload["voter"]] = bool(payload["approve"])
+                elif kind == "close":
+                    ballot = by_id.get(payload.get("ballot"))
+                    if ballot is not None:
+                        ballot.closed = True
+                        ballot.approved = bool(payload.get("approved"))
+                replayed += 1
+            reopened = 0
+            for ballot in self.ballots:
+                if not ballot.closed:
+                    self._open[ballot.ballot_id] = ballot
+                    self.sim.schedule(
+                        max(0.0, ballot.deadline - self.sim.now),
+                        self._close, ballot, None,
+                        label="governance:ballot-close")
+                    reopened += 1
+            if reopened:
+                self.sim.metrics.counter("governance.ballots_reopened").inc(reopened)
+            self._counter = itertools.count(highest + 1)
+        return {"replayed": replayed}
 
 
 class GovernanceGuard(Safeguard):

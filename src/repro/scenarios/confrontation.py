@@ -33,6 +33,7 @@ from repro.attacks.backdoor import Backdoor, BackdoorAttack
 from repro.attacks.cyber import MalevolentPayload, WormAttack
 from repro.attacks.human_error import ErrorProneOperator
 from repro.attacks.injector import AttackInjector
+from repro.audit.log import AuditLog
 from repro.core.actions import Action, Effect
 from repro.core.policy import Policy
 from repro.devices.base import bind_device
@@ -52,7 +53,11 @@ from repro.scenarios.harness import SafeguardConfig
 from repro.scenarios.peacekeeping import device_safety_classifier
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.simulator import Simulator
+from repro.store import DurabilityManager, Journal, StableStorage
 from repro.types import DeviceStatus
+
+#: Valid durability modes (``None`` keeps the historical in-memory world).
+DURABILITY_MODES = (None, "none", "journal", "journal+snapshot")
 
 
 @dataclass(frozen=True)
@@ -128,6 +133,9 @@ class ConfrontationScenario:
         safety_transport: Optional[str] = None,
         quarantine_after: int = 3,
         reliable_max_in_flight: Optional[int] = None,
+        durability: Optional[str] = None,
+        snapshot_interval: float = 20.0,
+        journal_flush_every: int = 1,
     ):
         """``fault_plan``/``supervision`` arm the chaos harness (E17).
 
@@ -140,11 +148,28 @@ class ConfrontationScenario:
         ``reliable_max_in_flight`` turns on the channel's per-sender
         flow-control cap (telemetry snapshots then coalesce while
         queued); ``None`` keeps the uncapped historical behaviour.
+
+        ``durability`` selects the crash-durability layer (E18):
+        ``None`` — the historical world, no per-device audit logs and no
+        stable storage; ``"none"`` — per-device audit logs exist but are
+        held only in volatile memory, so a crash wipes them (the loss is
+        now *reported* via ``audit.entries_lost``); ``"journal"`` —
+        every audit entry, ballot transition, and quarantine-state change
+        writes through a per-device :class:`~repro.store.journal.Journal`
+        (flushed every ``journal_flush_every`` appends) and is replayed
+        on restart; ``"journal+snapshot"`` — additionally checkpoints
+        each audit chain every ``snapshot_interval`` sim-seconds and
+        compacts the journal.
         """
         if safety_transport not in (None, "datagram", "reliable"):
             raise ConfigurationError(
                 f"safety_transport must be None, 'datagram' or 'reliable', "
                 f"got {safety_transport!r}"
+            )
+        if durability not in DURABILITY_MODES:
+            raise ConfigurationError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {durability!r}"
             )
         self.config = config if config is not None else SafeguardConfig.none()
         self.threats = threats if threats is not None else ThreatConfig()
@@ -160,12 +185,42 @@ class ConfrontationScenario:
         self.harm_model = WorldHarmModel(self.world, sensor_range=15.0)
         self.coalition = Coalition("blue")
         self.devices: dict = {}
+        self.bound: dict = {}
         self.backdoors: list[Backdoor] = []
         self.injector = AttackInjector(self.sim)
         self._rng = self.sim.rng.stream("confrontation")
 
+        # Crash-durability layer (E18): simulated stable storage plus the
+        # manager the fault injector drives on crash/restart.
+        self.durability_mode = durability
+        self.storage: Optional[StableStorage] = None
+        self.durability: Optional[DurabilityManager] = None
+        self.audits: dict[str, AuditLog] = {}
+        journaled = durability in ("journal", "journal+snapshot")
+        if durability is not None:
+            self.storage = StableStorage()
+            self.durability = DurabilityManager(self.sim, self.storage)
+
         for org_name in ("us", "uk"):
             self._build_org(org_name, n_drones_per_org, n_mules_per_org)
+
+        if self.durability is not None:
+            for device_id in sorted(self.devices):
+                journal = (
+                    Journal(self.storage, f"{device_id}.audit",
+                            flush_every=journal_flush_every)
+                    if journaled else None
+                )
+                audit = AuditLog(journal=journal)
+                self.audits[device_id] = audit
+                self.bound[device_id].attach_audit(audit)
+                self.durability.register(device_id, "audit", audit)
+                if durability == "journal+snapshot":
+                    self.sim.every(
+                        snapshot_interval, audit.checkpoint,
+                        label=f"{device_id}:audit-snapshot",
+                    )
+            self.durability.attach_supervisor(self.sim.supervisor)
 
         self.watchdog = None
         self.safety_channel: Optional[ReliableChannel] = None
@@ -196,12 +251,17 @@ class ConfrontationScenario:
                     telemetry_timeout=5 * tick_interval,
                 )
                 for device_id in sorted(self.devices):
-                    self.overseer_links[device_id] = OverseerLink(
+                    link = OverseerLink(
                         self.sim, self.devices[device_id], transport,
                         overseer=self.watchdog.address,
                         report_interval=tick_interval,
                         quarantine_after=quarantine_after,
+                        journal=(Journal(self.storage, f"{device_id}.safety")
+                                 if journaled else None),
                     )
+                    self.overseer_links[device_id] = link
+                    if self.durability is not None:
+                        self.durability.register(device_id, "safety", link)
 
         # Give the kill-device supervision policy something to kill.
         for device_id, device in sorted(self.devices.items()):
@@ -210,7 +270,8 @@ class ConfrontationScenario:
         self.fault_injector: Optional[FaultInjector] = None
         if fault_plan is not None and len(fault_plan) > 0:
             self.fault_injector = FaultInjector(
-                self.sim, self.devices, network=self.network
+                self.sim, self.devices, network=self.network,
+                durability=self.durability,
             )
             self.fault_injector.apply(fault_plan)
 
@@ -254,6 +315,7 @@ class ConfrontationScenario:
         organization.enroll(device)
         self.devices[device.device_id] = device
         bound = bind_device(device, self.sim, self.network, self.discovery)
+        self.bound[device.device_id] = bound
         bound.every(1.0, label="tick")
         self.backdoors.append(Backdoor(device, key=f"key-{device.device_id}"))
 
@@ -412,5 +474,11 @@ class ConfrontationScenario:
             "kill_orders": int(self.sim.metrics.value("watchdog.kill_orders")),
             "quarantines": int(self.sim.metrics.value("watchdog.quarantines")),
             "dead_letters": int(self.sim.metrics.value("reliable.dead_letter")),
+            "audit_entries": sum(len(log) for log in self.audits.values()),
+            "audit_entries_lost": int(self.sim.metrics.value("audit.entries_lost")),
+            "audit_recovered": int(self.sim.metrics.value("store.recovered_records")),
+            "audit_gaps": sum(len(log.gap_entries())
+                              for log in self.audits.values()),
+            "recoveries": int(self.sim.metrics.value("store.recoveries")),
             "horizon": horizon,
         }

@@ -103,8 +103,27 @@ class ClockSkew:
     offset: float = 0.0
 
 
+@dataclass(frozen=True)
+class JournalCorruption:
+    """Damage the tail of a device's stable-storage blobs at ``at``.
+
+    The failure modes a write-ahead journal exists to survive:
+    ``drop_bytes`` tears that many bytes off each blob's tail (an
+    interrupted write), ``flip_bit`` flips one bit counted from the end
+    (media rot near the write head).  Applied to every blob whose name
+    starts with ``"<device_id>."``; requires the injector to be armed
+    with a :class:`~repro.store.recovery.DurabilityManager`.  Recovery's
+    CRC framing truncates the damaged tail instead of trusting it.
+    """
+
+    device_id: str
+    at: float
+    drop_bytes: int = 0
+    flip_bit: Optional[int] = None
+
+
 FAULT_TYPES = (DeviceCrash, HandlerGlitch, LinkDegradation, NetworkPartition,
-               ClockSkew)
+               ClockSkew, JournalCorruption)
 
 
 @dataclass(frozen=True)
@@ -151,6 +170,7 @@ class FaultPlan:
         restart_fraction: float = 0.5,
         degradation_loss: float = 0.75,
         partition_fraction: float = 0.4,
+        corruption_fraction: float = 0.0,
     ) -> "FaultPlan":
         """Generate a fault storm scaled by ``intensity`` in [0, 1].
 
@@ -213,6 +233,19 @@ class FaultPlan:
                 offset=rng.uniform(-5.0, 5.0),
             ))
 
+        # Journal damage (opt-in: default 0.0 keeps historical plans — and
+        # their RNG draw sequence — byte-identical).
+        if corruption_fraction > 0.0:
+            n_corruptions = round(intensity * corruption_fraction * len(devices))
+            for device_id in rng.sample(devices,
+                                        min(n_corruptions, len(devices))):
+                torn = rng.chance(0.5)
+                faults.append(JournalCorruption(
+                    device_id, at=rng.uniform(0.2 * horizon, 0.9 * horizon),
+                    drop_bytes=rng.randint(1, 64) if torn else 0,
+                    flip_bit=None if torn else rng.randint(0, 255),
+                ))
+
         faults.sort(key=lambda f: (f.at, type(f).__name__,
                                    getattr(f, "device_id", "")))
         return FaultPlan(faults=tuple(faults), seed=seed, intensity=intensity)
@@ -232,10 +265,19 @@ class FaultInjector:
     """
 
     def __init__(self, sim: Simulator, devices: dict,
-                 network: Optional[Network] = None):
+                 network: Optional[Network] = None,
+                 durability=None):
+        """``durability`` (a
+        :class:`~repro.store.recovery.DurabilityManager`) arms the
+        crash-amnesia model: a :class:`DeviceCrash` wipes the victim's
+        registered volatile state, and the restart path replays whatever
+        reached stable storage before the device rejoins the network.
+        Without one, crashes keep the historical behaviour (process
+        memory implausibly survives)."""
         self.sim = sim
         self.devices = devices
         self.network = network
+        self.durability = durability
         self.crashes = 0
         self.restarts = 0
         self.glitches = 0
@@ -266,6 +308,13 @@ class FaultInjector:
             elif isinstance(fault, ClockSkew):
                 self.sim.schedule_at(fault.at, self._skew, fault,
                                      label=f"{fault.device_id}:fault-skew")
+            elif isinstance(fault, JournalCorruption):
+                if self.durability is None:
+                    raise ConfigurationError(
+                        "JournalCorruption faults need a DurabilityManager"
+                    )
+                self.sim.schedule_at(fault.at, self._corrupt, fault,
+                                     label=f"{fault.device_id}:fault-corrupt")
 
     def _require_network(self, kind: str) -> None:
         if self.network is None:
@@ -287,6 +336,8 @@ class FaultInjector:
         device.deactivate(CRASH_REASON)
         for address in self._device_addresses(fault.device_id):
             self.network.suspend(address)
+        if self.durability is not None:
+            self.durability.crash(fault.device_id)
         self.crashes += 1
         self.sim.metrics.counter("faults.crashes").inc()
         self.sim.record("fault.crash", fault.device_id,
@@ -299,12 +350,30 @@ class FaultInjector:
         device = self.devices.get(fault.device_id)
         if device is None or device.deactivation_reason != CRASH_REASON:
             return  # killed/quarantined meanwhile: stays down
+        if self.durability is not None:
+            # Replay stable storage *before* the device acts or talks
+            # again: it rejoins with its obligations, votes, and forensic
+            # history intact rather than amnesiac.
+            self.durability.restart(fault.device_id)
+            if device.deactivation_reason != CRASH_REASON:
+                return  # recovery re-asserted a deactivation (sticky quarantine)
         device.reactivate()
         for address in self._device_addresses(fault.device_id):
             self.network.resume(address)
         self.restarts += 1
         self.sim.metrics.counter("faults.restarts").inc()
         self.sim.record("fault.restart", fault.device_id)
+
+    def _corrupt(self, fault: JournalCorruption) -> None:
+        storage = self.durability.storage
+        damage = {}
+        for name in storage.names(prefix=fault.device_id + "."):
+            damage[name] = storage.corrupt_tail(
+                name, drop_bytes=fault.drop_bytes, flip_bit=fault.flip_bit)
+        self.sim.metrics.counter("faults.journal_corruptions").inc()
+        self.sim.record("fault.journal_corrupt", fault.device_id,
+                        blobs=sorted(damage),
+                        drop_bytes=fault.drop_bytes, flip_bit=fault.flip_bit)
 
     def _glitch(self, fault: HandlerGlitch) -> None:
         self.glitches += 1

@@ -56,11 +56,18 @@ class Supervisor:
         self.crash_counts: dict[str, int] = {}
         self.crashes: list[tuple] = []       # (time, owner, label, error repr)
         self._kill_hooks: dict[str, Callable[[str], None]] = {}
+        self._kill_listeners: list[Callable[[str], None]] = []
         self._killed: set = set()
 
     def register_kill_hook(self, owner: str, hook: Callable[[str], None]) -> None:
         """``hook(reason)`` runs when ``owner`` exceeds the crash budget."""
         self._kill_hooks[owner] = hook
+
+    def add_kill_listener(self, listener: Callable[[str], None]) -> None:
+        """``listener(owner)`` runs after any kill hook fires — the
+        durability layer hangs off this so a supervised kill wipes the
+        victim's volatile state like any other crash."""
+        self._kill_listeners.append(listener)
 
     @staticmethod
     def owner_of(label: str) -> str:
@@ -85,6 +92,8 @@ class Supervisor:
                 self.sim.metrics.counter("sim.crash_kills").inc()
                 self.sim.record("sim.crash_kill", owner, crashes=count)
                 hook(f"supervisor: {count} crash(es) in {event.label!r}")
+                for listener in self._kill_listeners:
+                    listener(owner)
         return True
 
 

@@ -1,0 +1,249 @@
+"""Append-only write-ahead journal with CRC-framed records.
+
+Each record is one length-prefixed, CRC32-guarded frame holding a
+canonical-JSON payload plus its sequence number::
+
+    +----------+----------+------------------+
+    | length   | crc32    | payload bytes    |
+    | 4B big-e | 4B big-e | ``length`` bytes |
+    +----------+----------+------------------+
+
+Replay (:meth:`Journal.replay`) walks the frames front to back and stops
+at the first one that cannot be trusted — a header promising more bytes
+than remain (torn write) or a CRC/decode/sequence mismatch (bit rot,
+corruption) — then truncates the blob back to the last good frame, so a
+damaged tail can never poison a later append.  The CRC catches
+*accidental* damage; deliberate tampering with a recomputed CRC is the
+hash chain's job (:meth:`repro.audit.log.AuditLog.recover` re-verifies).
+
+A journal can pair with a snapshot blob (``<name>.snap``): `
+:meth:`snapshot` persists a full state dict stamped with the sequence
+number it covers and compacts the journal down to the frames after it,
+so recovery is one snapshot load plus a short tail replay instead of a
+full-history walk.
+
+Durability is per-append by default (``flush_every=1``).  A larger
+``flush_every`` batches frames in volatile memory — faster, but a crash
+discards the unflushed tail (:meth:`drop_volatile` models exactly that),
+which is how "journaled" and "lost in the crash" can differ even for a
+journal-backed component.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.store.stable import StableStorage
+
+_HEADER = struct.Struct(">II")        # (payload length, payload crc32)
+
+#: Suffix of the snapshot blob paired with a journal blob.
+SNAPSHOT_SUFFIX = ".snap"
+
+
+def _encode(payload: dict) -> bytes:
+    """Canonical JSON bytes (sorted keys, no whitespace drift)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str).encode("utf-8")
+
+
+def _frame(payload: dict) -> bytes:
+    body = _encode(payload)
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One replayed record: its sequence number and payload dict."""
+
+    seq: int
+    payload: dict
+
+
+@dataclass
+class ReplayReport:
+    """What a replay found (and repaired) in one journal blob."""
+
+    records: int = 0                  # good frames decoded
+    snapshot_seq: Optional[int] = None
+    torn_bytes: int = 0               # bytes truncated off the tail
+    corrupt_frame: bool = False       # truncation was CRC/decode, not torn
+    truncated: bool = False
+    detail: dict = field(default_factory=dict)
+
+
+class Journal:
+    """A named write-ahead journal on a :class:`StableStorage`."""
+
+    def __init__(self, storage: StableStorage, name: str,
+                 flush_every: int = 1):
+        if flush_every < 1:
+            raise StorageError("flush_every must be >= 1")
+        self.storage = storage
+        self.name = name
+        self.flush_every = flush_every
+        self._buffer: list[bytes] = []
+        self._next_seq = 1
+        self._flushed_records = 0
+        self.snapshot_seq: Optional[int] = None
+        # Resuming over an existing blob continues its sequence.
+        if storage.exists(name) or storage.exists(name + SNAPSHOT_SUFFIX):
+            self.recover()
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, payload: dict) -> int:
+        """Frame ``payload`` and stage it; returns its sequence number.
+
+        The frame reaches stable storage immediately when ``flush_every``
+        is 1 (the default), otherwise when the buffer fills or
+        :meth:`flush` is called.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        self._buffer.append(_frame({"seq": seq, **payload}))
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+        return seq
+
+    def flush(self) -> int:
+        """Push every buffered frame to stable storage; returns the count."""
+        flushed = len(self._buffer)
+        if flushed:
+            self.storage.append(self.name, b"".join(self._buffer))
+            self._buffer.clear()
+            self._flushed_records += flushed
+        return flushed
+
+    @property
+    def unflushed(self) -> int:
+        """Frames still in volatile memory (lost if the device crashes now)."""
+        return len(self._buffer)
+
+    @property
+    def flushed_records(self) -> int:
+        """Frames known durable (what a crash provably cannot erase)."""
+        return self._flushed_records
+
+    def drop_volatile(self) -> int:
+        """Crash semantics: discard the unflushed buffer; returns the loss."""
+        lost = len(self._buffer)
+        self._buffer.clear()
+        return lost
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self, state: dict, seq: Optional[int] = None) -> int:
+        """Persist ``state`` as of ``seq`` (default: last appended) and
+        compact the journal to the frames after it."""
+        self.flush()
+        upto = self._next_seq - 1 if seq is None else seq
+        self.storage.write(self.name + SNAPSHOT_SUFFIX,
+                           _frame({"seq": upto, "state": state}))
+        keep = [record for record in self._scan()[0] if record.seq > upto]
+        self.storage.write(self.name,
+                           b"".join(_frame({"seq": record.seq, **record.payload})
+                                    for record in keep))
+        self._flushed_records = len(keep)
+        self.snapshot_seq = upto
+        return upto
+
+    @property
+    def durable_records(self) -> int:
+        """Records a crash provably cannot erase: the frames flushed to
+        stable storage plus whatever the snapshot covers (valid for the
+        common one-record-per-sequence usage, where ``seq`` counts
+        appends)."""
+        return (self.snapshot_seq or 0) + self._flushed_records
+
+    # -- recovery --------------------------------------------------------------
+
+    def _scan(self) -> tuple[list[JournalRecord], ReplayReport]:
+        """Decode trustworthy frames; truncate the blob past the last one."""
+        blob = self.storage.read(self.name)
+        report = ReplayReport()
+        records: list[JournalRecord] = []
+        offset = 0
+        good_end = 0
+        while offset < len(blob):
+            if offset + _HEADER.size > len(blob):
+                break                               # torn mid-header
+            length, crc = _HEADER.unpack_from(blob, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end > len(blob):
+                break                               # torn mid-payload
+            body = blob[start:end]
+            if zlib.crc32(body) != crc:
+                report.corrupt_frame = True
+                break                               # bit rot from here on
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                seq = int(payload.pop("seq"))
+            except (ValueError, KeyError, TypeError):
+                report.corrupt_frame = True
+                break
+            if records and seq != records[-1].seq + 1:
+                report.corrupt_frame = True
+                break                               # sequence gap: distrust
+            records.append(JournalRecord(seq=seq, payload=payload))
+            offset = end
+            good_end = end
+        if good_end < len(blob):
+            report.truncated = True
+            report.torn_bytes = len(blob) - good_end
+            if self.storage.exists(self.name):
+                self.storage.truncate(self.name, good_end)
+        report.records = len(records)
+        return records, report
+
+    def _read_snapshot(self) -> Optional[dict]:
+        """The snapshot payload, or ``None`` when absent or damaged.
+
+        A damaged snapshot is discarded (recovery falls back to the full
+        journal walk) rather than trusted.
+        """
+        name = self.name + SNAPSHOT_SUFFIX
+        blob = self.storage.read(name)
+        if len(blob) < _HEADER.size:
+            return None
+        length, crc = _HEADER.unpack_from(blob, 0)
+        body = blob[_HEADER.size:_HEADER.size + length]
+        if len(body) != length or zlib.crc32(body) != crc:
+            self.storage.delete(name)
+            return None
+        try:
+            return json.loads(body.decode("utf-8"))
+        except ValueError:
+            self.storage.delete(name)
+            return None
+
+    def recover(self) -> tuple[Optional[dict], list[JournalRecord], ReplayReport]:
+        """(snapshot payload or None, post-snapshot records, report).
+
+        Also realigns the journal's own accounting with the recovered
+        reality — the next sequence number continues from the last
+        trustworthy frame, so an append after a torn-tail truncation
+        never leaves a sequence gap the next replay would distrust.
+        """
+        snapshot = self._read_snapshot()
+        records, report = self._scan()
+        snap_seq = None
+        if snapshot is not None:
+            snap_seq = int(snapshot.get("seq", 0))
+            report.snapshot_seq = snap_seq
+            records = [record for record in records if record.seq > snap_seq]
+            report.records = len(records)
+        self.snapshot_seq = snap_seq
+        self._flushed_records = len(records)
+        self._next_seq = (records[-1].seq if records else (snap_seq or 0)) + 1
+        return snapshot, records, report
+
+    def replay(self) -> list[JournalRecord]:
+        """Just the trustworthy post-snapshot records, oldest first."""
+        return self.recover()[1]

@@ -1,0 +1,102 @@
+"""Crash-wipe and restart-recovery orchestration.
+
+The simulator's fault layer models a crash as *amnesia*: everything a
+device held in process memory is gone, and only what reached the
+:class:`~repro.store.stable.StableStorage` survives.  Components opt in
+by registering with a :class:`DurabilityManager` under their owning
+device id, exposing two hooks:
+
+* ``crash_volatile() -> dict`` — throw away in-memory state exactly as a
+  power cut would, returning loss accounting (at least ``{"lost": n}``);
+* ``recover() -> dict`` — rebuild from stable storage, returning replay
+  accounting (at least ``{"replayed": n}``).
+
+The manager is what the :class:`~repro.sim.faults.FaultInjector` calls on
+the crash/restart path, and what the
+:class:`~repro.sim.simulator.Supervisor` notifies when its ``kill-device``
+policy takes a device down (a supervised kill is a crash as far as RAM is
+concerned).  It aggregates the accounting into metrics and trace events —
+including the previously *silent* loss of unjournaled audit entries,
+which legacy journal-less runs now surface as ``audit.loss`` trace
+records and the ``audit.entries_lost`` counter.
+
+Recovery wall time lands in the ``store.recovery_seconds`` histogram
+only; trace records carry deterministic facts alone, so recovered runs
+still replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from repro.store.stable import StableStorage
+
+
+class DurabilityManager:
+    """Registry of per-device durable components the fault layer drives."""
+
+    def __init__(self, sim, storage: Optional[StableStorage] = None):
+        self.sim = sim
+        self.storage = storage if storage is not None else StableStorage()
+        self._components: dict[str, list[tuple[str, object]]] = {}
+        self.crashes_wiped = 0
+        self.recoveries = 0
+
+    def register(self, device_id: str, name: str, component) -> None:
+        """Track ``component`` (duck-typed ``crash_volatile``/``recover``)
+        as part of ``device_id``'s volatile footprint."""
+        self._components.setdefault(device_id, []).append((name, component))
+
+    def components(self, device_id: str) -> list[str]:
+        return [name for name, _component in self._components.get(device_id, [])]
+
+    # -- the two fault-path hooks ----------------------------------------------
+
+    def crash(self, device_id: str) -> dict:
+        """Wipe every registered component's volatile state; returns
+        aggregated loss accounting."""
+        losses: dict[str, int] = {}
+        for name, component in self._components.get(device_id, []):
+            accounting = component.crash_volatile()
+            lost = int(accounting.get("lost", 0))
+            losses[name] = lost
+            if lost and accounting.get("kind") == "audit":
+                # The satellite bugfix: audit loss used to vanish silently.
+                self.sim.metrics.counter("audit.entries_lost").inc(lost)
+                self.sim.record("audit.loss", device_id, component=name,
+                                lost=lost,
+                                journaled=bool(accounting.get("journaled")))
+        if losses:
+            self.crashes_wiped += 1
+            self.sim.metrics.counter("store.crash_wipes").inc()
+        return losses
+
+    def restart(self, device_id: str) -> dict:
+        """Recover every registered component from stable storage."""
+        replays: dict[str, dict] = {}
+        started = perf_counter()
+        for name, component in self._components.get(device_id, []):
+            accounting = component.recover()
+            replays[name] = accounting
+            self.sim.metrics.counter("store.recovered_records").inc(
+                int(accounting.get("replayed", 0)))
+            if accounting.get("gap"):
+                self.sim.metrics.counter("store.recovery_gaps").inc()
+        elapsed = perf_counter() - started
+        if replays:
+            self.recoveries += 1
+            self.sim.metrics.counter("store.recoveries").inc()
+            self.sim.metrics.histogram("store.recovery_seconds").observe(elapsed)
+            self.sim.record(
+                "store.recover", device_id,
+                components={name: int(accounting.get("replayed", 0))
+                            for name, accounting in sorted(replays.items())},
+            )
+        return replays
+
+    # -- supervision wiring ----------------------------------------------------
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Make supervised ``kill-device`` terminations count as crashes."""
+        supervisor.add_kill_listener(lambda owner: self.crash(owner))

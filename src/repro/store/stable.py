@@ -1,0 +1,100 @@
+"""Simulated stable storage: the medium crashes cannot erase.
+
+A :class:`StableStorage` holds named byte blobs standing in for the
+flash/disk a real device journals to.  The fault layer's contract is the
+whole point of the abstraction: a :class:`~repro.sim.faults.DeviceCrash`
+wipes a device's *volatile* (in-process) state but never touches this
+object, so whatever a component pushed through a
+:class:`~repro.store.journal.Journal` before the crash is still there
+when the restart path replays it.
+
+The only faults that reach stable storage are the explicit
+:class:`~repro.sim.faults.JournalCorruption` specs (torn tails and bit
+flips), applied through :meth:`corrupt_tail` — the failure modes real
+write-ahead logs must survive, and the reason the journal frames every
+record with a CRC.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+
+class StableStorage:
+    """Named append-only byte blobs that survive simulated crashes."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytearray] = {}
+        self.appends = 0
+        self.bytes_written = 0
+
+    # -- basic blob IO ---------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to blob ``name`` (created on first write)."""
+        blob = self._blobs.get(name)
+        if blob is None:
+            blob = self._blobs[name] = bytearray()
+        blob.extend(data)
+        self.appends += 1
+        self.bytes_written += len(data)
+
+    def write(self, name: str, data: bytes) -> None:
+        """Replace blob ``name`` wholesale (snapshot/compaction writes)."""
+        self._blobs[name] = bytearray(data)
+        self.appends += 1
+        self.bytes_written += len(data)
+
+    def read(self, name: str) -> bytes:
+        """The blob's current contents (empty for a never-written name)."""
+        blob = self._blobs.get(name)
+        return bytes(blob) if blob is not None else b""
+
+    def exists(self, name: str) -> bool:
+        return name in self._blobs
+
+    def delete(self, name: str) -> None:
+        self._blobs.pop(name, None)
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Blob names, optionally filtered by ``prefix`` (sorted)."""
+        return sorted(name for name in self._blobs if name.startswith(prefix))
+
+    def size(self, name: str) -> int:
+        blob = self._blobs.get(name)
+        return len(blob) if blob is not None else 0
+
+    def truncate(self, name: str, length: int) -> None:
+        """Cut blob ``name`` down to its first ``length`` bytes."""
+        blob = self._blobs.get(name)
+        if blob is None:
+            raise StorageError(f"no blob named {name!r} to truncate")
+        if length < 0 or length > len(blob):
+            raise StorageError(
+                f"cannot truncate {name!r} ({len(blob)} bytes) to {length}"
+            )
+        del blob[length:]
+
+    # -- fault hooks -----------------------------------------------------------
+
+    def corrupt_tail(self, name: str, drop_bytes: int = 0,
+                     flip_bit: int | None = None) -> dict:
+        """Damage the end of blob ``name`` the way interrupted writes do.
+
+        ``drop_bytes`` removes that many bytes from the tail (a torn
+        write); ``flip_bit`` flips one bit counted from the blob's end (a
+        media error near the write head).  Both are clamped to the blob's
+        actual size; returns what was done for the fault trace.
+        """
+        blob = self._blobs.get(name)
+        if blob is None or not blob:
+            return {"dropped": 0, "flipped": None}
+        dropped = min(max(0, drop_bytes), len(blob))
+        if dropped:
+            del blob[len(blob) - dropped:]
+        flipped = None
+        if flip_bit is not None and blob:
+            offset = len(blob) - 1 - min(flip_bit // 8, len(blob) - 1)
+            blob[offset] ^= 1 << (flip_bit % 8)
+            flipped = offset
+        return {"dropped": dropped, "flipped": flipped}

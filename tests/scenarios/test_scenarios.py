@@ -143,3 +143,23 @@ class TestConfrontation:
         assert result["deactivations"] >= 1
         assert result["max_concurrent_compromised"] <= 3
         assert result["mean_containment_latency"] >= 0.0
+
+    def test_invalid_durability_mode_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ConfrontationScenario(seed=3, durability="paper-tape")
+
+    def test_journal_durability_wires_audit_logs_to_stable_storage(self):
+        scenario = ConfrontationScenario(
+            seed=3, config=SafeguardConfig.only(watchdog=True),
+            threats=ThreatConfig.none(), durability="journal",
+        )
+        summary = scenario.run(until=20.0)
+        assert summary["audit_entries"] > 0
+        assert summary["audit_entries_lost"] == 0
+        # Every device's audit blob reached simulated stable storage.
+        for device_id in scenario.devices:
+            assert scenario.storage.size(f"{device_id}.audit") > 0

@@ -298,3 +298,80 @@ def test_different_seeds_diverge():
     trace_d, _ = run_chaos_scenario(seed=11, plan_seed=22)
     assert trace_a != trace_c      # different scenario seed
     assert trace_a != trace_d      # different fault-plan seed
+
+
+# -- journal corruption faults -----------------------------------------------------
+
+
+def test_random_plan_can_include_journal_corruption():
+    from repro.sim.faults import JournalCorruption
+
+    ids = [f"d{i}" for i in range(8)]
+    plan = FaultPlan.random(seed=9, device_ids=ids, horizon=100.0,
+                            intensity=0.9, corruption_fraction=1.0)
+    corruptions = [f for f in plan.faults
+                   if isinstance(f, JournalCorruption)]
+    assert corruptions
+    for fault in corruptions:
+        assert fault.device_id in ids
+        assert 0.0 < fault.at < 100.0
+        # Exactly one damage mode per spec: torn tail or a bit flip.
+        assert (fault.drop_bytes > 0) != (fault.flip_bit is not None)
+    # The default stays corruption-free (historical plans unchanged).
+    default = FaultPlan.random(seed=9, device_ids=ids, horizon=100.0,
+                               intensity=0.9)
+    assert not any(isinstance(f, JournalCorruption) for f in default.faults)
+
+
+def test_corruption_draws_leave_existing_faults_byte_identical():
+    """The corruption block draws *after* every historical draw, so
+    turning it on cannot shift the crashes/glitches/partitions a seed
+    produces — E17 arms with and without it suffer the same storm."""
+    from repro.sim.faults import JournalCorruption
+
+    ids = [f"d{i}" for i in range(8)]
+    without = FaultPlan.random(seed=9, device_ids=ids, horizon=100.0,
+                               intensity=0.9)
+    with_corruption = FaultPlan.random(seed=9, device_ids=ids, horizon=100.0,
+                                       intensity=0.9, corruption_fraction=0.5)
+    kept = [entry for entry in with_corruption.describe()
+            if entry["fault"] != "JournalCorruption"]
+    assert kept == without.describe()
+    assert len(with_corruption) > len(without)
+
+
+def test_journal_corruption_without_durability_rejected():
+    from repro.sim.faults import JournalCorruption
+
+    sim = Simulator(seed=1)
+    injector = FaultInjector(sim, {})
+    with pytest.raises(ConfigurationError):
+        injector.apply(FaultPlan(faults=(
+            JournalCorruption("d0", at=1.0, drop_bytes=4),
+        )))
+
+
+def test_journal_corruption_damages_only_the_victims_blobs():
+    from repro.sim.faults import JournalCorruption
+    from repro.store import DurabilityManager, Journal
+
+    sim, network, devices = build_fleet()
+    durability = DurabilityManager(sim)
+    for device_id in devices:
+        journal = Journal(durability.storage, f"{device_id}.audit")
+        for n in range(4):
+            journal.append({"n": n})
+    intact = {device_id: durability.storage.read(f"{device_id}.audit")
+              for device_id in devices}
+    injector = FaultInjector(sim, devices, network=network,
+                             durability=durability)
+    injector.apply(FaultPlan(faults=(
+        JournalCorruption("d0", at=1.0, drop_bytes=5),
+    )))
+    sim.run(until=2.0)
+    assert durability.storage.read("d0.audit") == intact["d0"][:-5]
+    assert durability.storage.read("d1.audit") == intact["d1"]
+    assert sim.metrics.value("faults.journal_corruptions") == 1
+    (event,) = sim.trace.query("fault.journal_corrupt")
+    assert event.subject == "d0"
+    assert event.detail["blobs"] == ["d0.audit"]
