@@ -55,6 +55,16 @@ def compromise_device(device: Device, payload: MalevolentPayload,
     """
     report = {"policies_injected": 0, "detectors_disarmed": 0,
               "safeguards_stripped": False, "strip_blocked": False}
+    span = None
+    if sim is not None and sim.telemetry.enabled:
+        # The compromise span hangs under the attack's root (the ambient
+        # context when called from a worm) and is implanted device-wide —
+        # NOT on the payload policies, which are shared objects reused
+        # across every victim of the same worm.
+        span = sim.telemetry.start_span(
+            "attack.compromise", device.device_id, time,
+            parent=sim.telemetry.active_context())
+        device.trace_context = span.context
     device.status = DeviceStatus.COMPROMISED
     for policy in payload.policies:
         replaced: Policy = policy
@@ -62,6 +72,10 @@ def compromise_device(device: Device, payload: MalevolentPayload,
         if replaced.action.name not in device.engine.actions:
             device.engine.actions.add(replaced.action)
         report["policies_injected"] += 1
+        if span is not None:
+            sim.telemetry.start_span("policy.inject", device.device_id, time,
+                                     parent=span.context,
+                                     policy=replaced.policy_id)
     if payload.disarm_detectors:
         for detector in device.attributes.get("anomaly_detectors", []):
             detector.disarm()
@@ -77,6 +91,8 @@ def compromise_device(device: Device, payload: MalevolentPayload,
     if sim is not None:
         sim.record("attack.compromise", device.device_id, **report)
         sim.metrics.counter("attacks.compromised").inc()
+    if span is not None:
+        span.detail.update(report)
     return report
 
 

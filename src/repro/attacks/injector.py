@@ -95,7 +95,23 @@ class AttackInjector:
         self.sim.record("attack.launch", attack.name, channel=attack.channel.value,
                         attack_id=record.attack_id)
         self.sim.metrics.counter("attacks.launched").inc()
-        attack.launch(self.sim, record)
+        telemetry = self.sim.telemetry
+        if not telemetry.enabled:
+            attack.launch(self.sim, record)
+            return
+        # Every attack launch roots a fresh trace: the whole causal chain
+        # (compromise → rogue decisions → safeguard response) hangs off it,
+        # and the ground-truth record carries the trace id so experiments
+        # can ask `explain(sim, record.detail["trace_id"])`.
+        span = telemetry.start_trace(f"attack.{attack.name}", attack.name,
+                                     self.sim.now, attack_id=record.attack_id,
+                                     channel=attack.channel.value)
+        record.detail["trace_id"] = span.context.trace_id
+        previous = telemetry.activate(span.context)
+        try:
+            attack.launch(self.sim, record)
+        finally:
+            telemetry.activate(previous)
 
     # -- ground-truth queries -----------------------------------------------------
 

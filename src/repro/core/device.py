@@ -125,6 +125,12 @@ class Device:
         #: Outbound message hook installed by the network binding.
         self.send_hook: Optional[Callable[[str, str, dict], None]] = None
         self.deactivation_reason: Optional[str] = None
+        #: Causal tracer installed by the simulator binding (None when the
+        #: device runs outside a simulation — the engine then skips spans).
+        self.telemetry = None
+        #: Span context implanted by an attack compromise: every decision
+        #: this device makes afterwards is causally chained to the attack.
+        self.trace_context = None
 
     # -- wiring ----------------------------------------------------------------
 

@@ -190,6 +190,49 @@ class PolicyEngine:
 
     def _attempt(self, policy: Policy, action: Action, event: Optional[Event],
                  time: float) -> Decision:
+        """Guarded attempt, wrapped in causal telemetry when available.
+
+        The decision span's parent is, in priority order: the context
+        stamped on the policy at generation time (generative policies),
+        the device-wide implant context (attack compromises), or — only
+        when the decision actually vetoed something worth explaining —
+        the ambient context.  Ordinary untraced decisions take the
+        untraced fast path unchanged.
+        """
+        tracer = self.device.telemetry
+        if tracer is None or not tracer.enabled:
+            return self._attempt_untraced(policy, action, event, time)
+        parent = policy.metadata.get("trace_context") or self.device.trace_context
+        device_id = self.device.device_id
+        if parent is not None:
+            span = tracer.start_span(
+                "engine.decision", device_id, time, parent=parent,
+                policy=policy.policy_id, requested=action.name)
+            previous = tracer.activate(span.context)
+            try:
+                decision = self._attempt_untraced(policy, action, event, time)
+            finally:
+                tracer.activate(previous)
+        else:
+            decision = self._attempt_untraced(policy, action, event, time)
+            if not decision.vetoes:
+                return decision
+            ambient = tracer.active_context()
+            if ambient is None:
+                return decision
+            span = tracer.start_span(
+                "engine.decision", device_id, time, parent=ambient,
+                policy=policy.policy_id, requested=action.name)
+        span.detail["outcome"] = decision.outcome.value
+        span.detail["executed"] = decision.executed
+        for safeguard_name, message in decision.vetoes:
+            tracer.start_span("safeguard.veto", device_id, time,
+                              parent=span.context, safeguard=safeguard_name,
+                              message=message)
+        return decision
+
+    def _attempt_untraced(self, policy: Policy, action: Action,
+                          event: Optional[Event], time: float) -> Decision:
         vetoes: list[tuple[str, str]] = []
         veto = self._run_guards(action, event, time)
         if veto is None:

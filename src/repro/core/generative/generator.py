@@ -48,6 +48,7 @@ class GenerativePolicyEngine:
         refinement=None,
         clock=None,
         reject_conflicting: bool = False,
+        tracer=None,
     ):
         """``governance`` is an optional
         :class:`~repro.safeguards.governance.GovernanceSystem`; when set,
@@ -55,12 +56,16 @@ class GenerativePolicyEngine:
         approves.  ``refinement`` is an optional
         :class:`~repro.core.generative.refinement.PolicyRefinement` used to
         infer types absent from the interaction graph.  ``clock`` supplies
-        the current simulated time for records."""
+        the current simulated time for records.  ``tracer`` (a
+        :class:`~repro.telemetry.spans.Tracer`) stamps each installed
+        policy with a causal span context, so decisions made under a
+        generated policy explain back to the discovery that produced it."""
         self.graph = graph
         self.templates = templates
         self.governance = governance
         self.refinement = refinement
         self.clock = clock or (lambda: 0.0)
+        self.tracer = tracer
         self.reject_conflicting = reject_conflicting
         self.devices: dict[str, Device] = {}
         self.records: list[GenerationRecord] = []
@@ -167,6 +172,16 @@ class GenerativePolicyEngine:
         observer.engine.policies.replace(policy)
         generation.generated.append(policy.policy_id)
         self.policies_generated += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # Generated policies are fresh objects per device, so stamping
+            # the policy itself (unlike attack implants) is safe and makes
+            # later decisions under it causally explainable.
+            span = tracer.start_span(
+                "policy.generate", observer.device_id, generation.time,
+                parent=tracer.active_context(), policy=policy.policy_id,
+                template=template_id, discovered=generation.discovered)
+            policy.metadata["trace_context"] = span.context
         if self.on_install is not None:
             self.on_install(observer, policy)
         return policy

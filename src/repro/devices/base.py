@@ -39,6 +39,7 @@ class SimDevice:
         self.gossip: Optional[GossipNode] = None
 
         device.set_clock(lambda: sim.now)
+        device.telemetry = sim.telemetry
         network.register(device.device_id, self._on_message)
         device.send_hook = lambda to, topic, body: network.send(
             device.device_id, to, topic, body

@@ -25,6 +25,9 @@ class Message:
     body: dict = field(default_factory=dict)
     sent_at: float = 0.0
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: Causal span context riding the envelope (telemetry); excluded from
+    #: equality so trace propagation never changes message semantics.
+    trace: object = field(default=None, repr=False, compare=False)
 
     @property
     def is_broadcast(self) -> bool:

@@ -55,6 +55,7 @@ class Network:
         self._m_suspended_drop = metrics.counter("net.suspended_drop")
         self._m_delivered = metrics.counter("net.delivered")
         self._m_latency = metrics.histogram("net.latency")
+        self._telemetry = sim.telemetry
 
     # -- registration ------------------------------------------------------------
 
@@ -113,11 +114,18 @@ class Network:
         Loss and unreachability are silent at the sender (datagram
         semantics) but counted in metrics and recorded in the trace.
         """
+        # Reads (never materializes) the active causal context: plain
+        # datagram traffic under an unmaterialized lazy root stays
+        # span-free, while traffic inside a real trace carries it along.
+        ctx = self._telemetry.current
         message = Message(sender=sender, recipient=recipient, topic=topic,
-                         body=dict(body), sent_at=self.sim.now)
+                         body=dict(body), sent_at=self.sim.now, trace=ctx)
         for tap in self._taps:
             tap(message)
         self._m_sent.inc()
+        if ctx is not None and not topic.startswith("__"):
+            self._telemetry.start_span("net.send", sender, parent=ctx,
+                                       topic=topic, recipient=recipient)
         if message.is_broadcast:
             for address in self.addresses():
                 if address != sender:
@@ -158,6 +166,11 @@ class Network:
             return
         self._m_delivered.inc()
         self._m_latency.observe(self.sim.now - message.sent_at)
+        if message.trace is not None and not message.topic.startswith("__"):
+            self._telemetry.start_span("net.deliver", recipient,
+                                       parent=message.trace,
+                                       topic=message.topic,
+                                       sender=message.sender)
         handler(message)
 
     # -- convenience -----------------------------------------------------------------

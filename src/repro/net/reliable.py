@@ -57,6 +57,10 @@ class PendingSend:
         default=None, repr=False)
     on_ack: Optional[Callable[["PendingSend"], None]] = field(
         default=None, repr=False)
+    #: Causal span context captured at send(); every (re)transmission of
+    #: this message is attributed to it, even when a queued send finally
+    #: drains during some other message's resolution.
+    ctx: object = field(default=None, repr=False)
 
 
 class ReliableChannel:
@@ -154,6 +158,14 @@ class ReliableChannel:
             rmid=f"r{next(self._counter)}", sender=sender, recipient=recipient,
             topic=topic, body=dict(body), first_sent=self.sim.now,
             coalesce=coalesce, on_fail=on_fail, on_ack=on_ack,
+            # Capture the caller's context so retries and dead-letter
+            # verdicts stay attributed to the decision that sent the
+            # message.  Read-only: routine heartbeats with nothing
+            # traceable in flight mint no spans (the ~5% overhead budget
+            # lives or dies on this path); causally interesting senders —
+            # kill orders, compromised-device reports — activate their
+            # span before calling send.
+            ctx=self.sim.telemetry.current,
         )
         self.sim.metrics.counter("reliable.sent").inc()
         cap = self.max_in_flight
@@ -218,12 +230,23 @@ class ReliableChannel:
         wire = dict(pending.body)
         wire["_rmid"] = pending.rmid
         wire["_rfrom"] = pending.sender
-        self.network.send(pending.sender, pending.recipient, pending.topic, wire)
-        delay = self.timeout * (self.backoff ** (pending.attempts - 1))
-        if self.jitter > 0:
-            delay += self._rng.uniform(0.0, self.jitter * delay)
-        self.sim.schedule(delay, self._check, pending,
-                          label=f"{pending.sender}:reliable-retry")
+        # Transmit under the context captured at send() so the network
+        # stamps the right trace even when this message drains out of the
+        # flow-control queue during another message's resolution, and so
+        # the retry check below inherits it via scheduler capture.
+        telemetry = self.sim.telemetry
+        previous = telemetry.activate(
+            pending.ctx if pending.ctx is not None else telemetry.current)
+        try:
+            self.network.send(pending.sender, pending.recipient,
+                              pending.topic, wire)
+            delay = self.timeout * (self.backoff ** (pending.attempts - 1))
+            if self.jitter > 0:
+                delay += self._rng.uniform(0.0, self.jitter * delay)
+            self.sim.schedule(delay, self._check, pending,
+                              label=f"{pending.sender}:reliable-retry")
+        finally:
+            telemetry.activate(previous)
 
     def _check(self, pending: PendingSend) -> None:
         if pending.acked or pending.dead:
@@ -236,6 +259,11 @@ class ReliableChannel:
             self.sim.record("reliable.dead_letter", pending.sender,
                             recipient=pending.recipient, topic=pending.topic,
                             attempts=pending.attempts)
+            if pending.ctx is not None:
+                self.sim.telemetry.start_span(
+                    "reliable.dead_letter", pending.sender, parent=pending.ctx,
+                    topic=pending.topic, recipient=pending.recipient,
+                    attempts=pending.attempts)
             if pending.on_fail is not None:
                 pending.on_fail(pending)
             self._resolve(pending)

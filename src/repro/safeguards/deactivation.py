@@ -145,6 +145,10 @@ class Watchdog:
             "reported_at": body.get("time", self.sim.now),
             "snapshot": dict(body.get("snapshot", {})),
             "attestation": body.get("attestation"),
+            # Causal context of the report: a kill order judged from this
+            # telemetry chains back through it to whatever the device was
+            # reporting about (e.g. the attack that compromised it).
+            "trace": message.trace,
         }
         self._silent.discard(device_id)
 
@@ -249,6 +253,11 @@ class Watchdog:
             self.sim.metrics.counter("watchdog.deactivations").inc()
             self.sim.record("watchdog.deactivate", device.device_id,
                             cause=cause, safeness=safeness)
+            telemetry = self.sim.telemetry
+            if telemetry.enabled and device.trace_context is not None:
+                telemetry.start_span("watchdog.deactivate", self.address,
+                                     parent=device.trace_context,
+                                     device=device.device_id, cause=cause)
         report = WatchdogReport(
             time=self.sim.now, device_id=device.device_id, cause=cause,
             safeness=safeness, detail=detail,
@@ -260,8 +269,26 @@ class Watchdog:
         return report
 
     def _send_kill(self, device_id: str, cause: str) -> None:
-        self.transport.send(self.address, safety_address(device_id),
-                            KILL_TOPIC, {"cause": cause})
+        telemetry = self.sim.telemetry
+        if not telemetry.enabled:
+            self.transport.send(self.address, safety_address(device_id),
+                                KILL_TOPIC, {"cause": cause})
+            return
+        # The kill order is caused by the telemetry it was judged from:
+        # parent under the report's context when we have it, so the order
+        # (and the remote deactivation executing it) joins the same trace
+        # as the attack the device was reporting under.
+        entry = self._telemetry.get(device_id)
+        parent = (entry or {}).get("trace") or telemetry.active_context()
+        span = telemetry.start_span("watchdog.kill_order", self.address,
+                                    parent=parent, device=device_id,
+                                    cause=cause)
+        previous = telemetry.activate(span.context if span is not None else None)
+        try:
+            self.transport.send(self.address, safety_address(device_id),
+                                KILL_TOPIC, {"cause": cause})
+        finally:
+            telemetry.activate(previous)
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -307,12 +334,18 @@ class OverseerLink:
         quarantine_after: int = 3,
         attest: bool = True,
         journal=None,
+        flight=None,
     ):
         """``journal`` (a :class:`~repro.store.journal.Journal`) makes the
         quarantine state crash-durable: the dead-letter streak and any
         quarantine write through, so a crash/restart cycle cannot be used
         to reset the fail-closed countdown (or to slip a quarantined
-        device back into the fleet with a clean slate)."""
+        device back into the fleet with a clean slate).
+
+        ``flight`` (a :class:`~repro.telemetry.flight.FlightRecorder`)
+        dumps the device's recent-telemetry ring to stable storage at the
+        moment of quarantine — the post-mortem evidence of what the
+        device saw before it failed closed."""
         self.sim = sim
         self.device = device
         self.transport = transport
@@ -321,6 +354,7 @@ class OverseerLink:
         self.quarantine_after = quarantine_after
         self.attest = attest
         self._journal = journal
+        self._flight = flight
         self.address = safety_address(device.device_id)
         self.quarantined = False
         self.reports_sent = 0
@@ -347,6 +381,22 @@ class OverseerLink:
             "time": self.device.clock(),
         }
         self.reports_sent += 1
+        telemetry = self.sim.telemetry
+        if telemetry.enabled and self.device.trace_context is not None:
+            # A compromised device's safety report is part of the attack's
+            # causal story (it carries the attestation mismatch the
+            # watchdog will kill on) — send it under that trace.
+            span = telemetry.start_span("safety.report", self.device.device_id,
+                                        parent=self.device.trace_context)
+            previous = telemetry.activate(span.context)
+            try:
+                self._send_report(body)
+            finally:
+                telemetry.activate(previous)
+            return
+        self._send_report(body)
+
+    def _send_report(self, body: dict) -> None:
         if self._reliable:
             # Reports are full-state snapshots, so when the channel is
             # flow-controlled a queued stale report may be superseded by
@@ -380,6 +430,15 @@ class OverseerLink:
         self.sim.metrics.counter("watchdog.quarantines").inc()
         self.sim.record("safeguard.quarantine", self.device.device_id,
                         failures=self._consecutive_failures)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            parent = self.device.trace_context or telemetry.active_context()
+            if parent is not None:
+                telemetry.start_span("safeguard.quarantine",
+                                     self.device.device_id, parent=parent,
+                                     failures=self._consecutive_failures)
+        if self._flight is not None:
+            self._flight.dump(self.device.device_id, reason="quarantine")
 
     # -- durability ------------------------------------------------------------
 
@@ -432,3 +491,10 @@ class OverseerLink:
             self.sim.metrics.counter("watchdog.deactivations").inc()
             self.sim.record("watchdog.deactivate", self.device.device_id,
                             cause=message.body.get("cause", "?"), remote=True)
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                parent = message.trace or telemetry.active_context()
+                if parent is not None:
+                    telemetry.start_span("watchdog.deactivate",
+                                         self.device.device_id, parent=parent,
+                                         cause=message.body.get("cause", "?"))

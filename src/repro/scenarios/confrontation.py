@@ -54,6 +54,8 @@ from repro.scenarios.peacekeeping import device_safety_classifier
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.simulator import Simulator
 from repro.store import DurabilityManager, Journal, StableStorage
+from repro.telemetry.exposition import write_bundle
+from repro.telemetry.flight import FlightRecorder
 from repro.types import DeviceStatus
 
 #: Valid durability modes (``None`` keeps the historical in-memory world).
@@ -136,6 +138,7 @@ class ConfrontationScenario:
         durability: Optional[str] = None,
         snapshot_interval: float = 20.0,
         journal_flush_every: int = 1,
+        spans_enabled: bool = True,
     ):
         """``fault_plan``/``supervision`` arm the chaos harness (E17).
 
@@ -160,6 +163,13 @@ class ConfrontationScenario:
         on restart; ``"journal+snapshot"`` — additionally checkpoints
         each audit chain every ``snapshot_interval`` sim-seconds and
         compacts the journal.
+
+        ``spans_enabled`` toggles causal-span telemetry (E19): attack
+        injections root traces, safeguard interventions chain under them,
+        and — when a durability layer provides stable storage — a
+        :class:`~repro.telemetry.flight.FlightRecorder` dumps each
+        crashed or quarantined device's recent telemetry for post-mortem
+        reads.  Disable for overhead baselines.
         """
         if safety_transport not in (None, "datagram", "reliable"):
             raise ConfigurationError(
@@ -175,7 +185,8 @@ class ConfrontationScenario:
         self.threats = threats if threats is not None else ThreatConfig()
         self.skynet_min_devices = skynet_min_devices
         self.safety_transport = safety_transport
-        self.sim = Simulator(seed=seed, supervision=supervision)
+        self.sim = Simulator(seed=seed, supervision=supervision,
+                             spans_enabled=spans_enabled)
         self.world = World(self.sim, world_size, world_size)
         self.world.scatter_humans(n_civilians, prefix="civ")
         self.world.scatter_humans(n_warfighters, prefix="wf", speed=2.0)
@@ -197,9 +208,14 @@ class ConfrontationScenario:
         self.durability: Optional[DurabilityManager] = None
         self.audits: dict[str, AuditLog] = {}
         journaled = durability in ("journal", "journal+snapshot")
+        self.flight: Optional[FlightRecorder] = None
         if durability is not None:
             self.storage = StableStorage()
             self.durability = DurabilityManager(self.sim, self.storage)
+            if spans_enabled:
+                # Flight recorder needs somewhere durable to dump; it only
+                # exists when the E18 storage layer does.
+                self.flight = FlightRecorder(self.sim, self.storage)
 
         for org_name in ("us", "uk"):
             self._build_org(org_name, n_drones_per_org, n_mules_per_org)
@@ -208,7 +224,8 @@ class ConfrontationScenario:
             for device_id in sorted(self.devices):
                 journal = (
                     Journal(self.storage, f"{device_id}.audit",
-                            flush_every=journal_flush_every)
+                            flush_every=journal_flush_every,
+                            tracer=self.sim.telemetry)
                     if journaled else None
                 )
                 audit = AuditLog(journal=journal)
@@ -256,8 +273,10 @@ class ConfrontationScenario:
                         overseer=self.watchdog.address,
                         report_interval=tick_interval,
                         quarantine_after=quarantine_after,
-                        journal=(Journal(self.storage, f"{device_id}.safety")
+                        journal=(Journal(self.storage, f"{device_id}.safety",
+                                         tracer=self.sim.telemetry)
                                  if journaled else None),
+                        flight=self.flight,
                     )
                     self.overseer_links[device_id] = link
                     if self.durability is not None:
@@ -271,7 +290,7 @@ class ConfrontationScenario:
         if fault_plan is not None and len(fault_plan) > 0:
             self.fault_injector = FaultInjector(
                 self.sim, self.devices, network=self.network,
-                durability=self.durability,
+                durability=self.durability, flight=self.flight,
             )
             self.fault_injector.apply(fault_plan)
 
@@ -423,9 +442,31 @@ class ConfrontationScenario:
 
     # -- running & reporting ---------------------------------------------------------------
 
-    def run(self, until: float = 150.0) -> dict:
+    def run(self, until: float = 150.0,
+            telemetry_dir: Optional[str] = None) -> dict:
         self.sim.run(until=until)
+        if telemetry_dir is not None:
+            self.export_telemetry(telemetry_dir)
         return self.summary(until)
+
+    def export_telemetry(self, dirpath: str) -> dict:
+        """Write the per-run telemetry bundle (metrics, spans, events).
+
+        Also publishes storage-pressure gauges from the E18 layer (the
+        ROADMAP's journal-compaction prerequisite) so the Prometheus
+        snapshot carries them.
+        """
+        if self.storage is not None:
+            self.sim.metrics.gauge("store.appends").set(self.storage.appends)
+            self.sim.metrics.gauge("store.bytes_written").set(
+                self.storage.bytes_written)
+            self.sim.metrics.gauge("store.blobs").set(len(self.storage.names()))
+        return write_bundle(self.sim, dirpath, extra_manifest={
+            "scenario": "confrontation",
+            "safety_transport": self.safety_transport,
+            "durability": self.durability_mode,
+            "flight_dumps": self.flight.dumps if self.flight else 0,
+        })
 
     def _rogue_lifetimes(self, horizon: float) -> list[float]:
         """Per compromised device: time spent rogue (uncontained counts

@@ -175,6 +175,21 @@ def run_matrix(
     return aggregated
 
 
+def write_telemetry_bundle(sim, dirpath: str,
+                           extra: Optional[dict] = None) -> dict:
+    """Write the per-run telemetry bundle for any simulation.
+
+    Thin harness-level wrapper over
+    :func:`repro.telemetry.exposition.write_bundle` so every benchmark
+    can emit the same artifact layout (``metrics.prom``,
+    ``metrics.jsonl``, ``spans.jsonl``, ``events.jsonl``,
+    ``manifest.json``) regardless of which scenario it ran.
+    """
+    from repro.telemetry.exposition import write_bundle
+
+    return write_bundle(sim, dirpath, extra_manifest=extra)
+
+
 def run_replications(run_fn: Callable[[int], dict], seeds: Sequence[int]) -> dict:
     """Run ``run_fn(seed)`` per seed and aggregate numeric result keys.
 

@@ -239,6 +239,7 @@ class PeacekeepingScenario:
             governance=self.governance,
             refinement=PolicyRefinement(governance=self.governance),
             clock=lambda: self.sim.now,
+            tracer=self.sim.telemetry,
         )
 
     def _safeguards_for(self, device) -> list:

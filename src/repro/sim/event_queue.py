@@ -33,11 +33,12 @@ class ScheduledEvent:
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "label",
-                 "cancelled", "_queue")
+                 "cancelled", "span", "_queue")
 
     def __init__(self, time: float, priority: int, seq: int,
                  callback: Callable[..., Any], args: tuple = (),
-                 label: str = "", queue: Optional["EventQueue"] = None):
+                 label: str = "", queue: Optional["EventQueue"] = None,
+                 span: object = None):
         self.time = time
         self.priority = priority
         self.seq = seq
@@ -45,6 +46,8 @@ class ScheduledEvent:
         self.args = args
         self.label = label
         self.cancelled = False
+        #: Causal span context captured at scheduling time (telemetry).
+        self.span = span
         self._queue = queue
 
     def cancel(self) -> None:
@@ -87,13 +90,15 @@ class EventQueue:
         args: tuple = (),
         priority: int = 0,
         label: str = "",
+        span: object = None,
     ) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at ``time`` and return a cancellable handle."""
         if time != time or time == _INF:  # NaN or inf
             raise SimulationError(f"cannot schedule event at time {time!r}")
         seq = self._seq
         self._seq = seq + 1
-        event = ScheduledEvent(time, priority, seq, callback, args, label, self)
+        event = ScheduledEvent(time, priority, seq, callback, args, label, self,
+                               span)
         heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event

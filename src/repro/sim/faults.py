@@ -266,18 +266,24 @@ class FaultInjector:
 
     def __init__(self, sim: Simulator, devices: dict,
                  network: Optional[Network] = None,
-                 durability=None):
+                 durability=None, flight=None):
         """``durability`` (a
         :class:`~repro.store.recovery.DurabilityManager`) arms the
         crash-amnesia model: a :class:`DeviceCrash` wipes the victim's
         registered volatile state, and the restart path replays whatever
         reached stable storage before the device rejoins the network.
         Without one, crashes keep the historical behaviour (process
-        memory implausibly survives)."""
+        memory implausibly survives).
+
+        ``flight`` (a :class:`~repro.telemetry.flight.FlightRecorder`)
+        dumps the victim's recent-telemetry ring to stable storage at the
+        instant of each crash — *before* the amnesia wipe, so the
+        evidence of the device's final moments survives it."""
         self.sim = sim
         self.devices = devices
         self.network = network
         self.durability = durability
+        self.flight = flight
         self.crashes = 0
         self.restarts = 0
         self.glitches = 0
@@ -336,6 +342,11 @@ class FaultInjector:
         device.deactivate(CRASH_REASON)
         for address in self._device_addresses(fault.device_id):
             self.network.suspend(address)
+        if self.flight is not None:
+            # Dump the flight ring before the amnesia wipe below: the dump
+            # rides the journal path, so it is on stable storage by the
+            # time the crash erases the device's volatile state.
+            self.flight.dump(fault.device_id, reason="crash")
         if self.durability is not None:
             self.durability.crash(fault.device_id)
         self.crashes += 1

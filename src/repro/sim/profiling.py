@@ -56,6 +56,14 @@ class Profiler:
     # -- envelope -----------------------------------------------------------
 
     def start(self) -> None:
+        if self._started is not None:
+            # A silent overwrite here used to *discard* the open envelope:
+            # two overlapping profile_run()s sharing one Profiler would
+            # report a wall_time missing the first start..second-start
+            # stretch while busy_time kept accumulating — the mixed-
+            # envelope bug.  Overlap is a caller error; say so.
+            raise RuntimeError("Profiler.start() while already started; "
+                               "stop() the open envelope first")
         self._started = _time.perf_counter()
 
     def stop(self) -> None:
@@ -107,13 +115,17 @@ class Profiler:
 
 
 @contextmanager
-def profile_run(sim):
-    """Attach a fresh :class:`Profiler` to ``sim`` for the ``with`` body.
+def profile_run(sim, profiler: Optional[Profiler] = None):
+    """Attach a :class:`Profiler` to ``sim`` for the ``with`` body.
 
-    Restores the previous profiler (usually ``None``) on exit so nested
-    or repeated profiling composes predictably.
+    Pass an existing ``profiler`` to *accumulate* across several
+    invocations (wall_time sums the envelopes, busy_time the callbacks);
+    omit it for a fresh one.  Restores the previous profiler (usually
+    ``None``) on exit so nested or repeated profiling composes
+    predictably.
     """
-    profiler = Profiler()
+    if profiler is None:
+        profiler = Profiler()
     previous = sim.profiler
     sim.profiler = profiler
     profiler.start()

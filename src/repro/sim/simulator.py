@@ -22,6 +22,7 @@ from repro.sim.event_queue import EventQueue, ScheduledEvent
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import SeededRNG
 from repro.sim.tracing import TraceRecorder
+from repro.telemetry.spans import Tracer
 
 #: Valid crash-supervision policies.
 SUPERVISION_POLICIES = ("propagate", "isolate", "kill-device")
@@ -103,7 +104,9 @@ class Simulator:
     def __init__(self, seed: int = 0, trace_capacity: Optional[int] = None,
                  supervision: str = "propagate", kill_threshold: int = 1,
                  livelock_threshold: Optional[int] = 100_000,
-                 trace_enabled: bool = True, trace_sample_every: int = 1):
+                 trace_enabled: bool = True, trace_sample_every: int = 1,
+                 spans_enabled: bool = True,
+                 span_capacity: Optional[int] = 200_000):
         """``supervision`` picks the crash policy (see :class:`Supervisor`).
 
         ``livelock_threshold`` caps *consecutive* events processed at one
@@ -115,7 +118,12 @@ class Simulator:
         ``trace_enabled``/``trace_sample_every`` configure the
         :class:`TraceRecorder` (disabled or sampled tracing for perf
         runs — see ``repro.sim.tracing``); the default keeps full,
-        byte-identical-on-replay traces."""
+        byte-identical-on-replay traces.
+
+        ``spans_enabled``/``span_capacity`` configure causal-span
+        telemetry (:mod:`repro.telemetry.spans`): the scheduler captures
+        the active span context into every scheduled event, so spans
+        follow causality across message hops and retries."""
         if livelock_threshold is not None and livelock_threshold < 1:
             raise SimulationError("livelock_threshold must be >= 1 or None")
         self.queue = EventQueue()
@@ -124,6 +132,8 @@ class Simulator:
         self.trace = TraceRecorder(capacity=trace_capacity,
                                    enabled=trace_enabled,
                                    sample_every=trace_sample_every)
+        self.telemetry = Tracer(enabled=spans_enabled, capacity=span_capacity,
+                                clock=lambda: self._now)
         self.supervisor = Supervisor(self, supervision, kill_threshold)
         self.livelock_threshold = livelock_threshold
         #: Optional :class:`~repro.sim.profiling.Profiler`; when set the
@@ -154,7 +164,8 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated time units."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.queue.push(self._now + delay, callback, args, priority, label)
+        return self.queue.push(self._now + delay, callback, args, priority, label,
+                               self.telemetry.current)
 
     def schedule_at(
         self,
@@ -169,7 +180,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        return self.queue.push(time, callback, args, priority, label)
+        return self.queue.push(time, callback, args, priority, label,
+                               self.telemetry.current)
 
     def every(
         self,
@@ -200,11 +212,15 @@ class Simulator:
             raise SimulationError("event queue returned an event from the past")
         self._check_livelock(event)
         self._now = event.time
+        telemetry = self.telemetry
+        telemetry.current = event.span
         try:
             event.callback(*event.args)
         except Exception as error:
             if not self.supervisor.handle(event, error):
                 raise
+        finally:
+            telemetry.current = None
         self.events_processed += 1
         return True
 
@@ -247,6 +263,7 @@ class Simulator:
         supervisor = self.supervisor
         livelock_threshold = self.livelock_threshold
         profiler = self.profiler
+        telemetry = self.telemetry
         try:
             while True:
                 if self._stop_requested:
@@ -278,6 +295,10 @@ class Simulator:
                         self._stall_count = 0
                         self._stall_labels.clear()
                 self._now = time
+                # The active causal context for this callback is whatever
+                # was captured at scheduling time (one store per event; the
+                # next iteration overwrites it, the outer finally clears it).
+                telemetry.current = event.span
                 try:
                     if profiler is None:
                         event.callback(*event.args)
@@ -294,6 +315,7 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
+            telemetry.current = None
         if until is not None and self._now < until:
             if exhausted or self.queue.peek_time() is None:
                 # Next event beyond the horizon, or the queue drained
@@ -341,7 +363,25 @@ class PeriodicTask:
         if self._cancelled:
             return
         self.fired += 1
-        self._callback(*self._args)
+        tracer = self._sim.telemetry
+        if tracer.enabled and tracer.current is None:
+            # Seed a *lazy* root: a tuple, not a Span.  If nothing in this
+            # tick joins a causal chain (the overwhelmingly common idle
+            # case) no span is ever allocated; the first active_context()
+            # call materializes the real root.  Clearing ``current`` after
+            # the callback keeps each tick's materialized root to itself —
+            # the reschedule below must not inherit it.
+            tracer.pending_root = (self.label, self._sim.now)
+            try:
+                self._callback(*self._args)
+            finally:
+                tracer.pending_root = None
+                tracer.current = None
+        else:
+            # Already inside a causal context (e.g. a worm's spread round
+            # scheduled under the attack's root): run and reschedule under
+            # it, so the whole periodic chain stays in the parent trace.
+            self._callback(*self._args)
         if not self._cancelled:
             self._handle = self._sim.schedule(self.interval, self._fire, label=self.label)
 

@@ -53,23 +53,33 @@ class TraceRecorder:
         self.enabled = enabled
         self.sample_every = sample_every
         self.events: list[TraceEvent] = []
-        self.dropped = 0
+        # Per-cause drop accounting: overhead measurements (E19) need to
+        # know whether records vanished because tracing was off, because
+        # the sampling stride skipped them, or because capacity filled.
+        self.dropped_disabled = 0
+        self.dropped_sampled = 0
+        self.dropped_capacity = 0
         self._calls = 0
         self._listeners: list[Callable[[TraceEvent], None]] = []
 
+    @property
+    def dropped(self) -> int:
+        """Total records dropped, across every cause."""
+        return self.dropped_disabled + self.dropped_sampled + self.dropped_capacity
+
     def record(self, time: float, kind: str, subject: str, **detail) -> Optional[TraceEvent]:
         if not self.enabled:
-            self.dropped += 1
+            self.dropped_disabled += 1
             return None
         if self.sample_every != 1:
             calls = self._calls
             self._calls = calls + 1
             if calls % self.sample_every:
-                self.dropped += 1
+                self.dropped_sampled += 1
                 return None
         event = TraceEvent(time=time, kind=kind, subject=subject, detail=detail)
         if self.capacity is not None and len(self.events) >= self.capacity:
-            self.dropped += 1
+            self.dropped_capacity += 1
         else:
             self.events.append(event)
         for listener in self._listeners:
@@ -108,13 +118,27 @@ class TraceRecorder:
     def extend(self, events: Iterable[TraceEvent]) -> None:
         for event in events:
             if self.capacity is not None and len(self.events) >= self.capacity:
-                self.dropped += 1
+                self.dropped_capacity += 1
             else:
                 self.events.append(event)
 
+    def stats(self) -> dict:
+        """Snapshot of recording volume and drop causes."""
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "dropped_disabled": self.dropped_disabled,
+            "dropped_sampled": self.dropped_sampled,
+            "dropped_capacity": self.dropped_capacity,
+            "enabled": self.enabled,
+            "sample_every": self.sample_every,
+        }
+
     def clear(self) -> None:
         self.events.clear()
-        self.dropped = 0
+        self.dropped_disabled = 0
+        self.dropped_sampled = 0
+        self.dropped_capacity = 0
 
     def export_jsonl(self, path: str, kind_prefix: str = "") -> int:
         """Write events (optionally filtered) as JSON Lines; returns count.

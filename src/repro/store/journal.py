@@ -81,12 +81,19 @@ class Journal:
     """A named write-ahead journal on a :class:`StableStorage`."""
 
     def __init__(self, storage: StableStorage, name: str,
-                 flush_every: int = 1):
+                 flush_every: int = 1, tracer=None):
+        """``tracer`` (a :class:`~repro.telemetry.spans.Tracer`) annotates
+        appends that happen *inside an active causal context* with a
+        ``store.append`` span — journal writes triggered by a traced
+        decision or intervention then show up in its explanation.  Appends
+        outside any context (and all appends when no tracer is given) add
+        nothing."""
         if flush_every < 1:
             raise StorageError("flush_every must be >= 1")
         self.storage = storage
         self.name = name
         self.flush_every = flush_every
+        self.tracer = tracer
         self._buffer: list[bytes] = []
         self._next_seq = 1
         self._flushed_records = 0
@@ -109,6 +116,12 @@ class Journal:
         self._buffer.append(_frame({"seq": seq, **payload}))
         if len(self._buffer) >= self.flush_every:
             self.flush()
+        tracer = self.tracer
+        if tracer is not None and tracer.current is not None:
+            # Guard on ``current`` (never materialize a lazy root): only
+            # appends already inside a real trace annotate it.
+            tracer.start_span("store.append", self.name,
+                              parent=tracer.current, seq=seq)
         return seq
 
     def flush(self) -> int:

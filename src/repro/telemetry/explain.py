@@ -1,0 +1,138 @@
+"""Causal-chain reconstruction: answer *why* an intervention happened.
+
+Given a trace id, :func:`explain` collects every span of that trace and
+rebuilds the causal tree — the IST-152-style explanation an overseer
+reads after an incident: *this attack* compromised *these devices*,
+which installed *this policy*, whose actions *these safeguards* vetoed,
+whose telemetry crossed *these message hops*, and which *this kill
+order / self-quarantine* finally contained.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.spans import Span, Tracer
+
+
+def _span_seq(span: Span) -> int:
+    """The numeric part of a span id (total order of minting)."""
+    try:
+        return int(span.context.span_id.lstrip("s"))
+    except ValueError:
+        return 0
+
+
+class Explanation:
+    """The reconstructed causal tree of one trace."""
+
+    def __init__(self, trace_id: str, spans: list):
+        self.trace_id = trace_id
+        #: Spans in causal (minting) order — a parent always precedes its
+        #: children because contexts are minted before they propagate.
+        self.spans: list[Span] = sorted(spans, key=_span_seq)
+        self._children: dict[Optional[str], list[Span]] = {}
+        known = {span.context.span_id for span in self.spans}
+        for span in self.spans:
+            parent = span.context.parent_id
+            # Orphans (parent dropped by the capacity cap) root the tree
+            # rather than vanishing from the explanation.
+            key = parent if parent in known else None
+            self._children.setdefault(key, []).append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def roots(self) -> list[Span]:
+        return list(self._children.get(None, []))
+
+    def children_of(self, span: Span) -> list[Span]:
+        return list(self._children.get(span.context.span_id, []))
+
+    # -- chain queries ----------------------------------------------------------
+
+    def kinds(self) -> list[str]:
+        """Distinct span names, in causal order of first appearance."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.name)
+        return list(seen)
+
+    def subjects(self) -> list[str]:
+        """Distinct subjects (devices/components), in causal order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.subject)
+        return list(seen)
+
+    def stage(self, name_prefix: str) -> list[Span]:
+        """Spans whose name is ``name_prefix`` or starts with it + ``"."``."""
+        return [span for span in self.spans
+                if span.name == name_prefix
+                or span.name.startswith(name_prefix + ".")]
+
+    def has_stage(self, name_prefix: str) -> bool:
+        return bool(self.stage(name_prefix))
+
+    def path_to(self, span: Span) -> list[Span]:
+        """Root-to-span causal path (the minimal *why* for one event)."""
+        by_id = {s.context.span_id: s for s in self.spans}
+        path = [span]
+        cursor = span
+        while cursor.context.parent_id in by_id:
+            cursor = by_id[cursor.context.parent_id]
+            path.append(cursor)
+        path.reverse()
+        return path
+
+    def chain(self) -> list[dict]:
+        """The flat plain-dict view (benchmarks export this as JSON)."""
+        return [span.to_dict() for span in self.spans]
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self, max_detail: int = 3) -> str:
+        """Human-readable indented causal tree."""
+        lines = [f"trace {self.trace_id}: {len(self.spans)} span(s), "
+                 f"{len(self.subjects())} subject(s)"]
+
+        def walk(span: Span, depth: int) -> None:
+            detail = ""
+            if span.detail:
+                parts = [f"{key}={value!r}" for key, value
+                         in list(span.detail.items())[:max_detail]]
+                detail = "  [" + ", ".join(parts) + "]"
+            lines.append(f"{'  ' * depth}t={span.time:8.2f}  {span.name}"
+                         f"  @{span.subject}{detail}")
+            for child in self.children_of(span):
+                walk(child, depth + 1)
+
+        for root in self.roots():
+            walk(root, 1)
+        return "\n".join(lines)
+
+
+def _resolve_tracer(source) -> Tracer:
+    if isinstance(source, Tracer):
+        return source
+    telemetry = getattr(source, "telemetry", None)       # Simulator
+    if isinstance(telemetry, Tracer):
+        return telemetry
+    sim = getattr(source, "sim", None)                   # a scenario
+    if sim is not None and isinstance(getattr(sim, "telemetry", None), Tracer):
+        return sim.telemetry
+    raise TypeError(
+        f"cannot find a Tracer on {type(source).__name__}; pass a Tracer, "
+        f"a Simulator, or a scenario owning one"
+    )
+
+
+def explain(source, trace_id: str) -> Explanation:
+    """Reconstruct the causal chain for ``trace_id``.
+
+    ``source`` may be a :class:`~repro.telemetry.spans.Tracer`, a
+    :class:`~repro.sim.simulator.Simulator`, or any object exposing one
+    (scenarios expose ``.sim``).
+    """
+    tracer = _resolve_tracer(source)
+    return Explanation(trace_id, tracer.trace(trace_id))

@@ -1,0 +1,132 @@
+"""Metrics exposition: Prometheus text format, JSONL, and run bundles.
+
+The registry's in-memory snapshot becomes operator-consumable artifacts:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (counters and gauges verbatim; histograms as summaries with quantile
+  labels plus ``_sum``/``_count``; time series as ``_last``/``_peak``/
+  ``_count`` gauges);
+* :func:`metrics_jsonl` — one JSON object per metric, for ad-hoc
+  tooling and diffing between runs;
+* :func:`write_bundle` — the per-run telemetry bundle
+  (``metrics.prom``, ``metrics.jsonl``, ``spans.jsonl``,
+  ``events.jsonl``, ``manifest.json``) CI uploads as a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Optional
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+#: Quantiles exported for histogram metrics (mirrors the snapshot keys).
+HISTOGRAM_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry name (``net.sent``) onto the Prometheus grammar
+    (``net_sent``): ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    for raw, escaped in _LABEL_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(registry) -> str:
+    """Render a :class:`~repro.sim.metrics.MetricsRegistry` in the
+    Prometheus text exposition format (version 0.0.4)."""
+    from repro.sim.metrics import Counter, Gauge, Histogram, TimeSeries
+
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        prom = sanitize_metric_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {prom} summary")
+            for q in HISTOGRAM_QUANTILES:
+                lines.append(f'{prom}{{quantile="{_escape_label(repr(q))}"}} '
+                             f"{_format_value(metric.quantile(q))}")
+            lines.append(f"{prom}_sum {_format_value(metric.mean * metric.count)}")
+            lines.append(f"{prom}_count {metric.count}")
+        elif isinstance(metric, TimeSeries):
+            for suffix, value in (("last", metric.last()),
+                                  ("peak", metric.peak()),
+                                  ("count", len(metric.samples))):
+                lines.append(f"# TYPE {prom}_{suffix} gauge")
+                lines.append(f"{prom}_{suffix} {_format_value(value)}")
+        else:                                         # future metric kinds
+            lines.append(f"# TYPE {prom} untyped")
+            snap = metric.snapshot()
+            lines.append(f"{prom} {_format_value(snap.get('value'))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_jsonl(registry, path: str) -> int:
+    """Write one JSON object per metric (``{"name", ...snapshot}``);
+    returns the number of metrics written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for name, snap in registry.snapshot().items():
+            handle.write(json.dumps({"name": name, **snap},
+                                    sort_keys=True, default=str) + "\n")
+            count += 1
+    return count
+
+
+def write_bundle(sim, dirpath: str,
+                 extra_manifest: Optional[dict] = None) -> dict:
+    """Write the full per-run telemetry bundle under ``dirpath``.
+
+    Files: ``metrics.prom`` (Prometheus snapshot), ``metrics.jsonl``,
+    ``spans.jsonl`` (causal spans), ``events.jsonl`` (trace events), and
+    ``manifest.json`` tying them together with run stats.  Returns the
+    manifest dict.
+    """
+    os.makedirs(dirpath, exist_ok=True)
+
+    prom_path = os.path.join(dirpath, "metrics.prom")
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(sim.metrics))
+    metric_count = metrics_jsonl(sim.metrics, os.path.join(dirpath, "metrics.jsonl"))
+    span_count = sim.telemetry.export_jsonl(os.path.join(dirpath, "spans.jsonl"))
+    event_count = sim.trace.export_jsonl(os.path.join(dirpath, "events.jsonl"))
+
+    manifest = {
+        "sim_time": sim.now,
+        "events_processed": sim.events_processed,
+        "metrics": metric_count,
+        "spans": sim.telemetry.stats(),
+        "trace_events": event_count,
+        "trace": sim.trace.stats(),
+        "files": ["metrics.prom", "metrics.jsonl", "spans.jsonl",
+                  "events.jsonl", "manifest.json"],
+    }
+    if extra_manifest:
+        manifest.update(extra_manifest)
+    with open(os.path.join(dirpath, "manifest.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return manifest

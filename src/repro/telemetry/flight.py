@@ -1,0 +1,109 @@
+"""Crash flight recorder: the last N telemetry records before an incident.
+
+A :class:`FlightRecorder` keeps one bounded ring buffer per subject
+(device or component) holding its most recent causal spans and trace
+events.  When the fault layer crashes a device, or an
+:class:`~repro.safeguards.deactivation.OverseerLink` quarantines one,
+the victim's ring is dumped as a CRC-framed record to
+:class:`~repro.store.stable.StableStorage` through the E18 journal path
+— so the "what was it doing just before?" evidence survives the very
+crash-amnesia wipe that erases the device's volatile state, and is
+readable after restart (or by a post-mortem auditor who never restarts
+the device at all).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.store.journal import Journal
+from repro.store.stable import StableStorage
+
+#: Suffix of the stable-storage blob holding a device's flight dumps.
+BLOB_SUFFIX = ".flight"
+
+
+class FlightRecorder:
+    """Per-subject ring buffers of recent telemetry, dumped on incident."""
+
+    def __init__(self, sim, storage: StableStorage, per_device: int = 64):
+        """Subscribes to the simulator's span stream and trace recorder;
+        ``per_device`` bounds each subject's ring (oldest entries fall
+        off).  Construction is the only wiring needed."""
+        if per_device < 1:
+            raise ValueError("per_device must be >= 1")
+        self.sim = sim
+        self.storage = storage
+        self.per_device = per_device
+        self.dumps = 0
+        self._rings: dict[str, deque] = {}
+        sim.telemetry.subscribe(self._observe_span)
+        sim.trace.subscribe(self._observe_event)
+
+    # -- ingestion --------------------------------------------------------------
+
+    def _ring(self, subject: str) -> deque:
+        ring = self._rings.get(subject)
+        if ring is None:
+            ring = self._rings[subject] = deque(maxlen=self.per_device)
+        return ring
+
+    def _observe_span(self, span) -> None:
+        self._ring(span.subject).append({"record": "span", **span.to_dict()})
+
+    def _observe_event(self, event) -> None:
+        self._ring(event.subject).append({
+            "record": "trace", "time": event.time, "kind": event.kind,
+            "subject": event.subject, "detail": event.detail,
+        })
+
+    def recent(self, subject: str) -> list[dict]:
+        """The current (volatile) ring contents for one subject."""
+        return list(self._rings.get(subject, ()))
+
+    # -- dumping ----------------------------------------------------------------
+
+    def dump(self, device_id: str, reason: str) -> int:
+        """Persist ``device_id``'s ring to stable storage; returns the
+        number of entries written.  Safe to call with an empty ring (the
+        dump then *records* that nothing notable preceded the incident).
+        """
+        entries = self.recent(device_id)
+        journal = Journal(self.storage, device_id + BLOB_SUFFIX)
+        journal.append({
+            "reason": reason,
+            "time": self.sim.now,
+            "device_id": device_id,
+            "entries": entries,
+        })
+        journal.flush()
+        self.dumps += 1
+        self.sim.metrics.counter("flight.dumps").inc()
+        self.sim.record("flight.dump", device_id, reason=reason,
+                        entries=len(entries))
+        return len(entries)
+
+    # -- post-mortem reads ------------------------------------------------------
+
+    @staticmethod
+    def load(storage: StableStorage, device_id: str) -> list[dict]:
+        """Every dump recorded for ``device_id``, oldest first.
+
+        Reads only stable storage — usable after a crash/restart cycle,
+        or from a post-mortem analysis that never revives the device.
+        """
+        name = device_id + BLOB_SUFFIX
+        if not storage.exists(name):
+            return []
+        return [record.payload for record in Journal(storage, name).replay()]
+
+    @staticmethod
+    def dumped_devices(storage: StableStorage) -> list[str]:
+        """Device ids with at least one flight dump on this storage."""
+        return [name[:-len(BLOB_SUFFIX)] for name in storage.names()
+                if name.endswith(BLOB_SUFFIX)]
+
+    def last_dump(self, device_id: str) -> Optional[dict]:
+        dumps = self.load(self.storage, device_id)
+        return dumps[-1] if dumps else None

@@ -53,6 +53,40 @@ class TestHistogram:
         assert histogram.mean == 0.0
         assert histogram.quantile(0.9) == 0.0
 
+    def test_quantile_rejects_negative(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_single_observation_answers_every_quantile(self):
+        histogram = Histogram("h")
+        histogram.observe(7.0)
+        assert histogram.quantile(0.0) == 7.0
+        assert histogram.quantile(0.5) == 7.0
+        assert histogram.quantile(1.0) == 7.0
+
+    def test_extreme_quantiles_hit_min_and_max(self):
+        histogram = Histogram("h")
+        for value in (5.0, 1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 5.0
+
+    def test_interpolation_between_adjacent_samples(self):
+        histogram = Histogram("h")
+        histogram.observe(0.0)
+        histogram.observe(10.0)
+        assert histogram.quantile(0.25) == 2.5
+        assert histogram.quantile(0.5) == 5.0
+
+    def test_duplicate_values_do_not_interpolate_drift(self):
+        histogram = Histogram("h")
+        for value in (2.0, 2.0, 2.0, 8.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(1.0) == 8.0
+
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
                     max_size=100))
     def test_quantiles_are_monotone(self, values):

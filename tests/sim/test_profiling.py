@@ -1,0 +1,126 @@
+"""Profiler envelope accounting, reuse across runs, and report formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.profiling import Profiler, profile_run
+from repro.sim.simulator import Simulator
+
+
+def _ticking_sim() -> Simulator:
+    sim = Simulator(seed=0)
+    sim.every(1.0, lambda: None, label="dev1:tick")
+    return sim
+
+
+class TestProfiler:
+    def test_add_accumulates_per_label(self):
+        profiler = Profiler()
+        profiler.add("a", 0.25)
+        profiler.add("a", 0.25)
+        profiler.add("b", 1.0)
+        assert profiler.events == 3
+        assert profiler.busy_time == 1.5
+        assert profiler.per_label["a"] == [2, 0.5]
+
+    def test_double_start_raises(self):
+        profiler = Profiler()
+        profiler.start()
+        with pytest.raises(RuntimeError):
+            profiler.start()
+        profiler.stop()
+        profiler.start()               # legal again after stop()
+        profiler.stop()
+
+    def test_stop_without_start_is_harmless(self):
+        profiler = Profiler()
+        profiler.stop()
+        assert profiler.wall_time == 0.0
+
+    def test_events_per_sec_zero_without_envelope(self):
+        profiler = Profiler()
+        profiler.add("a", 0.1)
+        assert profiler.events_per_sec() == 0.0
+
+    def test_top_labels_ordered_by_cost_then_name(self):
+        profiler = Profiler()
+        profiler.add("cheap", 0.1)
+        profiler.add("dear", 1.0)
+        profiler.add("also-dear", 1.0)
+        rows = profiler.top_labels()
+        assert [row[0] for row in rows] == ["also-dear", "dear", "cheap"]
+
+    def test_format_report_mentions_labels_and_rate(self):
+        profiler = Profiler()
+        profiler.add("dev1:tick", 0.5)
+        profiler.add("", 0.1)
+        profiler.start()
+        profiler.stop()
+        text = profiler.format_report()
+        assert "events: 2" in text
+        assert "dev1:tick" in text
+        assert "<unlabelled>" in text
+        assert "ev/s" in text
+
+
+class TestProfileRun:
+    def test_fresh_profiler_per_invocation_by_default(self):
+        sim = _ticking_sim()
+        with profile_run(sim) as first:
+            sim.run(until=3.0)
+        with profile_run(sim) as second:
+            sim.run(until=6.0)
+        assert first is not second
+        assert first.events == 3           # fires at t=1,2,3
+        assert second.events == 3          # fires at t=4,5,6
+
+    def test_reusing_a_profiler_accumulates_across_invocations(self):
+        """Regression: passing the same profiler to several profile_run
+        calls must *sum* envelopes, not silently discard the open one."""
+        sim = _ticking_sim()
+        profiler = Profiler()
+        with profile_run(sim, profiler) as handle:
+            sim.run(until=3.0)
+        wall_after_first = profiler.wall_time
+        assert handle is profiler
+        assert wall_after_first > 0.0
+        with profile_run(sim, profiler):
+            sim.run(until=6.0)
+        assert profiler.events == 6        # 3 + 3, both runs accounted
+        assert profiler.wall_time > wall_after_first
+        assert profiler.per_label["dev1:tick"][0] == 6
+
+    def test_overlapping_envelopes_on_one_profiler_raise(self):
+        sim = _ticking_sim()
+        profiler = Profiler()
+        with profile_run(sim, profiler):
+            with pytest.raises(RuntimeError):
+                with profile_run(sim, profiler):
+                    pass  # pragma: no cover
+
+    def test_previous_profiler_restored_on_exit(self):
+        sim = _ticking_sim()
+        assert sim.profiler is None
+        with profile_run(sim):
+            assert sim.profiler is not None
+        assert sim.profiler is None
+
+    def test_disabled_hook_fast_path_records_nothing(self):
+        sim = _ticking_sim()
+        sim.run(until=5.0)                 # no profiler attached
+        assert sim.profiler is None
+        with profile_run(sim) as profiler:
+            pass                           # attached but nothing ran
+        assert profiler.events == 0
+        assert profiler.busy_time == 0.0
+
+    def test_report_dict_shape(self):
+        sim = _ticking_sim()
+        with profile_run(sim) as profiler:
+            sim.run(until=2.0)
+        report = profiler.report(limit=1)
+        assert report["events"] == 2       # fires at t=1, 2
+        assert len(report["top_labels"]) == 1
+        assert report["top_labels"][0]["label"] == "dev1:tick"
+        assert report["events_per_sec"] > 0.0

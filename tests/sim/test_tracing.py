@@ -102,3 +102,59 @@ def test_simulator_trace_options_flow_through():
     for _ in range(4):
         sim.record("x", "y")
     assert len(sim.trace.events) == 2
+
+
+# -- drop accounting: every dropped event names its cause ---------------------------
+
+
+def test_drop_causes_are_counted_separately():
+    disabled = TraceRecorder(enabled=False)
+    disabled.record(0.0, "k", "s")
+    assert disabled.dropped_disabled == 1
+    assert disabled.dropped_sampled == 0
+    assert disabled.dropped_capacity == 0
+    assert disabled.dropped == 1
+
+    sampled = TraceRecorder(sample_every=2)
+    for index in range(4):
+        sampled.record(float(index), "k", "s")
+    assert sampled.dropped_sampled == 2
+    assert sampled.dropped_disabled == 0
+    assert sampled.dropped == 2
+
+    capped = TraceRecorder(capacity=1)
+    capped.record(0.0, "k", "s")
+    capped.record(1.0, "k", "s")
+    assert capped.dropped_capacity == 1
+    assert capped.dropped == 1
+
+
+def test_dropped_is_a_read_only_total():
+    import pytest
+
+    recorder = TraceRecorder(enabled=False)
+    recorder.record(0.0, "k", "s")
+    with pytest.raises(AttributeError):
+        recorder.dropped = 0
+
+
+def test_stats_snapshot_breaks_out_causes():
+    recorder = TraceRecorder(capacity=1, sample_every=2)
+    for index in range(5):
+        recorder.record(float(index), "k", "s")
+    stats = recorder.stats()
+    assert stats["events"] == 1
+    assert stats["dropped_sampled"] == 2           # indices 1 and 3
+    assert stats["dropped_capacity"] == 2          # indices 2 and 4
+    assert stats["dropped_disabled"] == 0
+    assert stats["dropped"] == 4
+    assert stats["enabled"] is True
+    assert stats["sample_every"] == 2
+
+
+def test_clear_resets_every_drop_counter():
+    recorder = TraceRecorder(enabled=False)
+    recorder.record(0.0, "k", "s")
+    recorder.clear()
+    assert recorder.dropped == 0
+    assert recorder.stats()["dropped_disabled"] == 0

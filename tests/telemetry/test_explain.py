@@ -1,0 +1,187 @@
+"""Explanation trees — synthetic and the E17-style end-to-end chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.confrontation import ConfrontationScenario, ThreatConfig
+from repro.scenarios.harness import SafeguardConfig
+from repro.sim.faults import FaultPlan, NetworkPartition
+from repro.sim.simulator import Simulator
+from repro.telemetry import Explanation, explain
+from repro.telemetry.spans import Tracer
+
+
+def _tree() -> Tracer:
+    """root -> (a -> a1, b) plus a second unrelated trace."""
+    tracer = Tracer()
+    root = tracer.start_trace("attack.worm", "worm", 0.0)
+    a = tracer.start_span("attack.compromise", "dev1", 1.0, parent=root.context)
+    tracer.start_span("policy.inject", "dev1", 1.0, parent=a.context)
+    tracer.start_span("safeguard.veto", "dev2", 2.0, parent=root.context)
+    tracer.start_trace("task.tick", "dev3", 3.0)
+    return tracer
+
+
+class TestExplanation:
+    def test_collects_only_the_requested_trace(self):
+        explanation = explain(_tree(), "t1")
+        assert len(explanation) == 4
+        assert all(span.context.trace_id == "t1"
+                   for span in explanation.spans)
+
+    def test_tree_shape(self):
+        explanation = explain(_tree(), "t1")
+        (root,) = explanation.roots()
+        assert root.name == "attack.worm"
+        children = explanation.children_of(root)
+        assert [span.name for span in children] == [
+            "attack.compromise", "safeguard.veto"]
+        grandchildren = explanation.children_of(children[0])
+        assert [span.name for span in grandchildren] == ["policy.inject"]
+
+    def test_kinds_and_subjects_in_causal_order(self):
+        explanation = explain(_tree(), "t1")
+        assert explanation.kinds() == [
+            "attack.worm", "attack.compromise", "policy.inject",
+            "safeguard.veto"]
+        assert explanation.subjects() == ["worm", "dev1", "dev2"]
+
+    def test_stage_matches_exact_and_dotted_prefix(self):
+        explanation = explain(_tree(), "t1")
+        assert len(explanation.stage("attack")) == 2
+        assert len(explanation.stage("attack.compromise")) == 1
+        assert explanation.stage("atta") == []     # no partial-word matches
+        assert explanation.has_stage("safeguard.veto")
+        assert not explanation.has_stage("watchdog")
+
+    def test_path_to_walks_back_to_the_root(self):
+        explanation = explain(_tree(), "t1")
+        leaf = explanation.stage("policy.inject")[0]
+        assert [span.name for span in explanation.path_to(leaf)] == [
+            "attack.worm", "attack.compromise", "policy.inject"]
+
+    def test_orphans_reroot_instead_of_vanishing(self):
+        tracer = _tree()
+        spans = tracer.trace("t1")
+        # Drop the true root, as the capacity cap might.
+        survivors = [span for span in spans if span.name != "attack.worm"]
+        explanation = Explanation("t1", survivors)
+        assert len(explanation) == 3
+        assert {span.name for span in explanation.roots()} == {
+            "attack.compromise", "safeguard.veto"}
+
+    def test_render_mentions_every_span(self):
+        text = explain(_tree(), "t1").render()
+        for name in ("attack.worm", "attack.compromise", "policy.inject",
+                     "safeguard.veto"):
+            assert name in text
+
+    def test_chain_is_the_flat_dict_view(self):
+        chain = explain(_tree(), "t1").chain()
+        assert [entry["name"] for entry in chain] == [
+            "attack.worm", "attack.compromise", "policy.inject",
+            "safeguard.veto"]
+
+    def test_resolves_tracer_from_simulator(self):
+        sim = Simulator(seed=0)
+        sim.telemetry.start_trace("a", "dev", 0.0)
+        assert len(explain(sim, "t1")) == 1
+
+    def test_unresolvable_source_raises(self):
+        with pytest.raises(TypeError):
+            explain(object(), "t1")
+
+
+# -- the acceptance scenario: E17-style rogue takedown ------------------------------
+
+
+def _build(seed: int, fault_plan=None) -> ConfrontationScenario:
+    return ConfrontationScenario(
+        seed=seed,
+        config=SafeguardConfig.only(watchdog=True, preaction=True,
+                                    statespace=True, sealed=True),
+        threats=ThreatConfig(worm=True, worm_time=20.0,
+                             worm_initial_targets=3),
+        safety_transport="reliable",
+        quarantine_after=3,
+        durability="journal",
+        fault_plan=fault_plan,
+    )
+
+
+def test_explain_reconstructs_rogue_takedown_across_devices():
+    """The tentpole acceptance: one trace id, planted at attack injection,
+    explains the whole E17-style incident — compromise, policy implant,
+    vetoed rogue actions, safety telemetry hops, kill orders, and the
+    partitioned straggler's fail-closed self-quarantine — across >= 3
+    devices."""
+    # Probe run: same seed, no faults — learn which devices the worm hits.
+    probe = _build(seed=11)
+    targets = probe.worm.initial_targets
+    drone = next(target for target in targets if "drone" in target)
+
+    # Real run: partition the compromised drone so kill orders dead-letter;
+    # it keeps striking until the statespace guard vetoes the overheating,
+    # and the overseer link fail-closes into self-quarantine.
+    plan = FaultPlan([NetworkPartition(at=20.5, heal_at=120.0,
+                                       groups=((drone,),))])
+    scenario = _build(seed=11, fault_plan=plan)
+    summary = scenario.run(until=60.0)
+    assert summary["compromised_ever"] == 3
+    assert summary["quarantines"] >= 1
+
+    record = scenario.injector.records[0]
+    trace_id = record.detail["trace_id"]
+    explanation = explain(scenario, trace_id)
+
+    # Every stage of the causal story is present under ONE trace id.
+    for stage in ("attack.worm", "attack.compromise", "policy.inject",
+                  "engine.decision", "safeguard.veto", "safety.report",
+                  "net.send", "net.deliver", "watchdog.kill_order",
+                  "watchdog.deactivate", "reliable.dead_letter",
+                  "safeguard.quarantine"):
+        assert explanation.has_stage(stage), f"missing stage {stage}"
+
+    # The chain crosses devices: all three compromised devices appear as
+    # subjects, plus the watchdog that answered.
+    subjects = set(explanation.subjects())
+    assert set(targets) <= subjects
+    assert "watchdog" in subjects
+    device_subjects = {subject for subject in subjects
+                       if "." not in subject and subject != "worm"}
+    assert len(device_subjects) >= 3
+
+    # Causality, not just co-occurrence: the quarantine's path walks back
+    # through the compromise to the attack root.
+    quarantine = explanation.stage("safeguard.quarantine")[0]
+    assert quarantine.subject == drone
+    path_names = [span.name for span in explanation.path_to(quarantine)]
+    assert path_names[0] == "attack.worm"
+    assert "attack.compromise" in path_names
+
+    # The veto chain names the guard and rides the same compromise branch.
+    veto = explanation.stage("safeguard.veto")[0]
+    assert veto.detail["safeguard"] == "statespace"
+    assert veto.subject == drone
+    assert [span.name for span in explanation.path_to(veto)][0] == "attack.worm"
+
+    # Audit-journal appends made inside the traced decisions joined too.
+    assert explanation.has_stage("store.append")
+
+
+def test_rogue_takedown_trace_is_replay_deterministic():
+    """Two runs, same seed: identical span names/subjects/ids in the
+    attack trace (the determinism constraint of the spans design)."""
+    def run():
+        probe = _build(seed=11)
+        drone = next(target for target in probe.worm.initial_targets
+                     if "drone" in target)
+        plan = FaultPlan([NetworkPartition(at=20.5, heal_at=120.0,
+                                           groups=((drone,),))])
+        scenario = _build(seed=11, fault_plan=plan)
+        scenario.run(until=45.0)
+        trace_id = scenario.injector.records[0].detail["trace_id"]
+        return [span.to_dict() for span in explain(scenario, trace_id).spans]
+
+    assert run() == run()

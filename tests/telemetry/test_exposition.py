@@ -1,0 +1,165 @@
+"""Prometheus text rendering, metrics JSONL, and the run bundle."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.simulator import Simulator
+from repro.telemetry.exposition import (
+    metrics_jsonl,
+    prometheus_text,
+    sanitize_metric_name,
+    write_bundle,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("net.sent") == "net_sent"
+        assert sanitize_metric_name("flight.dumps") == "flight_dumps"
+
+    def test_colons_and_underscores_survive(self):
+        assert sanitize_metric_name("ns:val_x") == "ns:val_x"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("3rd.rail") == "_3rd_rail"
+        assert sanitize_metric_name("") == "_"
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("net.sent").inc(3)
+        registry.gauge("queue.depth").set(2.5)
+        text = prometheus_text(registry)
+        assert "# TYPE net_sent counter\nnet_sent 3.0\n" in text
+        assert "# TYPE queue_depth gauge\nqueue_depth 2.5\n" in text
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("rtt")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        assert "# TYPE rtt summary" in text
+        assert 'rtt{quantile="0.5"}' in text
+        assert 'rtt{quantile="0.95"}' in text
+        assert 'rtt{quantile="0.99"}' in text
+        assert "rtt_sum 10.0" in text
+        assert "rtt_count 4" in text
+
+    def test_timeseries_renders_last_peak_count(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("compromised")
+        series.record(0.0, 1.0)
+        series.record(5.0, 3.0)
+        series.record(9.0, 2.0)
+        text = prometheus_text(registry)
+        assert "compromised_last 2.0" in text
+        assert "compromised_peak 3.0" in text
+        assert "compromised_count 3.0" in text
+
+    def test_empty_timeseries_exposes_nan_last(self):
+        registry = MetricsRegistry()
+        registry.timeseries("quiet")
+        text = prometheus_text(registry)
+        assert "quiet_last NaN" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_output_order_is_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b.two").inc()
+        registry.counter("a.one").inc()
+        text = prometheus_text(registry)
+        assert text.index("a_one") < text.index("b_two")
+        assert prometheus_text(registry) == text
+
+
+class TestMetricsJsonl:
+    def test_one_line_per_metric_with_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("net.sent").inc(2)
+        registry.gauge("depth").set(1.0)
+        path = str(tmp_path / "metrics.jsonl")
+        assert metrics_jsonl(registry, path) == 2
+        lines = [json.loads(line)
+                 for line in open(path, encoding="utf-8") if line.strip()]
+        by_name = {line["name"]: line for line in lines}
+        assert by_name["net.sent"]["value"] == 2.0
+        assert by_name["net.sent"]["type"] == "counter"
+        assert by_name["depth"]["type"] == "gauge"
+
+
+class TestBundle:
+    def _busy_sim(self) -> Simulator:
+        sim = Simulator(seed=3)
+        sim.metrics.counter("work.done")
+
+        def work():
+            sim.telemetry.start_span("work", "dev1", sim.now)
+            sim.record("work.tick", "dev1")
+            sim.metrics.counter("work.done").inc()
+
+        sim.every(1.0, work, label="dev1:work")
+        sim.run(until=5.0)
+        return sim
+
+    def test_bundle_writes_all_files_and_manifest(self, tmp_path):
+        sim = self._busy_sim()
+        directory = str(tmp_path / "bundle")
+        manifest = write_bundle(sim, directory,
+                                extra_manifest={"scenario": "unit"})
+        for filename in manifest["files"]:
+            assert os.path.exists(os.path.join(directory, filename)), filename
+        assert manifest["scenario"] == "unit"
+        assert manifest["sim_time"] == 5.0
+        assert manifest["spans"]["spans"] > 0
+        assert manifest["trace_events"] > 0
+        assert manifest["metrics"] >= 1
+
+    def test_manifest_on_disk_matches_return_value(self, tmp_path):
+        sim = self._busy_sim()
+        directory = str(tmp_path / "bundle")
+        manifest = write_bundle(sim, directory)
+        with open(os.path.join(directory, "manifest.json"),
+                  encoding="utf-8") as handle:
+            on_disk = json.load(handle)
+        assert on_disk == json.loads(json.dumps(manifest, default=str))
+
+    def test_spans_jsonl_round_trips(self, tmp_path):
+        from repro.telemetry.spans import Tracer
+
+        sim = self._busy_sim()
+        directory = str(tmp_path / "bundle")
+        write_bundle(sim, directory)
+        loaded = Tracer.load_jsonl(os.path.join(directory, "spans.jsonl"))
+        assert len(loaded.spans) == len(sim.telemetry.spans)
+
+    def test_scenario_export_telemetry(self, tmp_path):
+        from repro.scenarios.confrontation import (
+            ConfrontationScenario, ThreatConfig)
+        from repro.scenarios.harness import SafeguardConfig
+
+        scenario = ConfrontationScenario(
+            seed=5,
+            config=SafeguardConfig.only(watchdog=True, sealed=True),
+            threats=ThreatConfig(worm=True, worm_time=5.0,
+                                 worm_initial_targets=1),
+            durability="journal",
+        )
+        directory = str(tmp_path / "run")
+        scenario.run(until=15.0, telemetry_dir=directory)
+        with open(os.path.join(directory, "manifest.json"),
+                  encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["scenario"] == "confrontation"
+        assert manifest["durability"] == "journal"
+        prom = open(os.path.join(directory, "metrics.prom"),
+                    encoding="utf-8").read()
+        # The E18 storage-pressure gauges ride along in the exposition.
+        assert "store_appends" in prom
+        assert "store_bytes_written" in prom
