@@ -246,7 +246,7 @@ def test_e17_flow_control_queue_depth(experiment):
         }
         table.add_row("off" if cap is None else cap,
                       int(stats[cap]["queued"]), int(stats[cap]["coalesced"]),
-                      depth.quantile(0.95), depth.max,
+                      depth.quantile(0.95) or 0.0, depth.max,
                       int(stats[cap]["wire"]),
                       int(metrics.value("reliable.dead_letter")),
                       result["skynet_formed"])

@@ -56,6 +56,9 @@ from repro.sim.simulator import Simulator
 from repro.store import DurabilityManager, Journal, StableStorage
 from repro.telemetry.exposition import write_bundle
 from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.health import (AdaptiveQuarantine, AlertEngine,
+                                    AlertRule, CompactionController,
+                                    HealthMonitor, RateTracker)
 from repro.types import DeviceStatus
 
 #: Valid durability modes (``None`` keeps the historical in-memory world).
@@ -139,6 +142,12 @@ class ConfrontationScenario:
         snapshot_interval: float = 20.0,
         journal_flush_every: int = 1,
         spans_enabled: bool = True,
+        health: bool = False,
+        health_interval: float = 1.0,
+        adaptive_quarantine: bool = False,
+        quarantine_relaxed: int = 8,
+        compaction_policy: str = "time",
+        compaction_bytes: int = 16384,
     ):
         """``fault_plan``/``supervision`` arm the chaos harness (E17).
 
@@ -170,6 +179,22 @@ class ConfrontationScenario:
         :class:`~repro.telemetry.flight.FlightRecorder` dumps each
         crashed or quarantined device's recent telemetry for post-mortem
         reads.  Disable for overhead baselines.
+
+        ``health`` arms the E20 fleet-health layer: a
+        :class:`~repro.telemetry.health.HealthMonitor` sampling the
+        streaming SLIs every ``health_interval`` sim-seconds plus an
+        :class:`~repro.telemetry.health.AlertEngine` with the default
+        rule set.  ``adaptive_quarantine`` (requires ``health`` and a
+        transported watchdog) closes the loop from the link-degradation
+        alert onto every overseer link's ``quarantine_after`` —
+        ``quarantine_relaxed`` while the alert is active, the base
+        threshold otherwise.  ``compaction_policy`` selects how
+        journal+snapshot checkpoints trigger: ``"time"`` — the
+        historical ``every(snapshot_interval)``; ``"size"`` (requires
+        ``health`` and a journaled durability mode) — a
+        :class:`~repro.telemetry.health.CompactionController` compacts
+        any audit journal whose blob exceeds ``compaction_bytes`` while
+        the storage-pressure alert is active.
         """
         if safety_transport not in (None, "datagram", "reliable"):
             raise ConfigurationError(
@@ -180,6 +205,22 @@ class ConfrontationScenario:
             raise ConfigurationError(
                 f"durability must be one of {DURABILITY_MODES}, "
                 f"got {durability!r}"
+            )
+        if compaction_policy not in ("time", "size"):
+            raise ConfigurationError(
+                f"compaction_policy must be 'time' or 'size', "
+                f"got {compaction_policy!r}"
+            )
+        journaled = durability in ("journal", "journal+snapshot")
+        if compaction_policy == "size" and not (health and journaled):
+            raise ConfigurationError(
+                "compaction_policy='size' needs health=True and a "
+                "journaled durability mode"
+            )
+        if adaptive_quarantine and not (health and safety_transport == "reliable"):
+            raise ConfigurationError(
+                "adaptive_quarantine needs health=True and "
+                "safety_transport='reliable'"
             )
         self.config = config if config is not None else SafeguardConfig.none()
         self.threats = threats if threats is not None else ThreatConfig()
@@ -207,7 +248,7 @@ class ConfrontationScenario:
         self.storage: Optional[StableStorage] = None
         self.durability: Optional[DurabilityManager] = None
         self.audits: dict[str, AuditLog] = {}
-        journaled = durability in ("journal", "journal+snapshot")
+        self.audit_journals: dict[str, Journal] = {}
         self.flight: Optional[FlightRecorder] = None
         if durability is not None:
             self.storage = StableStorage()
@@ -230,9 +271,12 @@ class ConfrontationScenario:
                 )
                 audit = AuditLog(journal=journal)
                 self.audits[device_id] = audit
+                if journal is not None:
+                    self.audit_journals[device_id] = journal
                 self.bound[device_id].attach_audit(audit)
                 self.durability.register(device_id, "audit", audit)
-                if durability == "journal+snapshot":
+                if (durability == "journal+snapshot"
+                        and compaction_policy == "time"):
                     self.sim.every(
                         snapshot_interval, audit.checkpoint,
                         label=f"{device_id}:audit-snapshot",
@@ -281,6 +325,23 @@ class ConfrontationScenario:
                     self.overseer_links[device_id] = link
                     if self.durability is not None:
                         self.durability.register(device_id, "safety", link)
+
+        # Fleet health layer (E20): streaming SLIs, alert rules, and the
+        # closed loops from alerts back onto the safeguards.
+        self.monitor: Optional[HealthMonitor] = None
+        self.alerts: Optional[AlertEngine] = None
+        self.adaptive: Optional[AdaptiveQuarantine] = None
+        self.compactor: Optional[CompactionController] = None
+        if health:
+            self._wire_health(
+                interval=health_interval,
+                adaptive_quarantine=adaptive_quarantine,
+                quarantine_after=quarantine_after,
+                quarantine_relaxed=quarantine_relaxed,
+                compaction_policy=compaction_policy,
+                compaction_bytes=compaction_bytes,
+                journaled=journaled,
+            )
 
         # Give the kill-device supervision policy something to kill.
         for device_id, device in sorted(self.devices.items()):
@@ -344,6 +405,110 @@ class ConfrontationScenario:
                 self.sim.metrics.counter("safeguard.vetoes").inc()
 
         device.engine.on_decision = on_decision
+
+    # -- fleet health (E20) ----------------------------------------------------------
+
+    def _wire_health(self, interval: float, adaptive_quarantine: bool,
+                     quarantine_after: int, quarantine_relaxed: int,
+                     compaction_policy: str, compaction_bytes: int,
+                     journaled: bool) -> None:
+        monitor = self.monitor = HealthMonitor(self.sim, interval=interval)
+
+        # Link-health SLIs from the reliable channel's streams.  RTT is
+        # the transient-loss discriminator: global degradation inflates
+        # the acks that *do* come back (retry + backoff before success),
+        # while a truly partitioned device's retries never ack and so
+        # never touch the fleet RTT at all.
+        monitor.track_ewma("link.rtt_ewma", "reliable.rtt", alpha=0.3)
+        monitor.track_quantile("link.rtt_p95", "reliable.rtt", 0.95)
+        monitor.track_rate("link.dead_letter_rate", "reliable.dead_letter")
+        monitor.track_rate("link.resend_rate", "reliable.resends")
+        monitor.track_ratio("link.ack_loss", "reliable.resends",
+                            "reliable.sent")
+        monitor.track_value("queue.depth",
+                            lambda _now: float(len(self.sim.queue)))
+        monitor.track_rate("safeguard.veto_rate", "safeguard.vetoes")
+        monitor.derive_roc("safeguard.veto_rate")
+
+        storage = self.storage
+        if storage is not None:
+            appends = RateTracker()
+            monitor.track_value(
+                "store.append_rate",
+                lambda now: appends.sample(now, float(storage.appends)))
+            written = RateTracker()
+            monitor.track_value(
+                "store.write_rate",
+                lambda now: written.sample(now, float(storage.bytes_written)))
+
+        # Alert firings chain into a journal-backed fleet audit log when
+        # the durability layer exists, so "the monitor said so" is itself
+        # tamper-evident and crash-survivable.
+        health_audit = None
+        if journaled:
+            health_audit = AuditLog(journal=Journal(
+                storage, "health.alerts", tracer=self.sim.telemetry))
+            self.durability.register("health", "alerts", health_audit)
+        engine = self.alerts = AlertEngine(self.sim, monitor,
+                                           audit=health_audit)
+        engine.add_rule(AlertRule(
+            name="link.degraded",
+            condition="link.rtt_ewma > 0.45",
+            severity="warning",
+            for_ticks=2,
+            clear_condition="link.rtt_ewma < 0.25",
+            clear_for_ticks=5,
+            description="fleet ack RTTs inflated — transient loss storm",
+        ))
+        engine.add_rule(AlertRule(
+            name="queue.backlog",
+            condition="queue.depth > 2000",
+            severity="critical",
+            for_ticks=3,
+            clear_condition="queue.depth < 500",
+            description="event queue growing without bound",
+        ))
+        engine.add_rule(AlertRule(
+            name="veto.surge",
+            condition="safeguard.veto_rate.roc > 2.0",
+            severity="info",
+            description="safeguard veto rate accelerating — active attack",
+        ))
+        if journaled:
+            # Fleet-level pressure threshold: the per-journal budget
+            # scaled by the journal count — fires while the average blob
+            # is halfway to its budget, clears once compaction (or an
+            # idle fleet) has drained it back down.
+            pressure = compaction_bytes * max(1, len(self.audit_journals)) // 2
+            engine.add_rule(AlertRule(
+                name="store.pressure",
+                condition=f"{CompactionController.SLI} > {pressure}",
+                severity="warning",
+                clear_condition=f"{CompactionController.SLI} < {pressure // 2}",
+                description="journal bytes approaching the compaction budget",
+            ))
+
+        if adaptive_quarantine:
+            self.adaptive = AdaptiveQuarantine(
+                self.sim, engine, self.overseer_links.values(),
+                base=quarantine_after, relaxed=quarantine_relaxed)
+
+        if compaction_policy == "size":
+            self.compactor = CompactionController(
+                self.sim, engine, monitor, compact_bytes=compaction_bytes)
+            for device_id, journal in sorted(self.audit_journals.items()):
+                self.compactor.register(f"{device_id}.audit", journal,
+                                        self.audits[device_id].checkpoint)
+        elif journaled:
+            # Time-driven arm still watches the same pressure SLI, so the
+            # two policies are comparable reading-for-reading.
+            journals = self.audit_journals
+
+            def total_bytes(_now: float) -> float:
+                return float(sum(storage.size(journal.name)
+                                 for journal in journals.values()))
+
+            monitor.track_value(CompactionController.SLI, total_bytes)
 
     # -- threats ---------------------------------------------------------------------
 
@@ -466,7 +631,8 @@ class ConfrontationScenario:
             "safety_transport": self.safety_transport,
             "durability": self.durability_mode,
             "flight_dumps": self.flight.dumps if self.flight else 0,
-        })
+            "health": self.monitor is not None,
+        }, alerts=self.alerts)
 
     def _rogue_lifetimes(self, horizon: float) -> list[float]:
         """Per compromised device: time spent rogue (uncontained counts
@@ -521,5 +687,11 @@ class ConfrontationScenario:
             "audit_gaps": sum(len(log.gap_entries())
                               for log in self.audits.values()),
             "recoveries": int(self.sim.metrics.value("store.recoveries")),
+            "alerts_fired": int(self.sim.metrics.value("alerts.fired")),
+            "alerts_resolved": int(self.sim.metrics.value("alerts.resolved")),
+            "quarantine_adjustments": int(
+                self.sim.metrics.value("health.quarantine_adjustments")),
+            "compactions_sized": int(
+                self.sim.metrics.value("store.compactions_sized")),
             "horizon": horizon,
         }

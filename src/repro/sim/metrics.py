@@ -65,12 +65,26 @@ class Histogram:
         self.name = name
         self._sorted: list[float] = []
         self._sum = 0.0
+        self._watchers: list = []
 
     def observe(self, value: float) -> None:
         if math.isnan(value):
             raise ValueError(f"histogram {self.name} observed NaN")
         insort(self._sorted, value)
         self._sum += value
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(value)
+
+    def subscribe(self, watcher) -> None:
+        """Stream every future observation to ``watcher(value)``.
+
+        This is how O(1)-memory online estimators (EWMA, P²) ride along
+        a histogram without re-walking its sorted list; the hot
+        :meth:`observe` path pays one truthiness check when nobody
+        subscribed.
+        """
+        self._watchers.append(watcher)
 
     @property
     def count(self) -> int:
@@ -88,12 +102,18 @@ class Histogram:
     def max(self) -> float:
         return self._sorted[-1] if self._sorted else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Return the q-quantile (0 ≤ q ≤ 1) by linear interpolation."""
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0 ≤ q ≤ 1) by linear interpolation, or
+        ``None`` when nothing has been observed yet.
+
+        ``None`` — not a silent ``0.0`` — because downstream health
+        logic must distinguish "no data" from "genuinely zero": a fresh
+        link with an empty RTT histogram is *unknown*, not perfect.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if not self._sorted:
-            return 0.0
+            return None
         idx = q * (len(self._sorted) - 1)
         lo = int(math.floor(idx))
         hi = int(math.ceil(idx))

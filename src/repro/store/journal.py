@@ -98,9 +98,17 @@ class Journal:
         self._next_seq = 1
         self._flushed_records = 0
         self.snapshot_seq: Optional[int] = None
+        # The sequence number the first frame of the blob must carry, per
+        # this journal's own accounting (``None`` only while a cold open
+        # is still learning it from the blob itself).  Scans anchor on it
+        # so storage damage can never make later appends replay as a
+        # bogus suffix of history — see :meth:`recover`.
+        self._blob_first_seq: Optional[int] = None
         # Resuming over an existing blob continues its sequence.
         if storage.exists(name) or storage.exists(name + SNAPSHOT_SUFFIX):
             self.recover()
+        else:
+            self._blob_first_seq = 1
 
     # -- writing ---------------------------------------------------------------
 
@@ -158,12 +166,15 @@ class Journal:
         upto = self._next_seq - 1 if seq is None else seq
         self.storage.write(self.name + SNAPSHOT_SUFFIX,
                            _frame({"seq": upto, "state": state}))
-        keep = [record for record in self._scan()[0] if record.seq > upto]
+        keep = [record
+                for record in self._scan(self._blob_first_seq)[0]
+                if record.seq > upto]
         self.storage.write(self.name,
                            b"".join(_frame({"seq": record.seq, **record.payload})
                                     for record in keep))
         self._flushed_records = len(keep)
         self.snapshot_seq = upto
+        self._blob_first_seq = keep[0].seq if keep else self._next_seq
         return upto
 
     @property
@@ -176,8 +187,15 @@ class Journal:
 
     # -- recovery --------------------------------------------------------------
 
-    def _scan(self) -> tuple[list[JournalRecord], ReplayReport]:
-        """Decode trustworthy frames; truncate the blob past the last one."""
+    def _scan(self, expected_first: Optional[int] = None,
+              ) -> tuple[list[JournalRecord], ReplayReport]:
+        """Decode trustworthy frames; truncate the blob past the last one.
+
+        ``expected_first`` anchors the run: when given, the first frame
+        must carry exactly that sequence number, otherwise the whole blob
+        is distrusted.  Without it (a cold open of an unknown blob) any
+        contiguous run is accepted — a sequence starting past 1 is then
+        the *visible* mark of a compaction whose snapshot was lost."""
         blob = self.storage.read(self.name)
         report = ReplayReport()
         records: list[JournalRecord] = []
@@ -201,7 +219,8 @@ class Journal:
             except (ValueError, KeyError, TypeError):
                 report.corrupt_frame = True
                 break
-            if records and seq != records[-1].seq + 1:
+            expected = records[-1].seq + 1 if records else expected_first
+            if expected is not None and seq != expected:
                 report.corrupt_frame = True
                 break                               # sequence gap: distrust
             records.append(JournalRecord(seq=seq, payload=payload))
@@ -243,18 +262,32 @@ class Journal:
         reality — the next sequence number continues from the last
         trustworthy frame, so an append after a torn-tail truncation
         never leaves a sequence gap the next replay would distrust.
+
+        A journal that already knows where its blob starts (it wrote or
+        previously recovered it) additionally anchors the scan there, so
+        storage damage that erases the front of the run can never make a
+        later append replay as a bogus *suffix* of history: recovery is
+        prefix-exact, a frame whose predecessors are gone is distrusted
+        and truncated away.  Only a cold open (constructing a
+        :class:`Journal` over an existing blob with no intact snapshot)
+        accepts a run starting past sequence 1, because only there is
+        the gap *visible* to the consumer instead of silently
+        resequenced.
         """
         snapshot = self._read_snapshot()
-        records, report = self._scan()
-        snap_seq = None
-        if snapshot is not None:
-            snap_seq = int(snapshot.get("seq", 0))
+        snap_seq = int(snapshot.get("seq", 0)) if snapshot is not None else None
+        expected_first = self._blob_first_seq
+        if expected_first is None and snap_seq is not None:
+            expected_first = snap_seq + 1
+        records, report = self._scan(expected_first)
+        if snap_seq is not None:
             report.snapshot_seq = snap_seq
             records = [record for record in records if record.seq > snap_seq]
             report.records = len(records)
         self.snapshot_seq = snap_seq
         self._flushed_records = len(records)
         self._next_seq = (records[-1].seq if records else (snap_seq or 0)) + 1
+        self._blob_first_seq = (records[0].seq if records else self._next_seq)
         return snapshot, records, report
 
     def replay(self) -> list[JournalRecord]:

@@ -96,13 +96,16 @@ def metrics_jsonl(registry, path: str) -> int:
 
 
 def write_bundle(sim, dirpath: str,
-                 extra_manifest: Optional[dict] = None) -> dict:
+                 extra_manifest: Optional[dict] = None,
+                 alerts=None) -> dict:
     """Write the full per-run telemetry bundle under ``dirpath``.
 
     Files: ``metrics.prom`` (Prometheus snapshot), ``metrics.jsonl``,
     ``spans.jsonl`` (causal spans), ``events.jsonl`` (trace events), and
-    ``manifest.json`` tying them together with run stats.  Returns the
-    manifest dict.
+    ``manifest.json`` tying them together with run stats.  With an
+    ``alerts`` engine (:class:`~repro.telemetry.health.AlertEngine`) the
+    fired/resolved alert history additionally lands in
+    ``alerts.jsonl``.  Returns the manifest dict.
     """
     os.makedirs(dirpath, exist_ok=True)
 
@@ -113,6 +116,17 @@ def write_bundle(sim, dirpath: str,
     span_count = sim.telemetry.export_jsonl(os.path.join(dirpath, "spans.jsonl"))
     event_count = sim.trace.export_jsonl(os.path.join(dirpath, "events.jsonl"))
 
+    files = ["metrics.prom", "metrics.jsonl", "spans.jsonl",
+             "events.jsonl", "manifest.json"]
+    alert_counts = None
+    if alerts is not None:
+        with open(os.path.join(dirpath, "alerts.jsonl"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(alerts.export_jsonl())
+        files.insert(-1, "alerts.jsonl")
+        alert_counts = {"fired": len(alerts.history),
+                        "active": len(alerts.active)}
+
     manifest = {
         "sim_time": sim.now,
         "events_processed": sim.events_processed,
@@ -120,9 +134,10 @@ def write_bundle(sim, dirpath: str,
         "spans": sim.telemetry.stats(),
         "trace_events": event_count,
         "trace": sim.trace.stats(),
-        "files": ["metrics.prom", "metrics.jsonl", "spans.jsonl",
-                  "events.jsonl", "manifest.json"],
+        "files": files,
     }
+    if alert_counts is not None:
+        manifest["alerts"] = alert_counts
     if extra_manifest:
         manifest.update(extra_manifest)
     with open(os.path.join(dirpath, "manifest.json"), "w",

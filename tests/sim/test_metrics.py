@@ -48,10 +48,15 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h").observe(float("nan"))
 
-    def test_empty_histogram_is_zeroed(self):
+    def test_empty_histogram_quantile_is_none_not_zero(self):
+        # A silent 0.0 would make an empty RTT histogram look perfectly
+        # healthy to SLI consumers; "no data" must stay distinguishable.
         histogram = Histogram("h")
         assert histogram.mean == 0.0
-        assert histogram.quantile(0.9) == 0.0
+        assert histogram.quantile(0.9) is None
+        assert histogram.snapshot()["p95"] is None
+        histogram.observe(3.0)
+        assert histogram.quantile(0.9) == 3.0
 
     def test_quantile_rejects_negative(self):
         histogram = Histogram("h")

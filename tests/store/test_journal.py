@@ -137,6 +137,30 @@ def test_append_after_torn_recovery_leaves_no_sequence_gap():
     assert not report.truncated and not report.corrupt_frame
 
 
+def test_front_damage_cannot_resequence_later_appends_as_a_suffix():
+    """A live journal anchors recovery at the blob's known first frame:
+    when damage erases the *front* of the run, a frame appended later at
+    the in-memory sequence must not replay as a bogus suffix of history
+    (regression: hypothesis found ops=[append, flush, torn-wipe, append]
+    recovering [2] where the prefix-exact answer is [])."""
+    storage = StableStorage()
+    journal = Journal(storage, "d0.audit")
+    journal.append({"n": 0})
+    storage.corrupt_tail("d0.audit", drop_bytes=storage.size("d0.audit"))
+    journal.append({"n": 1})                           # lands with seq 2
+    records, report = Journal(storage, "d0.audit").recover()[1:]
+    # Cold open: the orphan frame starting at 2 is a *visible* gap.
+    assert [record.seq for record in records] == [2]
+    # Warm recovery on the journal that wrote the blob: seq 1 is gone, so
+    # the orphan seq-2 frame is distrusted, not replayed as a suffix.
+    records, report = journal.recover()[1:]
+    assert records == []
+    assert report.corrupt_frame
+    # And the journal realigned: the next append restarts the run.
+    assert journal.append({"n": 2}) == 1
+    assert [record.seq for record in journal._scan()[0]] == [1]
+
+
 def test_snapshot_compacts_and_recovery_resumes_from_it():
     storage = StableStorage()
     journal = Journal(storage, "d0.audit")
