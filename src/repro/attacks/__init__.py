@@ -10,6 +10,8 @@ substreams so experiments replay identically with safeguards on or off.
 from repro.attacks.backdoor import Backdoor, BackdoorAttack
 from repro.attacks.cyber import MalevolentPayload, WormAttack, compromise_device
 from repro.attacks.deception import SensorDeceptionAttack
+from repro.attacks.forgery import (ForgedKillOrder, ReplayedKillOrder,
+                                   StolenKeyRogue)
 from repro.attacks.human_error import ErrorProneOperator, misdeployed_policy_set
 from repro.attacks.injector import Attack, AttackInjector, AttackRecord
 from repro.attacks.poisoning import PoisoningCampaign
@@ -21,9 +23,12 @@ __all__ = [
     "Backdoor",
     "BackdoorAttack",
     "ErrorProneOperator",
+    "ForgedKillOrder",
     "MalevolentPayload",
     "PoisoningCampaign",
+    "ReplayedKillOrder",
     "SensorDeceptionAttack",
+    "StolenKeyRogue",
     "WormAttack",
     "compromise_device",
     "misdeployed_policy_set",

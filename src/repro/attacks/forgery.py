@@ -1,0 +1,238 @@
+"""Forged, replayed, and stolen-key command injection (E21 threat family).
+
+The sec VI-C watchdog's authority travels over the same network the
+attacker lives on.  Three escalating abuses of that authority:
+
+* :class:`ForgedKillOrder` — the attacker crafts ``safety.kill`` orders
+  from whole cloth (no key, garbage MAC) and aims them at healthy
+  devices.  An unsigned fleet executes them — the fail-closed machinery
+  turned into a weapon; a signed fleet rejects them at the gateway
+  (``bad-mac``).
+* :class:`ReplayedKillOrder` — the attacker taps the wire, captures
+  *genuine* kill orders, and re-sends them: re-addressed at healthy
+  devices, and verbatim at the original target.  Unsigned fleets execute
+  the re-addressed copy; signed fleets reject it (``target-mismatch``,
+  or ``replayed``/``stale`` for verbatim copies).
+* :class:`StolenKeyRogue` — the attacker exfiltrates the watchdog's
+  signing key (:meth:`~repro.crypto.keyring.Keyring.steal`) and mints
+  *valid* envelopes.  Crypto alone cannot stop this; containment falls
+  to the :class:`~repro.safeguards.gateway.ActuationGateway`'s
+  per-issuer budget and global freeze.
+
+None of these mark devices as *compromised* in the attack record: their
+victims are healthy devices wrongly killed, which must not count toward
+skynet formation (that scoring means "running rogue logic").  Victim ids
+land in ``record.detail`` instead, and scenarios score them as
+``healthy_killed``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.attacks.injector import Attack, AttackRecord
+from repro.crypto.envelope import TRANSPORT_KEYS, signed_body
+from repro.safeguards.deactivation import KILL_TOPIC, safety_address
+from repro.sim.simulator import Simulator
+from repro.types import DeviceStatus, ThreatChannel
+
+
+def _active_victims(devices: dict, avoid: Optional[Callable[[], set]],
+                    exclude: set) -> list[str]:
+    """Deterministic healthy-victim pool: active, not excluded, not in
+    ``avoid()`` (typically the injector's compromised-ever set)."""
+    avoided = set(avoid()) if avoid is not None else set()
+    return [
+        device_id for device_id in sorted(devices)
+        if devices[device_id].status != DeviceStatus.DEACTIVATED
+        and device_id not in avoided and device_id not in exclude
+    ]
+
+
+class ForgedKillOrder(Attack):
+    """Craft kill orders from nothing and aim them at healthy devices."""
+
+    name = "forged-kill"
+    channel = ThreatChannel.CYBER_ATTACK
+
+    def __init__(self, network, devices: dict, victims: int = 2,
+                 issuer: str = "watchdog", address: str = "red.forger",
+                 rounds: int = 3, interval: float = 1.0,
+                 avoid: Optional[Callable[[], set]] = None):
+        """``victims`` healthy devices are each sent a forged order per
+        round, ``rounds`` rounds spaced ``interval`` apart.  The forgery
+        carries envelope-shaped fields with a garbage MAC, so it exercises
+        the ``bad-mac`` rejection path on signed fleets while remaining a
+        perfectly effective kill on unsigned ones (which only read
+        ``cause``)."""
+        self.network = network
+        self.devices = devices
+        self.victims = victims
+        self.issuer = issuer
+        self.address = address
+        self.rounds = rounds
+        self.interval = interval
+        self.avoid = avoid
+        self._nonce = 0
+
+    def launch(self, sim: Simulator, record: AttackRecord) -> None:
+        # Join the topology so the fleet routes our datagrams.
+        self.network.register(self.address, lambda message: None)
+        record.detail["victims"] = []
+        record.detail["orders_sent"] = 0
+        self._round(sim, record, self.rounds)
+
+    def _round(self, sim: Simulator, record: AttackRecord,
+               remaining: int) -> None:
+        if remaining <= 0:
+            return
+        targets = _active_victims(self.devices, self.avoid,
+                                  exclude=set())[: self.victims]
+        for device_id in targets:
+            self._nonce += 1
+            body = {
+                "cause": "forged", "target": device_id,
+                "_issuer": self.issuer,
+                "_nonce": f"forged:{self._nonce}",
+                "_tick": sim.now,
+                "_mac": "0" * 64,
+            }
+            self.network.send(self.address, safety_address(device_id),
+                              KILL_TOPIC, body)
+            if device_id not in record.detail["victims"]:
+                record.detail["victims"].append(device_id)
+            record.detail["orders_sent"] += 1
+            sim.metrics.counter("attacks.forged_orders").inc()
+        sim.record("attack.forged_kill", self.address, targets=targets)
+        sim.schedule(self.interval, self._round, sim, record, remaining - 1,
+                     label="attack:forged-kill")
+
+
+class ReplayedKillOrder(Attack):
+    """Capture genuine kill orders off the wire and re-send them."""
+
+    name = "replay-kill"
+    channel = ThreatChannel.CYBER_ATTACK
+
+    def __init__(self, network, devices: dict, address: str = "red.replayer",
+                 delay: float = 1.0, max_replays: int = 8,
+                 avoid: Optional[Callable[[], set]] = None):
+        """Each captured ``safety.kill`` body is re-sent ``delay`` after
+        capture (inside the verifier window, so the nonce cache — not
+        staleness — is what a signed fleet's defence rests on): once
+        re-addressed at a healthy device, once verbatim at the original
+        target.  Transport retry metadata is stripped from the capture,
+        exactly as a datagram-level attacker would replay it."""
+        self.network = network
+        self.devices = devices
+        self.address = address
+        self.delay = delay
+        self.max_replays = max_replays
+        self.avoid = avoid
+
+    def launch(self, sim: Simulator, record: AttackRecord) -> None:
+        self.network.register(self.address, lambda message: None)
+        record.detail["captured"] = 0
+        record.detail["replays_sent"] = 0
+        record.detail["victims"] = []
+
+        def capture(message) -> None:
+            if message.topic != KILL_TOPIC:
+                return
+            if message.sender == self.address:
+                return                      # don't capture our own replays
+            if record.detail["captured"] >= self.max_replays:
+                return
+            record.detail["captured"] += 1
+            body = {key: value for key, value in message.body.items()
+                    if key not in TRANSPORT_KEYS}
+            sim.schedule(self.delay, self._replay, sim, record,
+                         dict(body), message.recipient,
+                         label="attack:replay-kill")
+
+        self.network.tap(capture)
+
+    def _replay(self, sim: Simulator, record: AttackRecord,
+                body: dict, original_recipient: str) -> None:
+        original_target = body.get("target")
+        victims = _active_victims(
+            self.devices, self.avoid,
+            exclude={original_target} if original_target else set(),
+        )
+        if victims:
+            victim = victims[0]
+            # The body rides verbatim — tampering with the signed target
+            # would just break the MAC.  Unsigned fleets never look at it,
+            # so delivery address alone re-aims the kill; signed fleets
+            # catch exactly this at the gateway's target binding.
+            self.network.send(self.address, safety_address(victim),
+                              KILL_TOPIC, dict(body))
+            if victim not in record.detail["victims"]:
+                record.detail["victims"].append(victim)
+            record.detail["replays_sent"] += 1
+            sim.metrics.counter("attacks.replayed_orders").inc()
+        # Verbatim replay at the original target: consumed-nonce territory.
+        self.network.send(self.address, original_recipient, KILL_TOPIC,
+                          dict(body))
+        record.detail["replays_sent"] += 1
+        sim.metrics.counter("attacks.replayed_orders").inc()
+        sim.record("attack.replay_kill", self.address,
+                   original=original_recipient,
+                   victim=victims[0] if victims else None)
+
+
+class StolenKeyRogue(Attack):
+    """Sign kill orders with an exfiltrated watchdog key."""
+
+    name = "stolen-key"
+    channel = ThreatChannel.CYBER_ATTACK
+
+    def __init__(self, network, devices: dict, keyring,
+                 issuer: str = "watchdog", address: str = "red.rogue",
+                 interval: float = 1.0, max_orders: int = 12,
+                 avoid: Optional[Callable[[], set]] = None):
+        """Every ``interval`` the rogue signs a fresh, perfectly valid
+        kill order for the next healthy device and sends it.  The crypto
+        layer cannot tell these from the watchdog's own orders — they
+        share the issuer's budget at the gateway, which is the containment
+        mechanism under test (budget exhaustion trips the global freeze).
+        ``max_orders`` bounds the spray."""
+        self.network = network
+        self.devices = devices
+        self.keyring = keyring
+        self.issuer = issuer
+        self.address = address
+        self.interval = interval
+        self.max_orders = max_orders
+        self.avoid = avoid
+        self._key: Optional[bytes] = None
+        self._nonce = 0
+
+    def launch(self, sim: Simulator, record: AttackRecord) -> None:
+        self.network.register(self.address, lambda message: None)
+        self._key = self.keyring.steal(self.issuer)
+        record.detail["orders_sent"] = 0
+        record.detail["victims"] = []
+        sim.record("attack.key_stolen", self.address, issuer=self.issuer)
+        self._spray(sim, record)
+
+    def _spray(self, sim: Simulator, record: AttackRecord) -> None:
+        if record.detail["orders_sent"] >= self.max_orders:
+            return
+        victims = _active_victims(self.devices, self.avoid,
+                                  exclude=set(record.detail["victims"]))
+        if victims:
+            victim = victims[0]
+            self._nonce += 1
+            body = signed_body(
+                self._key, self.issuer,
+                {"cause": "stolen-key", "target": victim},
+                nonce=f"stolen:{self._nonce}", tick=sim.now,
+            )
+            self.network.send(self.address, safety_address(victim),
+                              KILL_TOPIC, body)
+            record.detail["orders_sent"] += 1
+            record.detail["victims"].append(victim)
+            sim.metrics.counter("attacks.stolen_key_orders").inc()
+        sim.schedule(self.interval, self._spray, sim, record,
+                     label="attack:stolen-key")

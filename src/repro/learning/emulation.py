@@ -87,7 +87,7 @@ class HumanEmulationLearner:
             total = sum(bucket.values())
             if total < self.min_demonstrations:
                 continue
-            winner = max(sorted(bucket), key=lambda name: bucket[name])
+            winner = max(sorted(bucket), key=bucket.__getitem__)
             if bucket[winner] / total >= self.min_agreement:
                 out.append((event_kind, situation_key, winner))
         return out

@@ -12,6 +12,8 @@ Each module implements one mechanism as a :class:`~repro.core.engine.Safeguard`
 * ``governance`` — VI-E three mutually-checking collectives (2-of-3)
 * ``utility`` — VII partial-derivative (pleasure/pain) utility functions
 * ``tamper`` — the tamper-proofing primitive the paper assumes throughout
+* ``gateway`` — E21 replay-proof actuation gateway (verify-then-execute
+  in front of device actuators, with budgets/cooldowns/global freeze)
 """
 
 from repro.safeguards.crossvalidation import CrossValidationGuard
@@ -25,6 +27,7 @@ from repro.safeguards.collection import (
     OfflineAnalyzer,
 )
 from repro.safeguards.deactivation import OverseerLink, Watchdog, WatchdogReport
+from repro.safeguards.gateway import ActuationGateway, AuthzDecision
 from repro.safeguards.governance import (
     Ballot,
     BallotBox,
@@ -33,6 +36,7 @@ from repro.safeguards.governance import (
     GovernanceGuard,
     GovernanceSystem,
     MetaPolicy,
+    policy_digest,
 )
 from repro.safeguards.preaction import CallableHarmModel, HarmModel, PreActionCheck
 from repro.safeguards.statespace import StateSpaceGuard
@@ -40,7 +44,9 @@ from repro.safeguards.tamper import SealedChain, attest_device, seal_guard_chain
 from repro.safeguards.utility import PartialDerivativeUtility, UtilityGuard
 
 __all__ = [
+    "ActuationGateway",
     "AggregateConstraint",
+    "AuthzDecision",
     "Ballot",
     "BallotBox",
     "BallotMember",
@@ -66,5 +72,6 @@ __all__ = [
     "Watchdog",
     "WatchdogReport",
     "attest_device",
+    "policy_digest",
     "seal_guard_chain",
 ]

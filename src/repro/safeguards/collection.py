@@ -307,11 +307,16 @@ class JoinDesk:
     """
 
     def __init__(self, sim, transport, guard: CollectionGuard,
-                 address: str = "collection-desk"):
+                 address: str = "collection-desk", signer=None):
+        """``signer`` (a :class:`~repro.crypto.envelope.CommandSigner`)
+        signs each verdict into a command envelope, so a verifying
+        :class:`JoinClient` cannot be admitted by a forged or replayed
+        approval (E21)."""
         self.sim = sim
         self.transport = transport
         self.guard = guard
         self.address = address
+        self.signer = signer
         self.requests_handled = 0
         transport.register(address, self._on_message)
 
@@ -327,9 +332,10 @@ class JoinDesk:
         approved = self.guard.review_snapshot(
             device_id, body.get("snapshot", {}), self.sim.now
         )
-        self.transport.send(self.address, reply_to, VERDICT_TOPIC, {
-            "device_id": device_id, "approved": approved,
-        })
+        verdict = {"device_id": device_id, "approved": approved}
+        if self.signer is not None:
+            verdict = self.signer.sign(verdict, tick=self.sim.now)
+        self.transport.send(self.address, reply_to, VERDICT_TOPIC, verdict)
 
 
 class JoinClient:
@@ -343,12 +349,19 @@ class JoinClient:
     """
 
     def __init__(self, sim, device: Device, transport,
-                 desk: str = "collection-desk", timeout: float = 5.0):
+                 desk: str = "collection-desk", timeout: float = 5.0,
+                 verifier=None):
+        """``verifier`` (an :class:`~repro.crypto.envelope.EnvelopeVerifier`)
+        requires verdicts to arrive as valid signed envelopes naming this
+        device.  A forged, replayed, or re-addressed approval is ignored
+        — and since the client fails closed, ignoring it means *not
+        joined* when no genuine verdict follows (E21)."""
         self.sim = sim
         self.device = device
         self.transport = transport
         self.desk = desk
         self.timeout = timeout
+        self.verifier = verifier
         self.address = f"{device.device_id}.join"
         #: ``None`` while undecided, then the final verdict.
         self.joined: Optional[bool] = None
@@ -385,7 +398,19 @@ class JoinClient:
     def _on_message(self, message: Message) -> None:
         if message.topic != VERDICT_TOPIC or self.joined is not None:
             return
-        self._decide(bool(message.body.get("approved")), "verdict")
+        body = message.body
+        if self.verifier is not None:
+            ok, reason = self.verifier.consume(body, self.sim.now)
+            if ok and body.get("device_id") != self.device.device_id:
+                # Target binding: an approval signed for another device
+                # (captured and re-addressed) does not admit this one.
+                ok, reason = False, "target-mismatch"
+            if not ok:
+                self.sim.metrics.counter("collection.verdicts_rejected").inc()
+                self.sim.record("collection.verdict_rejected",
+                                self.device.device_id, reason=reason)
+                return
+        self._decide(bool(body.get("approved")), "verdict")
 
     def _decide(self, joined: bool, outcome: str) -> None:
         if self.joined is not None:

@@ -86,6 +86,9 @@ class Watchdog:
         transport=None,
         address: str = "watchdog",
         telemetry_timeout: Optional[float] = None,
+        signer=None,
+        resign_after: float = 5.0,
+        baseline_journal=None,
     ):
         """``devices`` is a live device_id -> Device mapping.  With an
         ``attestation_baseline`` (device_id -> hash from
@@ -106,7 +109,21 @@ class Watchdog:
         attestation hash), and delivers kills as ``safety.kill`` orders
         over the wire instead of direct calls.  ``telemetry_timeout``
         marks devices whose last report is older than that as *silent*
-        (``watchdog.silent`` metric; query :meth:`silent_devices`)."""
+        (``watchdog.silent`` metric; query :meth:`silent_devices`).
+
+        ``signer`` (a :class:`~repro.crypto.envelope.CommandSigner`)
+        makes remote kill orders **signed command envelopes** binding the
+        cause and target device.  The signed body is cached per target
+        and re-sent verbatim on re-issues inside ``resign_after``
+        sim-seconds, so a lost-datagram retry presents the *same* nonce
+        (retry ≠ replay at the receiving gateway); only once the cached
+        envelope nears the verifier window is a fresh one minted.
+
+        ``baseline_journal`` (a :class:`~repro.store.journal.Journal`)
+        writes the approved attestation baseline through to stable
+        storage — with it, a crash/restart of the watchdog cannot reset
+        it to accepting a reprogrammed device (:meth:`recover` replays
+        the last approved hash per device)."""
         self.sim = sim
         self.devices = devices
         self.classifier = classifier
@@ -119,11 +136,17 @@ class Watchdog:
         self.transport = transport
         self.address = address
         self.telemetry_timeout = telemetry_timeout
+        self.signer = signer
+        self.resign_after = resign_after
+        self._baseline_journal = baseline_journal
         self.reports: list[WatchdogReport] = []
         self._strikes: dict[str, int] = {}
         self._telemetry: dict[str, dict] = {}
         self._kill_ordered: set = set()
+        self._kill_envelopes: dict[str, dict] = {}
         self._silent: set = set()
+        if baseline_journal is not None and self.attestation_baseline:
+            self._journal_baseline(sorted(self.attestation_baseline))
         if transport is not None:
             transport.register(address, self._on_message)
         self._task = sim.every(check_interval, self.check_all, label="watchdog")
@@ -268,11 +291,31 @@ class Watchdog:
             self.on_deactivate(report)
         return report
 
+    def _kill_body(self, device_id: str, cause: str) -> dict:
+        """The wire body of a kill order — signed when a signer is armed.
+
+        Re-issues inside ``resign_after`` resend the cached envelope
+        verbatim: the receiving gateway sees one nonce per order, so a
+        retransmission verifies while a post-consumption replay of the
+        same envelope is rejected.
+        """
+        if self.signer is None:
+            return {"cause": cause}
+        cached = self._kill_envelopes.get(device_id)
+        if (cached is not None
+                and self.sim.now - cached["_tick"] <= self.resign_after):
+            return cached
+        body = self.signer.sign({"cause": cause, "target": device_id},
+                                tick=self.sim.now)
+        self._kill_envelopes[device_id] = body
+        return body
+
     def _send_kill(self, device_id: str, cause: str) -> None:
+        body = self._kill_body(device_id, cause)
         telemetry = self.sim.telemetry
         if not telemetry.enabled:
             self.transport.send(self.address, safety_address(device_id),
-                                KILL_TOPIC, {"cause": cause})
+                                KILL_TOPIC, body)
             return
         # The kill order is caused by the telemetry it was judged from:
         # parent under the report's context when we have it, so the order
@@ -286,7 +329,7 @@ class Watchdog:
         previous = telemetry.activate(span.context if span is not None else None)
         try:
             self.transport.send(self.address, safety_address(device_id),
-                                KILL_TOPIC, {"cause": cause})
+                                KILL_TOPIC, body)
         finally:
             telemetry.activate(previous)
 
@@ -295,10 +338,45 @@ class Watchdog:
     def approve_current_configuration(self, device_ids: Optional[Iterable[str]] = None) -> None:
         """Re-baseline attestation (after a governance-approved policy change)."""
         targets = list(device_ids) if device_ids is not None else sorted(self.devices)
+        journaled = []
         for device_id in targets:
             device = self.devices.get(device_id)
             if device is not None:
                 self.attestation_baseline[device_id] = attest_device(device)
+                journaled.append(device_id)
+        if self._baseline_journal is not None and journaled:
+            self._journal_baseline(journaled)
+
+    # -- baseline durability (E21 satellite) -----------------------------------
+
+    def _journal_baseline(self, device_ids: Iterable[str]) -> None:
+        for device_id in device_ids:
+            self._baseline_journal.append({
+                "kind": "baseline", "device": device_id,
+                "hash": self.attestation_baseline[device_id],
+            })
+
+    def crash_volatile(self) -> dict:
+        """Crash semantics: the approved baseline is in-memory — an
+        amnesiac restart would re-baseline from whatever configuration
+        the fleet *currently* runs, blessing any reprogramming that
+        happened before the crash."""
+        lost = len(self.attestation_baseline)
+        self.attestation_baseline = {}
+        return {"lost": lost, "kind": "attestation",
+                "journaled": self._baseline_journal is not None}
+
+    def recover(self) -> dict:
+        """Restore the approved baseline from the journal (last hash per
+        device wins — re-approvals supersede earlier entries)."""
+        replayed = 0
+        if self._baseline_journal is not None:
+            for record in self._baseline_journal.replay():
+                payload = record.payload
+                if payload.get("kind") == "baseline":
+                    self.attestation_baseline[payload["device"]] = payload["hash"]
+                replayed += 1
+        return {"replayed": replayed}
 
     def deactivations(self, cause: Optional[str] = None) -> list[WatchdogReport]:
         if cause is None:
@@ -335,6 +413,7 @@ class OverseerLink:
         attest: bool = True,
         journal=None,
         flight=None,
+        gateway=None,
     ):
         """``journal`` (a :class:`~repro.store.journal.Journal`) makes the
         quarantine state crash-durable: the dead-letter streak and any
@@ -345,7 +424,15 @@ class OverseerLink:
         ``flight`` (a :class:`~repro.telemetry.flight.FlightRecorder`)
         dumps the device's recent-telemetry ring to stable storage at the
         moment of quarantine — the post-mortem evidence of what the
-        device saw before it failed closed."""
+        device saw before it failed closed.
+
+        ``gateway`` (a :class:`~repro.safeguards.gateway.ActuationGateway`)
+        puts the kill actuator behind cryptographic authorization: an
+        inbound ``safety.kill`` order only executes if its signed
+        envelope verifies, its nonce is fresh, its signed target is this
+        device, and the issuer clears budget/cooldown/freeze.  Without a
+        gateway the historical trusting behaviour applies — the E21
+        unsigned arm, where forged and replayed orders execute."""
         self.sim = sim
         self.device = device
         self.transport = transport
@@ -355,6 +442,7 @@ class OverseerLink:
         self.attest = attest
         self._journal = journal
         self._flight = flight
+        self.gateway = gateway
         self.address = safety_address(device.device_id)
         self.quarantined = False
         self.reports_sent = 0
@@ -486,15 +574,28 @@ class OverseerLink:
     def _on_message(self, message: Message) -> None:
         if message.topic != KILL_TOPIC:
             return
-        if self.device.status != DeviceStatus.DEACTIVATED:
-            self.device.deactivate(f"watchdog: {message.body.get('cause', '?')}")
-            self.sim.metrics.counter("watchdog.deactivations").inc()
-            self.sim.record("watchdog.deactivate", self.device.device_id,
-                            cause=message.body.get("cause", "?"), remote=True)
-            telemetry = self.sim.telemetry
-            if telemetry.enabled:
-                parent = message.trace or telemetry.active_context()
-                if parent is not None:
-                    telemetry.start_span("watchdog.deactivate",
-                                         self.device.device_id, parent=parent,
-                                         cause=message.body.get("cause", "?"))
+        if self.device.status == DeviceStatus.DEACTIVATED:
+            return
+        if self.gateway is None:
+            self._execute_kill(message)
+            return
+        # Signed arm: the kill actuator only fires through the gateway —
+        # envelope crypto, replay protection, target binding, and the
+        # issuer's budget/cooldown/freeze all stand between an inbound
+        # order and the deactivation.
+        self.gateway.admit(message.body, kind=KILL_TOPIC,
+                           target=self.device.device_id,
+                           execute=lambda: self._execute_kill(message))
+
+    def _execute_kill(self, message: Message) -> None:
+        self.device.deactivate(f"watchdog: {message.body.get('cause', '?')}")
+        self.sim.metrics.counter("watchdog.deactivations").inc()
+        self.sim.record("watchdog.deactivate", self.device.device_id,
+                        cause=message.body.get("cause", "?"), remote=True)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            parent = message.trace or telemetry.active_context()
+            if parent is not None:
+                telemetry.start_span("watchdog.deactivate",
+                                     self.device.device_id, parent=parent,
+                                     cause=message.body.get("cause", "?"))

@@ -35,6 +35,7 @@ from repro.core.actions import Action
 from repro.core.engine import Safeguard
 from repro.core.events import Event
 from repro.core.policy import Policy
+from repro.crypto.envelope import payload_digest
 from repro.errors import ConfigurationError, GovernanceVeto
 from repro.net.message import Message
 from repro.types import Branch, Verdict
@@ -42,6 +43,32 @@ from repro.types import Branch, Verdict
 #: Topics of the distributed-vote protocol.
 BALLOT_TOPIC = "governance.ballot"
 VOTE_TOPIC = "governance.vote"
+
+
+def policy_digest(policy: Policy) -> str:
+    """Digest of a policy's *semantics* (E21 digest-match approvals).
+
+    An approval pins this digest: swapping the condition, action, or
+    priority under an already-approved policy id yields a different
+    digest, and the :class:`GovernanceGuard` vetoes the mismatch.  Params
+    like ``_policy_id`` stamped at runtime are excluded (they are
+    provenance metadata, not semantics).
+    """
+    action = policy.action
+    return payload_digest({
+        "policy_id": policy.policy_id,
+        "event_pattern": policy.event_pattern,
+        "condition": repr(policy.condition),
+        "priority": policy.priority,
+        "source": policy.source,
+        "action": {
+            "name": action.name,
+            "actuator": action.actuator,
+            "effects": list(action.effects),
+            "tags": sorted(action.tags),
+            "reversible": action.reversible,
+        },
+    })
 
 
 @dataclass(frozen=True)
@@ -173,6 +200,8 @@ class GovernanceSystem:
         self._journal = journal
         self.decisions: list[GovernanceDecision] = []
         self.approved_policy_ids: set = set()
+        #: policy_id -> digest pinned at approval time (digest-match).
+        self.approved_digests: dict[str, str] = {}
 
     def review(self, policy: Policy, proposer: str, time: float,
                context: Optional[dict] = None) -> GovernanceDecision:
@@ -191,8 +220,12 @@ class GovernanceSystem:
             judiciary=judiciary_verdict, final=final, time=time,
         )
         self.decisions.append(decision)
+        digest = policy_digest(policy)
         if final == Verdict.APPROVE:
             self.approved_policy_ids.add(policy.policy_id)
+            # Pin the reviewed semantics: the approval is for *this*
+            # policy body, not for whatever later claims its id.
+            self.approved_digests[policy.policy_id] = digest
         if self._journal is not None:
             self._journal.append({
                 "kind": "review", "policy": policy.policy_id,
@@ -201,7 +234,7 @@ class GovernanceSystem:
                 "legislative": legis_verdict.value,
                 "judiciary": (judiciary_verdict.value
                               if judiciary_verdict else None),
-                "final": final.value,
+                "final": final.value, "digest": digest,
             })
         self._audit("governance.review", {
             "policy": policy.policy_id, "proposer": proposer, "time": time,
@@ -211,8 +244,22 @@ class GovernanceSystem:
         })
         return decision
 
-    def is_approved(self, policy_id: str) -> bool:
-        return policy_id in self.approved_policy_ids
+    def is_approved(self, policy_id: str,
+                    digest: Optional[str] = None) -> bool:
+        """Whether ``policy_id`` holds a live approval.
+
+        With ``digest`` the check is digest-matched: the approval only
+        stands if the live policy's digest equals the one pinned at
+        review time — a policy body swapped under an approved id is not
+        approved.  (Approvals recovered from pre-digest journals carry no
+        pin and fall back to id-only.)
+        """
+        if policy_id not in self.approved_policy_ids:
+            return False
+        pinned = self.approved_digests.get(policy_id)
+        if digest is not None and pinned is not None and digest != pinned:
+            return False
+        return True
 
     def revoke(self, policy_id: str, reason: str, time: float) -> bool:
         """Withdraw a previous approval (the judiciary's runtime role:
@@ -223,6 +270,7 @@ class GovernanceSystem:
         if policy_id not in self.approved_policy_ids:
             return False
         self.approved_policy_ids.discard(policy_id)
+        self.approved_digests.pop(policy_id, None)
         if self._journal is not None:
             self._journal.append({
                 "kind": "revoke", "policy": policy_id, "reason": reason,
@@ -240,6 +288,7 @@ class GovernanceSystem:
         lost = len(self.decisions)
         self.decisions = []
         self.approved_policy_ids = set()
+        self.approved_digests = {}
         return {"lost": lost, "kind": "governance",
                 "journaled": self._journal is not None}
 
@@ -270,8 +319,12 @@ class GovernanceSystem:
                     self.decisions.append(decision)
                     if decision.final == Verdict.APPROVE:
                         self.approved_policy_ids.add(decision.policy_id)
+                        if payload.get("digest"):
+                            self.approved_digests[decision.policy_id] = \
+                                payload["digest"]
                 elif payload.get("kind") == "revoke":
                     self.approved_policy_ids.discard(payload["policy"])
+                    self.approved_digests.pop(payload["policy"], None)
                 replayed += 1
         return {"replayed": replayed}
 
@@ -347,10 +400,15 @@ class BallotMember:
     """
 
     def __init__(self, transport, address: str,
-                 decide: Callable[[dict], bool]):
+                 decide: Callable[[dict], bool], signer=None):
+        """``signer`` (a :class:`~repro.crypto.envelope.CommandSigner`
+        issued for this member's address) wraps each vote in a signed
+        envelope, so a verifying :class:`BallotBox` can reject forged or
+        replayed ballots (E21)."""
         self.transport = transport
         self.address = address
         self.decide = decide
+        self.signer = signer
         self.ballots_answered = 0
         transport.register(address, self._on_message)
 
@@ -359,11 +417,14 @@ class BallotMember:
             return
         body = message.body
         self.ballots_answered += 1
-        self.transport.send(self.address, body["reply_to"], VOTE_TOPIC, {
+        vote = {
             "ballot_id": body["ballot_id"],
             "voter": self.address,
             "approve": bool(self.decide(body.get("payload", {}))),
-        })
+        }
+        if self.signer is not None:
+            vote = self.signer.sign(vote, tick=message.sent_at)
+        self.transport.send(self.address, body["reply_to"], VOTE_TOPIC, vote)
 
 
 #: Valid :class:`BallotBox` quorum modes.
@@ -397,7 +458,8 @@ class BallotBox:
     """
 
     def __init__(self, sim, transport, address: str = "governance",
-                 quorum_mode: str = "electorate", journal=None):
+                 quorum_mode: str = "electorate", journal=None,
+                 verifier=None):
         if quorum_mode not in QUORUM_MODES:
             raise ConfigurationError(
                 f"unknown quorum_mode {quorum_mode!r}; "
@@ -408,6 +470,12 @@ class BallotBox:
         self.address = address
         self.quorum_mode = quorum_mode
         self._journal = journal
+        #: Optional :class:`~repro.crypto.envelope.EnvelopeVerifier` —
+        #: when armed, only signed votes whose envelope verifies *and*
+        #: whose issuer is the claimed voter are counted (E21): a forged
+        #: vote, a replayed one, or a valid envelope from member A
+        #: claiming to be member B are all rejected.
+        self.verifier = verifier
         self.ballots: list[Ballot] = []
         self._open: dict[str, Ballot] = {}
         self._counter = itertools.count(1)
@@ -461,6 +529,8 @@ class BallotBox:
         if message.topic != VOTE_TOPIC:
             return
         body = message.body
+        if self.verifier is not None and not self._verified_vote(body):
+            return
         ballot = self._open.get(body.get("ballot_id"))
         if (ballot is None or body.get("voter") not in ballot.voters
                 or body["voter"] in ballot.votes):
@@ -471,6 +541,22 @@ class BallotBox:
                 "kind": "vote", "ballot": ballot.ballot_id,
                 "voter": body["voter"], "approve": ballot.votes[body["voter"]],
             })
+
+    def _verified_vote(self, body: dict) -> bool:
+        """Consume the vote's envelope; reject forgery/replay/identity theft."""
+        ok, reason = self.verifier.consume(body, self.sim.now)
+        if ok and body.get("_issuer") != body.get("voter"):
+            # Voter binding: a valid envelope from one member must not be
+            # countable as another member's ballot.
+            ok, reason = False, "voter-mismatch"
+        if not ok:
+            self.sim.metrics.counter("governance.votes_rejected").inc()
+            self.sim.metrics.counter(
+                f"governance.votes_rejected.{reason}").inc()
+            self.sim.record("governance.vote_rejected", self.address,
+                            ballot=body.get("ballot_id"),
+                            voter=body.get("voter"), reason=reason)
+        return ok
 
     def _required_approvals(self, ballot: Ballot) -> int:
         """The approvals this ballot needs to pass, per its quorum mode.
@@ -587,6 +673,13 @@ class GovernanceGuard(Safeguard):
     policies must have been approved.  Enforcement is on the *action*: the
     engine looks up which policy proposed it via the metadata the
     generative engine stamps onto the action params.
+
+    Approval is **digest-matched** (E21): the guard recomputes the live
+    policy's :func:`policy_digest` and requires it to equal the digest
+    pinned at review time — an approved policy id whose body was swapped
+    afterwards (condition loosened, action re-aimed, priority raised) is
+    vetoed just like an unapproved one.  When the live policy object
+    cannot be found on the device the check degrades to id-only.
     """
 
     name = "governance"
@@ -596,6 +689,14 @@ class GovernanceGuard(Safeguard):
         self.governance = governance
         self.gated_sources = set(gated_sources)
         self.vetoes = 0
+        self.digest_vetoes = 0
+
+    def _live_digest(self, device, policy_id: str) -> Optional[str]:
+        engine = getattr(device, "engine", None)
+        policies = getattr(engine, "policies", None)
+        if policies is None or policy_id not in policies:
+            return None
+        return policy_digest(policies.get(policy_id))
 
     def check_action(self, device, action: Action, event: Optional[Event],
                      time: float) -> None:
@@ -603,9 +704,20 @@ class GovernanceGuard(Safeguard):
         policy_source = action.params.get("_policy_source")
         if policy_id is None or policy_source not in self.gated_sources:
             return
-        if self.governance.is_approved(policy_id):
+        digest = self._live_digest(device, policy_id)
+        if self.governance.is_approved(policy_id, digest=digest):
             return
         self.vetoes += 1
+        if self.governance.is_approved(policy_id):
+            # The id is approved but the body drifted: digest mismatch.
+            self.digest_vetoes += 1
+            raise GovernanceVeto(
+                f"policy {policy_id!r} ({policy_source}) no longer matches "
+                f"its approved digest",
+                safeguard=self.name,
+                detail={"device": device.device_id, "policy": policy_id,
+                        "time": time, "reason": "digest-mismatch"},
+            )
         raise GovernanceVeto(
             f"policy {policy_id!r} ({policy_source}) is not governance-approved",
             safeguard=self.name,

@@ -31,9 +31,12 @@ from typing import Optional
 
 from repro.attacks.backdoor import Backdoor, BackdoorAttack
 from repro.attacks.cyber import MalevolentPayload, WormAttack
+from repro.attacks.forgery import (ForgedKillOrder, ReplayedKillOrder,
+                                   StolenKeyRogue)
 from repro.attacks.human_error import ErrorProneOperator
 from repro.attacks.injector import AttackInjector
 from repro.audit.log import AuditLog
+from repro.crypto import CommandSigner, EnvelopeVerifier, Keyring
 from repro.core.actions import Action, Effect
 from repro.core.policy import Policy
 from repro.devices.base import bind_device
@@ -46,6 +49,7 @@ from repro.net.discovery import DiscoveryService
 from repro.net.network import Network
 from repro.net.reliable import ReliableChannel
 from repro.safeguards.deactivation import OverseerLink, Watchdog
+from repro.safeguards.gateway import GATEWAY_REASONS, ActuationGateway
 from repro.safeguards.preaction import PreActionCheck
 from repro.safeguards.statespace import StateSpaceGuard
 from repro.safeguards.tamper import attest_fleet, seal_guard_chain
@@ -84,6 +88,17 @@ class ThreatConfig:
     wrong_target_prob: float = 0.1
     wrong_params_prob: float = 0.1
 
+    # E21 authority-forgery channels (off by default; they attack the
+    # safeguards' own command plane rather than the devices).
+    forged_kill: bool = False
+    forged_kill_time: float = 30.0
+    forged_victims: int = 2
+    replay_kill: bool = False
+    replay_kill_time: float = 15.0
+    stolen_key: bool = False
+    stolen_key_time: float = 30.0
+    stolen_key_orders: int = 12
+
     @staticmethod
     def none() -> "ThreatConfig":
         return ThreatConfig(worm=False, backdoor=False, operator_error=False)
@@ -91,6 +106,15 @@ class ThreatConfig:
     @staticmethod
     def all() -> "ThreatConfig":
         return ThreatConfig(worm=True, backdoor=True, operator_error=True)
+
+    @staticmethod
+    def forgery(worm: bool = True) -> "ThreatConfig":
+        """The E21 campaign: forged + replayed kill orders and a
+        stolen-key rogue, optionally alongside the worm (whose genuine
+        kill orders the replay attack captures)."""
+        return ThreatConfig(worm=worm, backdoor=False, operator_error=False,
+                            forged_kill=True, replay_kill=True,
+                            stolen_key=True)
 
 
 def rogue_strike_policy() -> Policy:
@@ -148,6 +172,10 @@ class ConfrontationScenario:
         quarantine_relaxed: int = 8,
         compaction_policy: str = "time",
         compaction_bytes: int = 16384,
+        signed_commands: bool = False,
+        authz_budget: int = 8,
+        authz_budget_window: float = 60.0,
+        authz_cooldown: float = 0.0,
     ):
         """``fault_plan``/``supervision`` arm the chaos harness (E17).
 
@@ -195,6 +223,19 @@ class ConfrontationScenario:
         :class:`~repro.telemetry.health.CompactionController` compacts
         any audit journal whose blob exceeds ``compaction_bytes`` while
         the storage-pressure alert is active.
+
+        ``signed_commands`` (requires a transported watchdog) arms the
+        E21 authorization layer: a seed-derived
+        :class:`~repro.crypto.keyring.Keyring`, the watchdog signing its
+        kill orders as command envelopes, and a single fleet-level
+        :class:`~repro.safeguards.gateway.ActuationGateway` every
+        :class:`~repro.safeguards.deactivation.OverseerLink` consults
+        before actuating — with a per-issuer budget of ``authz_budget``
+        acceptances per ``authz_budget_window`` sim-seconds and
+        ``authz_cooldown`` spacing (budget violations trip the journaled
+        global freeze).  Sharing one gateway makes the budget *global*:
+        a stolen key spraying kills fleet-wide is contained by the same
+        ledger no matter which device it aims at.
         """
         if safety_transport not in (None, "datagram", "reliable"):
             raise ConfigurationError(
@@ -222,6 +263,13 @@ class ConfrontationScenario:
                 "adaptive_quarantine needs health=True and "
                 "safety_transport='reliable'"
             )
+        if signed_commands and safety_transport is None:
+            raise ConfigurationError(
+                "signed_commands needs a transported watchdog "
+                "(safety_transport='datagram' or 'reliable')"
+            )
+        self.seed = seed
+        self.signed_commands = signed_commands
         self.config = config if config is not None else SafeguardConfig.none()
         self.threats = threats if threats is not None else ThreatConfig()
         self.skynet_min_devices = skynet_min_devices
@@ -283,16 +331,46 @@ class ConfrontationScenario:
                     )
             self.durability.attach_supervisor(self.sim.supervisor)
 
+        # E21 authorization layer: one keyring, one shared gateway.
+        self.keyring: Optional[Keyring] = None
+        self.verifier: Optional[EnvelopeVerifier] = None
+        self.gateway: Optional[ActuationGateway] = None
+        self.authz_audit: Optional[AuditLog] = None
+        signer = None
+        if signed_commands:
+            self.keyring = Keyring(seed=seed)
+            signer = CommandSigner(self.keyring, "watchdog")
+            self.verifier = EnvelopeVerifier(self.keyring)
+            self.authz_audit = AuditLog(journal=(
+                Journal(self.storage, "authz.audit",
+                        tracer=self.sim.telemetry)
+                if journaled else None))
+            self.gateway = ActuationGateway(
+                self.sim, self.verifier,
+                budget=authz_budget, budget_window=authz_budget_window,
+                cooldown=authz_cooldown,
+                journal=(Journal(self.storage, "gateway.authz",
+                                 tracer=self.sim.telemetry)
+                         if journaled else None),
+                audit=self.authz_audit,
+            )
+            if self.durability is not None:
+                self.durability.register("gateway", "authz", self.gateway)
+
         self.watchdog = None
         self.safety_channel: Optional[ReliableChannel] = None
         self.overseer_links: dict[str, OverseerLink] = {}
         if self.config.watchdog:
             baseline = attest_fleet(self.devices.values())
+            baseline_journal = (Journal(self.storage, "watchdog.baseline",
+                                        tracer=self.sim.telemetry)
+                                if journaled else None)
             if safety_transport is None:
                 self.watchdog = Watchdog(
                     self.sim, self.devices, self.classifier,
                     check_interval=tick_interval,
                     attestation_baseline=baseline,
+                    baseline_journal=baseline_journal,
                 )
             else:
                 transport = self.network
@@ -310,6 +388,8 @@ class ConfrontationScenario:
                     attestation_baseline=baseline,
                     transport=transport,
                     telemetry_timeout=5 * tick_interval,
+                    signer=signer,
+                    baseline_journal=baseline_journal,
                 )
                 for device_id in sorted(self.devices):
                     link = OverseerLink(
@@ -321,10 +401,13 @@ class ConfrontationScenario:
                                          tracer=self.sim.telemetry)
                                  if journaled else None),
                         flight=self.flight,
+                        gateway=self.gateway,
                     )
                     self.overseer_links[device_id] = link
                     if self.durability is not None:
                         self.durability.register(device_id, "safety", link)
+            if self.durability is not None and baseline_journal is not None:
+                self.durability.register("watchdog", "baseline", self.watchdog)
 
         # Fleet health layer (E20): streaming SLIs, alert rules, and the
         # closed loops from alerts back onto the safeguards.
@@ -568,6 +651,35 @@ class ConfrontationScenario:
 
             self.sim.every(7.0, issue_order, label="error-operator")
 
+        # E21 authority-forgery channels.  ``avoid`` keeps the attacks
+        # aimed at *healthy* devices, so every execution they achieve is
+        # a wrongful kill (scored as ``healthy_killed``), never a
+        # coincidental containment of a compromised one.
+        avoid = self.injector.compromised_ever
+        if threats.forged_kill:
+            self.injector.launch_at(
+                threats.forged_kill_time,
+                ForgedKillOrder(self.network, self.devices,
+                                victims=threats.forged_victims, avoid=avoid),
+            )
+        if threats.replay_kill:
+            self.injector.launch_at(
+                threats.replay_kill_time,
+                ReplayedKillOrder(self.network, self.devices, avoid=avoid),
+            )
+        if threats.stolen_key:
+            # The unsigned arm has no keyring; derive the same seed-keyed
+            # one the signed arm would use, so the attack is identical
+            # across arms (the defence differs, not the threat).
+            keyring = (self.keyring if self.keyring is not None
+                       else Keyring(seed=self.seed))
+            self.injector.launch_at(
+                threats.stolen_key_time,
+                StolenKeyRogue(self.network, self.devices, keyring,
+                               max_orders=threats.stolen_key_orders,
+                               avoid=avoid),
+            )
+
     # -- skynet scoring -----------------------------------------------------------------
 
     def _compromised_active(self) -> list:
@@ -655,6 +767,20 @@ class ConfrontationScenario:
         )
         return on_mission / len(self.devices) if self.devices else 0.0
 
+    def _healthy_killed(self) -> list:
+        """Healthy devices wrongly killed through the watchdog channel:
+        deactivated with a watchdog reason while never compromised —
+        exactly what a forged/replayed/stolen-key order achieves and a
+        genuine kill never does."""
+        compromised_ever = self.injector.compromised_ever()
+        return [
+            device_id for device_id in sorted(self.devices)
+            if self.devices[device_id].status == DeviceStatus.DEACTIVATED
+            and str(self.devices[device_id].deactivation_reason
+                    or "").startswith("watchdog:")
+            and device_id not in compromised_ever
+        ]
+
     def summary(self, horizon: float) -> dict:
         compromised_ever = self.injector.compromised_ever()
         latencies: list[float] = []
@@ -693,5 +819,21 @@ class ConfrontationScenario:
                 self.sim.metrics.value("health.quarantine_adjustments")),
             "compactions_sized": int(
                 self.sim.metrics.value("store.compactions_sized")),
+            "healthy_killed": len(self._healthy_killed()),
+            "authz_accepted": int(self.sim.metrics.value("authz.accepted")),
+            "authz_rejected": int(self.sim.metrics.value("authz.rejected")),
+            "authz_freezes": int(self.sim.metrics.value("authz.freezes")),
+            "authz_rejects_by_reason": {
+                reason: int(self.sim.metrics.value(f"authz.rejected.{reason}"))
+                for reason in ("unsigned", "unknown-issuer", "bad-mac",
+                               "stale", "future", "replayed") + GATEWAY_REASONS
+                if self.sim.metrics.value(f"authz.rejected.{reason}")
+            },
+            "forged_orders": int(
+                self.sim.metrics.value("attacks.forged_orders")),
+            "replayed_orders": int(
+                self.sim.metrics.value("attacks.replayed_orders")),
+            "stolen_key_orders": int(
+                self.sim.metrics.value("attacks.stolen_key_orders")),
             "horizon": horizon,
         }

@@ -100,7 +100,7 @@ class TestPoisoning:
         campaign = PoisoningCampaign(rate=1.0, mode="label_flip", seed=2,
                                      target_label=1)
         poisoned = campaign.apply(self.clean(10))
-        for (features, original), (_f, new) in zip(self.clean(10), poisoned):
+        for (_features, original), (_f, new) in zip(self.clean(10), poisoned):
             if original == 1:
                 assert new == -1
             else:

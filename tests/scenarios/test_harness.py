@@ -1,5 +1,7 @@
 """Unit tests for the experiment harness."""
 
+import dataclasses
+
 import pytest
 
 from repro.scenarios.harness import (
@@ -30,7 +32,7 @@ class TestSafeguardConfig:
         assert "+" in SafeguardConfig.full().label()
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             SafeguardConfig.none().preaction = True
 
 

@@ -99,7 +99,7 @@ class TestHealthInScenario:
                         threats=ThreatConfig())
         result = scenario.run(until=60.0)
         assert result["compactions_sized"] > 0
-        for device_id, journal in scenario.audit_journals.items():
+        for journal in scenario.audit_journals.values():
             assert scenario.storage.size(journal.name) < 3 * 4096
 
     def test_deterministic_replay_with_health_on(self):
