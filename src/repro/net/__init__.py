@@ -11,6 +11,7 @@ from repro.net.gossip import GossipNode, KnowledgeItem
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.net.reliable import PendingSend, ReliableChannel
+from repro.net.shardnet import ShardRouter, WireMessage, wire_sort_key
 from repro.net.topology import Topology
 
 __all__ = [
@@ -21,5 +22,8 @@ __all__ = [
     "Network",
     "PendingSend",
     "ReliableChannel",
+    "ShardRouter",
     "Topology",
+    "WireMessage",
+    "wire_sort_key",
 ]

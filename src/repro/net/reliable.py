@@ -78,6 +78,7 @@ class ReliableChannel:
         jitter: float = 0.1,
         max_attempts: int = 4,
         max_in_flight: Optional[int] = None,
+        rmid_prefix: str = "r",
     ):
         """``max_in_flight`` caps how many of one sender's messages may be
         on the wire (transmitted, unresolved) at once; excess sends queue
@@ -87,7 +88,16 @@ class ReliableChannel:
         retries for every queued snapshot at once — combined with
         ``coalesce`` tags, stale telemetry collapses to the newest
         snapshot instead of replaying a backlog after the partition heals.
+
+        ``rmid_prefix`` namespaces this channel's message ids.  Duplicate
+        suppression at a receiver is keyed by rmid alone, so when several
+        channel instances can reach one recipient — one per shard in an F4
+        sharded run — each must mint ids from a distinct prefix (e.g.
+        ``f"s{shard_index}-"``) or two channels' ``r1`` messages would
+        shadow each other in the receiver's seen-set.
         """
+        if not rmid_prefix:
+            raise NetworkError("rmid_prefix must be non-empty")
         if timeout <= 0:
             raise NetworkError("timeout must be positive")
         if backoff < 1.0:
@@ -106,6 +116,7 @@ class ReliableChannel:
         self.max_attempts = max_attempts
         self.max_in_flight = max_in_flight
         self.dead_letters: list[PendingSend] = []
+        self.rmid_prefix = rmid_prefix
         self._rng = self.sim.rng.stream("net.reliable")
         self._counter = itertools.count(1)
         self._pending: dict[str, PendingSend] = {}
@@ -155,7 +166,8 @@ class ReliableChannel:
                 "(gossip should stay on the datagram network)"
             )
         pending = PendingSend(
-            rmid=f"r{next(self._counter)}", sender=sender, recipient=recipient,
+            rmid=f"{self.rmid_prefix}{next(self._counter)}",
+            sender=sender, recipient=recipient,
             topic=topic, body=dict(body), first_sent=self.sim.now,
             coalesce=coalesce, on_fail=on_fail, on_ack=on_ack,
             # Capture the caller's context so retries and dead-letter

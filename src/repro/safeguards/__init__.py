@@ -16,6 +16,11 @@ Each module implements one mechanism as a :class:`~repro.core.engine.Safeguard`
   in front of device actuators, with budgets/cooldowns/global freeze)
 """
 
+from repro.safeguards.batch import (
+    BatchPolicyEvaluator,
+    BatchProgram,
+    compile_condition,
+)
 from repro.safeguards.crossvalidation import CrossValidationGuard
 from repro.safeguards.collection import (
     AggregateConstraint,
@@ -45,6 +50,8 @@ from repro.safeguards.utility import PartialDerivativeUtility, UtilityGuard
 
 __all__ = [
     "ActuationGateway",
+    "BatchPolicyEvaluator",
+    "BatchProgram",
     "AggregateConstraint",
     "AuthzDecision",
     "Ballot",
@@ -72,6 +79,7 @@ __all__ = [
     "Watchdog",
     "WatchdogReport",
     "attest_device",
+    "compile_condition",
     "policy_digest",
     "seal_guard_chain",
 ]

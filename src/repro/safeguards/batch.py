@@ -1,0 +1,446 @@
+"""Batch guard evaluation: a compiled comparator table for the policy
+grammar plus vectorized effect application and state-space veto (F4).
+
+The scalar engine evaluates one ``(condition, effects, guard)`` chain per
+device per event.  At fleet scale the same chain is evaluated for tens of
+thousands of structurally identical devices every tick, so this module
+compiles a prioritized program list once and then evaluates every device
+in a handful of numpy passes:
+
+* :func:`compile_condition` lowers the condition AST
+  (:mod:`repro.core.conditions`) onto whole columns via a comparator
+  table (``==  !=  <  <=  >  >=`` map to elementwise ufuncs);
+* :class:`BatchPolicyEvaluator` does first-match policy selection,
+  predicted-state computation (effects compose unclamped, final values
+  saturate at the declared bounds — exactly
+  :meth:`~repro.core.state.DeviceState.resolve_changes`), and the sec
+  VI-B veto (predicted state classifies BAD) in batch.
+
+**Decision identity.** The vector path reproduces the scalar path
+bit-for-bit: same IEEE-754 operations in the same order.  The evaluator
+carries a scalar twin (:meth:`BatchPolicyEvaluator.select_scalar` /
+:meth:`apply_scalar`) built on the *real* ``Condition.evaluate`` /
+``classifier.safeness`` / ``Effect.apply_to`` — the property tests assert
+both paths pick the same programs, veto the same rows, and land on the
+same state.
+
+**Visible fallback.** Constructs the vectorizer cannot express — the
+``in`` operator, ``event.*`` references, event-dependent conditions,
+opaque classifiers, effects on non-float variables — fall back to the
+scalar twin *per program*, and every fallback is counted by reason
+(:attr:`BatchPolicyEvaluator.fallback_reasons`), so a policy change that
+silently demotes the fleet to scalar dispatch shows up in metrics rather
+than only in wall clock.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Optional, Sequence
+
+from repro.core.actions import Effect
+from repro.core.conditions import (
+    AllOf,
+    AnyOf,
+    Comparison,
+    Condition,
+    EventFieldIs,
+    EventKindIs,
+    Literal,
+    Not,
+    TrueCondition,
+    parse_condition,
+)
+from repro.core.state import StateSpace
+from repro.statespace.batch import (
+    BatchCompileError,
+    BatchSafeness,
+    StateMatrix,
+    compile_safeness,
+)
+from repro.statespace.classifier import SafenessClassifier
+
+try:  # pragma: no cover
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: The comparator table: guard-grammar operator -> elementwise callable.
+#: ``in`` is deliberately absent (membership against an arbitrary Python
+#: container does not vectorize) — it is the canonical fallback case.
+VECTOR_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: fn(columns, n) -> bool ndarray
+CompiledCondition = Callable[[dict, int], object]
+
+
+def compile_condition(condition: Condition, space: StateSpace,
+                      np_module=None) -> CompiledCondition:
+    """Compile a condition AST into ``fn(columns, n) -> bool array``.
+
+    Raises :class:`BatchCompileError` with a stable reason slug for
+    anything outside the vectorizable grammar subset: ``in-operator``,
+    ``event-reference``, ``event-dependent``, ``unknown-variable``,
+    ``unsupported-condition``, ``no-numpy``.
+    """
+    np = np_module if np_module is not None else _np
+    if np is None:
+        raise BatchCompileError("no-numpy")
+    names = set(space.names())
+
+    def operand(value):
+        if isinstance(value, Literal):
+            const = value.value
+            return lambda columns: const
+        if isinstance(value, str):
+            if value.startswith("event."):
+                raise BatchCompileError("event-reference", value)
+            if value not in names:
+                raise BatchCompileError("unknown-variable", value)
+            return lambda columns: columns[value]
+        const = value
+        return lambda columns: const
+
+    def compile_node(node: Condition) -> CompiledCondition:
+        kind = type(node)
+        if kind is TrueCondition:
+            return lambda columns, n: np.ones(n, dtype=bool)
+        if kind is Comparison:
+            if node.op == "in":
+                raise BatchCompileError("in-operator", repr(node))
+            op_fn = VECTOR_OPS[node.op]
+            left = operand(node.left)
+            right = operand(node.right)
+
+            def fn(columns, n):
+                result = op_fn(left(columns), right(columns))
+                if not hasattr(result, "shape") or result.shape == ():
+                    # Both operands were constants: broadcast the scalar.
+                    return np.full(n, bool(result))
+                return result.astype(bool, copy=False)
+
+            return fn
+        if kind is Not:
+            inner = compile_node(node.inner)
+            return lambda columns, n: ~inner(columns, n)
+        if kind is AllOf:
+            parts = [compile_node(part) for part in node.parts]
+
+            def all_fn(columns, n):
+                mask = np.ones(n, dtype=bool)
+                for part in parts:
+                    mask = mask & part(columns, n)
+                return mask
+
+            return all_fn
+        if kind is AnyOf:
+            parts = [compile_node(part) for part in node.parts]
+
+            def any_fn(columns, n):
+                mask = np.zeros(n, dtype=bool)
+                for part in parts:
+                    mask = mask | part(columns, n)
+                return mask
+
+            return any_fn
+        if kind in (EventKindIs, EventFieldIs):
+            raise BatchCompileError("event-dependent", kind.__name__)
+        raise BatchCompileError("unsupported-condition", kind.__name__)
+
+    return compile_node(condition)
+
+
+class BatchProgram:
+    """One prioritized policy program: name, condition, declared effects."""
+
+    __slots__ = ("name", "condition", "effects")
+
+    def __init__(self, name: str, condition, effects: Sequence[Effect] = ()):
+        self.name = name
+        self.condition = (parse_condition(condition)
+                          if isinstance(condition, str) else condition)
+        self.effects = tuple(effects)
+
+    def __repr__(self) -> str:
+        return f"BatchProgram({self.name!r})"
+
+
+class BatchPolicyEvaluator:
+    """Vectorized first-match selection + guarded effect application.
+
+    ``select`` picks the first program (by list order) whose condition
+    holds per row; ``apply`` computes each chosen program's predicted
+    state, vetoes rows whose prediction classifies BAD (unless exempt),
+    and writes the surviving changes back into the matrix.  Both have
+    scalar twins with identical semantics built on the real scalar APIs.
+    """
+
+    def __init__(self, space: StateSpace, programs: Sequence[BatchProgram],
+                 classifier: Optional[SafenessClassifier] = None,
+                 np_module=None):
+        self.np = np_module if np_module is not None else _np
+        self.space = space
+        self.programs = list(programs)
+        self.classifier = classifier
+        #: compile-time fallback accounting, reason slug -> count
+        self.fallback_reasons: dict = {}
+        #: runtime accounting
+        self.vector_evals = 0
+        self.scalar_evals = 0
+        self.decisions = 0
+        self._cond_fns: list = []
+        self._effect_plans: list = []
+        for program in self.programs:
+            self._cond_fns.append(self._compile_cond(program))
+            self._effect_plans.append(self._compile_effects(program))
+        self._safeness: Optional[BatchSafeness] = None
+        if classifier is not None:
+            try:
+                self._safeness = compile_safeness(classifier, space, self.np)
+            except BatchCompileError as exc:
+                self._count_fallback(exc.reason)
+
+    # -- compilation ---------------------------------------------------------
+
+    def _count_fallback(self, reason: str) -> None:
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+
+    def _compile_cond(self, program: BatchProgram):
+        try:
+            return compile_condition(program.condition, self.space, self.np)
+        except BatchCompileError as exc:
+            self._count_fallback(exc.reason)
+            return None
+
+    def _compile_effects(self, program: BatchProgram):
+        """Effects vectorize when every target is a float variable with a
+        numeric value; int truncation and str/bool assignment stay scalar."""
+        if self.np is None:
+            self._count_fallback("no-numpy")
+            return None
+        for effect in program.effects:
+            if effect.variable not in self.space:
+                self._count_fallback("unknown-variable")
+                return None
+            var = self.space.variable(effect.variable)
+            if var.kind != "float":
+                self._count_fallback("non-float-effect")
+                return None
+            if not isinstance(effect.value, (int, float)) or isinstance(
+                    effect.value, bool):
+                self._count_fallback("non-numeric-effect")
+                return None
+        return tuple(program.effects)
+
+    def compiled_programs(self) -> int:
+        """How many programs run fully vectorized (condition + effects)."""
+        return sum(1 for fn, plan in zip(self._cond_fns, self._effect_plans)
+                   if fn is not None and plan is not None)
+
+    # -- vectorized path -----------------------------------------------------
+
+    def condition_mask(self, index: int, matrix: StateMatrix):
+        """Program ``index``'s condition over every row (counted fallback)."""
+        np = self.np
+        n = matrix.n_rows
+        fn = self._cond_fns[index]
+        if fn is not None:
+            self.vector_evals += 1
+            return fn(matrix.columns, n)
+        self.scalar_evals += 1
+        condition = self.programs[index].condition
+        mask = np.zeros(n, dtype=bool)
+        for i in range(n):
+            mask[i] = bool(condition.evaluate(matrix.row(i)))
+        return mask
+
+    def select(self, matrix: StateMatrix, active=None):
+        """First-match program index per row (-1 = none / inactive)."""
+        np = self.np
+        n = matrix.n_rows
+        chosen = np.full(n, -1, dtype=np.int64)
+        if active is None:
+            active = np.ones(n, dtype=bool)
+        self.decisions += int(active.sum())
+        for index in range(len(self.programs)):
+            mask = self.condition_mask(index, matrix)
+            chosen = np.where((chosen < 0) & active & mask, index, chosen)
+        return chosen
+
+    def _predicted_columns(self, matrix: StateMatrix, effects):
+        """Predicted full-column overlay for one program's effects.
+
+        Effects compose unclamped in declaration order; each touched
+        variable is then saturated at its physical bounds — the batch
+        mirror of ``DeviceState.resolve_changes``.
+        """
+        work: dict = {}
+        for effect in effects:
+            name = effect.variable
+            col = work.get(name)
+            if col is None:
+                col = matrix.columns[name].copy()
+            if effect.op == "set":
+                col = self.np.full(matrix.n_rows, float(effect.value),
+                                   dtype=self.np.float64)
+            elif effect.op == "add":
+                col = col + effect.value
+            else:  # scale
+                col = col * effect.value
+            work[name] = col
+        predicted = dict(matrix.columns)
+        for name, col in work.items():
+            predicted[name] = matrix.clamp(name, col)
+        return predicted
+
+    def _bad_rows(self, predicted: dict, n: int):
+        """BAD-classification mask over predicted columns (counted fallback)."""
+        np = self.np
+        classifier = self.classifier
+        if classifier is None:
+            return np.zeros(n, dtype=bool)
+        if self._safeness is not None:
+            return self._safeness.bad_mask(predicted, n)
+        self.scalar_evals += 1
+        bad = np.zeros(n, dtype=bool)
+        names = list(predicted)
+        for i in range(n):
+            vector = {name: predicted[name][i].item()
+                      if hasattr(predicted[name][i], "item")
+                      else predicted[name][i] for name in names}
+            bad[i] = classifier.safeness(vector) < classifier.bad_below
+        return bad
+
+    def apply(self, matrix: StateMatrix, chosen, guard_exempt=None):
+        """Apply each row's chosen program; returns ``(vetoed, executed)``.
+
+        ``guard_exempt`` rows (e.g. compromised devices that stripped
+        their safeguards) bypass the veto and always execute.
+        """
+        np = self.np
+        n = matrix.n_rows
+        vetoed = np.zeros(n, dtype=bool)
+        executed = np.zeros(n, dtype=bool)
+        if guard_exempt is None:
+            guard_exempt = np.zeros(n, dtype=bool)
+        for index, program in enumerate(self.programs):
+            rows = chosen == index
+            if not rows.any():
+                continue
+            plan = self._effect_plans[index]
+            if plan is None:
+                self._apply_rows_scalar(matrix, np.nonzero(rows)[0], program,
+                                        guard_exempt, vetoed, executed)
+                continue
+            if not program.effects:
+                executed = executed | rows
+                continue
+            predicted = self._predicted_columns(matrix, program.effects)
+            bad = self._bad_rows(predicted, n)
+            veto_rows = rows & bad & ~guard_exempt
+            apply_rows = rows & ~veto_rows
+            vetoed = vetoed | veto_rows
+            executed = executed | apply_rows
+            for name in {effect.variable for effect in program.effects}:
+                col = matrix.columns[name]
+                col[:] = np.where(apply_rows, predicted[name], col)
+        return vetoed, executed
+
+    # -- scalar twin -----------------------------------------------------------
+
+    def select_scalar(self, matrix: StateMatrix, active=None):
+        """Reference selection via ``Condition.evaluate`` row by row."""
+        np = self.np
+        n = matrix.n_rows
+        chosen = np.full(n, -1, dtype=np.int64)
+        if active is None:
+            active = np.ones(n, dtype=bool)
+        self.decisions += int(active.sum())
+        for i in range(n):
+            if not active[i]:
+                continue
+            vector = matrix.row(i)
+            for index, program in enumerate(self.programs):
+                if program.condition.evaluate(vector):
+                    chosen[i] = index
+                    break
+        return chosen
+
+    def _resolve_row(self, vector: dict, effects) -> dict:
+        """Scalar effect resolution: compose unclamped, clamp the result."""
+        overlay: dict = {}
+        for effect in effects:
+            name = effect.variable
+            if name not in overlay and name in vector:
+                overlay[name] = vector[name]
+            effect.apply_to(overlay)
+        out = {}
+        for name, new in overlay.items():
+            var = self.space.variable(name)
+            if (var.kind in ("float", "int")
+                    and isinstance(new, (int, float))
+                    and not isinstance(new, bool)):
+                if var.low is not None and new < var.low:
+                    new = var.low
+                if var.high is not None and new > var.high:
+                    new = var.high
+                if var.kind == "int":
+                    new = int(new)
+            out[name] = new
+        return out
+
+    def _apply_rows_scalar(self, matrix: StateMatrix, rows, program,
+                           guard_exempt, vetoed, executed) -> None:
+        classifier = self.classifier
+        for i in rows:
+            i = int(i)
+            if not program.effects:
+                executed[i] = True
+                continue
+            vector = matrix.row(i)
+            changes = self._resolve_row(vector, program.effects)
+            predicted = dict(vector)
+            predicted.update(changes)
+            bad = (classifier is not None
+                   and classifier.safeness(predicted) < classifier.bad_below)
+            if bad and not guard_exempt[i]:
+                vetoed[i] = True
+                continue
+            executed[i] = True
+            for name, value in changes.items():
+                matrix.columns[name][i] = value
+
+    def apply_scalar(self, matrix: StateMatrix, chosen, guard_exempt=None):
+        """Reference application; decision-identical to :meth:`apply`."""
+        np = self.np
+        n = matrix.n_rows
+        vetoed = np.zeros(n, dtype=bool)
+        executed = np.zeros(n, dtype=bool)
+        if guard_exempt is None:
+            guard_exempt = np.zeros(n, dtype=bool)
+        for index, program in enumerate(self.programs):
+            rows = np.nonzero(chosen == index)[0]
+            if rows.size:
+                self._apply_rows_scalar(matrix, rows, program, guard_exempt,
+                                        vetoed, executed)
+        return vetoed, executed
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "programs": len(self.programs),
+            "compiled_programs": self.compiled_programs(),
+            "classifier_compiled": self._safeness is not None,
+            "vector_evals": self.vector_evals,
+            "scalar_evals": self.scalar_evals,
+            "decisions": self.decisions,
+            "fallback_reasons": dict(self.fallback_reasons),
+        }

@@ -14,6 +14,7 @@ from repro.scenarios.harness import (
     run_replications,
 )
 from repro.scenarios.peacekeeping import PeacekeepingScenario
+from repro.scenarios.sharded import ShardedFleetSpec, ShardedScenario
 from repro.scenarios.report import AfterActionReport
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "ExperimentTable",
     "PeacekeepingScenario",
     "SafeguardConfig",
+    "ShardedFleetSpec",
+    "ShardedScenario",
     "ThreatConfig",
     "mean_and_std",
     "run_replications",

@@ -57,6 +57,7 @@ from repro.scenarios.harness import SafeguardConfig
 from repro.scenarios.peacekeeping import device_safety_classifier
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.simulator import Simulator
+from repro.statespace.batch import BatchSafenessSampler
 from repro.store import DurabilityManager, Journal, StableStorage
 from repro.telemetry.exposition import write_bundle
 from repro.telemetry.flight import FlightRecorder
@@ -176,6 +177,7 @@ class ConfrontationScenario:
         authz_budget: int = 8,
         authz_budget_window: float = 60.0,
         authz_cooldown: float = 0.0,
+        batch_safeness: bool = False,
     ):
         """``fault_plan``/``supervision`` arm the chaos harness (E17).
 
@@ -236,6 +238,16 @@ class ConfrontationScenario:
         global freeze).  Sharing one gateway makes the budget *global*:
         a stolen key spraying kills fleet-wide is contained by the same
         ledger no matter which device it aims at.
+
+        ``batch_safeness`` (F4) attaches a
+        :class:`~repro.statespace.batch.BatchSafenessSampler` to the
+        per-tick sampling loop: every device's state vector is scored in
+        one vectorized pass and published as ``fleet.safeness.mean`` /
+        ``.min`` / ``.bad`` gauges (falling back — counted, not silent —
+        to the scalar classifier when numpy is unavailable or the
+        classifier does not vectorize).  Gauges only: traces and
+        summaries are untouched, so arming it never perturbs a
+        byte-identical replay.
         """
         if safety_transport not in (None, "datagram", "reliable"):
             raise ConfigurationError(
@@ -440,6 +452,14 @@ class ConfrontationScenario:
 
         self.worm: Optional[WormAttack] = None
         self._launch_threats()
+
+        # F4 opt-in: vectorized fleet-wide safeness gauges, sampled on
+        # the same tick as the skynet check.
+        self.batch_sampler: Optional[BatchSafenessSampler] = None
+        if batch_safeness and self.devices:
+            space = next(iter(self.devices.values())).state.space
+            self.batch_sampler = BatchSafenessSampler(
+                self.classifier, space, self.sim.metrics)
 
         # Skynet-formation sampling.
         self.skynet_formed_at: Optional[float] = None
@@ -697,6 +717,9 @@ class ConfrontationScenario:
         )
 
     def _sample_skynet(self) -> None:
+        if self.batch_sampler is not None:
+            self.batch_sampler.sample(
+                device.state.peek() for device in self.devices.values())
         compromised = self._compromised_active()
         self.max_concurrent_compromised = max(self.max_concurrent_compromised,
                                               len(compromised))

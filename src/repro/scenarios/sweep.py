@@ -25,6 +25,7 @@ serial loop would.
 from __future__ import annotations
 
 import os
+import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from pickle import PicklingError
@@ -33,6 +34,10 @@ from typing import Callable, Optional, Sequence
 #: Environment knob: default worker count for sweeps that don't pass one.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: Bad WORKERS_ENV values already warned about (one warning per value, not
+#: one per sweep — a grid of hundreds of cells must not spam the log).
+_warned_values: set = set()
+
 
 def default_workers() -> int:
     """Worker count from ``REPRO_SWEEP_WORKERS``, defaulting to serial.
@@ -40,6 +45,11 @@ def default_workers() -> int:
     Parallelism is opt-in (CI and the tier-1 suite stay serial) because a
     process pool on a loaded or single-core host can be slower than the
     serial loop; set the variable to ``0`` to mean "one per CPU".
+
+    A value that does not parse as an integer still falls back to serial
+    — but *loudly*: a ``UserWarning`` names the bad value once, instead
+    of a typo like ``REPRO_SWEEP_WORKERS=fourteen`` silently demoting
+    every sweep of a long benchmark run to one core.
     """
     raw = os.environ.get(WORKERS_ENV, "")
     if not raw:
@@ -47,6 +57,12 @@ def default_workers() -> int:
     try:
         workers = int(raw)
     except ValueError:
+        if raw not in _warned_values:
+            _warned_values.add(raw)
+            warnings.warn(
+                f"{WORKERS_ENV}={raw!r} is not an integer; "
+                f"falling back to serial execution (workers=1)",
+                UserWarning, stacklevel=2)
         return 1
     if workers == 0:
         return os.cpu_count() or 1

@@ -6,6 +6,14 @@ preference ontologies (ref [14]), risk estimation, break-glass rules
 (ref [12]), and next-state anticipation.
 """
 
+from repro.statespace.batch import (
+    BatchCompileError,
+    BatchSafeness,
+    BatchSafenessSampler,
+    StateMatrix,
+    compile_safeness,
+    numpy_available,
+)
 from repro.statespace.breakglass import BreakGlassController, BreakGlassGrant, BreakGlassRule
 from repro.statespace.classifier import (
     BoxClassifier,
@@ -26,6 +34,9 @@ from repro.statespace.reachability import ReachabilityAnalyzer, ReachableState
 from repro.statespace.risk import RiskEstimator, RiskFactor
 
 __all__ = [
+    "BatchCompileError",
+    "BatchSafeness",
+    "BatchSafenessSampler",
     "BoxClassifier",
     "BoxRegion",
     "BreakGlassController",
@@ -40,8 +51,11 @@ __all__ = [
     "RiskFactor",
     "SafenessClassifier",
     "StateEstimator",
+    "StateMatrix",
     "StatePreferenceOntology",
     "ThresholdBand",
     "ThresholdClassifier",
+    "compile_safeness",
     "estimated_state_reader",
+    "numpy_available",
 ]

@@ -7,6 +7,7 @@ a small process pool; they stay cheap (tiny grids, short horizons).
 """
 
 import json
+import warnings
 
 import pytest
 
@@ -77,8 +78,25 @@ def test_default_workers_env(monkeypatch):
     assert default_workers() == 3
     monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
     assert default_workers() >= 1
+
+
+def test_default_workers_bad_value_warns_once(monkeypatch):
+    """A non-integer REPRO_SWEEP_WORKERS falls back to serial, but names
+    the bad value in a warning instead of silently demoting the sweep —
+    and warns once per value, not once per call."""
+    from repro.scenarios import sweep as sweep_module
+
+    monkeypatch.setattr(sweep_module, "_warned_values", set())
     monkeypatch.setenv("REPRO_SWEEP_WORKERS", "nonsense")
-    assert default_workers() == 1
+    with pytest.warns(UserWarning, match="'nonsense' is not an integer"):
+        assert default_workers() == 1
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")     # a second warning would raise
+        assert default_workers() == 1
+    # A *different* bad value warns again.
+    monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2.5")
+    with pytest.warns(UserWarning, match="'2.5' is not an integer"):
+        assert default_workers() == 1
 
 
 # -- seeding ------------------------------------------------------------------------
