@@ -15,6 +15,7 @@ from repro.attacks.forgery import (ForgedKillOrder, ReplayedKillOrder,
 from repro.attacks.human_error import ErrorProneOperator, misdeployed_policy_set
 from repro.attacks.injector import Attack, AttackInjector, AttackRecord
 from repro.attacks.poisoning import PoisoningCampaign
+from repro.attacks.reputation import LeaseAbuser, SlowBurnRogue
 
 __all__ = [
     "Attack",
@@ -24,7 +25,9 @@ __all__ = [
     "BackdoorAttack",
     "ErrorProneOperator",
     "ForgedKillOrder",
+    "LeaseAbuser",
     "MalevolentPayload",
+    "SlowBurnRogue",
     "PoisoningCampaign",
     "ReplayedKillOrder",
     "SensorDeceptionAttack",

@@ -33,6 +33,7 @@ from repro.safeguards.collection import (
 )
 from repro.safeguards.deactivation import OverseerLink, Watchdog, WatchdogReport
 from repro.safeguards.gateway import ActuationGateway, AuthzDecision
+from repro.safeguards.lease import EmergencyLease, LeaseAuthority
 from repro.safeguards.governance import (
     Ballot,
     BallotBox,
@@ -62,6 +63,8 @@ __all__ = [
     "CollectionGuard",
     "CollectiveStateAssessment",
     "CrossValidationGuard",
+    "EmergencyLease",
+    "LeaseAuthority",
     "GovernanceGuard",
     "GovernanceSystem",
     "HarmModel",

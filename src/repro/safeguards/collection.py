@@ -307,17 +307,27 @@ class JoinDesk:
     """
 
     def __init__(self, sim, transport, guard: CollectionGuard,
-                 address: str = "collection-desk", signer=None):
+                 address: str = "collection-desk", signer=None,
+                 reputation=None, min_reputation: float = 0.35):
         """``signer`` (a :class:`~repro.crypto.envelope.CommandSigner`)
         signs each verdict into a command envelope, so a verifying
         :class:`JoinClient` cannot be admitted by a forged or replayed
-        approval (E21)."""
+        approval (E21).
+
+        ``reputation`` (a :class:`~repro.trust.reputation.ReputationLedger`)
+        tightens admission as trust drops (E22): a petitioner whose score
+        sits below ``min_reputation`` is refused before the analyzer even
+        runs — a device that vetoes, trips the gateway, or fails
+        cross-validation argues its way out of new collections."""
         self.sim = sim
         self.transport = transport
         self.guard = guard
         self.address = address
         self.signer = signer
+        self.reputation = reputation
+        self.min_reputation = min_reputation
         self.requests_handled = 0
+        self.reputation_rejects = 0
         transport.register(address, self._on_message)
 
     def _on_message(self, message: Message) -> None:
@@ -329,9 +339,19 @@ class JoinDesk:
         if device_id is None or reply_to is None:
             return
         self.requests_handled += 1
-        approved = self.guard.review_snapshot(
-            device_id, body.get("snapshot", {}), self.sim.now
-        )
+        if (self.reputation is not None
+                and self.reputation.score(device_id, self.sim.now)
+                < self.min_reputation):
+            self.reputation_rejects += 1
+            self.sim.metrics.counter("collection.reputation_rejects").inc()
+            self.sim.record("collection.reputation_reject", device_id,
+                            score=self.reputation.score(device_id, self.sim.now),
+                            floor=self.min_reputation)
+            approved = False
+        else:
+            approved = self.guard.review_snapshot(
+                device_id, body.get("snapshot", {}), self.sim.now
+            )
         verdict = {"device_id": device_id, "approved": approved}
         if self.signer is not None:
             verdict = self.signer.sign(verdict, tick=self.sim.now)

@@ -34,7 +34,8 @@ from repro.crypto.envelope import EnvelopeVerifier
 from repro.errors import ConfigurationError
 
 #: Stable rejection reasons the gateway adds on top of the verifier's.
-GATEWAY_REASONS = ("frozen", "target-mismatch", "budget", "cooldown")
+GATEWAY_REASONS = ("frozen", "target-mismatch", "budget", "cooldown",
+                   "no-quorum")
 
 
 @dataclass
@@ -65,6 +66,8 @@ class ActuationGateway:
         journal=None,
         audit=None,
         name: str = "gateway",
+        reputation=None,
+        leases=None,
     ):
         """``budget`` is the per-issuer acceptance cap inside a rolling
         ``budget_window`` (``None`` = uncapped).  ``cooldown`` is the
@@ -76,7 +79,15 @@ class ActuationGateway:
         ``journal`` (a :class:`~repro.store.journal.Journal`) makes the
         consumed-nonce set and the freeze flag crash-durable;
         ``audit`` (an :class:`~repro.audit.log.AuditLog`) chains every
-        reject and freeze transition into tamper-evident history."""
+        reject and freeze transition into tamper-evident history.
+
+        ``reputation`` (a :class:`~repro.trust.reputation.ReputationLedger`)
+        scales the per-issuer budget by the issuer's earned weight (E22):
+        a suspect issuer's cap shrinks toward
+        ``max(1, budget * weight)`` — autonomy tightens as trust drops.
+        ``leases`` (a :class:`~repro.safeguards.lease.LeaseAuthority`)
+        lets :meth:`admit` honor an active emergency lease in place of
+        quorum when the caller passes ``quorum=False``."""
         if budget is not None and budget < 1:
             raise ConfigurationError("budget must be >= 1 or None")
         if budget_window <= 0:
@@ -90,6 +101,8 @@ class ActuationGateway:
         self.cooldown = cooldown
         self.freeze_on_budget = freeze_on_budget
         self.name = name
+        self.reputation = reputation
+        self.leases = leases
         self._journal = journal
         self._audit = audit
         self.frozen = False
@@ -106,14 +119,22 @@ class ActuationGateway:
         kind: str,
         target: Optional[str] = None,
         execute: Optional[Callable[[], None]] = None,
+        quorum: Optional[bool] = None,
     ) -> AuthzDecision:
         """Authorize ``body`` for actuation ``kind`` on ``target``.
 
         Runs the full chain — freeze, envelope crypto + replay, target
-        binding, cooldown, budget — and only then calls ``execute``.
-        The envelope's nonce is burned exactly when the command is
-        accepted, so a rejected-for-budget envelope could in principle
-        retry later; a *consumed* one can never actuate twice.
+        binding, quorum/lease, cooldown, budget — and only then calls
+        ``execute``.  The envelope's nonce is burned exactly when the
+        command is accepted, so a rejected-for-budget envelope could in
+        principle retry later; a *consumed* one can never actuate twice.
+
+        ``quorum`` is the caller's governance evidence: ``None`` means
+        the actuation kind needs no quorum (legacy path, unchanged);
+        ``True`` means quorum formed; ``False`` means it could not — the
+        gateway then honors an active :class:`~repro.safeguards.lease`
+        emergency lease covering ``kind`` for this issuer (E22), or
+        rejects with ``no-quorum``.
         """
         now = self.sim.now
         issuer = body.get("_issuer")
@@ -126,6 +147,12 @@ class ActuationGateway:
         if target is not None and body.get("target") != target:
             return self._reject(kind, target, issuer, nonce, "target-mismatch",
                                 claimed=body.get("target"))
+        lease = None
+        if quorum is False:
+            lease = (self.leases.lease_for(kind, issuer)
+                     if self.leases is not None else None)
+            if lease is None:
+                return self._reject(kind, target, issuer, nonce, "no-quorum")
         last = self._last_accept.get(issuer)
         if self.cooldown > 0 and last is not None and now - last < self.cooldown:
             return self._reject(kind, target, issuer, nonce, "cooldown",
@@ -133,13 +160,14 @@ class ActuationGateway:
         accepts = self._accept_times.setdefault(issuer, deque())
         while accepts and now - accepts[0] > self.budget_window:
             accepts.popleft()
-        if self.budget is not None and len(accepts) >= self.budget:
+        budget = self._issuer_budget(issuer, now)
+        if budget is not None and len(accepts) >= budget:
             decision = self._reject(kind, target, issuer, nonce, "budget",
                                     window=self.budget_window,
-                                    budget=self.budget)
+                                    budget=budget)
             if self.freeze_on_budget:
                 self.freeze(f"issuer {issuer!r} exceeded budget "
-                            f"{self.budget}/{self.budget_window}")
+                            f"{budget}/{self.budget_window}")
             return decision
         # All rails cleared: burn the nonce, account, actuate.
         self.verifier.consume(body, now)
@@ -148,14 +176,29 @@ class ActuationGateway:
         self._journal_write({"kind": "nonce", "nonce": nonce,
                              "tick": float(body.get("_tick", now)),
                              "issuer": issuer})
+        detail = {}
+        if lease is not None:
+            self.leases.exercise(lease.lease_id)
+            detail["lease"] = lease.lease_id
         decision = AuthzDecision(time=now, kind=kind, target=target,
                                  issuer=issuer, nonce=nonce,
-                                 allowed=True, reason="ok")
+                                 allowed=True, reason="ok", detail=detail)
         self.decisions.append(decision)
         self.sim.metrics.counter("authz.accepted").inc()
         if execute is not None:
             execute()
         return decision
+
+    def _issuer_budget(self, issuer, now: float) -> Optional[int]:
+        """The issuer's effective acceptance cap: the configured budget
+        scaled by earned reputation weight, never below 1 (a distrusted
+        issuer is throttled, not silently locked out — the freeze and
+        the watchdog handle actual rogues)."""
+        if self.budget is None:
+            return None
+        if self.reputation is None or issuer is None:
+            return self.budget
+        return max(1, int(self.budget * self.reputation.weight(issuer, now)))
 
     # -- the kill switch ---------------------------------------------------------
 

@@ -387,9 +387,15 @@ class Ballot:
     closed: bool = False
     approved: Optional[bool] = None
     quorum_mode: str = "electorate"
+    #: voter -> reputation weight snapshotted at open time (E22).  ``None``
+    #: means the ballot tallies unweighted (one voter, one vote).
+    weights: Optional[dict] = None
 
     def missing(self) -> list[str]:
         return [voter for voter in self.voters if voter not in self.votes]
+
+    def weight_of(self, voter: str) -> float:
+        return 1.0 if self.weights is None else self.weights.get(voter, 1.0)
 
 
 class BallotMember:
@@ -459,7 +465,16 @@ class BallotBox:
 
     def __init__(self, sim, transport, address: str = "governance",
                  quorum_mode: str = "electorate", journal=None,
-                 verifier=None):
+                 verifier=None, reputation=None):
+        """``reputation`` (a
+        :class:`~repro.trust.reputation.ReputationLedger`) arms
+        **reputation-weighted quorum** (E22): ballots without an explicit
+        ``quorum`` snapshot each voter's earned weight at open time and
+        tally weighted — a low-reputation member's ballot counts
+        fractionally.  The snapshot is journaled with the open record, so
+        crash recovery reproduces the exact tally the live box would have
+        reached (weights are *not* re-derived at recovery time, when the
+        ledger may have moved on)."""
         if quorum_mode not in QUORUM_MODES:
             raise ConfigurationError(
                 f"unknown quorum_mode {quorum_mode!r}; "
@@ -469,6 +484,7 @@ class BallotBox:
         self.transport = transport
         self.address = address
         self.quorum_mode = quorum_mode
+        self.reputation = reputation
         self._journal = journal
         #: Optional :class:`~repro.crypto.envelope.EnvelopeVerifier` —
         #: when armed, only signed votes whose envelope verifies *and*
@@ -497,6 +513,13 @@ class BallotBox:
         voters = sorted(voters)
         if not voters:
             raise ConfigurationError("a ballot needs at least one voter")
+        # Weighted quorum (E22): snapshot each voter's earned weight at
+        # open time.  An explicit approve-count quorum stays unweighted —
+        # "3 approvals" is a headcount contract, not a weight one.
+        weights = None
+        if quorum is None and self.reputation is not None:
+            weights = {voter: self.reputation.weight(voter, self.sim.now)
+                       for voter in voters}
         ballot = Ballot(
             ballot_id=f"b{next(self._counter)}", payload=dict(payload),
             voters=voters, quorum=(quorum if quorum is not None
@@ -504,6 +527,7 @@ class BallotBox:
             opened_at=self.sim.now, deadline=self.sim.now + deadline,
             quorum_mode=("electorate" if quorum is not None
                          else self.quorum_mode),
+            weights=weights,
         )
         self.ballots.append(ballot)
         self._open[ballot.ballot_id] = ballot
@@ -514,6 +538,7 @@ class BallotBox:
                 "payload": dict(payload), "voters": voters,
                 "quorum": ballot.quorum, "quorum_mode": ballot.quorum_mode,
                 "opened_at": ballot.opened_at, "deadline": ballot.deadline,
+                "weights": weights,
             })
         for voter in voters:
             self.transport.send(self.address, voter, BALLOT_TOPIC, {
@@ -570,6 +595,23 @@ class BallotBox:
             return max(1, len(ballot.votes) // 2 + 1)
         return ballot.quorum
 
+    @staticmethod
+    def _weighted_tally(ballot: Ballot) -> tuple:
+        """``(approvals_weight, required_weight)`` under the ballot's
+        open-time weight snapshot.  ``electorate`` mode requires a strict
+        weighted majority of the *whole* electorate (a missing voter's
+        weight still counts against — silence is never consent);
+        ``reachable-majority`` requires a strict weighted majority of the
+        weight that actually responded (zero responses can never pass:
+        the strict inequality over zero weight rejects)."""
+        approvals_w = sum(ballot.weight_of(voter)
+                          for voter, approve in ballot.votes.items() if approve)
+        if ballot.quorum_mode == "reachable-majority":
+            pool = sum(ballot.weight_of(voter) for voter in ballot.votes)
+        else:
+            pool = sum(ballot.weight_of(voter) for voter in ballot.voters)
+        return approvals_w, pool / 2.0
+
     def _close(self, ballot: Ballot,
                on_result: Optional[Callable[[Ballot], None]]) -> None:
         if ballot.closed:
@@ -577,21 +619,29 @@ class BallotBox:
         ballot.closed = True
         self._open.pop(ballot.ballot_id, None)
         approvals = sum(1 for approve in ballot.votes.values() if approve)
-        required = self._required_approvals(ballot)
-        ballot.approved = approvals >= required
+        if ballot.weights is not None:
+            approvals_w, required_w = self._weighted_tally(ballot)
+            ballot.approved = approvals_w > required_w
+            approvals_out, required_out = approvals_w, required_w
+        else:
+            required = self._required_approvals(ballot)
+            ballot.approved = approvals >= required
+            approvals_out, required_out = approvals, required
         missing = ballot.missing()
         if missing:
             self.sim.metrics.counter("governance.votes_missing").inc(len(missing))
         if self._journal is not None:
             self._journal.append({
                 "kind": "close", "ballot": ballot.ballot_id,
-                "approved": ballot.approved, "approvals": approvals,
-                "required": required,
+                "approved": ballot.approved, "approvals": approvals_out,
+                "required": required_out,
+                "weighted": ballot.weights is not None,
             })
         self.sim.record("governance.ballot_closed", self.address,
                         ballot=ballot.ballot_id, approved=ballot.approved,
-                        approvals=approvals, required=required,
-                        mode=ballot.quorum_mode, missing=missing)
+                        approvals=approvals_out, required=required_out,
+                        mode=ballot.quorum_mode, missing=missing,
+                        weighted=ballot.weights is not None)
         self.sim.metrics.counter(
             "governance.ballots_approved" if ballot.approved
             else "governance.ballots_rejected").inc()
@@ -634,6 +684,7 @@ class BallotBox:
                         opened_at=float(payload.get("opened_at", 0.0)),
                         deadline=float(payload.get("deadline", 0.0)),
                         quorum_mode=payload.get("quorum_mode", "electorate"),
+                        weights=payload.get("weights"),
                     )
                     by_id[ballot.ballot_id] = ballot
                     self.ballots.append(ballot)

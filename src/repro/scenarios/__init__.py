@@ -14,6 +14,7 @@ from repro.scenarios.harness import (
     run_replications,
 )
 from repro.scenarios.peacekeeping import PeacekeepingScenario
+from repro.scenarios.reputation import ReputationFleetSpec, ReputationScenario
 from repro.scenarios.sharded import ShardedFleetSpec, ShardedScenario
 from repro.scenarios.report import AfterActionReport
 
@@ -22,6 +23,8 @@ __all__ = [
     "ConfrontationScenario",
     "ExperimentTable",
     "PeacekeepingScenario",
+    "ReputationFleetSpec",
+    "ReputationScenario",
     "SafeguardConfig",
     "ShardedFleetSpec",
     "ShardedScenario",

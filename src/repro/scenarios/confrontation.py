@@ -63,7 +63,10 @@ from repro.telemetry.exposition import write_bundle
 from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.health import (AdaptiveQuarantine, AlertEngine,
                                     AlertRule, CompactionController,
-                                    HealthMonitor, RateTracker)
+                                    HealthMonitor, KnobArbiter, RateTracker,
+                                    approach_strikes_knob,
+                                    approach_threshold_knob, quarantine_knob)
+from repro.trust import ReputationAdjuster, ReputationLedger, TrustLedger
 from repro.types import DeviceStatus
 
 #: Valid durability modes (``None`` keeps the historical in-memory world).
@@ -178,6 +181,7 @@ class ConfrontationScenario:
         authz_budget_window: float = 60.0,
         authz_cooldown: float = 0.0,
         batch_safeness: bool = False,
+        reputation: bool = False,
     ):
         """``fault_plan``/``supervision`` arm the chaos harness (E17).
 
@@ -238,6 +242,18 @@ class ConfrontationScenario:
         global freeze).  Sharing one gateway makes the budget *global*:
         a stolen key spraying kills fleet-wide is contained by the same
         ledger no matter which device it aims at.
+
+        ``reputation`` (E22) arms the trust plane: a journal-backed
+        :class:`~repro.trust.reputation.ReputationLedger` accumulates
+        per-device audit outcomes — safeguard vetoes, clean executions,
+        watchdog deactivations, authenticated gateway rejects — and
+        mirrors them into a shared
+        :class:`~repro.trust.provenance.TrustLedger`.  The gateway's
+        per-issuer budget scales by earned weight, and with ``health``
+        a :class:`~repro.trust.reputation.ReputationAdjuster` escalates
+        per-device watchdog strictness (and shortens quarantine fuses)
+        through the :class:`~repro.telemetry.health.KnobArbiter`, where
+        it composes deterministically with ``adaptive_quarantine``.
 
         ``batch_safeness`` (F4) attaches a
         :class:`~repro.statespace.batch.BatchSafenessSampler` to the
@@ -318,6 +334,25 @@ class ConfrontationScenario:
                 # exists when the E18 storage layer does.
                 self.flight = FlightRecorder(self.sim, self.storage)
 
+        # Reputation plane (E22): built before the devices so the
+        # engine-decision feeds can close over it, and before the
+        # gateway so budgets can scale by it.
+        self.reputation_ledger: Optional[ReputationLedger] = None
+        self.trust_ledger: Optional[TrustLedger] = None
+        self.arbiter: Optional[KnobArbiter] = None
+        self.reputation_adjuster: Optional[ReputationAdjuster] = None
+        if reputation:
+            self.trust_ledger = TrustLedger()
+            self.reputation_ledger = ReputationLedger(
+                journal=(Journal(self.storage, "reputation.ledger",
+                                 tracer=self.sim.telemetry)
+                         if journaled else None),
+                trust_ledger=self.trust_ledger,
+            )
+            if self.durability is not None:
+                self.durability.register("reputation", "ledger",
+                                         self.reputation_ledger)
+
         for org_name in ("us", "uk"):
             self._build_org(org_name, n_drones_per_org, n_mules_per_org)
 
@@ -365,6 +400,7 @@ class ConfrontationScenario:
                                  tracer=self.sim.telemetry)
                          if journaled else None),
                 audit=self.authz_audit,
+                reputation=self.reputation_ledger,
             )
             if self.durability is not None:
                 self.durability.register("gateway", "authz", self.gateway)
@@ -420,6 +456,24 @@ class ConfrontationScenario:
                         self.durability.register(device_id, "safety", link)
             if self.durability is not None and baseline_journal is not None:
                 self.durability.register("watchdog", "baseline", self.watchdog)
+
+        # Remaining reputation feeds: watchdog containment and
+        # authenticated gateway rejects (budget/cooldown — crypto
+        # failures say nothing about the *issuer's* conduct, a forger
+        # can spend anyone's name).
+        self._authz_fed = 0
+        if self.reputation_ledger is not None:
+            if self.watchdog is not None:
+                ledger = self.reputation_ledger
+
+                def on_deactivate(report) -> None:
+                    ledger.record(report.device_id, "quarantine",
+                                  self.sim.now)
+
+                self.watchdog.on_deactivate = on_deactivate
+            if self.gateway is not None:
+                self.sim.every(tick_interval, self._feed_authz_outcomes,
+                               label="reputation:authz-feed")
 
         # Fleet health layer (E20): streaming SLIs, alert rules, and the
         # closed loops from alerts back onto the safeguards.
@@ -502,10 +556,18 @@ class ConfrontationScenario:
         bound.every(1.0, label="tick")
         self.backdoors.append(Backdoor(device, key=f"key-{device.device_id}"))
 
+        device_id = device.device_id
+
         def on_decision(decision) -> None:
             self.sim.metrics.counter(f"decisions.{decision.outcome.value}").inc()
             if decision.vetoes:
                 self.sim.metrics.counter("safeguard.vetoes").inc()
+            ledger = self.reputation_ledger
+            if ledger is not None:
+                if decision.vetoes:
+                    ledger.record(device_id, "veto", self.sim.now)
+                elif decision.executed:
+                    ledger.record(device_id, "validated", self.sim.now)
 
         device.engine.on_decision = on_decision
 
@@ -591,10 +653,54 @@ class ConfrontationScenario:
                 description="journal bytes approaching the compaction budget",
             ))
 
+        # E22: the reputation plane publishes through the same monitor
+        # and tunes safeguard knobs through one arbiter, so adjusters
+        # touching the same knob compose by explicit priority instead of
+        # last-call-wins races.
+        ledger = self.reputation_ledger
+        if ledger is not None:
+            monitor.track_value("reputation.mean",
+                                lambda now: ledger.mean(now))
+            monitor.track_value("reputation.min",
+                                lambda now: ledger.minimum(now))
+            monitor.track_value(
+                "reputation.suspects",
+                lambda now: float(len(ledger.in_band("suspect", now))))
+            self.arbiter = KnobArbiter(self.sim)
+
         if adaptive_quarantine:
             self.adaptive = AdaptiveQuarantine(
                 self.sim, engine, self.overseer_links.values(),
-                base=quarantine_after, relaxed=quarantine_relaxed)
+                base=quarantine_after, relaxed=quarantine_relaxed,
+                arbiter=self.arbiter)
+
+        if ledger is not None:
+            arbiter = self.arbiter
+            watchdog = self.watchdog
+            for device_id, link in sorted(self.overseer_links.items()):
+                arbiter.ensure(quarantine_knob(device_id), quarantine_after,
+                               self._quarantine_setter(link))
+            if watchdog is not None:
+                for device_id in sorted(self.devices):
+                    arbiter.ensure(
+                        approach_threshold_knob(device_id),
+                        watchdog.approach_threshold,
+                        self._strictness_setter(device_id,
+                                                "approach_threshold"))
+                    arbiter.ensure(
+                        approach_strikes_knob(device_id),
+                        watchdog.approach_strikes,
+                        self._strictness_setter(device_id,
+                                                "approach_strikes"))
+            adjuster = self.reputation_adjuster = ReputationAdjuster(
+                self.sim, ledger, arbiter, monitor=monitor)
+            adjuster.add_rule(quarantine_knob,
+                              suspect=lambda base: max(1, int(base) - 2))
+            adjuster.add_rule(approach_threshold_knob,
+                              probation=lambda base: base * 1.2,
+                              suspect=lambda base: base * 1.5)
+            adjuster.add_rule(approach_strikes_knob,
+                              suspect=lambda base: 1)
 
         if compaction_policy == "size":
             self.compactor = CompactionController(
@@ -612,6 +718,31 @@ class ConfrontationScenario:
                                  for journal in journals.values()))
 
             monitor.track_value(CompactionController.SLI, total_bytes)
+
+    @staticmethod
+    def _quarantine_setter(link):
+        def apply(value) -> None:
+            link.quarantine_after = int(value)
+
+        return apply
+
+    def _strictness_setter(self, device_id: str, field_name: str):
+        def apply(value) -> None:
+            self.watchdog.set_strictness(device_id, **{field_name: value})
+
+        return apply
+
+    def _feed_authz_outcomes(self) -> None:
+        """Fold authenticated gateway rejects into the issuer's
+        reputation — a verified envelope that still violated the rails
+        is the issuer's conduct, unlike a forgery spent in its name."""
+        decisions = self.gateway.decisions
+        for decision in decisions[self._authz_fed:]:
+            if not decision.allowed and decision.reason in GATEWAY_REASONS:
+                self.reputation_ledger.record(
+                    decision.issuer or "anonymous", "authz-reject",
+                    self.sim.now)
+        self._authz_fed = len(decisions)
 
     # -- threats ---------------------------------------------------------------------
 
@@ -761,12 +892,26 @@ class ConfrontationScenario:
             self.sim.metrics.gauge("store.bytes_written").set(
                 self.storage.bytes_written)
             self.sim.metrics.gauge("store.blobs").set(len(self.storage.names()))
+        if self.reputation_ledger is not None:
+            now = self.sim.now
+            ledger = self.reputation_ledger
+            mean = ledger.mean(now)
+            minimum = ledger.minimum(now)
+            self.sim.metrics.gauge("reputation.mean").set(
+                mean if mean is not None else ledger.baseline)
+            self.sim.metrics.gauge("reputation.min").set(
+                minimum if minimum is not None else ledger.baseline)
+            self.sim.metrics.gauge("reputation.suspects").set(
+                len(ledger.in_band("suspect", now)))
+            self.sim.metrics.gauge("reputation.devices").set(
+                len(ledger.known()))
         return write_bundle(self.sim, dirpath, extra_manifest={
             "scenario": "confrontation",
             "safety_transport": self.safety_transport,
             "durability": self.durability_mode,
             "flight_dumps": self.flight.dumps if self.flight else 0,
             "health": self.monitor is not None,
+            "reputation": self.reputation_ledger is not None,
         }, alerts=self.alerts)
 
     def _rogue_lifetimes(self, horizon: float) -> list[float]:
@@ -858,5 +1003,13 @@ class ConfrontationScenario:
                 self.sim.metrics.value("attacks.replayed_orders")),
             "stolen_key_orders": int(
                 self.sim.metrics.value("attacks.stolen_key_orders")),
+            "reputation_outcomes": (
+                sum(self.reputation_ledger.outcomes.values())
+                if self.reputation_ledger is not None else 0),
+            "reputation_suspects": (
+                len(self.reputation_ledger.in_band("suspect", self.sim.now))
+                if self.reputation_ledger is not None else 0),
+            "knob_adjustments": int(
+                self.sim.metrics.value("health.knob_adjustments")),
             "horizon": horizon,
         }

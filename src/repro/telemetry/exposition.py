@@ -97,7 +97,7 @@ def metrics_jsonl(registry, path: str) -> int:
 
 def write_bundle(sim, dirpath: str,
                  extra_manifest: Optional[dict] = None,
-                 alerts=None) -> dict:
+                 alerts=None, leases=None) -> dict:
     """Write the full per-run telemetry bundle under ``dirpath``.
 
     Files: ``metrics.prom`` (Prometheus snapshot), ``metrics.jsonl``,
@@ -105,7 +105,10 @@ def write_bundle(sim, dirpath: str,
     ``manifest.json`` tying them together with run stats.  With an
     ``alerts`` engine (:class:`~repro.telemetry.health.AlertEngine`) the
     fired/resolved alert history additionally lands in
-    ``alerts.jsonl``.  Returns the manifest dict.
+    ``alerts.jsonl``; with a ``leases`` authority
+    (:class:`~repro.safeguards.lease.LeaseAuthority`) or a plain list of
+    lease lifecycle events, they land in ``leases.jsonl`` (E22).
+    Returns the manifest dict.
     """
     os.makedirs(dirpath, exist_ok=True)
 
@@ -127,6 +130,17 @@ def write_bundle(sim, dirpath: str,
         alert_counts = {"fired": len(alerts.history),
                         "active": len(alerts.active)}
 
+    lease_count = None
+    if leases is not None:
+        lease_events = leases if isinstance(leases, list) else leases.events
+        with open(os.path.join(dirpath, "leases.jsonl"), "w",
+                  encoding="utf-8") as handle:
+            for event in lease_events:
+                handle.write(json.dumps(event, sort_keys=True, default=str)
+                             + "\n")
+        files.insert(-1, "leases.jsonl")
+        lease_count = len(lease_events)
+
     manifest = {
         "sim_time": sim.now,
         "events_processed": sim.events_processed,
@@ -138,6 +152,8 @@ def write_bundle(sim, dirpath: str,
     }
     if alert_counts is not None:
         manifest["alerts"] = alert_counts
+    if lease_count is not None:
+        manifest["lease_events"] = lease_count
     if extra_manifest:
         manifest.update(extra_manifest)
     with open(os.path.join(dirpath, "manifest.json"), "w",

@@ -19,18 +19,31 @@ watcher:
   :class:`AdaptiveQuarantine` tunes ``OverseerLink.quarantine_after``
   from link-health alerts, :class:`CompactionController` turns
   storage-pressure alerts into size-triggered journal compaction and
-  batched flushes.
+  batched flushes;
+* :mod:`repro.telemetry.health.knobs` — :class:`KnobArbiter` (E22):
+  priority-arbitrated, span-attributed composition when several closed
+  loops tune the same safeguard knob.
 """
 
 from repro.telemetry.health.adaptive import (AdaptiveQuarantine,
                                              CompactionController)
 from repro.telemetry.health.estimators import Ewma, P2Quantile, RateTracker
+from repro.telemetry.health.knobs import (
+    KnobArbiter,
+    approach_strikes_knob,
+    approach_threshold_knob,
+    quarantine_knob,
+)
 from repro.telemetry.health.monitor import HealthMonitor
 from repro.telemetry.health.rules import Alert, AlertEngine, AlertRule
 
 __all__ = [
     "AdaptiveQuarantine",
     "CompactionController",
+    "KnobArbiter",
+    "approach_strikes_knob",
+    "approach_threshold_knob",
+    "quarantine_knob",
     "Ewma",
     "P2Quantile",
     "RateTracker",

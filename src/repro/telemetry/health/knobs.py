@@ -1,0 +1,137 @@
+"""Deterministic composition of safeguard-knob adjusters (E22 satellite).
+
+Before this module, two closed loops tuning the same knob raced on tick
+order: E20's :class:`~repro.telemetry.health.adaptive.AdaptiveQuarantine`
+relaxing ``quarantine_after`` during a network storm and E22's
+:class:`~repro.trust.reputation.ReputationAdjuster` tightening it for a
+suspect device would each blindly overwrite the other — the surviving
+value depended on which callback happened to run last.
+
+The :class:`KnobArbiter` makes the composition explicit: a knob is
+registered once with its base value and an apply function; adjusters
+*propose* values with a declared priority instead of writing directly.
+The effective value is the **highest-priority** live proposal (ties
+broken by **latest write** — last-writer-wins is now a defined rule, not
+an accident of scheduling), falling back to the base when no proposal is
+live.  Every effective change is metered, traced, and span-attributed to
+the winning adjuster, so an incident review can answer "who set this
+fuse to 1?" from the E19 trace alone.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+
+def quarantine_knob(device_id: str) -> str:
+    """Per-device ``OverseerLink.quarantine_after`` knob name."""
+    return f"link.quarantine_after:{device_id}"
+
+
+def approach_threshold_knob(device_id: str) -> str:
+    """Per-device ``Watchdog`` safeness-approach threshold knob name."""
+    return f"watchdog.approach_threshold:{device_id}"
+
+
+def approach_strikes_knob(device_id: str) -> str:
+    """Per-device ``Watchdog`` approach-strikes knob name."""
+    return f"watchdog.approach_strikes:{device_id}"
+
+
+class KnobArbiter:
+    """Priority-arbitrated writes to safeguard tuning knobs."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: name -> {"base", "apply", "current", "proposals"} where
+        #: proposals maps adjuster -> (priority, seq, value).
+        self._knobs: dict[str, dict] = {}
+        self._seq = itertools.count(1)
+        self._adjustments = sim.metrics.counter("health.knob_adjustments")
+
+    # -- registry ----------------------------------------------------------------
+
+    def register(self, name: str, base, apply_fn: Callable) -> None:
+        """Own ``name`` with base value ``base``; ``apply_fn(value)``
+        pushes the effective value into the safeguard.  The base is
+        applied immediately (the knob starts in its no-proposal state)."""
+        if name in self._knobs:
+            raise ConfigurationError(f"knob {name!r} already registered")
+        self._knobs[name] = {"base": base, "apply": apply_fn,
+                             "current": base, "proposals": {}}
+        apply_fn(base)
+
+    def ensure(self, name: str, base, apply_fn: Callable) -> None:
+        """Register ``name`` unless some other wiring already did."""
+        if name not in self._knobs:
+            self.register(name, base, apply_fn)
+
+    def has(self, name: str) -> bool:
+        return name in self._knobs
+
+    def base(self, name: str):
+        return self._knob(name)["base"]
+
+    def effective(self, name: str):
+        return self._knob(name)["current"]
+
+    def winner(self, name: str) -> Optional[str]:
+        """The adjuster whose proposal is currently effective (``None``
+        when the knob sits at its base value)."""
+        knob = self._knob(name)
+        if not knob["proposals"]:
+            return None
+        return max(knob["proposals"].items(),
+                   key=lambda item: item[1][:2])[0]
+
+    def _knob(self, name: str) -> dict:
+        try:
+            return self._knobs[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown knob {name!r}") from None
+
+    # -- arbitration -------------------------------------------------------------
+
+    def propose(self, name: str, adjuster: str, priority: int, value,
+                cause: Optional[str] = None):
+        """Stake ``adjuster``'s claim on the knob; returns the effective
+        value after arbitration.  Re-proposing the same value at the same
+        priority is a no-op (no seq churn, no spurious last-writer win)."""
+        knob = self._knob(name)
+        existing = knob["proposals"].get(adjuster)
+        if existing is not None and existing[0] == priority and existing[2] == value:
+            return knob["current"]
+        knob["proposals"][adjuster] = (priority, next(self._seq), value)
+        return self._recompute(name, knob, cause)
+
+    def withdraw(self, name: str, adjuster: str):
+        """Drop ``adjuster``'s claim; returns the effective value (the
+        next-ranked proposal's, or the base)."""
+        knob = self._knob(name)
+        if knob["proposals"].pop(adjuster, None) is None:
+            return knob["current"]
+        return self._recompute(name, knob, cause=f"withdraw:{adjuster}")
+
+    def _recompute(self, name: str, knob: dict, cause: Optional[str]):
+        if knob["proposals"]:
+            winner, (priority, _seq, value) = max(
+                knob["proposals"].items(), key=lambda item: item[1][:2])
+        else:
+            winner, priority, value = None, 0, knob["base"]
+        if value == knob["current"]:
+            return value
+        knob["current"] = value
+        knob["apply"](value)
+        self._adjustments.inc()
+        self.sim.record("health.knob_tune", name, value=value,
+                        by=winner or "base", priority=priority,
+                        cause=cause)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled and telemetry.active_context() is not None:
+            telemetry.start_span("health.knob", name,
+                                 parent=telemetry.active_context(),
+                                 by=winner or "base", value=value)
+        return value

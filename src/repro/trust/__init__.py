@@ -16,10 +16,20 @@ from repro.trust.aggregation import (
     trimmed_mean_aggregate,
 )
 from repro.trust.provenance import ProvenanceRecord, TrustLedger
+from repro.trust.reputation import (
+    BANDS,
+    OUTCOME_WEIGHTS,
+    ReputationAdjuster,
+    ReputationLedger,
+)
 
 __all__ = [
+    "BANDS",
     "IterativeFilteringAggregator",
+    "OUTCOME_WEIGHTS",
     "ProvenanceRecord",
+    "ReputationAdjuster",
+    "ReputationLedger",
     "SensorReading",
     "TrustLedger",
     "mean_aggregate",

@@ -1,0 +1,58 @@
+"""The E22 reputation/lease fleet scenario: acceptance invariants and
+shard-count invariance (F4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.reputation import (ReputationFleetSpec,
+                                        ReputationScenario,
+                                        parse_lease_events)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ReputationFleetSpec(n_b=0).validate()
+    with pytest.raises(ConfigurationError):
+        ReputationFleetSpec(strike_tick=5, bank_ticks=10).validate()
+    with pytest.raises(ConfigurationError):
+        ReputationFleetSpec(vent_timeout=10.0, vent_every=6,
+                            tick_interval=1.0).validate()
+    with pytest.raises(ConfigurationError):
+        ReputationFleetSpec(warn_temp=130.0, kill_base=120.0).validate()
+
+
+def test_weighted_arm_contains_the_rogue_sooner():
+    weighted = ReputationScenario(seed=11, partition=False,
+                                  weighted=True).run()
+    unweighted = ReputationScenario(seed=11, partition=False,
+                                    weighted=False).run()
+    assert 0 < weighted.summary["rogue_killed_tick"] \
+             < unweighted.summary["rogue_killed_tick"]
+    # Tightened kill lines never claim an honest device.
+    assert weighted.summary["healthy_killed"] == 0
+    assert unweighted.summary["healthy_killed"] == 0
+
+
+def test_leases_serve_the_partitioned_minority_and_die_on_time():
+    leased = ReputationScenario(seed=11, rogue=False, leased=True).run()
+    unleased = ReputationScenario(seed=11, rogue=False, leased=False).run()
+    assert leased.summary["vents_b_partition"] > 0
+    assert leased.summary["lease_grants"] >= 2      # expiry forced re-grant
+    assert leased.summary["lease_revocations"] >= 1  # heal revoked the last
+    assert unleased.summary["vents_b_partition"] == 0
+    assert unleased.summary["no_quorum_rejects"] > 0
+
+    events = parse_lease_events(leased)
+    expiry_of = {e["lease"]: e["expires_at"] for e in events
+                 if e["kind"] == "lease.grant"}
+    exercises = [e for e in events if e["kind"] == "lease.exercise"]
+    assert exercises
+    assert all(e["time"] < expiry_of[e["lease"]] for e in exercises)
+
+
+def test_full_spec_is_shard_count_invariant():
+    serial = ReputationScenario(seed=11, n_shards=1).run()
+    sharded = ReputationScenario(seed=11, n_shards=2).run()
+    assert serial.trace_digest == sharded.trace_digest
+    assert serial.summary == sharded.summary
+    assert serial.audit_digest == sharded.audit_digest
