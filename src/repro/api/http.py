@@ -1,0 +1,259 @@
+"""Stdlib asyncio HTTP/1.1 front end for the control plane (E23).
+
+A deliberately small server — request line, headers, ``Content-Length``
+bodies, keep-alive — because the interesting work lives in
+:class:`~repro.api.service.ControlPlane`; this layer only parses bytes,
+calls :meth:`~repro.api.service.ControlPlane.handle_request`, and
+writes the response (echoing the request's trace id as ``X-Trace-Id``).
+
+The server also owns the **pump task**: a background coroutine calling
+:meth:`~repro.api.runtime.ServiceRuntime.pump` on a cadence derived
+from the tightest registered periodic interval, so the health monitor
+keeps sampling (and alerts keep firing/clearing) even when no requests
+arrive — an always-on watcher must not depend on traffic to notice it
+is unhealthy.
+
+:class:`ServerThread` runs the whole loop in a daemon thread for tests,
+benchmarks, and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+from urllib.parse import parse_qsl, urlsplit
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 401: "Unauthorized",
+    404: "Not Found", 405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpServer:
+    """Asyncio streams server bound to one :class:`ControlPlane`."""
+
+    def __init__(self, plane, host: str = "127.0.0.1", port: int = 0):
+        self.plane = plane
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self.requests = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pump_task = None
+        self._conn_tasks: set = set()
+
+    @property
+    def address(self) -> tuple:
+        """``(host, port)`` actually bound (port 0 resolves on start)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return (host, port)
+
+    def _pump_interval(self) -> float:
+        tightest = self.plane.runtime.min_interval()
+        if tightest is None:
+            return 0.25
+        return min(0.5, max(0.02, tightest / 2.0))
+
+    async def _pump_loop(self) -> None:
+        interval = self._pump_interval()
+        while True:
+            await asyncio.sleep(interval)
+            self.plane.runtime.pump()
+
+    async def start(self) -> tuple:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self._pump_task = asyncio.ensure_future(self._pump_loop())
+        return self.address
+
+    async def stop(self) -> None:
+        pending = []
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            pending.append(self._pump_task)
+            self._pump_task = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+            pending.append(task)
+        self._conn_tasks.clear()
+        if pending:
+            # Await the cancellations: an unawaited cancelled task dies
+            # noisily in the event loop's destructor.
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- one connection ---------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        peer = writer.get_extra_info("peername")
+        remote = f"{peer[0]}:{peer[1]}" if peer else ""
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body, malformed = request
+                if malformed is not None:
+                    await self._write_simple(writer, 400, malformed)
+                    break
+                parts = urlsplit(target)
+                query = dict(parse_qsl(parts.query))
+                response = self.plane.handle_request(
+                    method, parts.path, query=query, headers=headers,
+                    body=body, remote=remote)
+                self.requests += 1
+                keep_alive = (headers.get("connection", "keep-alive")
+                              .lower() != "close")
+                await self._write_response(writer, response, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """``(method, target, headers, body, malformed_reason)`` or
+        ``None`` on clean EOF between requests."""
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as eof:
+            if not eof.partial:
+                return None
+            return ("", "", {}, b"", "truncated request head")
+        except asyncio.LimitOverrunError:
+            return ("", "", {}, b"", "request head too large")
+        if len(raw) > MAX_HEADER_BYTES:
+            return ("", "", {}, b"", "request head too large")
+        head = raw.decode("latin-1").split("\r\n")
+        parts = head[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return ("", "", {}, b"", "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict = {}
+        for line in head[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                return ("", "", {}, b"", "malformed header")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            return ("", "", {}, b"", "bad content-length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            return ("", "", {}, b"", "body too large")
+        body = await reader.readexactly(length) if length else b""
+        return (method, target, headers, body, None)
+
+    async def _write_response(self, writer: asyncio.StreamWriter, response,
+                              keep_alive: bool) -> None:
+        body = response.body_bytes()
+        text = _STATUS_TEXT.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {text}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if response.trace_id is not None:
+            lines.append(f"X-Trace-Id: {response.trace_id}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+
+    async def _write_simple(self, writer: asyncio.StreamWriter, status: int,
+                            detail: str) -> None:
+        body = (f'{{"error": "bad-request", "detail": "{detail}"}}\n'
+                .encode("utf-8"))
+        text = _STATUS_TEXT.get(status, "Unknown")
+        writer.write((
+            f"HTTP/1.1 {status} {text}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+async def serve(plane, host: str = "127.0.0.1", port: int = 8733) -> None:
+    """Run the server until cancelled (the ``python -m repro.api`` path)."""
+    server = HttpServer(plane, host, port)
+    bound_host, bound_port = await server.start()
+    print(f"repro.api control plane listening on "          # noqa: T201
+          f"http://{bound_host}:{bound_port}")
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.stop()
+
+
+class ServerThread:
+    """A control-plane server on a daemon thread (tests, bench, CI smoke)."""
+
+    def __init__(self, plane, host: str = "127.0.0.1", port: int = 0):
+        self.plane = plane
+        self.server = HttpServer(plane, host, port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self.address: Optional[tuple] = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self.address = loop.run_until_complete(self.server.start())
+        except BaseException as exc:     # surface bind errors to start()
+            self._failure = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def start(self, timeout: float = 10.0) -> tuple:
+        self._thread = threading.Thread(target=self._run,
+                                        name="e23-http-server", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server thread did not become ready")
+        if self._failure is not None:
+            raise RuntimeError(f"server failed to start: {self._failure}")
+        return self.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)

@@ -48,23 +48,53 @@ def _format_value(value) -> str:
     return repr(float(value))
 
 
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically: a crash mid-write leaves
+    the previous file intact, never a torn one (tmp + ``os.replace``)."""
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+
+
 def prometheus_text(registry) -> str:
     """Render a :class:`~repro.sim.metrics.MetricsRegistry` in the
-    Prometheus text exposition format (version 0.0.4)."""
+    Prometheus text exposition format (version 0.0.4).
+
+    Every metric family gets a ``# HELP``/``# TYPE`` header pair exactly
+    once — including summary families whose quantile values render as
+    ``NaN`` — even when distinct registry names sanitize onto the same
+    family (``api.latency`` and ``api_latency`` collide; the first
+    declares the family, later samples just join it).
+    """
     from repro.sim.metrics import Counter, Gauge, Histogram, TimeSeries
 
     lines: list[str] = []
+    declared: set = set()
+
+    def header(family: str, kind: str, source: str) -> None:
+        if family in declared:
+            return
+        declared.add(family)
+        lines.append(f"# HELP {family} {source}")
+        lines.append(f"# TYPE {family} {kind}")
+
     for name in registry.names():
         metric = registry.get(name)
         prom = sanitize_metric_name(name)
         if isinstance(metric, Counter):
-            lines.append(f"# TYPE {prom} counter")
+            header(prom, "counter", name)
             lines.append(f"{prom} {_format_value(metric.value)}")
         elif isinstance(metric, Gauge):
-            lines.append(f"# TYPE {prom} gauge")
+            header(prom, "gauge", name)
             lines.append(f"{prom} {_format_value(metric.value)}")
         elif isinstance(metric, Histogram):
-            lines.append(f"# TYPE {prom} summary")
+            header(prom, "summary", name)
             for q in HISTOGRAM_QUANTILES:
                 lines.append(f'{prom}{{quantile="{_escape_label(repr(q))}"}} '
                              f"{_format_value(metric.quantile(q))}")
@@ -74,10 +104,10 @@ def prometheus_text(registry) -> str:
             for suffix, value in (("last", metric.last()),
                                   ("peak", metric.peak()),
                                   ("count", len(metric.samples))):
-                lines.append(f"# TYPE {prom}_{suffix} gauge")
+                header(f"{prom}_{suffix}", "gauge", name)
                 lines.append(f"{prom}_{suffix} {_format_value(value)}")
         else:                                         # future metric kinds
-            lines.append(f"# TYPE {prom} untyped")
+            header(prom, "untyped", name)
             snap = metric.snapshot()
             lines.append(f"{prom} {_format_value(snap.get('value'))}")
     return "\n".join(lines) + ("\n" if lines else "")
@@ -85,14 +115,15 @@ def prometheus_text(registry) -> str:
 
 def metrics_jsonl(registry, path: str) -> int:
     """Write one JSON object per metric (``{"name", ...snapshot}``);
-    returns the number of metrics written."""
-    count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for name, snap in registry.snapshot().items():
-            handle.write(json.dumps({"name": name, **snap},
-                                    sort_keys=True, default=str) + "\n")
-            count += 1
-    return count
+    returns the number of metrics written.  The write is atomic: the
+    full text is built first, so a snapshot that raises leaves any
+    previous file untouched."""
+    records = []
+    for name, snap in registry.snapshot().items():
+        records.append(json.dumps({"name": name, **snap},
+                                  sort_keys=True, default=str) + "\n")
+    _atomic_write_text(path, "".join(records))
+    return len(records)
 
 
 def write_bundle(sim, dirpath: str,
@@ -109,23 +140,39 @@ def write_bundle(sim, dirpath: str,
     (:class:`~repro.safeguards.lease.LeaseAuthority`) or a plain list of
     lease lifecycle events, they land in ``leases.jsonl`` (E22).
     Returns the manifest dict.
+
+    Every file lands atomically (tmp + ``os.replace``): a crash mid-dump
+    leaves each artifact either absent, or complete from this dump, or
+    complete from the previous one — never torn.
     """
     os.makedirs(dirpath, exist_ok=True)
 
-    prom_path = os.path.join(dirpath, "metrics.prom")
-    with open(prom_path, "w", encoding="utf-8") as handle:
-        handle.write(prometheus_text(sim.metrics))
+    _atomic_write_text(os.path.join(dirpath, "metrics.prom"),
+                       prometheus_text(sim.metrics))
     metric_count = metrics_jsonl(sim.metrics, os.path.join(dirpath, "metrics.jsonl"))
-    span_count = sim.telemetry.export_jsonl(os.path.join(dirpath, "spans.jsonl"))
-    event_count = sim.trace.export_jsonl(os.path.join(dirpath, "events.jsonl"))
+
+    def atomic_export(export_fn, path: str) -> int:
+        tmp = path + ".tmp"
+        try:
+            count = export_fn(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
+        return count
+
+    span_count = atomic_export(sim.telemetry.export_jsonl,
+                               os.path.join(dirpath, "spans.jsonl"))
+    event_count = atomic_export(sim.trace.export_jsonl,
+                                os.path.join(dirpath, "events.jsonl"))
 
     files = ["metrics.prom", "metrics.jsonl", "spans.jsonl",
              "events.jsonl", "manifest.json"]
     alert_counts = None
     if alerts is not None:
-        with open(os.path.join(dirpath, "alerts.jsonl"), "w",
-                  encoding="utf-8") as handle:
-            handle.write(alerts.export_jsonl())
+        _atomic_write_text(os.path.join(dirpath, "alerts.jsonl"),
+                           alerts.export_jsonl())
         files.insert(-1, "alerts.jsonl")
         alert_counts = {"fired": len(alerts.history),
                         "active": len(alerts.active)}
@@ -133,11 +180,10 @@ def write_bundle(sim, dirpath: str,
     lease_count = None
     if leases is not None:
         lease_events = leases if isinstance(leases, list) else leases.events
-        with open(os.path.join(dirpath, "leases.jsonl"), "w",
-                  encoding="utf-8") as handle:
-            for event in lease_events:
-                handle.write(json.dumps(event, sort_keys=True, default=str)
-                             + "\n")
+        _atomic_write_text(
+            os.path.join(dirpath, "leases.jsonl"),
+            "".join(json.dumps(event, sort_keys=True, default=str) + "\n"
+                    for event in lease_events))
         files.insert(-1, "leases.jsonl")
         lease_count = len(lease_events)
 
@@ -156,8 +202,7 @@ def write_bundle(sim, dirpath: str,
         manifest["lease_events"] = lease_count
     if extra_manifest:
         manifest.update(extra_manifest)
-    with open(os.path.join(dirpath, "manifest.json"), "w",
-              encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
-        handle.write("\n")
+    _atomic_write_text(
+        os.path.join(dirpath, "manifest.json"),
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n")
     return manifest

@@ -1,0 +1,1 @@
+"""Tests for the E23 control-plane service."""

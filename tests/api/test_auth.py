@@ -1,0 +1,103 @@
+"""Admission control at the HTTP edge: API keys and token buckets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.auth import AdmissionControl, TokenBucket
+from repro.api.runtime import ManualClock, ServiceRuntime
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.allow(0.0) for _ in range(3)] == [True, True, True]
+        assert bucket.allow(0.0) is False
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.allow(0.0) and bucket.allow(0.0)
+        assert bucket.allow(0.0) is False
+        assert bucket.allow(0.5) is True           # 0.5s * 2/s = 1 token back
+        assert bucket.allow(0.5) is False
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.allow(0.0)
+        assert bucket.allow(100.0) is True
+        assert bucket.allow(100.0) is True
+        assert bucket.allow(100.0) is False        # not 1000 tokens
+
+    def test_time_going_backwards_does_not_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.allow(5.0) is True
+        assert bucket.allow(1.0) is False          # stale clock, no credit
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+def _runtime() -> ServiceRuntime:
+    return ServiceRuntime(clock=ManualClock())
+
+
+class TestAdmissionControl:
+    def test_open_service_admits_everyone_as_anonymous(self):
+        admission = AdmissionControl(_runtime())
+        assert admission.admit("evaluate", {}) == ("anonymous", None)
+
+    def test_unknown_key_is_unauthorized(self):
+        admission = AdmissionControl(_runtime(),
+                                     api_keys={"s3cret": "ops"})
+        principal, reason = admission.admit("evaluate", {})
+        assert (principal, reason) == (None, "unauthorized")
+        principal, reason = admission.admit("evaluate",
+                                            {"x-api-key": "wrong"})
+        assert (principal, reason) == (None, "unauthorized")
+
+    def test_known_key_names_the_principal(self):
+        admission = AdmissionControl(_runtime(),
+                                     api_keys={"s3cret": "ops"})
+        assert admission.admit("evaluate",
+                               {"x-api-key": "s3cret"}) == ("ops", None)
+
+    def test_bearer_token_is_an_api_key_spelling(self):
+        admission = AdmissionControl(_runtime(),
+                                     api_keys={"s3cret": "ops"})
+        headers = {"authorization": "Bearer s3cret"}
+        assert admission.admit("evaluate", headers) == ("ops", None)
+
+    def test_open_endpoints_skip_auth_and_limits(self):
+        runtime = _runtime()
+        admission = AdmissionControl(runtime, api_keys={"k": "ops"},
+                                     rate=1.0, burst=1.0)
+        for _ in range(5):                          # would exhaust any bucket
+            assert admission.admit("health", {}) == ("anonymous", None)
+            assert admission.admit("metrics", {}) == ("anonymous", None)
+
+    def test_rate_limit_is_per_principal_and_refills(self):
+        runtime = _runtime()
+        admission = AdmissionControl(
+            runtime, api_keys={"a": "alice", "b": "bob"},
+            rate=1.0, burst=1.0)
+        assert admission.admit("evaluate", {"x-api-key": "a"})[1] is None
+        assert admission.admit("evaluate",
+                               {"x-api-key": "a"}) == ("alice",
+                                                       "rate-limited")
+        # Bob's bucket is untouched by Alice's burst.
+        assert admission.admit("evaluate", {"x-api-key": "b"})[1] is None
+        runtime.clock.advance(1.0)
+        assert admission.admit("evaluate", {"x-api-key": "a"})[1] is None
+
+    def test_rejects_and_admissions_are_metered(self):
+        runtime = _runtime()
+        admission = AdmissionControl(runtime, api_keys={"k": "ops"},
+                                     rate=1.0, burst=1.0)
+        admission.admit("evaluate", {"x-api-key": "k"})
+        admission.admit("evaluate", {"x-api-key": "k"})   # rate-limited
+        admission.admit("evaluate", {})                   # unauthorized
+        assert runtime.metrics.value("api.admitted") == 1.0
+        assert runtime.metrics.value("api.admission_rejected") == 2.0

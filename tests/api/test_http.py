@@ -1,0 +1,125 @@
+"""The asyncio HTTP front end, exercised over real sockets."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+import pytest
+
+from repro.api.http import ServerThread
+from repro.api.service import ControlPlane, ControlPlaneConfig
+
+
+@pytest.fixture()
+def server():
+    plane = ControlPlane(config=ControlPlaneConfig(
+        workers=0, monitor_interval=0.2))
+    thread = ServerThread(plane)
+    host, port = thread.start()
+    yield plane, host, port
+    thread.stop()
+    plane.close()
+
+
+def request(host, port, method, path, payload=None, headers=None):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        data = response.read()
+        return response.status, dict(response.getheaders()), data
+    finally:
+        conn.close()
+
+
+class TestRoundTrip:
+    def test_evaluate_over_the_wire_echoes_the_trace_id(self, server):
+        plane, host, port = server
+        status, headers, data = request(
+            host, port, "POST", "/evaluate",
+            {"event": {"kind": "mgmt.command.move"}})
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["outcome"] == "executed"
+        assert headers["X-Trace-Id"] == payload["trace_id"]
+        # The trace the header names is replayable from the same server.
+        status, _, data = request(
+            host, port, "GET", f"/explain?trace_id={payload['trace_id']}")
+        assert status == 200
+        assert "api.request" in json.loads(data)["kinds"]
+
+    def test_unknown_path_is_404_json(self, server):
+        _plane, host, port = server
+        status, _headers, data = request(host, port, "GET", "/nope")
+        assert status == 404
+        assert json.loads(data)["error"] == "not-found"
+
+    def test_metrics_scrape_is_prometheus_text(self, server):
+        _plane, host, port = server
+        status, headers, data = request(host, port, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"# TYPE api_requests counter" in data
+
+
+class TestKeepAlive:
+    def test_two_requests_ride_one_connection(self, server):
+        plane, host, port = server
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/health")
+            first = conn.getresponse()
+            first.read()
+            assert first.status == 200
+            conn.request("GET", "/health")
+            second = conn.getresponse()
+            second.read()
+            assert second.status == 200
+        finally:
+            conn.close()
+        assert plane.runtime.events_processed >= 2
+
+    def test_connection_close_is_honoured(self, server):
+        _plane, host, port = server
+        status, headers, _data = request(host, port, "GET", "/health",
+                                         headers={"Connection": "close"})
+        assert status == 200
+        assert headers["Connection"] == "close"
+
+
+class TestMalformedInput:
+    def test_garbage_request_line_is_400(self, server):
+        _plane, host, port = server
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+    def test_bad_content_length_is_400(self, server):
+        _plane, host, port = server
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"POST /evaluate HTTP/1.1\r\n"
+                         b"Content-Length: banana\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+    def test_post_body_round_trips_content_length(self, server):
+        _plane, host, port = server
+        status, _headers, data = request(
+            host, port, "POST", "/jobs", {"kind": "noop"})
+        assert status == 202
+        assert json.loads(data)["job"]["status"] == "queued"
+
+
+class TestPumpLoop:
+    def test_monitor_ticks_without_any_traffic(self, server):
+        import time
+
+        plane, _host, _port = server
+        deadline = time.monotonic() + 5.0
+        while plane.monitor.ticks == 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert plane.monitor.ticks > 0

@@ -1,0 +1,141 @@
+"""The sim-shaped service runtime: clocks, pumped periodics, lazy roots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.runtime import ManualClock, MonotonicClock, ServiceRuntime
+
+
+class TestClocks:
+    def test_manual_clock_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(2.5)
+        assert clock() == 2.5
+        clock.set(4.0)
+        assert clock() == 4.0
+
+    def test_manual_clock_refuses_to_go_backwards(self):
+        clock = ManualClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(1.0)
+
+    def test_monotonic_clock_starts_near_zero_and_grows(self):
+        clock = MonotonicClock()
+        first = clock()
+        assert 0.0 <= first < 1.0
+        assert clock() >= first
+
+
+class TestPeriodicPump:
+    def test_task_fires_once_per_elapsed_interval(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock)
+        fired = []
+        runtime.every(1.0, lambda: fired.append(runtime.now))
+        assert runtime.pump() == 0                 # not yet due
+        clock.advance(1.0)
+        assert runtime.pump() == 1
+        clock.advance(3.0)
+        assert runtime.pump() == 3                 # catches up per interval
+        assert len(fired) == 4
+
+    def test_start_after_delays_first_firing(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock)
+        fired = []
+        runtime.every(1.0, lambda: fired.append(1), start_after=5.0)
+        clock.advance(4.0)
+        assert runtime.pump() == 0
+        clock.advance(1.0)
+        assert runtime.pump() == 1
+
+    def test_catchup_is_bounded_and_reanchors(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock)
+        fired = []
+        task = runtime.every(1.0, lambda: fired.append(1))
+        clock.advance(1000.0)                      # stalled pump
+        assert runtime.pump() == 64                # max_catchup, not 1000
+        assert task.fired == 64
+        assert runtime.pump() == 0                 # re-anchored on now
+        clock.advance(1.0)
+        assert runtime.pump() == 1
+
+    def test_cancelled_tasks_stop_firing_and_are_pruned(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock)
+        task = runtime.every(1.0, lambda: None)
+        runtime.every(2.0, lambda: None)
+        task.cancel()
+        clock.advance(2.0)
+        assert runtime.pump() == 1                 # only the 2.0s task
+        assert runtime.min_interval() == 2.0
+
+    def test_min_interval_is_the_pump_sleep_hint(self):
+        runtime = ServiceRuntime(clock=ManualClock())
+        assert runtime.min_interval() is None
+        runtime.every(0.5, lambda: None)
+        runtime.every(2.0, lambda: None)
+        assert runtime.min_interval() == 0.5
+
+    def test_interval_must_be_positive(self):
+        runtime = ServiceRuntime(clock=ManualClock())
+        with pytest.raises(ValueError):
+            runtime.every(0.0, lambda: None)
+
+
+class TestLazyRoots:
+    def test_idle_tick_allocates_no_spans(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock)
+        runtime.every(1.0, lambda: None, label="svc:idle")
+        clock.advance(3.0)
+        runtime.pump()
+        assert runtime.telemetry.spans == []
+
+    def test_tick_that_joins_the_chain_materializes_task_root(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock)
+
+        def traced():
+            runtime.telemetry.start_span("work.step", "svc")
+
+        runtime.every(1.0, traced, label="svc:watch")
+        clock.advance(1.0)
+        runtime.pump()
+        names = [span.name for span in runtime.telemetry.spans]
+        assert names == ["task.watch", "work.step"]
+        root, child = runtime.telemetry.spans
+        assert child.context.parent_id == root.context.span_id
+        assert runtime.telemetry.current is None   # cleared after the tick
+
+    def test_disabled_tracer_skips_seeding(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock, spans_enabled=False)
+        runtime.every(1.0, lambda: runtime.telemetry.start_span("x", "y"),
+                      label="svc:quiet")
+        clock.advance(1.0)
+        runtime.pump()
+        assert runtime.telemetry.spans == []
+
+
+class TestSimSurface:
+    def test_record_stamps_current_clock(self):
+        clock = ManualClock()
+        runtime = ServiceRuntime(clock=clock)
+        clock.advance(7.0)
+        runtime.record("api.reject", "evaluate", reason="unauthorized")
+        event = runtime.trace.events[0]
+        assert event.time == 7.0
+        assert event.kind == "api.reject"
+
+    def test_uptime_tracks_elapsed_clock(self):
+        clock = ManualClock(start=100.0)
+        runtime = ServiceRuntime(clock=clock)
+        clock.advance(3.0)
+        assert runtime.uptime() == 3.0
+        assert runtime.now == 103.0

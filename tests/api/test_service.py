@@ -1,0 +1,329 @@
+"""The transport-agnostic control plane, driven by direct dispatch.
+
+Every test runs a :class:`ControlPlane` on a :class:`ManualClock` with
+``workers=0``, so monitor ticks, token buckets, and job execution are
+fully deterministic — no threads, no wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api.runtime import ManualClock
+from repro.api.service import ControlPlane, ControlPlaneConfig
+from repro.statespace.batch import numpy_available
+
+
+def make_plane(**overrides):
+    clock = ManualClock()
+    defaults = dict(workers=0, monitor_interval=1.0)
+    defaults.update(overrides)
+    plane = ControlPlane(config=ControlPlaneConfig(**defaults), clock=clock)
+    return plane, clock
+
+
+def post(plane, path, payload, headers=None):
+    return plane.handle_request(
+        "POST", path, headers=headers or {},
+        body=json.dumps(payload).encode("utf-8"))
+
+
+def get(plane, path, query=None, headers=None):
+    return plane.handle_request("GET", path, query=query or {},
+                                headers=headers or {})
+
+
+class TestEvaluate:
+    def test_clear_command_executes_and_mutates_state(self):
+        plane, _ = make_plane()
+        response = post(plane, "/evaluate",
+                        {"event": {"kind": "mgmt.command.move"}})
+        assert response.status == 200
+        assert response.payload["outcome"] == "executed"
+        assert response.payload["executed"] == "advance"
+        assert response.payload["policy_id"] == "move-when-charged"
+        assert response.payload["state"]["speed"] == 25.0
+        assert response.payload["trace_id"] == response.trace_id
+        plane.close()
+
+    def test_dangerous_command_is_substituted_by_the_guard(self):
+        plane, _ = make_plane()
+        response = post(plane, "/evaluate", {
+            "state": {"heat": 120.0},
+            "event": {"kind": "mgmt.command.move"},
+        })
+        assert response.status == 200
+        assert response.payload["outcome"] == "substituted"
+        assert response.payload["requested"] == "advance"
+        assert response.payload["executed"] == "vent_heat"
+        assert response.payload["vetoes"]
+        plane.close()
+
+    def test_request_body_errors_are_bad_request(self):
+        plane, _ = make_plane()
+        assert post(plane, "/evaluate", {"event": {}}).status == 400
+        assert get(plane, "/evaluate").status == 405
+        response = plane.handle_request("POST", "/evaluate",
+                                        body=b"not json{")
+        assert response.status == 500 or response.status == 400
+        plane.close()
+
+
+class TestExplainRoundTrip:
+    def test_decision_spans_nest_under_the_request_root(self):
+        plane, _ = make_plane()
+        evaluated = post(plane, "/evaluate", {
+            "state": {"heat": 120.0},
+            "event": {"kind": "mgmt.command.move"},
+        })
+        explained = get(plane, "/explain",
+                        {"trace_id": evaluated.trace_id})
+        assert explained.status == 200
+        kinds = explained.payload["kinds"]
+        assert "api.request" in kinds
+        assert "engine.decision" in kinds
+        assert "safeguard.veto" in kinds
+        assert "api.request" in explained.payload["rendered"]
+        plane.close()
+
+    def test_unknown_trace_is_not_found(self):
+        plane, _ = make_plane()
+        assert get(plane, "/explain", {"trace_id": "t999"}).status == 404
+        assert get(plane, "/explain").status == 400
+        plane.close()
+
+
+class TestRoutingAndErrors:
+    def test_unknown_path_is_404_and_metered(self):
+        plane, _ = make_plane()
+        response = get(plane, "/no/such/endpoint")
+        assert (response.status, response.reason) == (404, "not-found")
+        metrics = plane.runtime.metrics
+        assert metrics.value("api.errors") == 1.0
+        assert metrics.value("api.errors.not-found") == 1.0
+        plane.close()
+
+    def test_handler_crash_is_500_internal_and_service_survives(self):
+        plane, _ = make_plane()
+
+        def explode(_event):
+            raise RuntimeError("engine fell over")
+
+        plane.device.engine.handle_event = explode
+        response = post(plane, "/evaluate",
+                        {"event": {"kind": "mgmt.command.move"}})
+        assert (response.status, response.reason) == (500, "internal")
+        assert plane.runtime.metrics.value("api.errors.internal") == 1.0
+        assert get(plane, "/health").status == 200    # still serving
+        plane.close()
+
+
+class TestAdmissionAtTheEdge:
+    def test_reject_is_metered_traced_and_audited(self):
+        plane, _ = make_plane(api_keys={"s3cret": "ops"})
+        response = post(plane, "/evaluate",
+                        {"event": {"kind": "mgmt.command.move"}})
+        assert (response.status, response.reason) == (401, "unauthorized")
+        metrics = plane.runtime.metrics
+        assert metrics.value("api.errors.unauthorized") == 1.0
+        names = [span.name for span in plane.runtime.telemetry.spans]
+        assert "api.reject" in names
+        kinds = [event.kind for event in plane.runtime.trace.events]
+        assert "api.reject" in kinds
+        audited = plane.audit.entries("api.reject")
+        assert len(audited) == 1
+        assert audited[0].detail["reason"] == "unauthorized"
+        assert plane.audit.verify()
+        # The authorized caller sees the reject in the audit tail.
+        tail = get(plane, "/audit", {"kind": "api.reject"},
+                   headers={"x-api-key": "s3cret"})
+        assert tail.status == 200
+        assert tail.payload["matched"] == 1
+        assert tail.payload["verified"] is True
+        assert tail.payload["head_hash"]
+        plane.close()
+
+    def test_rate_limit_refills_on_the_service_clock(self):
+        plane, clock = make_plane(api_keys={"k": "ops"}, rate=1.0,
+                                  burst=1.0)
+        headers = {"x-api-key": "k"}
+        body = {"event": {"kind": "mgmt.command.move"}}
+        assert post(plane, "/evaluate", body, headers).status == 200
+        limited = post(plane, "/evaluate", body, headers)
+        assert (limited.status, limited.reason) == (429, "rate-limited")
+        clock.advance(1.0)
+        assert post(plane, "/evaluate", body, headers).status == 200
+        plane.close()
+
+    def test_health_and_metrics_stay_open(self):
+        plane, _ = make_plane(api_keys={"k": "ops"})
+        assert get(plane, "/health").status == 200
+        assert get(plane, "/metrics").status == 200
+        plane.close()
+
+
+@pytest.mark.skipif(not numpy_available(),
+                    reason="vectorized path needs numpy")
+class TestBatch:
+    def test_rows_route_through_programs_with_fallback_counters(self):
+        plane, _ = make_plane()
+        response = post(plane, "/batch", {
+            "rows": [{}, {"heat": 120.0}],
+        })
+        assert response.status == 200
+        payload = response.payload
+        assert payload["rows"] == 2
+        assert payload["chosen"] == ["move-when-charged",
+                                     "vent-on-overheat"]
+        # The bool-effect program can't vectorize: the fallback is
+        # loudly reported, not silently demoted.
+        assert payload["fallback_reasons"].get("non-float-effect", 0) >= 1
+        assert len(payload["results"]) == 2
+        plane.close()
+
+    def test_row_limit_is_413(self):
+        plane, _ = make_plane(batch_row_limit=4)
+        response = post(plane, "/batch", {"rows": [{}] * 5})
+        assert (response.status, response.reason) == (413, "too-many-rows")
+        plane.close()
+
+    def test_empty_rows_are_bad_request(self):
+        plane, _ = make_plane()
+        assert post(plane, "/batch", {"rows": []}).status == 400
+        plane.close()
+
+
+class TestJobsEndpoint:
+    def test_submit_links_job_to_the_request_trace(self):
+        plane, _ = make_plane()
+        submitted = post(plane, "/jobs", {"kind": "noop",
+                                          "params": {"x": 1}})
+        assert submitted.status == 202
+        job = submitted.payload["job"]
+        assert job["status"] == "queued"
+        assert job["trace_id"] == submitted.trace_id
+        plane.jobs.run_pending()
+        fetched = get(plane, f"/jobs/{job['job_id']}")
+        assert fetched.payload["job"]["status"] == "done"
+        assert fetched.payload["job"]["result"]["params"] == {"x": 1}
+        listing = get(plane, "/jobs")
+        assert listing.payload["depth"] == 0
+        assert len(listing.payload["jobs"]) == 1
+        plane.close()
+
+    def test_unknown_kind_and_missing_job(self):
+        plane, _ = make_plane()
+        response = post(plane, "/jobs", {"kind": "frobnicate"})
+        assert (response.status, response.reason) == (400, "unknown-kind")
+        assert get(plane, "/jobs/job-99").status == 404
+        plane.close()
+
+    def test_full_queue_is_503(self):
+        plane, _ = make_plane(queue_capacity=1)
+        assert post(plane, "/jobs", {"kind": "noop"}).status == 202
+        overflow = post(plane, "/jobs", {"kind": "noop"})
+        assert (overflow.status, overflow.reason) == (503, "queue-full")
+        plane.close()
+
+
+class TestSelfMonitoring:
+    def test_slis_appear_after_a_monitor_tick(self):
+        plane, clock = make_plane()
+        for _ in range(8):
+            post(plane, "/evaluate", {"event": {"kind": "sensor.threat"}})
+        clock.advance(1.1)
+        plane.runtime.pump()
+        health = get(plane, "/health")
+        slis = health.payload["slis"]
+        assert slis["api.latency_p50"] > 0.0
+        assert slis["api.latency_p99"] >= slis["api.latency_p50"]
+        assert slis["jobs.queue_depth"] == 0.0
+        assert health.payload["status"] == "ok"
+        assert health.payload["requests"] >= 8.0
+        plane.close()
+
+    def test_queue_saturation_fires_and_clears_the_self_alert(self):
+        plane, clock = make_plane(queue_capacity=2)
+        for _ in range(2):
+            assert post(plane, "/jobs", {"kind": "noop"}).status == 202
+        clock.advance(1.1)
+        plane.runtime.pump()                       # tick: saturation == 1
+        health = get(plane, "/health")
+        assert health.payload["status"] == "degraded"
+        assert "jobs-queue-saturation" in health.payload["alerts"]["active"]
+        assert plane.audit.entries("alert.fire")
+        # The firing is itself a replayable trace.
+        alert = plane.alerts.active["jobs-queue-saturation"]
+        explained = get(plane, "/explain", {"trace_id": alert.trace_id})
+        assert explained.status == 200
+        assert "alert.fire" in explained.payload["kinds"]
+        # Drain the queue; the next tick resolves the alert.
+        plane.jobs.run_pending()
+        clock.advance(1.1)
+        plane.runtime.pump()
+        recovered = get(plane, "/health")
+        assert recovered.payload["status"] == "ok"
+        assert recovered.payload["alerts"]["active"] == []
+        assert plane.audit.entries("alert.resolve")
+        plane.close()
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_snapshot_includes_red_metrics(self):
+        plane, _ = make_plane()
+        post(plane, "/evaluate", {"event": {"kind": "mgmt.command.move"}})
+        response = get(plane, "/metrics")
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain")
+        text = response.payload
+        # The scrape itself is metered after its handler runs, so the
+        # snapshot shows only the requests that finished before it.
+        assert "api_requests 1.0" in text
+        assert "api_requests_evaluate 1.0" in text
+        assert "# TYPE api_latency summary" in text
+        plane.close()
+
+
+class TestObservabilityToggle:
+    def test_disabled_observability_means_no_spans_or_access_log(self):
+        plane, _ = make_plane(observability=False)
+        response = post(plane, "/evaluate",
+                        {"event": {"kind": "mgmt.command.move"}})
+        assert response.status == 200
+        assert response.trace_id is None
+        assert "trace_id" not in response.payload
+        assert plane.runtime.telemetry.spans == []
+        assert len(plane.access) == 0
+        assert plane.runtime.metrics.value("api.requests") == 0.0
+        plane.close()
+
+    def test_access_log_records_every_request(self):
+        plane, _ = make_plane()
+        post(plane, "/evaluate", {"event": {"kind": "mgmt.command.move"}})
+        get(plane, "/nope")
+        records = plane.access.tail(2)
+        assert [r["endpoint"] for r in records] == ["evaluate", "/nope"]
+        assert records[0]["status"] == 200
+        assert records[1]["status"] == 404
+        assert records[0]["trace_id"]
+        plane.close()
+
+
+class TestBundleExport:
+    def test_bundle_includes_access_log_and_service_manifest(self, tmp_path):
+        plane, _ = make_plane()
+        post(plane, "/evaluate", {"event": {"kind": "mgmt.command.move"}})
+        directory = str(tmp_path / "bundle")
+        manifest = plane.export_bundle(directory)
+        assert manifest["service"] == "repro.api"
+        assert manifest["profile"] == "patrol-drone"
+        assert manifest["access_log_records"] == 1
+        access_path = os.path.join(directory, "access.jsonl")
+        with open(access_path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines[0]["endpoint"] == "evaluate"
+        assert os.path.exists(os.path.join(directory, "alerts.jsonl"))
+        plane.close()

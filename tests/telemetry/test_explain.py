@@ -185,3 +185,87 @@ def test_rogue_takedown_trace_is_replay_deterministic():
         return [span.to_dict() for span in explain(scenario, trace_id).spans]
 
     assert run() == run()
+
+
+class TestGatewayRejectPlusJournalAppend:
+    """Direct unit coverage for a trace that spans an E21 gateway reject
+    and a store journal append (previously only crossed in scenario
+    benches): one root context, a forged command rejected under it, a
+    valid command whose nonce-burn journals under it — ``explain`` must
+    stitch all of it into a single causal tree."""
+
+    def _incident(self):
+        from repro.crypto import CommandSigner, EnvelopeVerifier, Keyring
+        from repro.safeguards.gateway import ActuationGateway
+        from repro.store import Journal, StableStorage
+
+        sim = Simulator(seed=7)
+        ring = Keyring(seed=7)
+        signer = CommandSigner(ring, "watchdog")
+        journal = Journal(StableStorage(), "gateway.authz",
+                          tracer=sim.telemetry)
+        gateway = ActuationGateway(sim, EnvelopeVerifier(ring),
+                                   journal=journal)
+        root = sim.telemetry.start_trace("incident.response", "overseer",
+                                         sim.now)
+        previous = sim.telemetry.activate(root.context)
+        try:
+            forged = signer.sign({"cause": "bad_state", "target": "d0"},
+                                 tick=sim.now)
+            forged["cause"] = "tampered"
+            rejected = gateway.admit(forged, kind="safety.kill",
+                                     target="d0")
+            accepted = gateway.admit(
+                signer.sign({"cause": "bad_state", "target": "d0"},
+                            tick=sim.now),
+                kind="safety.kill", target="d0")
+        finally:
+            sim.telemetry.activate(previous)
+        return sim, root, rejected, accepted
+
+    def test_one_trace_spans_reject_and_journal_append(self):
+        sim, root, rejected, accepted = self._incident()
+        assert (rejected.allowed, rejected.reason) == (False, "bad-mac")
+        assert accepted.allowed
+        explanation = explain(sim, root.context.trace_id)
+        assert explanation.has_stage("safeguard.authz")
+        assert explanation.has_stage("store.append")
+        assert [span.name for span in explanation.roots()] == [
+            "incident.response"]
+
+    def test_reject_span_carries_reason_and_parents_on_root(self):
+        sim, root, _, _ = self._incident()
+        explanation = explain(sim, root.context.trace_id)
+        reject = explanation.stage("safeguard.authz")[0]
+        assert reject.detail["reason"] == "bad-mac"
+        assert reject.subject == "d0"
+        path = explanation.path_to(reject)
+        assert [span.name for span in path] == ["incident.response",
+                                                "safeguard.authz"]
+
+    def test_journal_append_is_causally_under_the_root(self):
+        sim, root, _, _ = self._incident()
+        explanation = explain(sim, root.context.trace_id)
+        append = explanation.stage("store.append")[0]
+        assert append.subject == "gateway.authz"
+        path = explanation.path_to(append)
+        assert path[0].name == "incident.response"
+        assert path[-1] is append
+
+    def test_outside_any_context_neither_side_joins_a_trace(self):
+        from repro.crypto import CommandSigner, EnvelopeVerifier, Keyring
+        from repro.safeguards.gateway import ActuationGateway
+        from repro.store import Journal, StableStorage
+
+        sim = Simulator(seed=7)
+        ring = Keyring(seed=7)
+        signer = CommandSigner(ring, "watchdog")
+        gateway = ActuationGateway(
+            sim, EnvelopeVerifier(ring),
+            journal=Journal(StableStorage(), "gateway.authz",
+                            tracer=sim.telemetry))
+        forged = signer.sign({"cause": "x", "target": "d0"}, tick=sim.now)
+        forged["cause"] = "tampered"
+        gateway.admit(forged, kind="safety.kill", target="d0")
+        names = [span.name for span in sim.telemetry.spans]
+        assert "safeguard.authz" not in names

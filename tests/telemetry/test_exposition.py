@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.simulator import Simulator
 from repro.telemetry.exposition import (
@@ -79,6 +81,100 @@ class TestPrometheusText:
         assert prometheus_text(registry) == text
 
 
+def _parse_exposition(text: str) -> dict:
+    """A small Prometheus text-format parser for roundtrip checks.
+
+    Returns ``{family: {"help": n, "type": n, "kind": str,
+    "samples": [(name, labels, value)], "first_sample_line": int,
+    "header_lines": [int]}}``.  Sample lines are attributed to their
+    family by stripping the ``_sum``/``_count`` summary suffixes.
+    """
+    families: dict = {}
+
+    def family_of(sample_name: str, kinds: dict) -> str:
+        if sample_name in kinds:
+            return sample_name
+        for suffix in ("_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if kinds.get(base) == "summary":
+                    return base
+        return sample_name
+
+    kinds: dict = {}
+    for lineno, line in enumerate(text.splitlines()):
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            marker, family, rest = line[2:].split(" ", 2)
+            entry = families.setdefault(
+                family, {"help": 0, "type": 0, "kind": None, "samples": [],
+                         "first_sample_line": None, "header_lines": []})
+            entry[marker.lower()] += 1
+            entry["header_lines"].append(lineno)
+            if marker == "TYPE":
+                entry["kind"] = rest
+                kinds[family] = rest
+        elif line.startswith("#") or not line.strip():
+            continue
+        else:
+            name_and_labels, _, value = line.rpartition(" ")
+            name, _, labels = name_and_labels.partition("{")
+            fam = family_of(name, kinds)
+            entry = families.setdefault(
+                fam, {"help": 0, "type": 0, "kind": None, "samples": [],
+                      "first_sample_line": None, "header_lines": []})
+            entry["samples"].append((name, labels.rstrip("}"), float(value)))
+            if entry["first_sample_line"] is None:
+                entry["first_sample_line"] = lineno
+    return families
+
+
+class TestHeaderDedupe:
+    def test_every_family_has_exactly_one_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("net.sent").inc(3)
+        registry.gauge("queue.depth").set(2.5)
+        registry.histogram("rtt").observe(1.0)
+        registry.timeseries("compromised").record(0.0, 1.0)
+        families = _parse_exposition(prometheus_text(registry))
+        assert families
+        for name, entry in families.items():
+            assert entry["help"] == 1, name
+            assert entry["type"] == 1, name
+            assert entry["samples"], name
+            assert max(entry["header_lines"]) < entry["first_sample_line"]
+
+    def test_colliding_sanitized_names_share_one_header(self):
+        # "api.latency" and "api_latency" sanitize to the same family:
+        # the first declares it, the second only contributes samples.
+        registry = MetricsRegistry()
+        registry.counter("api.latency").inc(1)
+        registry.counter("api_latency").inc(2)
+        text = prometheus_text(registry)
+        assert text.count("# TYPE api_latency counter") == 1
+        assert text.count("# HELP api_latency") == 1
+        families = _parse_exposition(text)
+        assert len(families["api_latency"]["samples"]) == 2
+
+    def test_nan_quantiles_still_live_under_a_headered_family(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle.latency")          # no observations
+        text = prometheus_text(registry)
+        families = _parse_exposition(text)
+        entry = families["idle_latency"]
+        assert (entry["help"], entry["type"], entry["kind"]) == (
+            1, 1, "summary")
+        quantiles = [s for s in entry["samples"] if "quantile" in s[1]]
+        assert len(quantiles) == 3
+        for _name, _labels, value in quantiles:
+            assert value != value                   # NaN parses as NaN
+        assert max(entry["header_lines"]) < entry["first_sample_line"]
+
+    def test_help_carries_the_source_registry_name(self):
+        registry = MetricsRegistry()
+        registry.counter("net.sent").inc()
+        assert "# HELP net_sent net.sent" in prometheus_text(registry)
+
+
 class TestMetricsJsonl:
     def test_one_line_per_metric_with_snapshot(self, tmp_path):
         registry = MetricsRegistry()
@@ -138,6 +234,68 @@ class TestBundle:
         write_bundle(sim, directory)
         loaded = Tracer.load_jsonl(os.path.join(directory, "spans.jsonl"))
         assert len(loaded.spans) == len(sim.telemetry.spans)
+
+    def test_bundle_leaves_no_tmp_files(self, tmp_path):
+        sim = self._busy_sim()
+        directory = str(tmp_path / "bundle")
+        write_bundle(sim, directory)
+        leftovers = [name for name in os.listdir(directory)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_crashed_dump_preserves_previous_bundle(self, tmp_path):
+        # First dump succeeds; a second dump that dies mid-generation
+        # must leave every first-dump artifact intact and untorn.
+        sim = self._busy_sim()
+        directory = str(tmp_path / "bundle")
+        write_bundle(sim, directory)
+        before = {}
+        for name in os.listdir(directory):
+            with open(os.path.join(directory, name), encoding="utf-8") as fh:
+                before[name] = fh.read()
+
+        class Exploding:
+            def snapshot(self):
+                raise RuntimeError("disk fell off")
+
+        sim.metrics.counter("work.done").inc(999)       # would change output
+        sim.metrics._metrics["boom"] = Exploding()
+        try:
+            with pytest.raises(RuntimeError):
+                write_bundle(sim, directory)
+        finally:
+            del sim.metrics._metrics["boom"]
+        # metrics.jsonl generation raised -> old file byte-identical,
+        # and no torn temp file left behind.
+        with open(os.path.join(directory, "metrics.jsonl"),
+                  encoding="utf-8") as fh:
+            assert fh.read() == before["metrics.jsonl"]
+        assert not os.path.exists(
+            os.path.join(directory, "metrics.jsonl.tmp"))
+        # Files the crashed dump never reached are the previous ones.
+        for name in ("spans.jsonl", "events.jsonl", "manifest.json"):
+            with open(os.path.join(directory, name),
+                      encoding="utf-8") as fh:
+                assert fh.read() == before[name], name
+
+    def test_metrics_jsonl_failure_keeps_old_file(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("ok").inc()
+        path = str(tmp_path / "metrics.jsonl")
+        metrics_jsonl(registry, path)
+        with open(path, encoding="utf-8") as fh:
+            original = fh.read()
+
+        class Exploding:
+            def snapshot(self):
+                raise RuntimeError("torn write")
+
+        registry._metrics["boom"] = Exploding()
+        with pytest.raises(RuntimeError):
+            metrics_jsonl(registry, path)
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read() == original
+        assert not os.path.exists(path + ".tmp")
 
     def test_scenario_export_telemetry(self, tmp_path):
         from repro.scenarios.confrontation import (
