@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="health-monitor sampling period, seconds")
     parser.add_argument("--access-log", default=None, metavar="PATH",
                         help="stream JSONL access records to PATH")
+    parser.add_argument("--access-log-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="rotate the access-log stream at N bytes")
+    parser.add_argument("--warehouse", default=None, metavar="DIR",
+                        help="serve an E24 telemetry warehouse via /query")
     parser.add_argument("--no-observability", action="store_true",
                         help="disable spans, RED metrics, and access log")
     parser.add_argument("--smoke", action="store_true",
@@ -75,6 +80,8 @@ def plane_from_args(args) -> ControlPlane:
         monitor_interval=args.monitor_interval,
         observability=not args.no_observability,
         access_log_path=args.access_log,
+        access_log_max_bytes=args.access_log_max_bytes,
+        warehouse_dir=args.warehouse,
     )
     return ControlPlane(config=config)
 
@@ -117,6 +124,12 @@ def run_smoke(plane: ControlPlane) -> int:
         check("batch", "POST", "/batch",
               {"rows": [{"heat": 20.0}, {"heat": 130.0}]})
         check("audit", "GET", "/audit")
+        if plane.warehouse is not None:
+            check("query", "POST", "/query", {"op": "stats"})
+        else:
+            # No warehouse configured: the endpoint must refuse loudly
+            # with the stable reason slug, not 404 or crash.
+            check("query", "POST", "/query", {"op": "stats"}, expect=503)
         trace_id = evaluated.get("trace_id")
         if trace_id:
             check("explain", "GET", f"/explain?trace_id={trace_id}")

@@ -45,14 +45,14 @@ from repro.telemetry.health import AlertEngine, AlertRule, HealthMonitor
 #: Endpoints the router knows.  ``/jobs`` additionally accepts an id
 #: path segment (``/jobs/job-3``).
 ENDPOINTS = ("evaluate", "batch", "audit", "explain", "health", "metrics",
-             "jobs")
+             "jobs", "query")
 
 #: Stable error-reason slugs -> HTTP status.
 _REASON_STATUS = {
     "unauthorized": 401, "rate-limited": 429, "not-found": 404,
     "bad-request": 400, "method-not-allowed": 405, "queue-full": 503,
     "unknown-kind": 400, "no-numpy": 503, "too-many-rows": 413,
-    "internal": 500,
+    "no-warehouse": 503, "internal": 500,
 }
 
 
@@ -91,12 +91,18 @@ class ControlPlaneConfig:
     observability: bool = True               # spans + RED + access log
     access_log_capacity: int = 10_000
     access_log_path: Optional[str] = None
+    access_log_max_bytes: Optional[int] = None   # rotate stream at this size
+    access_log_rotations: int = 3
     error_rate_threshold: float = 0.5        # api-error-rate alert
     p99_threshold_s: float = 0.5             # api-p99-latency alert
     batch_row_limit: int = 100_000
     batch_return_rows_max: int = 256
     audit_tail_limit: int = 500
     extra_alert_rules: list = field(default_factory=list)
+    #: Directory of an E24 telemetry warehouse to serve via ``/query``
+    #: (``None`` = endpoint answers 503 ``no-warehouse``).
+    warehouse_dir: Optional[str] = None
+    query_result_limit: int = 500
 
 
 class ControlPlane:
@@ -119,9 +125,16 @@ class ControlPlane:
             self.runtime, api_keys=cfg.api_keys, rate=cfg.rate,
             burst=cfg.burst)
         self.access = AccessLog(capacity=cfg.access_log_capacity,
-                                path=cfg.access_log_path)
+                                path=cfg.access_log_path,
+                                max_bytes=cfg.access_log_max_bytes,
+                                rotations=cfg.access_log_rotations)
         self.jobs = JobQueue(self.runtime, capacity=cfg.queue_capacity,
                              workers=cfg.workers)
+        self.warehouse = None
+        if cfg.warehouse_dir is not None:
+            from repro.telemetry.warehouse import Warehouse
+
+            self.warehouse = Warehouse(cfg.warehouse_dir)
         self.monitor = HealthMonitor(self.runtime,
                                      interval=cfg.monitor_interval)
         self.alerts = AlertEngine(self.runtime, self.monitor,
@@ -150,6 +163,7 @@ class ControlPlane:
             "health": self._handle_health,
             "metrics": self._handle_metrics,
             "jobs": self._handle_jobs,
+            "query": self._handle_query,
         }
 
     # -- self-monitoring --------------------------------------------------------
@@ -508,6 +522,82 @@ class ControlPlane:
                           "depth": self.jobs.depth,
                           "capacity": self.jobs.capacity}, None)
         return (405, {"error": "method-not-allowed"}, "method-not-allowed")
+
+    def _handle_query(self, method, _sub, _query, body):
+        """The E24 warehouse behind the control plane: cross-run selects,
+        percentile aggregation, per-arm group-by, and sentinel compares —
+        admission-metered, traced (a ``warehouse.query`` span nests under
+        the request root), and explainable like every other route."""
+        if method != "POST":
+            return (405, {"error": "method-not-allowed"},
+                    "method-not-allowed")
+        warehouse = self.warehouse
+        if warehouse is None:
+            return (503, {"error": "no-warehouse",
+                          "detail": "no warehouse_dir configured"},
+                    "no-warehouse")
+        try:
+            data = self._json_body(body)
+            op = str(data.get("op", "select"))
+            where = data.get("where")
+            if where is not None and not isinstance(where, dict):
+                raise ValueError("where must be a JSON object")
+        except (ValueError, TypeError) as exc:
+            return (400, {"error": "bad-request", "detail": str(exc)},
+                    "bad-request")
+        tracer = self.runtime.telemetry
+        if tracer.current is not None:
+            tracer.start_span("warehouse.query", op, parent=tracer.current,
+                              metric=data.get("metric"))
+        try:
+            if op == "stats":
+                return (200, {"op": op, "stats": warehouse.stats()}, None)
+            if op == "metrics":
+                return (200, {"op": op,
+                              "metrics": warehouse.metrics_known(where)},
+                        None)
+            if op == "compare":
+                from repro.telemetry.warehouse import compare_runs
+
+                baseline = warehouse.runs(dict(data.get("baseline") or {}))
+                candidate = warehouse.runs(dict(data.get("candidate") or {}))
+                report = compare_runs(baseline, candidate)
+                return (200, {"op": op, "report": report.to_dict()}, None)
+            metric = data.get("metric")
+            if not metric:
+                raise ValueError(f"op {op!r} requires a metric")
+            if op == "select":
+                rows = warehouse.select(metric, where)
+                limit = self.config.query_result_limit
+                return (200, {
+                    "op": op, "metric": metric, "matched": len(rows),
+                    "values": [{"run": record.key.label(),
+                                "experiment": record.key.experiment,
+                                "arm": record.key.arm,
+                                "seed": record.key.seed,
+                                "value": value}
+                               for record, value in rows[:limit]],
+                }, None)
+            if op == "percentile":
+                q = data.get("q", [0.5, 0.95, 0.99])
+                result = warehouse.percentile(
+                    metric, q if isinstance(q, list) else float(q), where)
+                matched = len(warehouse.select(metric, where))
+                return (200, {"op": op, "metric": metric,
+                              "matched": matched,
+                              "percentiles": result}, None)
+            if op == "group":
+                by = str(data.get("by", "arm"))
+                quantiles = tuple(float(value)
+                                  for value in data.get("quantiles", [0.5]))
+                groups = warehouse.group(metric, by=by, where=where,
+                                         quantiles=quantiles)
+                return (200, {"op": op, "metric": metric, "by": by,
+                              "groups": groups}, None)
+            raise ValueError(f"unknown op {op!r}")
+        except (ValueError, TypeError) as exc:
+            return (400, {"error": "bad-request", "detail": str(exc)},
+                    "bad-request")
 
     # -- lifecycle & export -----------------------------------------------------
 

@@ -912,7 +912,11 @@ class ConfrontationScenario:
             "flight_dumps": self.flight.dumps if self.flight else 0,
             "health": self.monitor is not None,
             "reputation": self.reputation_ledger is not None,
-        }, alerts=self.alerts)
+        }, alerts=self.alerts,
+            # Self-describing identity (E24): warehouse ingest reads the
+            # run's coordinates straight from the manifest.
+            experiment="confrontation", arm=self.config.label(),
+            seed=self.seed)
 
     def _rogue_lifetimes(self, horizon: float) -> list[float]:
         """Per compromised device: time spent rogue (uncontained counts

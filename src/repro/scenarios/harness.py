@@ -136,6 +136,10 @@ def run_matrix(
     seeds: Sequence[int],
     export_path: Optional[str] = None,
     workers: Optional[int] = None,
+    warehouse=None,
+    experiment: Optional[str] = None,
+    git_rev: str = "unknown",
+    tag: str = "",
 ) -> dict:
     """Run a full (arm x seed) grid and aggregate per arm.
 
@@ -144,6 +148,12 @@ def run_matrix(
     each aggregated dict maps numeric keys to ``(mean, std)`` (the
     :func:`run_replications` format).  With ``export_path`` set, the raw
     per-run results are also written as JSON for offline analysis.
+
+    With a ``warehouse`` (:class:`~repro.telemetry.warehouse.Warehouse`)
+    every cell auto-ingests as one run record keyed ``(experiment, arm
+    label, seed, git_rev)`` — campaign sweeps land in the longitudinal
+    store as they run, so the regression sentinel can compare arms
+    across seeds and revisions without a separate collection step.
 
     Cells fan out through :func:`repro.scenarios.sweep.run_sweep`
     (parallel when ``workers`` or ``REPRO_SWEEP_WORKERS`` says so, serial
@@ -168,6 +178,17 @@ def run_matrix(
                 if all(isinstance(value, (int, float))
                        and not isinstance(value, bool) for value in values):
                     aggregated[label][key] = mean_and_std(values)
+    if warehouse is not None:
+        from repro.telemetry.warehouse import ingest_run_dict
+
+        for index, (label, _config) in enumerate(arms):
+            for offset, seed in enumerate(seeds):
+                result = flat[index * per_arm + offset]
+                if result:
+                    ingest_run_dict(warehouse, result,
+                                    experiment=experiment or "matrix",
+                                    arm=label, seed=seed, git_rev=git_rev,
+                                    tag=tag)
     if export_path is not None:
         with open(export_path, "w", encoding="utf-8") as handle:
             json.dump({"seeds": list(seeds), "results": raw}, handle,
@@ -176,18 +197,24 @@ def run_matrix(
 
 
 def write_telemetry_bundle(sim, dirpath: str,
-                           extra: Optional[dict] = None) -> dict:
+                           extra: Optional[dict] = None,
+                           experiment: Optional[str] = None,
+                           arm: Optional[str] = None,
+                           seed=None) -> dict:
     """Write the per-run telemetry bundle for any simulation.
 
     Thin harness-level wrapper over
     :func:`repro.telemetry.exposition.write_bundle` so every benchmark
     can emit the same artifact layout (``metrics.prom``,
     ``metrics.jsonl``, ``spans.jsonl``, ``events.jsonl``,
-    ``manifest.json``) regardless of which scenario it ran.
+    ``manifest.json``) regardless of which scenario it ran; pass
+    ``experiment``/``arm``/``seed`` so the manifest self-describes for
+    warehouse ingest.
     """
     from repro.telemetry.exposition import write_bundle
 
-    return write_bundle(sim, dirpath, extra_manifest=extra)
+    return write_bundle(sim, dirpath, extra_manifest=extra,
+                        experiment=experiment, arm=arm, seed=seed)
 
 
 def run_replications(run_fn: Callable[[int], dict], seeds: Sequence[int]) -> dict:

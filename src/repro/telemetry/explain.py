@@ -89,6 +89,33 @@ class Explanation:
         """The flat plain-dict view (benchmarks export this as JSON)."""
         return [span.to_dict() for span in self.spans]
 
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The full JSON-serializable view — what the warehouse stores
+        and diffs across runs.  Everything derivable is included so a
+        reader never needs live spans: the span chain itself plus the
+        stage/subject summaries an incident diff keys on."""
+        return {
+            "trace_id": self.trace_id,
+            "spans": self.chain(),
+            "kinds": self.kinds(),
+            "subjects": self.subjects(),
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "Explanation":
+        """Rebuild an :class:`Explanation` from :meth:`to_dict` output.
+
+        Round-trips exactly: the causal tree (roots, children, paths) is
+        reconstructed from the serialized span contexts, so a warehouse-
+        stored incident renders the same tree the live tracer produced.
+        """
+        return Explanation(
+            str(raw["trace_id"]),
+            [Span.from_dict(span) for span in raw.get("spans", [])],
+        )
+
     # -- rendering --------------------------------------------------------------
 
     def render(self, max_detail: int = 3) -> str:

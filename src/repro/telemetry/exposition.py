@@ -10,18 +10,38 @@ The registry's in-memory snapshot becomes operator-consumable artifacts:
   tooling and diffing between runs;
 * :func:`write_bundle` — the per-run telemetry bundle
   (``metrics.prom``, ``metrics.jsonl``, ``spans.jsonl``,
-  ``events.jsonl``, ``manifest.json``) CI uploads as a build artifact.
+  ``events.jsonl``, ``manifest.json``) CI uploads as a build artifact;
+* :func:`parse_prometheus_text` — the inverse of
+  :func:`prometheus_text`, so the warehouse (E24) can ingest a
+  ``metrics.prom`` snapshot back into typed metric families without a
+  live registry.
+
+Bundles are **self-describing** since schema version 1
+(:data:`BUNDLE_SCHEMA`): the manifest carries the run's identity —
+``experiment``, ``arm``, ``seed``, ``horizon`` — so warehouse ingest
+needs nothing but the directory.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
 from typing import Optional
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 _LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+#: Manifest schema version stamped by :func:`write_bundle`.  Bump when a
+#: manifest key changes meaning; the warehouse refuses schemas it does
+#: not know.
+BUNDLE_SCHEMA = 1
 
 #: Quantiles exported for histogram metrics (mirrors the snapshot keys).
 HISTOGRAM_QUANTILES = (0.5, 0.95, 0.99)
@@ -113,6 +133,114 @@ def prometheus_text(registry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _unescape_label(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse the text exposition format back into metric families.
+
+    Returns ``{family: {"type", "help", "samples"}}`` where each sample
+    is ``{"name", "labels", "value"}`` (``value`` is a float, ``NaN``
+    preserved).  Summary ``_sum``/``_count`` samples and time-series
+    ``_last``/``_peak``/``_count`` gauges attach to the family that
+    declared them when a header exists, otherwise they found their own.
+    Unparseable lines are collected under ``"_errors"`` in the returned
+    mapping's ``None``-keyed slot rather than raising: a warehouse must
+    ingest a slightly mangled snapshot, not crash on it.
+    """
+    families: dict = {}
+    errors: list = []
+
+    def family_for(name: str) -> dict:
+        # A sample like api_latency_sum belongs to the api_latency
+        # summary family when that family was declared by a header.
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                return families[name[: -len(suffix)]]
+        return families.setdefault(
+            name, {"type": "untyped", "help": None, "samples": []})
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": "untyped", "help": None, "samples": []}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            families.setdefault(
+                name, {"type": "untyped", "help": None, "samples": []}
+            )["type"] = kind.strip() or "untyped"
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(raw_line)
+            continue
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(raw_line)
+            continue
+        labels = {}
+        if match.group("labels"):
+            for label in _LABEL.finditer(match.group("labels")):
+                labels[label.group("key")] = _unescape_label(
+                    label.group("value"))
+        family_for(name)["samples"].append(
+            {"name": name, "labels": labels, "value": value})
+    if errors:
+        families["_errors"] = errors
+    return families
+
+
+def flatten_families(families: dict) -> dict:
+    """Collapse parsed families into ``{flat_name: float}`` — the shape
+    warehouse queries address.
+
+    Counters and gauges keep their family name; labelled samples append
+    sorted ``key=value`` pairs (``api_latency{quantile="0.99"}`` becomes
+    ``api_latency.quantile=0.99``); ``_sum``/``_count`` keep their
+    sample names.  ``NaN`` samples are dropped — an empty histogram's
+    quantiles carry no information a cross-run aggregate could use.
+    """
+    flat: dict = {}
+    for family, info in families.items():
+        if family == "_errors":
+            continue
+        for sample in info["samples"]:
+            name = sample["name"]
+            if sample["labels"]:
+                tags = ",".join(f"{key}={value}" for key, value
+                                in sorted(sample["labels"].items()))
+                name = f"{name}.{tags}"
+            value = sample["value"]
+            if isinstance(value, float) and math.isnan(value):
+                continue
+            flat[name] = value
+    return flat
+
+
 def metrics_jsonl(registry, path: str) -> int:
     """Write one JSON object per metric (``{"name", ...snapshot}``);
     returns the number of metrics written.  The write is atomic: the
@@ -128,7 +256,11 @@ def metrics_jsonl(registry, path: str) -> int:
 
 def write_bundle(sim, dirpath: str,
                  extra_manifest: Optional[dict] = None,
-                 alerts=None, leases=None) -> dict:
+                 alerts=None, leases=None,
+                 experiment: Optional[str] = None,
+                 arm: Optional[str] = None,
+                 seed=None,
+                 horizon: Optional[float] = None) -> dict:
     """Write the full per-run telemetry bundle under ``dirpath``.
 
     Files: ``metrics.prom`` (Prometheus snapshot), ``metrics.jsonl``,
@@ -140,6 +272,12 @@ def write_bundle(sim, dirpath: str,
     (:class:`~repro.safeguards.lease.LeaseAuthority`) or a plain list of
     lease lifecycle events, they land in ``leases.jsonl`` (E22).
     Returns the manifest dict.
+
+    The manifest is self-describing for warehouse ingest (E24): it
+    always stamps ``bundle_schema`` (:data:`BUNDLE_SCHEMA`) plus the
+    run's identity — ``experiment``, ``arm``, ``seed``, and the tick
+    ``horizon`` (defaulting to the sim clock at dump time) — ``None``
+    where the caller knows no better.
 
     Every file lands atomically (tmp + ``os.replace``): a crash mid-dump
     leaves each artifact either absent, or complete from this dump, or
@@ -188,6 +326,11 @@ def write_bundle(sim, dirpath: str,
         lease_count = len(lease_events)
 
     manifest = {
+        "bundle_schema": BUNDLE_SCHEMA,
+        "experiment": experiment,
+        "arm": arm,
+        "seed": seed,
+        "horizon": sim.now if horizon is None else horizon,
         "sim_time": sim.now,
         "events_processed": sim.events_processed,
         "metrics": metric_count,

@@ -1,0 +1,180 @@
+"""``python -m repro.telemetry.warehouse`` — the warehouse at the shell.
+
+The CI regression gate is four invocations of this tool::
+
+    python -m repro.telemetry.warehouse ingest --warehouse wh \\
+        --git-rev "$BASE_SHA" --tag baseline benchmarks/results
+    python -m repro.telemetry.warehouse ingest --warehouse wh \\
+        --git-rev "$GITHUB_SHA" --tag candidate benchmarks/results
+    python -m repro.telemetry.warehouse compare --warehouse wh \\
+        --baseline tag=baseline --candidate tag=candidate --gate
+    python -m repro.telemetry.warehouse trajectory --warehouse wh \\
+        --out benchmarks/results/TRAJECTORY.json --git-rev "$GITHUB_SHA"
+
+``compare --gate`` exits 1 when any gated family regresses — that exit
+code *is* the CI failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.telemetry.warehouse.ingest import (ingest_bench, ingest_bundle,
+                                              ingest_results_dir)
+from repro.telemetry.warehouse.sentinel import (compare_runs,
+                                                update_trajectory)
+from repro.telemetry.warehouse.store import Warehouse
+
+
+def _parse_where(pairs) -> dict:
+    where: dict = {}
+    for pair in pairs or []:
+        for clause in pair.split(","):
+            key, sep, value = clause.partition("=")
+            if not sep:
+                raise SystemExit(f"--where wants key=value, got {clause!r}")
+            if key == "seed":
+                where[key] = int(value)
+            else:
+                where[key] = value
+    return where
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.warehouse",
+        description="Telemetry warehouse + cross-run regression sentinel "
+                    "(E24)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser("ingest", help="ingest bundles / BENCH docs")
+    ingest.add_argument("paths", nargs="+",
+                        help="bundle dir, BENCH_*.json, or a results dir")
+    ingest.add_argument("--warehouse", required=True)
+    ingest.add_argument("--git-rev", default="unknown")
+    ingest.add_argument("--tag", default="")
+
+    query = sub.add_parser("query", help="select / aggregate a metric")
+    query.add_argument("--warehouse", required=True)
+    query.add_argument("--metric", required=True)
+    query.add_argument("--where", action="append", default=[],
+                       metavar="KEY=VALUE")
+    query.add_argument("--percentiles", default=None,
+                       help="comma-separated quantiles, e.g. 0.5,0.95")
+    query.add_argument("--by", default=None,
+                       help="group by a key field (arm, experiment, ...)")
+
+    compare = sub.add_parser("compare", help="baseline vs candidate gate")
+    compare.add_argument("--warehouse", required=True)
+    compare.add_argument("--baseline", action="append", required=True,
+                         metavar="KEY=VALUE")
+    compare.add_argument("--candidate", action="append", required=True,
+                         metavar="KEY=VALUE")
+    compare.add_argument("--gate", action="store_true",
+                         help="exit 1 on any gated regression")
+    compare.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the full report as JSON")
+
+    trajectory = sub.add_parser("trajectory",
+                                help="update the longitudinal record")
+    trajectory.add_argument("--warehouse", required=True)
+    trajectory.add_argument("--out", required=True)
+    trajectory.add_argument("--git-rev", default="unknown")
+
+    stats = sub.add_parser("stats", help="store accounting")
+    stats.add_argument("--warehouse", required=True)
+    return parser
+
+
+def cmd_ingest(args) -> int:
+    warehouse = Warehouse(args.warehouse)
+    totals = {"bench": 0, "bundles": 0, "skipped": []}
+    for path in args.paths:
+        if os.path.isdir(path):
+            if os.path.exists(os.path.join(path, "manifest.json")):
+                ingest_bundle(warehouse, path, git_rev=args.git_rev,
+                              tag=args.tag)
+                totals["bundles"] += 1
+            else:
+                swept = ingest_results_dir(warehouse, path,
+                                           git_rev=args.git_rev,
+                                           tag=args.tag)
+                totals["bench"] += swept["bench"]
+                totals["bundles"] += swept["bundles"]
+                totals["skipped"].extend(swept["skipped"])
+        else:
+            ingest_bench(warehouse, path, git_rev=args.git_rev, tag=args.tag)
+            totals["bench"] += 1
+    totals["records"] = len(warehouse)
+    print(json.dumps(totals, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_query(args) -> int:
+    warehouse = Warehouse(args.warehouse)
+    where = _parse_where(args.where) or None
+    out: dict = {"metric": args.metric,
+                 "matched": len(warehouse.select(args.metric, where))}
+    if args.by:
+        quantiles = tuple(
+            float(q) for q in (args.percentiles or "0.5").split(","))
+        out["groups"] = warehouse.group(args.metric, by=args.by,
+                                        where=where, quantiles=quantiles)
+    elif args.percentiles:
+        quantiles = [float(q) for q in args.percentiles.split(",")]
+        out["percentiles"] = warehouse.percentile(args.metric, quantiles,
+                                                  where)
+    else:
+        out["values"] = [
+            {"run": record.key.label(), "value": value}
+            for record, value in warehouse.select(args.metric, where)]
+    print(json.dumps(out, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    warehouse = Warehouse(args.warehouse)
+    baseline = warehouse.runs(_parse_where(args.baseline))
+    candidate = warehouse.runs(_parse_where(args.candidate))
+    if not baseline or not candidate:
+        print(f"compare: {len(baseline)} baseline / {len(candidate)} "
+              f"candidate run(s) matched -- nothing to judge",
+              file=sys.stderr)
+        return 2 if args.gate else 0
+    report = compare_runs(baseline, candidate)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True,
+                      default=str)
+            handle.write("\n")
+    if args.gate and not report.ok:
+        return 1
+    return 0
+
+
+def cmd_trajectory(args) -> int:
+    warehouse = Warehouse(args.warehouse)
+    document = update_trajectory(warehouse, args.out, git_rev=args.git_rev)
+    print(f"trajectory: {len(document['points'])} point(s) -> {args.out}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    print(json.dumps(Warehouse(args.warehouse).stats(), indent=2,
+                     sort_keys=True, default=str))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"ingest": cmd_ingest, "query": cmd_query,
+            "compare": cmd_compare, "trajectory": cmd_trajectory,
+            "stats": cmd_stats}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Query primitives over run records: filter, select, percentile, group.
+
+Pure functions over lists of :class:`~repro.telemetry.warehouse.records.
+RunRecord` — the :class:`~repro.telemetry.warehouse.store.Warehouse`
+methods and the ``/query`` endpoint are thin wrappers, so the same
+semantics answer an in-process call, an HTTP request, and a CI gate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Fields a ``where`` dict may filter on.  Key fields resolve through
+#: the record's :class:`RunKey`; the rest are record attributes.
+WHERE_FIELDS = ("experiment", "arm", "seed", "git_rev", "kind", "tag")
+
+
+def _field(record, name: str):
+    if name in ("experiment", "arm", "seed", "git_rev"):
+        return getattr(record.key, name)
+    return getattr(record, name)
+
+
+def match_where(record, where) -> bool:
+    """Does ``record`` satisfy ``where``?
+
+    ``where`` is a dict mapping :data:`WHERE_FIELDS` to an exact value,
+    a list/tuple/set of acceptable values, or a one-argument predicate;
+    or a bare callable over the whole record.  Unknown fields raise —
+    a typo in a CI gate must fail loudly, not silently match everything.
+    """
+    if callable(where):
+        return bool(where(record))
+    for name, expected in where.items():
+        if name not in WHERE_FIELDS:
+            raise ValueError(
+                f"unknown where-field {name!r} (expected one of "
+                f"{WHERE_FIELDS})")
+        actual = _field(record, name)
+        if callable(expected):
+            if not expected(actual):
+                return False
+        elif isinstance(expected, (list, tuple, set, frozenset)):
+            if actual not in expected:
+                return False
+        elif actual != expected:
+            return False
+    return True
+
+
+def select_metric(records, metric: str) -> list:
+    """``[(record, value)]`` over the records that carry ``metric``."""
+    out = []
+    for record in records:
+        value = record.metrics.get(metric)
+        if value is not None:
+            out.append((record, float(value)))
+    return out
+
+
+def percentile(sorted_values: list, q: float) -> Optional[float]:
+    """Nearest-rank-with-interpolation percentile over sorted values
+    (``None`` when empty) — the same convention the benches report."""
+    if not sorted_values:
+        return None
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    q = min(1.0, max(0.0, float(q)))
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return (sorted_values[low] * (1.0 - fraction)
+            + sorted_values[high] * fraction)
+
+
+def median(values) -> Optional[float]:
+    return percentile(sorted(values), 0.5)
+
+
+def group_metric(records, metric: str, by: str = "arm",
+                 quantiles=(0.5,)) -> dict:
+    """Per-group summary of one metric: count/mean/min/max plus the
+    requested quantiles (keys ``p50``-style)."""
+    if by not in WHERE_FIELDS:
+        raise ValueError(f"cannot group by {by!r} (expected one of "
+                         f"{WHERE_FIELDS})")
+    buckets: dict = {}
+    for record, value in select_metric(records, metric):
+        buckets.setdefault(_field(record, by), []).append(value)
+    out: dict = {}
+    for group_key in sorted(buckets, key=str):
+        values = sorted(buckets[group_key])
+        summary = {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "min": values[0],
+            "max": values[-1],
+        }
+        for q in quantiles:
+            summary[f"p{int(round(q * 100))}"] = percentile(values, q)
+        out[group_key] = summary
+    return out

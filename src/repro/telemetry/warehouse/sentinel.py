@@ -1,0 +1,310 @@
+"""The cross-run regression sentinel: typed deltas with noise-aware gates.
+
+:func:`compare_runs` takes a baseline run set and a candidate run set
+(each possibly several trials), reduces every shared metric to its
+**median over trials** (the E23 best-of-N convention: one robust number
+per side, so a single slow trial cannot manufacture a regression), and
+judges the delta against a per-family tolerance band:
+
+* **defense** counters (``skynet``, ``healthy_killed``, ``rogue_harm``…)
+  — zero tolerance: any increase is a regression.  Across *different*
+  protocols (a quick CI run vs a committed full run) only categorical
+  breaches gate — a metric that was 0 and became nonzero — because a
+  magnitude change may just be the seed-count difference;
+* **overhead percentages** — absolute band (percentage points);
+* **throughput** (higher is better) and **latency/wall-clock** (lower
+  is better) — relative bands, gated only when both sides ran the same
+  protocol (quick-mode flags match): wall-clock numbers from different
+  workloads are reported, never gated.
+
+The verdicts are typed (:class:`MetricDelta`), the report renders for
+humans and serializes for CI (:class:`DeltaReport`), and
+:func:`update_trajectory` folds the warehouse's current medians into
+``TRAJECTORY.json`` — the longitudinal perf/defense record the ROADMAP
+campaigns score against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.warehouse.query import median
+
+#: Trajectory document schema.
+TRAJECTORY_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class FamilyRule:
+    """How one metric family is judged."""
+
+    family: str
+    higher_better: bool
+    needles: tuple                      # substring matches, first rule wins
+    rel_tol: Optional[float] = None     # fraction of the baseline
+    abs_tol: Optional[float] = None     # absolute units
+    gated: bool = False                 # breaches fail the gate
+    wallclock: bool = False             # only gate when protocols match
+
+
+#: Ordered family rules — first needle match wins; unmatched metrics
+#: fall into the ungated ``other`` family.
+FAMILY_RULES = (
+    FamilyRule("defense", higher_better=False, abs_tol=0.0, gated=True,
+               needles=("skynet", "healthy_killed", "rogue_harm",
+                        "compromised", "forged_accepted", "harm_events",
+                        "false_quarantine")),
+    FamilyRule("overhead", higher_better=False, abs_tol=1.5, gated=True,
+               wallclock=True, needles=("overhead_pct", "overhead_percent")),
+    FamilyRule("throughput", higher_better=True, rel_tol=0.10, gated=True,
+               wallclock=True,
+               needles=("throughput", "_rps", "per_sec", "per_second",
+                        "speedup", "ingest_rate", "query_rate")),
+    FamilyRule("latency", higher_better=False, rel_tol=0.25, gated=True,
+               wallclock=True,
+               needles=("latency", "_ms", "_us", "wall_sec", "seconds",
+                        "duration", ".p50", ".p95", ".p99")),
+)
+
+OTHER = FamilyRule("other", higher_better=False, needles=())
+
+
+def classify_metric(name: str) -> FamilyRule:
+    """The family rule governing ``name`` (``other`` when none match)."""
+    lowered = name.lower()
+    for rule in FAMILY_RULES:
+        if any(needle in lowered for needle in rule.needles):
+            return rule
+    return OTHER
+
+
+@dataclass
+class MetricDelta:
+    """One judged metric: both medians, the delta, and the verdict."""
+
+    metric: str
+    family: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    delta: Optional[float]
+    relative_pct: Optional[float]
+    verdict: str                 # ok|improvement|regression|informational|missing
+    gated: bool
+    n_baseline: int = 0
+    n_candidate: int = 0
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class DeltaReport:
+    """The typed output of :func:`compare_runs`."""
+
+    deltas: list = field(default_factory=list)
+    comparable: bool = True
+    baseline_runs: int = 0
+    candidate_runs: int = 0
+
+    @property
+    def regressions(self) -> list:
+        return [delta for delta in self.deltas
+                if delta.verdict == "regression"]
+
+    @property
+    def improvements(self) -> list:
+        return [delta for delta in self.deltas
+                if delta.verdict == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "comparable": self.comparable,
+            "baseline_runs": self.baseline_runs,
+            "candidate_runs": self.candidate_runs,
+            "ok": self.ok,
+            "regressions": [delta.to_dict() for delta in self.regressions],
+            "improvements": [delta.to_dict() for delta in self.improvements],
+            "deltas": [delta.to_dict() for delta in self.deltas],
+        }
+
+    def render(self, max_rows: int = 40) -> str:
+        """Human-readable verdict table, regressions first."""
+        ordered = sorted(
+            self.deltas,
+            key=lambda delta: ({"regression": 0, "improvement": 1,
+                                "informational": 2, "ok": 3,
+                                "missing": 4}.get(delta.verdict, 5),
+                               delta.family, delta.metric))
+        lines = [f"compare_runs: {self.baseline_runs} baseline vs "
+                 f"{self.candidate_runs} candidate run(s), "
+                 f"{'comparable' if self.comparable else 'cross-protocol'}"
+                 f" -> {'OK' if self.ok else 'REGRESSIONS'}"]
+        for delta in ordered[:max_rows]:
+            rel = (f" ({delta.relative_pct:+.1f}%)"
+                   if delta.relative_pct is not None else "")
+            lines.append(
+                f"  [{delta.verdict:>13}] {delta.family:<10} {delta.metric}: "
+                f"{delta.baseline} -> {delta.candidate}{rel}")
+        if len(ordered) > max_rows:
+            lines.append(f"  ... {len(ordered) - max_rows} more")
+        return "\n".join(lines)
+
+
+def _median_metrics(records) -> dict:
+    """Median-of-trials per metric over one side's records."""
+    pools: dict = {}
+    for record in records:
+        for name, value in record.metrics.items():
+            pools.setdefault(name, []).append(float(value))
+    return {name: median(values) for name, values in pools.items()}
+
+
+def _judge(rule: FamilyRule, base: float, cand: float,
+           comparable: bool) -> tuple:
+    """``(verdict, note)`` for one metric under its family rule."""
+    delta = cand - base
+    worse = delta < 0 if rule.higher_better else delta > 0
+    tolerance = 0.0
+    if rule.abs_tol is not None:
+        tolerance = max(tolerance, rule.abs_tol)
+    if rule.rel_tol is not None:
+        tolerance = max(tolerance, rule.rel_tol * abs(base))
+    breach = abs(delta) > tolerance
+    if not breach:
+        return ("ok", "")
+    if not worse:
+        return ("improvement", "")
+    if rule.family == "other" or not rule.gated:
+        return ("informational", "ungated family")
+    if rule.wallclock and not comparable:
+        return ("informational",
+                "wall-clock family across different protocols")
+    if rule.family == "defense" and not comparable and base > 0.0:
+        # A nonzero defense counter moving under a different protocol
+        # may be the seed-count difference; 0 -> nonzero never is.
+        return ("informational",
+                "magnitude change across protocols (baseline nonzero)")
+    return ("regression", "")
+
+
+def compare_runs(baseline, candidate, comparable: Optional[bool] = None,
+                 ) -> DeltaReport:
+    """Judge a candidate run set against a baseline run set.
+
+    ``baseline`` / ``candidate`` are lists of
+    :class:`~repro.telemetry.warehouse.records.RunRecord` (trials of
+    the same protocol on each side).  ``comparable`` overrides the
+    automatic protocol check (quick-mode flags equal on both sides).
+    """
+    baseline = list(baseline)
+    candidate = list(candidate)
+    if comparable is None:
+        comparable = ({record.quick() for record in baseline}
+                      == {record.quick() for record in candidate})
+    base_medians = _median_metrics(baseline)
+    cand_medians = _median_metrics(candidate)
+    base_counts = {name: sum(1 for record in baseline
+                             if name in record.metrics)
+                   for name in base_medians}
+    cand_counts = {name: sum(1 for record in candidate
+                             if name in record.metrics)
+                   for name in cand_medians}
+
+    report = DeltaReport(comparable=comparable,
+                         baseline_runs=len(baseline),
+                         candidate_runs=len(candidate))
+    for metric in sorted(set(base_medians) | set(cand_medians)):
+        rule = classify_metric(metric)
+        base = base_medians.get(metric)
+        cand = cand_medians.get(metric)
+        if base is None or cand is None:
+            report.deltas.append(MetricDelta(
+                metric=metric, family=rule.family, baseline=base,
+                candidate=cand, delta=None, relative_pct=None,
+                verdict="missing", gated=False,
+                n_baseline=base_counts.get(metric, 0),
+                n_candidate=cand_counts.get(metric, 0),
+                note="present on one side only"))
+            continue
+        verdict, note = _judge(rule, base, cand, comparable)
+        delta = cand - base
+        relative = (delta / abs(base) * 100.0) if base != 0.0 else None
+        report.deltas.append(MetricDelta(
+            metric=metric, family=rule.family, baseline=base,
+            candidate=cand, delta=delta, relative_pct=relative,
+            verdict=verdict, gated=rule.gated,
+            n_baseline=base_counts.get(metric, 0),
+            n_candidate=cand_counts.get(metric, 0), note=note))
+    return report
+
+
+# -- the longitudinal record ---------------------------------------------------
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+
+
+def load_trajectory(path: str) -> dict:
+    """The trajectory document (a fresh empty one when absent/damaged)."""
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            if isinstance(document, dict) and "points" in document:
+                return document
+        except ValueError:
+            pass
+    return {"schema": TRAJECTORY_SCHEMA, "points": []}
+
+
+def update_trajectory(warehouse, path: str,
+                      git_rev: str = "unknown") -> dict:
+    """Fold the warehouse's per-experiment medians into the trajectory.
+
+    One point per git revision: ``{git_rev, runs, experiments:
+    {experiment: {metric: median}}}``, keeping only metrics a gated
+    family governs (the ones the sentinel would act on) so the document
+    stays a *trajectory*, not a dump.  An existing point for the same
+    revision is replaced — re-running a bench updates history in place
+    instead of duplicating it.  Returns the written document.
+    """
+    experiments: dict = {}
+    for record in warehouse.runs():
+        pools = experiments.setdefault(record.key.experiment, {})
+        for name, value in record.metrics.items():
+            if classify_metric(name).family == "other":
+                continue
+            pools.setdefault(name, []).append(float(value))
+    point = {
+        "git_rev": git_rev,
+        "runs": len(warehouse),
+        "experiments": {
+            experiment: {name: median(values)
+                         for name, values in sorted(pools.items())}
+            for experiment, pools in sorted(experiments.items())
+        },
+    }
+    document = load_trajectory(path)
+    document["points"] = [existing for existing in document["points"]
+                          if existing.get("git_rev") != git_rev]
+    document["points"].append(point)
+    _atomic_write_json(path, document)
+    return document

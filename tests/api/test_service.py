@@ -327,3 +327,200 @@ class TestBundleExport:
         assert lines[0]["endpoint"] == "evaluate"
         assert os.path.exists(os.path.join(directory, "alerts.jsonl"))
         plane.close()
+
+
+class TestQueryEndpoint:
+    """The E24 warehouse behind /query: metered, traced, explainable."""
+
+    def _seeded_warehouse_dir(self, tmp_path) -> str:
+        from repro.telemetry.warehouse import Warehouse, ingest_run_dict
+
+        directory = str(tmp_path / "wh")
+        warehouse = Warehouse(directory)
+        for arm, base in (("baseline", 100.0), ("full", 80.0)):
+            for seed in (1, 2, 3):
+                ingest_run_dict(
+                    warehouse, {"throughput_rps": base + seed,
+                                "healthy_killed": 0.0},
+                    experiment="e10", arm=arm, seed=seed)
+        return directory
+
+    def test_no_warehouse_is_503_with_stable_reason(self):
+        plane, _ = make_plane()
+        response = post(plane, "/query", {"op": "stats"})
+        assert (response.status, response.reason) == (503, "no-warehouse")
+        plane.close()
+
+    def test_get_is_method_not_allowed(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path))
+        assert get(plane, "/query").status == 405
+        plane.close()
+
+    def test_select_caps_rows_at_config_limit(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path),
+            query_result_limit=4)
+        response = post(plane, "/query",
+                        {"op": "select", "metric": "throughput_rps"})
+        assert response.status == 200
+        assert response.payload["matched"] == 6
+        assert len(response.payload["values"]) == 4
+        row = response.payload["values"][0]
+        assert set(row) == {"run", "experiment", "arm", "seed", "value"}
+        plane.close()
+
+    def test_percentile_aggregation_across_runs(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path))
+        response = post(plane, "/query", {
+            "op": "percentile", "metric": "throughput_rps",
+            "where": {"arm": "baseline"}, "q": [0.5]})
+        assert response.status == 200
+        assert response.payload["matched"] == 3
+        assert response.payload["percentiles"] == {0.5: 102.0}
+        plane.close()
+
+    def test_group_by_arm(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path))
+        response = post(plane, "/query", {
+            "op": "group", "metric": "throughput_rps", "by": "arm"})
+        groups = response.payload["groups"]
+        assert groups["full"]["count"] == 3
+        assert groups["baseline"]["p50"] == 102.0
+        plane.close()
+
+    def test_compare_identical_sets_is_ok(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path))
+        response = post(plane, "/query", {
+            "op": "compare",
+            "baseline": {"arm": "baseline"},
+            "candidate": {"arm": "baseline"}})
+        assert response.status == 200
+        assert response.payload["report"]["ok"] is True
+        plane.close()
+
+    def test_bad_requests_are_400(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path))
+        assert post(plane, "/query", {"op": "noop"}).status == 400
+        assert post(plane, "/query", {"op": "select"}).status == 400
+        assert post(plane, "/query", {
+            "op": "select", "metric": "m",
+            "where": {"tyop": 1}}).status == 400
+        assert post(plane, "/query", {
+            "op": "select", "metric": "m", "where": "arm=full"}).status == 400
+        plane.close()
+
+    def test_query_is_traced_and_explainable(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path))
+        response = post(plane, "/query", {
+            "op": "percentile", "metric": "throughput_rps"})
+        assert response.trace_id
+        explained = get(plane, "/explain", {"trace_id": response.trace_id})
+        assert explained.status == 200
+        kinds = explained.payload["kinds"]
+        assert "api.request" in kinds
+        assert "warehouse.query" in kinds
+        plane.close()
+
+    def test_query_is_admission_metered(self, tmp_path):
+        plane, _ = make_plane(
+            warehouse_dir=self._seeded_warehouse_dir(tmp_path),
+            api_keys={"k1": "operator"})
+        denied = post(plane, "/query", {"op": "stats"})
+        assert (denied.status, denied.reason) == (401, "unauthorized")
+        allowed = post(plane, "/query", {"op": "stats"},
+                       headers={"x-api-key": "k1"})
+        assert allowed.status == 200
+        assert allowed.payload["stats"]["records"] == 6
+        plane.close()
+
+
+class TestAccessLogRotation:
+    """E24 satellite: the file-mode access log rotates by size."""
+
+    def _record(self, n=0) -> dict:
+        return {"endpoint": "evaluate", "status": 200, "n": n,
+                "padding": "x" * 64}
+
+    def test_rotates_and_keeps_bounded_generations(self, tmp_path):
+        from repro.api.accesslog import AccessLog
+
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(capacity=10, path=path, max_bytes=256, rotations=2)
+        for n in range(20):
+            log.log(self._record(n))
+        log.close()
+        assert log.rotated >= 2
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1")
+        assert os.path.exists(path + ".2")
+        assert not os.path.exists(path + ".3")      # oldest dropped
+        assert os.path.getsize(path) < 256 + 128    # fresh after last roll
+
+    def test_no_record_lost_across_generations(self, tmp_path):
+        from repro.api.accesslog import AccessLog
+
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(capacity=100, path=path, max_bytes=300,
+                        rotations=10)
+        total = 25
+        for n in range(total):
+            log.log(self._record(n))
+        log.close()
+        seen = []
+        for candidate in [path] + [f"{path}.{i}" for i in range(1, 11)]:
+            if os.path.exists(candidate):
+                with open(candidate, encoding="utf-8") as handle:
+                    seen.extend(json.loads(line)["n"]
+                                for line in handle if line.strip())
+        assert sorted(seen) == list(range(total))
+
+    def test_restart_counts_existing_bytes(self, tmp_path):
+        from repro.api.accesslog import AccessLog
+
+        path = str(tmp_path / "access.jsonl")
+        first = AccessLog(capacity=10, path=path, max_bytes=10_000)
+        first.log(self._record())
+        first.close()
+        existing = os.path.getsize(path)
+        second = AccessLog(capacity=10, path=path, max_bytes=existing + 1)
+        assert second.rotated == 0
+        second.log(self._record())                  # crosses the threshold
+        assert second.rotated == 1
+        second.close()
+
+    def test_no_max_bytes_never_rotates(self, tmp_path):
+        from repro.api.accesslog import AccessLog
+
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(capacity=10, path=path)
+        for n in range(50):
+            log.log(self._record(n))
+        log.close()
+        assert log.rotated == 0
+        assert not os.path.exists(path + ".1")
+
+    def test_plane_config_wires_rotation(self, tmp_path):
+        path = str(tmp_path / "api_access.jsonl")
+        plane, _ = make_plane(access_log_path=path,
+                              access_log_max_bytes=200,
+                              access_log_rotations=2)
+        for _ in range(10):
+            post(plane, "/evaluate",
+                 {"event": {"kind": "mgmt.command.move"}})
+        plane.close()
+        assert plane.access.rotated >= 1
+        assert os.path.exists(path + ".1")
+
+    def test_bad_rotation_params_rejected(self):
+        from repro.api.accesslog import AccessLog
+
+        with pytest.raises(ValueError):
+            AccessLog(max_bytes=0)
+        with pytest.raises(ValueError):
+            AccessLog(rotations=0)

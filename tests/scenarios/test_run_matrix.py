@@ -47,3 +47,29 @@ def test_matrix_with_real_scenario():
     )
     assert aggregated["baseline"]["_n"] == 2
     assert "actions_executed" in aggregated["baseline"]
+
+
+def test_matrix_auto_ingests_into_warehouse(tmp_path):
+    from repro.telemetry.warehouse import Warehouse
+
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    arms = [("baseline", SafeguardConfig.none()),
+            ("guarded", SafeguardConfig.only(preaction=True))]
+    run_matrix(arms, fake_run, seeds=[1, 2, 3], warehouse=warehouse,
+               experiment="e10", git_rev="rev-test", tag="unit")
+    assert len(warehouse) == 6            # one record per (arm, seed) cell
+    assert {record.key.arm for record in warehouse.runs()} == {
+        "baseline", "guarded"}
+    assert warehouse.group("harm", by="arm")["baseline"]["mean"] == 2.0
+    assert all(record.key.git_rev == "rev-test"
+               for record in warehouse.runs())
+    # Re-running the same matrix is a warehouse no-op (idempotent cells).
+    run_matrix(arms, fake_run, seeds=[1, 2, 3], warehouse=warehouse,
+               experiment="e10", git_rev="rev-test", tag="unit")
+    assert len(warehouse) == 6
+
+
+def test_matrix_without_warehouse_unchanged():
+    arms = [("baseline", SafeguardConfig.none())]
+    assert (run_matrix(arms, fake_run, seeds=[5])
+            == run_matrix(arms, fake_run, seeds=[5], warehouse=None))

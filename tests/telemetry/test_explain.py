@@ -269,3 +269,48 @@ class TestGatewayRejectPlusJournalAppend:
         gateway.admit(forged, kind="safety.kill", target="d0")
         names = [span.name for span in sim.telemetry.spans]
         assert "safeguard.authz" not in names
+
+
+class TestExplanationSerialization:
+    """E24 satellite: Explanation round-trips through plain JSON, so a
+    warehouse-stored incident renders the same tree the live tracer
+    produced."""
+
+    def test_to_dict_carries_chain_and_summaries(self):
+        explanation = explain(_tree(), "t1")
+        doc = explanation.to_dict()
+        assert doc["trace_id"] == "t1"
+        assert doc["kinds"] == explanation.kinds()
+        assert doc["subjects"] == explanation.subjects()
+        assert [span["name"] for span in doc["spans"]] == [
+            span.name for span in explanation.spans]
+
+    def test_round_trip_preserves_tree_and_render(self):
+        import json
+
+        original = explain(_tree(), "t1")
+        # Through actual JSON text, not just dicts: what the warehouse
+        # stores is what a reader loads.
+        rebuilt = Explanation.from_dict(
+            json.loads(json.dumps(original.to_dict())))
+        assert rebuilt.to_dict() == original.to_dict()
+        assert [span.name for span in rebuilt.roots()] == [
+            span.name for span in original.roots()]
+        leaf = rebuilt.stage("policy.inject")[0]
+        assert [span.name for span in rebuilt.path_to(leaf)] == [
+            "attack.worm", "attack.compromise", "policy.inject"]
+        assert rebuilt.render() == original.render()
+
+    def test_round_trip_of_orphaned_tree(self):
+        tracer = _tree()
+        survivors = [span for span in tracer.trace("t1")
+                     if span.name != "attack.worm"]
+        original = Explanation("t1", survivors)
+        rebuilt = Explanation.from_dict(original.to_dict())
+        assert {span.name for span in rebuilt.roots()} == {
+            "attack.compromise", "safeguard.veto"}
+
+    def test_empty_explanation_round_trips(self):
+        rebuilt = Explanation.from_dict(
+            Explanation("tX", []).to_dict())
+        assert (rebuilt.trace_id, len(rebuilt)) == ("tX", 0)

@@ -10,7 +10,10 @@ import pytest
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.simulator import Simulator
 from repro.telemetry.exposition import (
+    BUNDLE_SCHEMA,
+    flatten_families,
     metrics_jsonl,
+    parse_prometheus_text,
     prometheus_text,
     sanitize_metric_name,
     write_bundle,
@@ -321,3 +324,111 @@ class TestBundle:
         # The E18 storage-pressure gauges ride along in the exposition.
         assert "store_appends" in prom
         assert "store_bytes_written" in prom
+
+
+# -- the exposition parser (E24): prometheus_text's inverse -------------------------
+
+
+class TestParsePrometheusText:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("net.sent").inc(3)
+        registry.gauge("queue.depth").set(2.5)
+        histogram = registry.histogram("rtt")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        series = registry.timeseries("compromised")
+        series.record(0.0, 1.0)
+        series.record(5.0, 3.0)
+        return registry
+
+    def test_round_trip_families_and_types(self):
+        families = parse_prometheus_text(prometheus_text(self._registry()))
+        assert families["net_sent"]["type"] == "counter"
+        assert families["queue_depth"]["type"] == "gauge"
+        assert families["rtt"]["type"] == "summary"
+        assert "_errors" not in families
+
+    def test_round_trip_values(self):
+        families = parse_prometheus_text(prometheus_text(self._registry()))
+        (sample,) = families["net_sent"]["samples"]
+        assert sample == {"name": "net_sent", "labels": {}, "value": 3.0}
+        samples = {(sample["name"],
+                    tuple(sorted(sample["labels"].items()))): sample["value"]
+                   for sample in families["rtt"]["samples"]}
+        assert samples[("rtt_sum", ())] == 10.0
+        assert samples[("rtt_count", ())] == 4.0
+        assert samples[("rtt", (("quantile", "0.5"),))] == 2.5
+
+    def test_sum_count_attach_to_their_summary_family(self):
+        families = parse_prometheus_text(prometheus_text(self._registry()))
+        assert "rtt_sum" not in families
+        assert "rtt_count" not in families
+        names = {sample["name"] for sample in families["rtt"]["samples"]}
+        assert names == {"rtt", "rtt_sum", "rtt_count"}
+
+    def test_label_escapes_round_trip(self):
+        text = ('# TYPE weird summary\n'
+                'weird{quantile="0.5",note="a\\"b\\\\c\\nd"} 1.0\n')
+        families = parse_prometheus_text(text)
+        (sample,) = families["weird"]["samples"]
+        assert sample["labels"]["note"] == 'a"b\\c\nd'
+
+    def test_bad_lines_collected_not_fatal(self):
+        text = ("# TYPE good counter\n"
+                "good 1.0\n"
+                "this is not a sample line at all {\n"
+                "also_good 2.0\n")
+        families = parse_prometheus_text(text)
+        assert families["good"]["samples"][0]["value"] == 1.0
+        assert families["also_good"]["samples"][0]["value"] == 2.0
+        assert len(families["_errors"]) == 1
+
+    def test_empty_and_comment_only_input(self):
+        assert parse_prometheus_text("") == {}
+        assert parse_prometheus_text("# just a comment\n\n") == {}
+
+    def test_flatten_families_drops_nan_and_labels_quantiles(self):
+        flat = flatten_families(
+            parse_prometheus_text(prometheus_text(self._registry())))
+        assert flat["net_sent"] == 3.0
+        assert flat["queue_depth"] == 2.5
+        assert flat["rtt.quantile=0.5"] == 2.5
+        assert flat["rtt_sum"] == 10.0
+        assert flat["compromised_peak"] == 3.0
+        assert all(value == value for value in flat.values())
+
+    def test_flatten_skips_empty_histogram_nans(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle")                  # quantiles are NaN
+        flat = flatten_families(
+            parse_prometheus_text(prometheus_text(registry)))
+        assert "idle.quantile=0.5" not in flat
+        assert flat["idle_count"] == 0.0
+
+
+class TestSelfDescribingManifest:
+    def test_identity_block_always_present(self, tmp_path):
+        sim = Simulator(seed=1)
+        sim.metrics.counter("x").inc()
+        manifest = write_bundle(sim, str(tmp_path / "b"),
+                                experiment="e24", arm="full", seed=7)
+        assert manifest["bundle_schema"] == BUNDLE_SCHEMA
+        assert manifest["experiment"] == "e24"
+        assert manifest["arm"] == "full"
+        assert manifest["seed"] == 7
+        assert manifest["horizon"] == sim.now
+
+    def test_unknown_identity_stamps_none_not_absent(self, tmp_path):
+        sim = Simulator(seed=1)
+        manifest = write_bundle(sim, str(tmp_path / "b"))
+        assert manifest["bundle_schema"] == BUNDLE_SCHEMA
+        assert manifest["experiment"] is None
+        assert manifest["arm"] is None
+        assert manifest["seed"] is None
+
+    def test_explicit_horizon_overrides_clock(self, tmp_path):
+        sim = Simulator(seed=1)
+        sim.run(until=4.0)
+        manifest = write_bundle(sim, str(tmp_path / "b"), horizon=120.0)
+        assert manifest["horizon"] == 120.0
